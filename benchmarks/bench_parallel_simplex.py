@@ -1,0 +1,66 @@
+"""Parallel dense simplex scaling (the 'inherently parallel' claim).
+
+Measures the simulated CM-5 time of the column-distributed simplex on a
+paper-sized balance LP across rank counts, and the host-side cost of the
+serial solver as the reference.  The per-iteration model is
+``O(m·n/P) + α log P + m β log P`` — scaling flattens once the broadcast
+term dominates, which the curve makes visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import build_balance_lp, layer_partitions
+from repro.core.assign import assign_new_vertices
+from repro.core.quality import partition_weights
+from repro.graph.incremental import apply_delta, carry_partition
+from repro.lp import DenseSimplexSolver
+from repro.lp.parallel_simplex import parallel_simplex_solve
+from repro.parallel import CM5, VirtualMachine
+from repro.spectral import rsb_partition
+
+
+@pytest.fixture(scope="module")
+def paper_lp(seq_a, partitions):
+    g0 = seq_a.graphs[0]
+    base = rsb_partition(g0, partitions, seed=0)
+    inc = apply_delta(g0, seq_a.deltas[0])
+    carried = carry_partition(base, inc)
+    part = assign_new_vertices(inc.graph, carried, partitions)
+    loads = partition_weights(inc.graph, part, partitions)
+    lay = layer_partitions(inc.graph, part, partitions, loads=loads)
+    return build_balance_lp(lay.delta, loads).lp
+
+
+def test_serial_simplex_host_time(benchmark, paper_lp):
+    solver = DenseSimplexSolver()
+    res = benchmark(solver.solve, paper_lp)
+    assert res.is_optimal
+
+
+def test_parallel_simplex_scaling(benchmark, paper_lp, recorder):
+    serial = DenseSimplexSolver().solve(paper_lp)
+
+    def curve():
+        out = []
+        for ranks in (1, 2, 4, 8, 16, 32):
+            vm = VirtualMachine(ranks, machine=CM5, recv_timeout=120)
+            run = vm.run(parallel_simplex_solve, paper_lp)
+            res = run.results[0]
+            assert res.is_optimal
+            np.testing.assert_allclose(res.objective, serial.objective, atol=1e-8)
+            out.append((ranks, run.elapsed))
+        return out
+
+    results = benchmark.pedantic(curve, rounds=1, iterations=1)
+    print()
+    base = results[0][1]
+    print(f"{'ranks':>6}{'sim time (s)':>14}{'speedup':>9}")
+    for ranks, t in results:
+        print(f"{ranks:>6}{t:>14.4f}{base / t:>9.1f}")
+    recorder.record(
+        "Parallel simplex", "speedup at 32 ranks",
+        "n/a (supports the Time-p rows)", round(base / results[-1][1], 1),
+    )
+    # must scale at least somewhat before communication dominates
+    assert results[1][1] < results[0][1]

@@ -1,0 +1,43 @@
+"""Baseline-partitioner bake-off (the §1 heuristic families).
+
+Times RSB / RCB / RGB / inertial / multilevel on the dataset-A base mesh
+and records their cut quality — context for how good the RSB baseline the
+paper measures against actually is.
+"""
+
+import pytest
+
+from repro.core import evaluate_partition
+from repro.core.multilevel import multilevel_bisection_partition
+from repro.spectral import (
+    inertial_partition,
+    rcb_partition,
+    rgb_partition,
+    rsb_partition,
+)
+
+METHODS = {
+    "RSB": lambda g, p: rsb_partition(g, p, seed=0),
+    "RSB+KL": lambda g, p: rsb_partition(g, p, seed=0, kl_refine=True),
+    "RCB": rcb_partition,
+    "RGB": rgb_partition,
+    "inertial": inertial_partition,
+    "multilevel": lambda g, p: multilevel_bisection_partition(g, p, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", list(METHODS))
+def test_partitioner(benchmark, name, seq_a, partitions, recorder):
+    graph = seq_a.graphs[0]
+    part = benchmark.pedantic(
+        METHODS[name], args=(graph, partitions), rounds=1, iterations=1
+    )
+    q = evaluate_partition(graph, part, partitions)
+    print(f"\n{name}: {q}")
+    recorder.record(
+        "Baselines (dataset A base)", f"cut total ({name})",
+        "RSB=734 (paper)", q.cut_total,
+    )
+    assert q.imbalance < 1.2
+    # every baseline must produce a complete partition
+    assert len(part) == graph.num_vertices

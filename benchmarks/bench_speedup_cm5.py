@@ -1,0 +1,59 @@
+"""E5 — the CM-5 speedup claim ("around 15 to 20 on a 32 node CM-5").
+
+Runs the full parallel IGPR pipeline on the simulated CM-5 for rank
+counts 1…32 on the first dataset-A repartitioning step, printing the
+speedup curve and asserting the 32-rank point lands in (or near) the
+paper's band.
+"""
+
+import pytest
+
+from repro.bench.harness import run_speedup_curve
+from repro.graph.incremental import apply_delta, carry_partition
+from repro.spectral import rsb_partition
+
+
+@pytest.fixture(scope="module")
+def workload(seq_a, partitions):
+    g0 = seq_a.graphs[0]
+    base = rsb_partition(g0, partitions, seed=0)
+    inc = apply_delta(g0, seq_a.deltas[0])
+    carried = carry_partition(base, inc)
+    return inc.graph, carried
+
+
+def test_speedup_curve(benchmark, workload, partitions, recorder, bench_scale):
+    graph, carried = workload
+
+    def run():
+        return run_speedup_curve(
+            graph,
+            carried,
+            num_partitions=partitions,
+            rank_counts=(1, 2, 4, 8, 16, 32),
+        )
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'ranks':>6}{'Time (sim s)':>14}{'speedup':>9}{'messages':>10}")
+    for c in curve:
+        print(
+            f"{c['ranks']:>6}{c['sim_time']:>14.4f}"
+            f"{c['speedup']:>9.1f}{c['messages']:>10}"
+        )
+    final = curve[-1]
+    recorder.record(
+        "Speedup (32-node CM-5)", "IGPR speedup", "15-20",
+        round(final["speedup"], 1),
+    )
+    # Full scale should land in/near the paper band; scaled-down smoke
+    # runs only need to show strong scaling.
+    if bench_scale >= 0.99:
+        assert final["speedup"] >= 12.0
+    else:
+        # tiny smoke-scale graphs are communication-bound; just require
+        # that parallelism is not harmful
+        assert final["speedup"] >= 1.0
+    # monotone improvement up the curve
+    times = [c["sim_time"] for c in curve]
+    assert all(b <= a * 1.05 for a, b in zip(times, times[1:]))

@@ -1,0 +1,108 @@
+"""E1/E2 — the paper's worked example (Figures 2, 4, 5, 6, 8, 9).
+
+Reconstructs the 4-partition example: the balance LP of Figure 5 (whose
+published optimum is ``l03 = 8, l12 = 1``, objective 9) and the
+refinement LP of Figure 8 (zero-net-flow circulation under the printed
+``b_ij`` bounds).  The benchmark times our dense simplex on exactly these
+LPs; assertions pin the published solutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp import DenseSimplexSolver, LinearProgram
+
+PAIRS = ["01", "02", "03", "10", "12", "20", "21", "23", "30", "32"]
+
+
+def _flow_matrix() -> np.ndarray:
+    a = np.zeros((4, 10))
+    for k, name in enumerate(PAIRS):
+        i, j = int(name[0]), int(name[1])
+        a[i, k] += 1.0
+        a[j, k] -= 1.0
+    return a
+
+
+def _figure5_lp() -> LinearProgram:
+    return LinearProgram(
+        c=np.ones(10),
+        A_eq=_flow_matrix(),
+        b_eq=np.array([8.0, 1.0, -1.0, -8.0]),
+        upper_bounds=np.array([9, 7, 12, 10, 11, 3, 7, 9, 7, 5], dtype=float),
+    )
+
+
+def _figure8_lp() -> LinearProgram:
+    return LinearProgram(
+        c=np.ones(10),
+        A_eq=_flow_matrix(),
+        b_eq=np.zeros(4),
+        upper_bounds=np.array([1, 1, 1, 2, 1, 0, 1, 1, 2, 1], dtype=float),
+        maximize=True,
+    )
+
+
+def test_figure5_balance_lp(benchmark, recorder):
+    solver = DenseSimplexSolver()
+    res = benchmark(solver.solve, _figure5_lp())
+    assert res.is_optimal
+    assert res.objective == pytest.approx(9.0)
+    sol = dict(zip(PAIRS, res.x))
+    assert sol["03"] == pytest.approx(8.0)
+    assert sol["12"] == pytest.approx(1.0)
+    recorder.record("Fig5 worked LP", "l03", 8, sol["03"])
+    recorder.record("Fig5 worked LP", "l12", 1, sol["12"])
+    recorder.record("Fig5 worked LP", "objective", 9, res.objective)
+
+
+def test_figure8_refinement_lp(benchmark, recorder):
+    solver = DenseSimplexSolver()
+    res = benchmark(solver.solve, _figure8_lp())
+    assert res.is_optimal
+    # Published circulation totals 8 (slightly suboptimal for the printed
+    # bounds; the LP optimum is 9 — see DESIGN.md notes).
+    assert res.objective >= 8.0
+    assert np.allclose(_flow_matrix() @ res.x, 0.0, atol=1e-9)
+    recorder.record(
+        "Fig8 worked LP", "circulation total", ">= 8 (printed 8)", res.objective
+    )
+
+
+def test_figure2_pipeline_structure(benchmark, recorder):
+    """The Figure 2/4/6/9 walk-through: 4 partitions, localized growth.
+
+    The exact vertex layout of the scanned figure is not recoverable, so
+    this reconstructs the *situation* (4 balanced partitions, a burst of
+    new vertices landing mostly in one of them) and validates the same
+    pipeline waypoints the figures illustrate: layering labels every
+    vertex with a foreign partition, the balance LP's movement matches
+    the imbalance, and refinement does not break balance.
+    """
+    from repro.core import (
+        IGPConfig,
+        IncrementalGraphPartitioner,
+        layer_partitions,
+    )
+    from repro.core.quality import partition_sizes
+    from repro.graph.incremental import apply_delta, carry_partition
+    from repro.mesh import irregular_mesh, node_graph, refine_in_disc
+    from repro.spectral import rsb_partition
+
+    mesh = irregular_mesh(120, seed=94)
+    g = node_graph(mesh)
+    part = rsb_partition(g, 4, seed=0)
+    ref = refine_in_disc(mesh, (0.8, 0.2), 0.18, 28)
+    inc = apply_delta(g, ref.delta)
+    carried = carry_partition(part, inc)
+
+    igp = IncrementalGraphPartitioner(IGPConfig(num_partitions=4, refine=True))
+    res = benchmark(igp.repartition, inc.graph, carried.copy())
+    sizes = partition_sizes(inc.graph, res.part, 4)
+    assert sizes.max() == int(np.ceil(inc.graph.num_vertices / 4))
+    lay = layer_partitions(inc.graph, res.part, 4)
+    assert np.all(lay.label >= 0)
+    recorder.record(
+        "Fig2-9 walk-through", "balance restored (max |B|)",
+        "ceil(n/4)", int(sizes.max()),
+    )

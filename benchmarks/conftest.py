@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run the paper-scale datasets (dataset A at full 1071-node size;
+dataset B at its full 10166-node size).  Generation is cached per session.
+Set ``REPRO_BENCH_SCALE`` (e.g. ``0.3``) to shrink everything for smoke
+runs.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def seq_a(bench_scale):
+    from repro.mesh.sequences import dataset_a
+
+    return dataset_a(scale=bench_scale)
+
+
+@pytest.fixture(scope="session")
+def seq_b(bench_scale):
+    from repro.mesh.sequences import dataset_b
+
+    return dataset_b(scale=bench_scale)
+
+
+@pytest.fixture(scope="session")
+def partitions(bench_scale) -> int:
+    # the paper uses 32 partitions; shrink with the dataset
+    return 32 if bench_scale >= 0.5 else 8
+
+
+@pytest.fixture(scope="session")
+def recorder():
+    from repro.bench.recorder import global_recorder
+
+    yield global_recorder
+    if global_recorder.entries:
+        out = os.path.join(os.path.dirname(__file__), "..", "measured_results.md")
+        global_recorder.dump(os.path.abspath(out))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Adaptive-solver loop: repeated localized refinement + repartitioning.
+
+Models the application §1 of the paper motivates: an adaptive mesh code
+whose hot region *moves* over time.  Each round the mesh is refined around
+the current hot spot, the computational graph changes incrementally, and
+the partitioning must follow — cheaply, because the solver only runs a
+few iterations between refinements.
+
+The loop prints, per round: the incremental graph size, IGPR's balance
+stages, the cut versus re-running RSB from scratch, and the cumulative
+time of both strategies.  The punchline mirrors the paper: incremental
+repartitioning keeps the cut within a few percent of from-scratch quality
+at a fraction of its cost, round after round (quality does not decay as
+deltas accumulate).
+
+Run:  python examples/adaptive_refinement_loop.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import IGPConfig, IncrementalGraphPartitioner, evaluate_partition
+from repro.graph.incremental import apply_delta, carry_partition
+from repro.mesh import irregular_mesh, node_graph, refine_in_disc
+from repro.spectral import rsb_partition
+
+NUM_PARTITIONS = 16
+ROUNDS = 6
+NODES_PER_ROUND = 45
+
+
+def main() -> None:
+    mesh = irregular_mesh(900, seed=7)
+    graph = node_graph(mesh)
+    part = rsb_partition(graph, NUM_PARTITIONS, seed=0)
+    igp = IncrementalGraphPartitioner(
+        IGPConfig(num_partitions=NUM_PARTITIONS, refine=True)
+    )
+
+    # The hot spot orbits the domain centre.
+    angles = np.linspace(0, 1.5 * np.pi, ROUNDS)
+    centers = np.column_stack(
+        [0.5 + 0.28 * np.cos(angles), 0.5 + 0.28 * np.sin(angles)]
+    )
+
+    t_incremental = 0.0
+    t_scratch = 0.0
+    print(f"{'round':>5} {'|V|':>6} {'stages':>7} {'IGPR cut':>9} "
+          f"{'RSB cut':>8} {'ratio':>6} {'imbal':>6}")
+    for r in range(ROUNDS):
+        ref = refine_in_disc(mesh, centers[r], 0.13, NODES_PER_ROUND)
+        mesh = ref.new_mesh
+        inc = apply_delta(graph, ref.delta)
+        graph = inc.graph
+        carried = carry_partition(part, inc)
+
+        t0 = time.perf_counter()
+        result = igp.repartition(graph, carried)
+        t_incremental += time.perf_counter() - t0
+        part = result.part
+
+        t0 = time.perf_counter()
+        scratch = rsb_partition(graph, NUM_PARTITIONS, seed=0)
+        t_scratch += time.perf_counter() - t0
+        q_scratch = evaluate_partition(graph, scratch, NUM_PARTITIONS)
+
+        q = result.quality_final
+        print(f"{r + 1:>5} {graph.num_vertices:>6} {result.num_stages:>7} "
+              f"{q.cut_total:>9.0f} {q_scratch.cut_total:>8.0f} "
+              f"{q.cut_total / q_scratch.cut_total:>6.2f} {q.imbalance:>6.3f}")
+
+    print(f"\ncumulative incremental time: {t_incremental:.3f}s")
+    print(f"cumulative from-scratch time: {t_scratch:.3f}s")
+    print(f"incremental / scratch: {t_incremental / t_scratch:.2f}x "
+          f"(quality stays comparable across {ROUNDS} chained deltas)")
+
+
+if __name__ == "__main__":
+    main()

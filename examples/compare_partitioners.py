@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bake-off of every partitioner in the library on three workload classes.
+
+Partitioners (§1 of the paper names all of these heuristic families):
+
+* RSB   — recursive spectral bisection (the paper's baseline)
+* RSB+KL — RSB with a Kernighan–Lin pass per bisection
+* RCB   — recursive coordinate bisection
+* RGB   — recursive graph (BFS) bisection
+* INRT  — inertial (principal-axis) bisection
+* ML    — multilevel with LP-repair uncoarsening (the paper's future work)
+
+Workloads: a structured grid, an irregular Delaunay mesh and a graded
+("highly irregular") mesh.  Reported: edge cut, per-partition max cut,
+imbalance, wall time.
+
+Run:  python examples/compare_partitioners.py
+"""
+
+import time
+
+from repro.core import evaluate_partition
+from repro.core.multilevel import multilevel_bisection_partition
+from repro.graph.generators import grid_graph
+from repro.mesh import graded_mesh, irregular_mesh, node_graph
+from repro.spectral import (
+    inertial_partition,
+    rcb_partition,
+    rgb_partition,
+    rsb_partition,
+)
+
+NUM_PARTITIONS = 16
+
+
+def density(pts):
+    import numpy as np
+
+    return 1.0 + 15.0 * np.exp(
+        -((pts[:, 0] - 0.3) ** 2 + (pts[:, 1] - 0.6) ** 2) / 0.03
+    )
+
+
+def main() -> None:
+    workloads = {
+        "grid 40x40": grid_graph(40, 40),
+        "irregular mesh (1500)": node_graph(irregular_mesh(1500, seed=5)),
+        "graded mesh (1500)": node_graph(graded_mesh(1500, density, seed=5)),
+    }
+    partitioners = {
+        "RSB": lambda g: rsb_partition(g, NUM_PARTITIONS, seed=0),
+        "RSB+KL": lambda g: rsb_partition(g, NUM_PARTITIONS, seed=0, kl_refine=True),
+        "RCB": lambda g: rcb_partition(g, NUM_PARTITIONS),
+        "RGB": lambda g: rgb_partition(g, NUM_PARTITIONS),
+        "INRT": lambda g: inertial_partition(g, NUM_PARTITIONS),
+        "ML": lambda g: multilevel_bisection_partition(g, NUM_PARTITIONS, seed=0),
+    }
+
+    for wname, graph in workloads.items():
+        print(f"\n=== {wname}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+              f"P={NUM_PARTITIONS} ===")
+        print(f"{'method':<8} {'cut':>7} {'max C(q)':>9} {'imbal':>7} {'time':>8}")
+        for pname, fn in partitioners.items():
+            t0 = time.perf_counter()
+            part = fn(graph)
+            dt = time.perf_counter() - t0
+            q = evaluate_partition(graph, part, NUM_PARTITIONS)
+            print(f"{pname:<8} {q.cut_total:>7.0f} {q.cut_max:>9.0f} "
+                  f"{q.imbalance:>7.3f} {dt:>7.2f}s")
+
+
+if __name__ == "__main__":
+    main()

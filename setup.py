@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works on offline
+machines whose setuptools lacks the ``wheel`` package needed for PEP-660
+editable installs.
+"""
+
+from setuptools import setup
+
+setup()

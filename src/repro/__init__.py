@@ -1,0 +1,75 @@
+"""repro — Parallel Incremental Graph Partitioning Using Linear Programming.
+
+A complete reproduction of Ou & Ranka (SC 1994): the LP-based incremental
+graph partitioner (IGP/IGPR), every substrate it depends on (CSR graphs,
+DIME-style adaptive meshes, recursive spectral bisection, a dense simplex
+solver, a simulated 32-node CM-5), and the benchmark harness that
+regenerates the paper's tables.
+
+Quick start::
+
+    from repro.mesh import irregular_mesh, refine_in_disc, node_graph
+    from repro.graph.incremental import apply_delta, carry_partition
+    from repro.spectral import rsb_partition
+    from repro.core import IncrementalGraphPartitioner, IGPConfig
+
+    mesh = irregular_mesh(1000, seed=1)
+    graph = node_graph(mesh)
+    part = rsb_partition(graph, 32)                      # initial RSB
+    ref = refine_in_disc(mesh, (0.7, 0.3), 0.15, 40)     # adapt the mesh
+    inc = apply_delta(graph, ref.delta)
+    carried = carry_partition(part, inc)
+    igp = IncrementalGraphPartitioner(IGPConfig(num_partitions=32, refine=True))
+    result = igp.repartition(inc.graph, carried)         # IGPR
+    print(result.quality_final)
+
+Package map (see DESIGN.md for the full inventory):
+
+=================  ====================================================
+``repro.graph``    CSR graphs, builders, generators, incremental deltas
+``repro.mesh``     DIME-style triangulations, refinement, datasets A/B
+``repro.lp``       dense two-phase simplex, netflow, parallel simplex
+``repro.spectral`` RSB / RCB / RGB / inertial / KL baselines
+``repro.parallel`` virtual CM-5 (SPMD ranks, collectives, sim clocks)
+``repro.core``     the paper's four-step incremental partitioner
+``repro.bench``    paper-table harness (Figures 11 and 14, speedups)
+=================  ====================================================
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    GraphError,
+    LPError,
+    MeshError,
+    ParallelError,
+    PartitioningError,
+    RepartitionInfeasibleError,
+    ReproError,
+)
+from repro.graph import CSRGraph, GraphDelta, apply_delta
+from repro.core import (
+    IGPConfig,
+    IncrementalGraphPartitioner,
+    PartitionQuality,
+    evaluate_partition,
+)
+from repro.spectral import rsb_partition
+
+__all__ = [
+    "CSRGraph",
+    "GraphDelta",
+    "GraphError",
+    "IGPConfig",
+    "IncrementalGraphPartitioner",
+    "LPError",
+    "MeshError",
+    "ParallelError",
+    "PartitionQuality",
+    "PartitioningError",
+    "RepartitionInfeasibleError",
+    "ReproError",
+    "__version__",
+    "apply_delta",
+    "evaluate_partition",
+    "rsb_partition",
+]

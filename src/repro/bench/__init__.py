@@ -1,0 +1,28 @@
+"""Benchmark harness: regenerates the paper's tables and claims.
+
+:mod:`repro.bench.harness` runs the Figure 11 / Figure 14 experiments
+(SB vs IGP vs IGPR over the dataset A/B mesh sequences, with measured
+Python wall-clock and simulated CM-5 ``Time-s``/``Time-p``),
+:mod:`repro.bench.tables` prints them in the paper's layout, and
+:mod:`repro.bench.recorder` accumulates paper-vs-measured rows for
+EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import (
+    ExperimentRow,
+    run_figure11,
+    run_figure14,
+    run_speedup_curve,
+)
+from repro.bench.tables import format_paper_table, format_rows
+from repro.bench.recorder import ExperimentRecorder
+
+__all__ = [
+    "ExperimentRecorder",
+    "ExperimentRow",
+    "format_paper_table",
+    "format_rows",
+    "run_figure11",
+    "run_figure14",
+    "run_speedup_curve",
+]

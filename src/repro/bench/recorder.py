@@ -1,0 +1,59 @@
+"""Paper-vs-measured bookkeeping for EXPERIMENTS.md.
+
+The benchmark modules push their measured rows here together with the
+paper's published values; ``to_markdown`` renders the comparison tables
+that EXPERIMENTS.md embeds.  A process-global recorder instance lets the
+pytest-benchmark modules accumulate into one report when run together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentRecorder", "global_recorder"]
+
+
+@dataclass
+class ExperimentRecorder:
+    """Collects (experiment, metric, paper value, measured value) rows."""
+
+    entries: list[dict] = field(default_factory=list)
+
+    def record(
+        self,
+        experiment: str,
+        metric: str,
+        paper: float | str | None,
+        measured: float | str | None,
+        note: str = "",
+    ) -> None:
+        """Add one comparison row."""
+        self.entries.append(
+            {
+                "experiment": experiment,
+                "metric": metric,
+                "paper": paper,
+                "measured": measured,
+                "note": note,
+            }
+        )
+
+    def to_markdown(self) -> str:
+        """Render all rows as a Markdown table grouped by experiment."""
+        lines = ["| experiment | metric | paper | measured | note |",
+                 "|---|---|---|---|---|"]
+        for e in self.entries:
+            lines.append(
+                f"| {e['experiment']} | {e['metric']} | {e['paper']} "
+                f"| {e['measured']} | {e['note']} |"
+            )
+        return "\n".join(lines)
+
+    def dump(self, path: str | Path) -> None:
+        """Write the Markdown table to ``path``."""
+        Path(path).write_text(self.to_markdown() + "\n")
+
+
+#: Shared recorder used by the benchmark modules.
+global_recorder = ExperimentRecorder()

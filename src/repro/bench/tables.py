@@ -1,0 +1,73 @@
+"""Paper-style table printers.
+
+``format_paper_table`` renders experiment rows in the layout of the
+paper's Figure 11 / Figure 14 blocks::
+
+    |V| = 1096  |E| = 3260                     Cutset
+    Partitioner   Time-s   Time-p   Total   Max   Min
+    SB             31.71       --     733    56    33
+    IGP            14.75     0.68     747    55    34
+    IGPR           16.87     0.88     730    54    34
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.harness import ExperimentRow
+
+__all__ = ["format_rows", "format_paper_table"]
+
+
+def _fmt(value, width: int, nd: int = 2) -> str:
+    if value is None:
+        return "--".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{nd}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_rows(rows: Iterable[ExperimentRow]) -> str:
+    """Flat one-line-per-row rendering (debug / logs)."""
+    out = []
+    for r in rows:
+        d = r.as_dict()
+        out.append(
+            f"{d['dataset']} v{d['version']} {d['partitioner']:<9} "
+            f"|V|={d['|V|']:<6} |E|={d['|E|']:<6} "
+            f"cut={d['Total']:<7.0f} max={d['Max']:<5.0f} min={d['Min']:<5.0f} "
+            f"wall={d['wall_s']:<7} Ts={_fmt(d['Time-s'], 7)} "
+            f"Tp={_fmt(d['Time-p'], 6)} stages={d['stages']}"
+        )
+    return "\n".join(out)
+
+
+def format_paper_table(rows: list[ExperimentRow], title: str = "") -> str:
+    """Group rows by mesh version and render the paper's block layout."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    versions = sorted({r.version for r in rows})
+    for v in versions:
+        block = [r for r in rows if r.version == v]
+        if not block:
+            continue
+        head = block[0]
+        lines.append("")
+        lines.append(f"|V| = {head.num_vertices}   |E| = {head.num_edges}")
+        lines.append(
+            f"{'Partitioner':<12}{'Time-s':>9}{'Time-p':>9}"
+            f"{'Total':>8}{'Max':>6}{'Min':>6}{'stages':>8}"
+        )
+        for r in block:
+            lines.append(
+                f"{r.partitioner:<12}"
+                f"{_fmt(r.sim_time_s, 9)}"
+                f"{_fmt(r.sim_time_p, 9)}"
+                f"{r.cut_total:>8.0f}{r.cut_max:>6.0f}{r.cut_min:>6.0f}"
+                f"{r.stages if r.stages else '--':>8}"
+            )
+    lines.append("")
+    lines.append("Time unit: simulated CM-5 seconds (Time-s: 1 node, Time-p: 32 nodes).")
+    return "\n".join(lines)

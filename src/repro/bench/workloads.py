@@ -1,0 +1,89 @@
+"""Workload accessors shared by benchmarks and tests.
+
+Thin wrappers over :mod:`repro.mesh.sequences` adding (a) a scale knob so
+tests run shrunken datasets quickly, and (b) synthetic non-mesh workloads
+for the ablation benchmarks (random geometric graphs with injected
+incremental hot-spots).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta
+from repro.graph.generators import random_geometric_graph
+from repro.mesh.sequences import MeshSequence, dataset_a, dataset_b
+from repro.rng import make_rng
+
+__all__ = [
+    "paper_dataset_a",
+    "paper_dataset_b",
+    "small_dataset_a",
+    "small_dataset_b",
+    "geometric_hotspot_delta",
+]
+
+
+def paper_dataset_a() -> MeshSequence:
+    """Full-size dataset A (1071 → 1192 nodes)."""
+    return dataset_a()
+
+
+def paper_dataset_b() -> MeshSequence:
+    """Full-size dataset B (10166 nodes, +48/+139/+229/+672)."""
+    return dataset_b()
+
+
+def small_dataset_a(scale: float = 0.4) -> MeshSequence:
+    """Shrunken dataset A for tests (~430 nodes at the default scale)."""
+    return dataset_a(scale=scale)
+
+
+def small_dataset_b(scale: float = 0.08) -> MeshSequence:
+    """Shrunken dataset B for tests (~810 nodes at the default scale)."""
+    return dataset_b(scale=scale)
+
+
+def geometric_hotspot_delta(
+    n: int = 800,
+    extra: int = 60,
+    seed: int = 11,
+    hotspot=(0.8, 0.2),
+    radius: float = 0.08,
+) -> tuple[CSRGraph, GraphDelta]:
+    """Non-mesh incremental workload: geometric graph + clustered additions.
+
+    New vertices are sampled in a small disc and wired to their nearest
+    existing vertices plus each other — the same "localized growth" shape
+    as adaptive meshes but without any triangulation structure, used by
+    ablations to show the algorithm does not depend on mesh properties.
+    """
+    rng = make_rng(seed)
+    g = random_geometric_graph(n, seed=rng)
+    assert g.coords is not None
+    theta = rng.random(extra) * 2 * np.pi
+    r = radius * np.sqrt(rng.random(extra))
+    pts = np.column_stack(
+        [hotspot[0] + r * np.cos(theta), hotspot[1] + r * np.sin(theta)]
+    )
+    pts = np.clip(pts, 0.0, 1.0)
+
+    edges: list[tuple[int, int]] = []
+    # each new vertex -> 2 nearest old vertices
+    for k, p in enumerate(pts):
+        d2 = ((g.coords - p) ** 2).sum(axis=1)
+        nearest = np.argsort(d2)[:2]
+        for u in nearest:
+            edges.append((int(u), n + k))
+    # new-new edges within a tight radius
+    lim2 = (radius * 0.6) ** 2
+    for a in range(extra):
+        for b in range(a + 1, extra):
+            d = pts[a] - pts[b]
+            if d[0] * d[0] + d[1] * d[1] <= lim2:
+                edges.append((n + a, n + b))
+    delta = GraphDelta(
+        num_added_vertices=extra, added_edges=np.asarray(edges), added_coords=pts
+    )
+    return g, delta

@@ -1,0 +1,133 @@
+"""Command-line interface: ``repro-igp``.
+
+Subcommands:
+
+* ``repro-igp fig11 [--scale S] [--no-parallel]`` — regenerate the
+  Figure 11 table (dataset A).
+* ``repro-igp fig14 [--scale S] [--no-parallel]`` — regenerate the
+  Figure 14 table (dataset B).
+* ``repro-igp speedup [--scale S]`` — the CM-5 speedup curve (E5).
+* ``repro-igp partition GRAPH.metis -p P [-o OUT]`` — partition a METIS
+  file with RSB and print/save the vector.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_fig11(args) -> int:
+    from repro.bench.harness import run_figure11
+    from repro.bench.tables import format_paper_table
+    from repro.mesh.sequences import dataset_a
+
+    seq = dataset_a(scale=args.scale)
+    rows = run_figure11(
+        seq,
+        num_partitions=args.partitions,
+        with_parallel=not args.no_parallel,
+        parallel_ranks=args.ranks,
+    )
+    print(format_paper_table(rows, title="Figure 11 — dataset A"))
+    return 0
+
+
+def _cmd_fig14(args) -> int:
+    from repro.bench.harness import run_figure14
+    from repro.bench.tables import format_paper_table
+    from repro.mesh.sequences import dataset_b
+
+    seq = dataset_b(scale=args.scale)
+    rows = run_figure14(
+        seq,
+        num_partitions=args.partitions,
+        with_parallel=not args.no_parallel,
+        parallel_ranks=args.ranks,
+    )
+    print(format_paper_table(rows, title="Figure 14 — dataset B"))
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.bench.harness import run_speedup_curve
+    from repro.graph.incremental import apply_delta, carry_partition
+    from repro.mesh.sequences import dataset_a
+    from repro.spectral.rsb import rsb_partition
+
+    seq = dataset_a(scale=args.scale)
+    g0 = seq.graphs[0]
+    base = rsb_partition(g0, args.partitions, seed=0)
+    inc = apply_delta(g0, seq.deltas[0])
+    carried = carry_partition(base, inc)
+    curve = run_speedup_curve(
+        inc.graph, carried, num_partitions=args.partitions
+    )
+    print(f"{'ranks':>6}{'Time-p (s)':>12}{'speedup':>9}{'messages':>10}")
+    for row in curve:
+        print(
+            f"{row['ranks']:>6}{row['sim_time']:>12.4f}"
+            f"{row['speedup']:>9.1f}{row['messages']:>10}"
+        )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    from repro.core.quality import evaluate_partition
+    from repro.graph.io import read_metis
+    from repro.spectral.rsb import rsb_partition
+
+    graph = read_metis(args.graph)
+    part = rsb_partition(graph, args.partitions, seed=args.seed)
+    q = evaluate_partition(graph, part, args.partitions)
+    print(f"partitioned |V|={graph.num_vertices} |E|={graph.num_edges}: {q}")
+    if args.output:
+        np.savetxt(args.output, part, fmt="%d")
+        print(f"partition vector written to {args.output}")
+    else:
+        print(" ".join(map(str, part.tolist())))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="repro-igp",
+        description="Incremental graph partitioning via LP (Ou & Ranka, SC'94)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale factor (1.0 = paper size)")
+    common.add_argument("-p", "--partitions", type=int, default=32)
+    common.add_argument("--ranks", type=int, default=32,
+                        help="virtual CM-5 ranks for Time-p")
+    common.add_argument("--no-parallel", action="store_true",
+                        help="skip the simulated-machine timings")
+
+    sub.add_parser("fig11", parents=[common]).set_defaults(fn=_cmd_fig11)
+    sub.add_parser("fig14", parents=[common]).set_defaults(fn=_cmd_fig14)
+    sub.add_parser("speedup", parents=[common]).set_defaults(fn=_cmd_speedup)
+
+    pp = sub.add_parser("partition")
+    pp.add_argument("graph", help="METIS-format graph file")
+    pp.add_argument("-p", "--partitions", type=int, default=32)
+    pp.add_argument("--seed", type=int, default=0)
+    pp.add_argument("-o", "--output", default=None)
+    pp.set_defaults(fn=_cmd_partition)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

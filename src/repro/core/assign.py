@@ -1,0 +1,74 @@
+"""Step 1 — initial assignment of new vertices (paper §2.1).
+
+Every new vertex ``v ∈ V1`` receives the partition of the nearest old
+vertex in the incremental graph (eq. 7), computed with one multi-source
+BFS seeded at all old vertices (ties between equidistant partitions break
+toward the smaller partition id, a deterministic stand-in for the paper's
+arbitrary tie-break).
+
+When the graph is disconnected and some new vertices cannot reach any old
+vertex, the paper's fallback applies: those vertices are clustered into
+connected components and each cluster is assigned to the partition with
+the least total weight (including the clusters already placed, so several
+clusters spread across light partitions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.operations import connected_components, multi_source_bfs
+
+__all__ = ["assign_new_vertices"]
+
+
+def assign_new_vertices(
+    graph: CSRGraph, part: np.ndarray, num_partitions: int
+) -> np.ndarray:
+    """Resolve ``-1`` entries of ``part`` to partitions (returns a copy).
+
+    Parameters
+    ----------
+    graph:
+        the incremental graph ``G'``.
+    part:
+        partition vector carried over from the old graph
+        (:func:`repro.graph.incremental.carry_partition`); ``-1`` marks
+        the new vertices.
+    num_partitions:
+        ``P``.
+    """
+    part = np.asarray(part, dtype=np.int64).copy()
+    if len(part) != graph.num_vertices:
+        raise GraphError("partition vector length mismatch")
+    unassigned = part < 0
+    if not unassigned.any():
+        return part
+    if unassigned.all():
+        raise GraphError(
+            "no assigned vertices to inherit from; partition the graph "
+            "from scratch instead (paper §2.1 assumes an existing mapping)"
+        )
+
+    sources = np.flatnonzero(~unassigned)
+    _, owner = multi_source_bfs(graph, sources, part[sources])
+    reached = unassigned & (owner >= 0)
+    part[reached] = owner[reached]
+
+    # Fallback: clusters of new vertices disconnected from every old
+    # vertex go to the lightest partition (paper §2.1, second bullet).
+    rest = np.flatnonzero(part < 0)
+    if len(rest):
+        _, comp = connected_components(graph)
+        weights = np.bincount(
+            part[part >= 0], weights=graph.vweights[part >= 0],
+            minlength=num_partitions,
+        ).astype(np.float64)
+        for cid in np.unique(comp[rest]):
+            members = rest[comp[rest] == cid]
+            target = int(np.argmin(weights))
+            part[members] = target
+            weights[target] += graph.vweights[members].sum()
+    return part

@@ -1,0 +1,101 @@
+"""Chaining repartitions across a sequence of incremental graphs.
+
+The paper's experiments repartition *sequences*: dataset A chains four
+refinements, each repartitioned from the previous IGP result; dataset B
+fans four variants out of one base partitioning.  :class:`SequenceRunner`
+walks a :class:`~repro.mesh.sequences.MeshSequence`-shaped object (graphs
++ deltas + parent indices), carrying partition vectors across deltas and
+recording per-step results — the raw material for the Figure 11/14 tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.partitioner import (
+    IGPConfig,
+    IncrementalGraphPartitioner,
+    RepartitionResult,
+)
+from repro.core.quality import PartitionQuality, evaluate_partition
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta, apply_delta, carry_partition
+
+__all__ = ["SequenceStep", "SequenceRunner"]
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """One repartitioned version of the sequence."""
+
+    index: int
+    graph: CSRGraph
+    result: RepartitionResult
+    quality: PartitionQuality
+    wall_time: float
+
+
+@dataclass
+class SequenceRunner:
+    """Run IGP/IGPR down a mesh sequence.
+
+    Parameters
+    ----------
+    config:
+        partitioner configuration.
+    initial_partitioner:
+        callable ``graph -> part`` used for the base mesh (the paper uses
+        recursive spectral bisection).
+    """
+
+    config: IGPConfig
+    initial_partitioner: Callable[[CSRGraph], np.ndarray]
+    steps: list[SequenceStep] = field(default_factory=list)
+    base_part: np.ndarray | None = None
+    base_quality: PartitionQuality | None = None
+
+    def run(self, sequence) -> list[SequenceStep]:
+        """Partition the base, then repartition every version.
+
+        ``sequence`` needs attributes ``graphs`` (tuple of CSRGraph, base
+        first), ``deltas`` and ``parents`` as produced by
+        :mod:`repro.mesh.sequences`.
+        """
+        graphs = sequence.graphs
+        base_graph = graphs[0]
+        self.base_part = np.asarray(
+            self.initial_partitioner(base_graph), dtype=np.int64
+        )
+        self.base_quality = evaluate_partition(
+            base_graph, self.base_part, self.config.num_partitions
+        )
+
+        igp = IncrementalGraphPartitioner(self.config)
+        parts: dict[int, np.ndarray] = {0: self.base_part}
+        self.steps = []
+        for k, delta in enumerate(sequence.deltas):
+            parent = sequence.parents[k]
+            version = k + 1
+            parent_graph = graphs[parent]
+            # Re-derive the incremental mapping so the carried partition
+            # matches the version graph's vertex numbering.
+            inc = apply_delta(parent_graph, delta)
+            carried = carry_partition(parts[parent], inc)
+            t0 = time.perf_counter()
+            result = igp.repartition(inc.graph, carried)
+            wall = time.perf_counter() - t0
+            parts[version] = result.part
+            self.steps.append(
+                SequenceStep(
+                    index=version,
+                    graph=inc.graph,
+                    result=result,
+                    quality=result.quality_final,
+                    wall_time=wall,
+                )
+            )
+        return self.steps

@@ -1,0 +1,111 @@
+"""Chunked-insertion repartitioning (paper §2.3's second fallback).
+
+When an incremental change is too large for any reasonable γ — "typically
+… when all the new nodes correspond to a few partitions and the amount of
+incremental change is greater than the size of one partition" — the paper
+suggests to "solve the problem by adding only a fraction of the nodes at
+a given time, i.e., solve the problem in multiple stages".
+
+:func:`chunked_insertion_repartition` implements that: the new vertices
+are revealed to the partitioner in chunks of at most
+``chunk_fraction · λ`` weight (nearest-first order, so each chunk stays
+attached to the already-partitioned region), running the full IGP pipeline
+after each chunk.  The function degrades gracefully: with a large enough
+fraction it is exactly one ordinary IGP call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partitioner import IGPConfig, IncrementalGraphPartitioner, RepartitionResult
+from repro.core.quality import evaluate_partition
+from repro.graph.csr import CSRGraph
+from repro.graph.operations import multi_source_bfs
+
+__all__ = ["chunked_insertion_repartition"]
+
+
+def chunked_insertion_repartition(
+    graph: CSRGraph,
+    part: np.ndarray,
+    config: IGPConfig,
+    *,
+    chunk_fraction: float = 0.5,
+) -> RepartitionResult:
+    """Repartition with the new vertices inserted in bounded chunks.
+
+    Parameters
+    ----------
+    graph / part:
+        as for :meth:`IncrementalGraphPartitioner.repartition`; ``-1``
+        entries of ``part`` are the new vertices.
+    config:
+        IGP configuration (refinement, γ schedule, backend...).
+    chunk_fraction:
+        chunk weight budget as a fraction of the average partition load
+        ``λ`` (0.5 means each chunk adds at most half a partition's worth
+        of vertices).
+
+    Returns
+    -------
+    RepartitionResult
+        the *merged* result: final partition vector, concatenated stage
+        records, summed timings; ``quality_initial`` reflects the first
+        chunk's post-assignment state.
+    """
+    part = np.asarray(part, dtype=np.int64).copy()
+    igp = IncrementalGraphPartitioner(config)
+    new_vertices = np.flatnonzero(part < 0)
+    if len(new_vertices) == 0:
+        return igp.repartition(graph, part)
+
+    lam = graph.total_vertex_weight / config.num_partitions
+    budget = max(chunk_fraction * lam, float(graph.vweights[new_vertices].max()))
+
+    # Order new vertices by BFS distance from the old region so each
+    # chunk stays connected to already-assigned vertices.
+    old = np.flatnonzero(part >= 0)
+    dist, _ = multi_source_bfs(graph, old, part[old])
+    d = dist[new_vertices].astype(np.float64)
+    d[d < 0] = np.inf  # disconnected ones go last
+    order = new_vertices[np.lexsort((new_vertices, d))]
+
+    # Chunks are revealed by inducing the subgraph of already-inserted
+    # vertices: the partitioner never sees vertices from later chunks,
+    # exactly as if the mesh generator had delivered several small deltas.
+    from repro.graph.operations import induced_subgraph
+
+    merged: RepartitionResult | None = None
+    revealed = part >= 0
+    idx = 0
+    while idx < len(order):
+        chunk_ids = []
+        weight = 0.0
+        while idx < len(order) and (
+            weight + graph.vweights[order[idx]] <= budget or not chunk_ids
+        ):
+            v = int(order[idx])
+            chunk_ids.append(v)
+            weight += float(graph.vweights[v])
+            idx += 1
+        revealed[chunk_ids] = True
+        sub, orig = induced_subgraph(graph, np.flatnonzero(revealed))
+        sub_part = part[orig]
+        res = igp.repartition(sub, sub_part)
+        part[orig] = res.part
+        if merged is None:
+            merged = res
+        else:
+            merged.stages.extend(res.stages)
+            for k, v in res.timings.items():
+                merged.timings[k] = merged.timings.get(k, 0.0) + v
+            if res.refine_stats is not None:
+                merged.refine_stats = res.refine_stats
+
+    assert merged is not None
+    merged.part = part
+    merged.quality_final = evaluate_partition(
+        graph, part, config.num_partitions
+    )
+    return merged

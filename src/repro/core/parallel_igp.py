@@ -1,0 +1,249 @@
+"""Parallel IGP/IGPR: the full pipeline as an SPMD rank program.
+
+This is the configuration the paper actually timed: 32 partitions on a
+32-node CM-5, every phase parallel — BFS assignment and layering by
+partition ownership, the balance/refinement LPs by the column-distributed
+simplex (:mod:`repro.lp.parallel_simplex`), movement by owner exchange.
+
+Determinism contract: :func:`parallel_repartition` returns *exactly* the
+partition vector the serial
+:class:`~repro.core.partitioner.IncrementalGraphPartitioner` produces for
+the same inputs (every tie-break is replicated; the parallel simplex
+performs the identical pivot sequence).  The integration tests assert
+vector equality — the parallel machine changes the clock, never the
+answer.
+
+Simulated timings: run under ``num_ranks=1`` for the paper's ``Time-s``
+(one CM-5 node) and ``num_ranks=32`` for ``Time-p``; both come from the
+same code path so the speedup is an honest algorithmic ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.balance import (
+    BalanceSolution,
+    build_balance_lp,
+    build_relaxed_balance_lp,
+    extract_moves,
+    solve_stage,
+)
+from repro.core.mover import select_movers
+from repro.core.partitioner import IGPConfig
+from repro.core.quality import edge_cut
+from repro.core.refine import refinement_pools
+from repro.errors import RepartitionInfeasibleError
+from repro.graph.csr import CSRGraph
+from repro.lp.parallel_simplex import parallel_simplex_solve
+from repro.parallel.machine import CM5, MachineModel
+from repro.parallel.palgorithms import (
+    parallel_apply_flows,
+    parallel_assign_new,
+    parallel_layering,
+)
+from repro.parallel.runtime import VirtualMachine
+
+__all__ = ["ParallelRepartitionResult", "igp_rank_program", "parallel_repartition"]
+
+
+@dataclass
+class ParallelRepartitionResult:
+    """Partition plus simulated-machine accounting."""
+
+    part: np.ndarray
+    num_stages: int
+    elapsed: float  # simulated seconds (Time-p for 32 ranks)
+    rank_times: list[float]
+    messages: int
+    bytes_sent: int
+    extra: dict = field(default_factory=dict)
+
+
+def _distributed_loads(comm, part: np.ndarray, vweights: np.ndarray, p: int) -> np.ndarray:
+    """Per-partition loads: local bincount over owned vertices + allreduce."""
+    size, rank = comm.size, comm.rank
+    mine = (part % size) == rank
+    comm.compute(int(mine.sum()))
+    local = np.bincount(part[mine], weights=vweights[mine], minlength=p)
+    return comm.allreduce(local)
+
+
+def _owned_moves(moves: np.ndarray, size: int, rank: int) -> dict[tuple[int, int], float]:
+    """Flows whose source partition this rank owns."""
+    out: dict[tuple[int, int], float] = {}
+    ii, jj = np.nonzero(moves > 1e-9)
+    for i, j in zip(ii.tolist(), jj.tolist()):
+        if i % size == rank:
+            out[(i, j)] = float(moves[i, j])
+    return out
+
+
+def igp_rank_program(
+    comm, graph: CSRGraph, carried_part: np.ndarray, config: IGPConfig
+) -> tuple[np.ndarray, int]:
+    """The SPMD program each rank executes; returns ``(part, stages)``."""
+    p = config.num_partitions
+    size, rank = comm.size, comm.rank
+
+    part = parallel_assign_new(comm, graph, carried_part, p)
+
+    integral = bool(np.allclose(graph.vweights, np.round(graph.vweights)))
+    lam = graph.total_vertex_weight / p
+    # Mirrors IncrementalGraphPartitioner's granularity-aware target.
+    w_max = float(graph.vweights.max()) if graph.num_vertices else 1.0
+    if integral:
+        balanced_max = float(np.ceil(lam - 1e-9)) + max(w_max - 1.0, 0.0)
+    else:
+        balanced_max = lam * (1 + 1e-9) + w_max
+
+    exact_target = float(np.ceil(lam - 1e-9)) if integral else lam
+
+    def excess_of(loads_vec: np.ndarray) -> float:
+        return float(np.maximum(loads_vec - exact_target, 0.0).sum())
+
+    stages = 0
+    for _ in range(config.max_stages):
+        loads = _distributed_loads(comm, part, graph.vweights, p)
+        max_load = float(loads.max())
+        if max_load <= balanced_max + 1e-9:
+            break
+
+        layering = parallel_layering(comm, graph, part, p, loads=loads)
+
+        def plain(target: float) -> BalanceSolution:
+            bal = build_balance_lp(layering.delta, loads, target=float(target))
+            result = parallel_simplex_solve(comm, bal.lp)
+            return BalanceSolution(
+                moves=extract_moves(bal, result, p), result=result, balance_lp=bal
+            )
+
+        def relaxed(target: float) -> BalanceSolution:
+            bal = build_relaxed_balance_lp(layering.delta, loads, float(target))
+            result = parallel_simplex_solve(comm, bal.lp)
+            return BalanceSolution(
+                moves=extract_moves(bal, result, p), result=result, balance_lp=bal
+            )
+
+        stage = solve_stage(plain, relaxed, lam, integral)
+        if stage is None:
+            raise RepartitionInfeasibleError(
+                "balance LP infeasible and the relaxation cannot move anything",
+                gamma_tried=config.gamma_cap,
+            )
+        solution_moves = stage[0].moves
+
+        # Each rank selects movers for its owned source partitions only.
+        local_moves = np.zeros_like(solution_moves)
+        for (i, j), amount in _owned_moves(solution_moves, size, rank).items():
+            local_moves[i, j] = amount
+        movers = select_movers(graph, part, layering, local_moves)
+        comm.compute(sum(len(v) for v in movers.values()))
+        part = parallel_apply_flows(comm, graph, part, movers)
+        stages += 1
+
+        # Mirror of the serial driver's progress / gamma-cap checks.
+        new_loads = _distributed_loads(comm, part, graph.vweights, p)
+        if not np.isfinite(stage[1]):
+            gamma_eff = float(new_loads.max()) / lam
+            if gamma_eff > config.gamma_cap + 1e-9:
+                raise RepartitionInfeasibleError(
+                    f"imbalance after relaxed stage ({gamma_eff:.2f}) "
+                    f"exceeds the cap C={config.gamma_cap}",
+                    gamma_tried=gamma_eff,
+                )
+        if excess_of(new_loads) >= excess_of(loads) - 1e-9:
+            raise RepartitionInfeasibleError(
+                "balance stage made no progress", gamma_tried=config.gamma_cap
+            )
+
+    if config.refine:
+        part = _parallel_refine(comm, graph, part, config)
+
+    return part, stages
+
+
+def _parallel_refine(comm, graph: CSRGraph, part: np.ndarray, config: IGPConfig) -> np.ndarray:
+    """Distributed mirror of :func:`repro.core.refine.refine_partition`."""
+    p = config.num_partitions
+    size, rank = comm.size, comm.rank
+
+    def dist_cut(vec: np.ndarray) -> float:
+        src = graph.arc_sources()
+        mine = (vec[src] % size) == rank
+        cross = mine & (vec[src] != vec[graph.adj])
+        comm.compute(int(mine.sum()))
+        local = float(graph.eweights[cross].sum())
+        return comm.allreduce(local) / 2.0
+
+    current_cut = dist_cut(part)
+    forced_strict = False
+    for round_idx in range(config.refine_max_rounds):
+        strict = forced_strict or round_idx >= config.refine_strict_after
+        # Pools computed redundantly from replicated state; the clocks
+        # are charged for the owned share (owner-computes cost model).
+        pass_ = refinement_pools(graph, part, p, strict)
+        comm.compute(graph.num_arcs // max(size, 1))
+        if pass_.lp is None:
+            break
+        result = parallel_simplex_solve(comm, pass_.lp)
+        if not result.is_optimal or result.objective <= 1e-9:
+            break
+        x = np.clip(np.round(np.asarray(result.x)), 0, None)
+        movers: dict[tuple[int, int], np.ndarray] = {}
+        moved = 0
+        for k, (i, j) in enumerate(pass_.pairs):
+            count = int(x[k])
+            if count == 0 or i % size != rank:
+                continue
+            movers[(i, j)] = pass_.pools[(i, j)][:count]
+            moved += count
+        total_moved = comm.allreduce(moved)
+        if total_moved == 0:
+            break
+        candidate = parallel_apply_flows(comm, graph, part, movers)
+        new_cut = dist_cut(candidate)
+        if new_cut > current_cut + 1e-9:
+            # Mirror of the serial strict-retry-on-revert logic.
+            if not strict:
+                forced_strict = True
+                continue
+            break  # roll back: keep `part`
+        gain = current_cut - new_cut
+        part = candidate
+        current_cut = new_cut
+        if gain < config.refine_min_gain and strict:
+            break
+    return part
+
+
+def parallel_repartition(
+    graph: CSRGraph,
+    carried_part: np.ndarray,
+    config: IGPConfig,
+    *,
+    num_ranks: int = 32,
+    machine: MachineModel = CM5,
+    recv_timeout: float = 300.0,
+) -> ParallelRepartitionResult:
+    """Run the SPMD pipeline on a fresh virtual machine.
+
+    ``num_ranks=1`` gives the paper's one-node ``Time-s`` for the same
+    algorithm; ``num_ranks=32`` the ``Time-p`` of the tables.
+    """
+    vm = VirtualMachine(num_ranks, machine=machine, recv_timeout=recv_timeout)
+    run = vm.run(igp_rank_program, graph, np.asarray(carried_part), config)
+    parts = [r[0] for r in run.results]
+    for other in parts[1:]:
+        if not np.array_equal(parts[0], other):
+            raise AssertionError("ranks disagree on the final partition")
+    return ParallelRepartitionResult(
+        part=parts[0],
+        num_stages=run.results[0][1],
+        elapsed=run.elapsed,
+        rank_times=run.rank_times,
+        messages=run.messages,
+        bytes_sent=run.bytes_sent,
+    )

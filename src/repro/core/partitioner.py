@@ -1,0 +1,263 @@
+"""The Incremental Graph Partitioner driver (the paper's IGP / IGPR).
+
+Orchestrates the four phases of Figure 1 over one incremental step:
+
+1. assign new vertices (§2.1),
+2. layer partitions (§2.2),
+3. balance loads via LP, escalating the §2.3 γ-relaxation across stages
+   when one exact step is infeasible,
+4. optionally refine the cut via the §2.4 LP (that variant is the
+   tables' **IGPR**; without it, **IGP**).
+
+Staging policy (automating the paper's "trial and error" γ choice): each
+stage first tries exact balance (γ = 1); if the LP is infeasible the
+schedule is walked upward, skipping values whose load target would not
+actually reduce the current maximum (those would solve to zero movement
+and stall).  A feasible relaxed stage moves vertices, the layering is
+recomputed — the boundary has shifted, so new vertices become movable —
+and the next stage tries γ = 1 again.  If no admissible γ at or below the
+cap ``C`` is feasible, :class:`~repro.errors.RepartitionInfeasibleError`
+is raised: the paper's advice then is to repartition from scratch or add
+vertices in chunks (:mod:`repro.core.multistage`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assign import assign_new_vertices
+from repro.core.balance import solve_balance, solve_balance_relaxed, solve_stage
+from repro.core.layering import layer_partitions
+from repro.core.mover import apply_moves, select_movers
+from repro.core.quality import PartitionQuality, evaluate_partition, partition_weights
+from repro.core.refine import RefineStats, refine_partition
+from repro.errors import RepartitionInfeasibleError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["IGPConfig", "StageRecord", "RepartitionResult", "IncrementalGraphPartitioner"]
+
+_DEFAULT_GAMMAS = (1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0)
+
+
+@dataclass(frozen=True)
+class IGPConfig:
+    """Tunables of the incremental partitioner.
+
+    Attributes mirror the paper's knobs: ``gamma_cap`` is the constant
+    ``C`` of §2.3 (give up beyond it), ``refine`` selects IGPR,
+    ``refine_strict_after`` is the round at which the ≥ test becomes >.
+    """
+
+    num_partitions: int = 32
+    refine: bool = False
+    gamma_schedule: tuple[float, ...] = _DEFAULT_GAMMAS
+    gamma_cap: float = 4.0
+    max_stages: int = 16
+    refine_max_rounds: int = 8
+    refine_strict_after: int = 2
+    refine_min_gain: float = 0.5
+    lp_backend: str = "dense_simplex"
+
+    def __post_init__(self):
+        if self.num_partitions < 1:
+            raise ValueError("need at least one partition")
+        if any(g < 1.0 for g in self.gamma_schedule):
+            raise ValueError("gamma values must be >= 1")
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """One balance stage: which γ was used and what the LP looked like."""
+
+    gamma: float
+    total_moved: float
+    lp_variables: int
+    lp_constraints: int
+    lp_iterations: int
+    max_load_before: float
+    max_load_after: float
+
+
+@dataclass
+class RepartitionResult:
+    """Everything a caller (or the benchmark harness) wants to know."""
+
+    part: np.ndarray
+    stages: list[StageRecord] = field(default_factory=list)
+    refine_stats: RefineStats | None = None
+    quality_initial: PartitionQuality | None = None  # after Step 1
+    quality_final: PartitionQuality | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_stages(self) -> int:
+        """Balance stages performed (the paper's 'number of stages')."""
+        return len(self.stages)
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock total across phases (seconds)."""
+        return sum(self.timings.values())
+
+
+class IncrementalGraphPartitioner:
+    """Drives IGP/IGPR over one incremental graph step.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.graph import grid_graph
+    >>> from repro.core import IncrementalGraphPartitioner
+    >>> g = grid_graph(8, 8)
+    >>> part = (np.arange(64) // 16).astype(np.int64)   # 4 balanced strips
+    >>> igp = IncrementalGraphPartitioner(num_partitions=4)
+    >>> res = igp.repartition(g, part)
+    >>> res.quality_final.imbalance <= 1.01
+    True
+    """
+
+    def __init__(self, config: IGPConfig | None = None, **kwargs):
+        if config is None:
+            config = IGPConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a config object or keyword overrides")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def repartition(self, graph: CSRGraph, part: np.ndarray) -> RepartitionResult:
+        """Run the pipeline; ``part`` may contain ``-1`` for new vertices."""
+        cfg = self.config
+        p = cfg.num_partitions
+        timings = {"assign": 0.0, "layering": 0.0, "lp": 0.0, "move": 0.0, "refine": 0.0}
+
+        t0 = time.perf_counter()
+        part = assign_new_vertices(graph, part, p)
+        timings["assign"] = time.perf_counter() - t0
+
+        result = RepartitionResult(part=part, timings=timings)
+        result.quality_initial = evaluate_partition(graph, part, p)
+
+        integral = bool(np.allclose(graph.vweights, np.round(graph.vweights)))
+        lam = graph.total_vertex_weight / p
+        # Achievable balance granularity: with unit weights the optimum
+        # max load is ceil(λ); with heavier vertices the mover's
+        # never-overshoot selection can leave up to (w_max − 1) extra
+        # weight on a partition (bin-packing granularity).
+        w_max = float(graph.vweights.max()) if graph.num_vertices else 1.0
+        if integral:
+            balanced_max = float(np.ceil(lam - 1e-9)) + max(w_max - 1.0, 0.0)
+        else:
+            balanced_max = lam * (1 + 1e-9) + w_max
+
+        exact_target = float(np.ceil(lam - 1e-9)) if integral else lam
+
+        def excess_of(loads_vec: np.ndarray) -> float:
+            return float(np.maximum(loads_vec - exact_target, 0.0).sum())
+
+        for _ in range(cfg.max_stages):
+            loads = partition_weights(graph, part, p)
+            max_load = float(loads.max())
+            if max_load <= balanced_max + 1e-9:
+                break  # already balanced
+
+            t0 = time.perf_counter()
+            layering = layer_partitions(graph, part, p, loads=loads)
+            timings["layering"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            stage = self._solve_stage(layering.delta, loads)
+            timings["lp"] += time.perf_counter() - t0
+            if stage is None:
+                raise RepartitionInfeasibleError(
+                    "balance LP infeasible and the relaxation cannot move "
+                    "anything; repartition from scratch or insert vertices "
+                    "in chunks (paper §2.3)",
+                    gamma_tried=cfg.gamma_cap,
+                )
+            solution, gamma = stage
+
+            t0 = time.perf_counter()
+            movers = select_movers(graph, part, layering, solution.moves)
+            part = apply_moves(part, movers)
+            timings["move"] += time.perf_counter() - t0
+
+            new_loads = partition_weights(graph, part, p)
+            if not np.isfinite(gamma):
+                gamma = float(new_loads.max()) / lam  # relaxed stage
+                if gamma > cfg.gamma_cap + 1e-9:
+                    raise RepartitionInfeasibleError(
+                        f"imbalance after relaxed stage ({gamma:.2f}) "
+                        f"exceeds the cap C={cfg.gamma_cap} (paper §2.3)",
+                        gamma_tried=gamma,
+                    )
+            if excess_of(new_loads) >= excess_of(loads) - 1e-9:
+                raise RepartitionInfeasibleError(
+                    "balance stage made no progress (movers could not "
+                    "realise the LP flow — indivisible vertex weights?)",
+                    gamma_tried=gamma,
+                )
+            result.stages.append(
+                StageRecord(
+                    gamma=gamma,
+                    total_moved=solution.total_movement,
+                    lp_variables=solution.balance_lp.num_variables,
+                    lp_constraints=solution.balance_lp.num_constraints,
+                    lp_iterations=solution.result.iterations,
+                    max_load_before=max_load,
+                    max_load_after=float(new_loads.max()),
+                )
+            )
+        else:
+            loads = partition_weights(graph, part, p)
+            if float(loads.max()) > balanced_max + 1e-9:
+                raise RepartitionInfeasibleError(
+                    f"balance not reached within {cfg.max_stages} stages",
+                    gamma_tried=cfg.gamma_cap,
+                )
+
+        if cfg.refine:
+            t0 = time.perf_counter()
+            part, refine_stats = refine_partition(
+                graph,
+                part,
+                p,
+                max_rounds=cfg.refine_max_rounds,
+                strict_after=cfg.refine_strict_after,
+                min_gain=cfg.refine_min_gain,
+                lp_backend=cfg.lp_backend,
+            )
+            timings["refine"] = time.perf_counter() - t0
+            result.refine_stats = refine_stats
+
+        result.part = part
+        result.quality_final = evaluate_partition(graph, part, p)
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_stage(self, delta, loads):
+        """One balance stage: exact LP, then max-progress relaxation.
+
+        See :func:`repro.core.balance.solve_stage` — the exact eq. 10–12
+        LP is tried first (the common case and the one the paper's LP-
+        size analysis describes); if it is infeasible, the excess-
+        minimising relaxation extracts the maximal progress the current
+        δ capacities allow, realising §2.3's multi-stage fallback.
+        """
+        cfg = self.config
+        integral = bool(np.allclose(loads, np.round(loads)))
+        lam = float(np.sum(loads)) / len(loads)
+
+        def plain(target):
+            return solve_balance(
+                delta, loads, target=float(target), lp_backend=cfg.lp_backend
+            )
+
+        def relaxed(target):
+            return solve_balance_relaxed(
+                delta, loads, float(target), lp_backend=cfg.lp_backend
+            )
+
+        return solve_stage(plain, relaxed, lam, integral)

@@ -1,0 +1,129 @@
+"""Partition quality metrics — the columns of the paper's tables.
+
+The tables in Figures 11 and 14 report, per partitioner:
+
+* ``Cutset Total`` — the number of edges crossing between partitions
+  (each cross edge counted once),
+* ``Cutset Max`` / ``Min`` — the largest / smallest per-partition
+  boundary cost ``C(q)`` of eq. (2), i.e. the weight of edges leaving
+  partition ``q`` (each cross edge counts toward *both* endpoints'
+  partitions, so ``sum(C) = 2 · total``).
+
+Load metrics implement eq. (1): ``W(q)`` is the vertex-weight sum of
+partition ``q``; imbalance is ``max W / mean W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "PartitionQuality",
+    "partition_weights",
+    "partition_sizes",
+    "edge_cut",
+    "cut_metrics",
+    "evaluate_partition",
+    "validate_partition_vector",
+]
+
+
+def validate_partition_vector(
+    graph: CSRGraph, part: np.ndarray, num_partitions: int, allow_unassigned: bool = False
+) -> np.ndarray:
+    """Check ``part`` maps every vertex into ``[0, P)`` (or -1 if allowed)."""
+    part = np.asarray(part, dtype=np.int64)
+    if len(part) != graph.num_vertices:
+        raise GraphError(
+            f"partition vector length {len(part)} != n={graph.num_vertices}"
+        )
+    lo = -1 if allow_unassigned else 0
+    if len(part) and (part.min() < lo or part.max() >= num_partitions):
+        raise GraphError("partition ids out of range")
+    return part
+
+
+def partition_weights(graph: CSRGraph, part: np.ndarray, num_partitions: int) -> np.ndarray:
+    """``W(q)`` per partition (eq. 1)."""
+    part = validate_partition_vector(graph, part, num_partitions)
+    return np.bincount(part, weights=graph.vweights, minlength=num_partitions)
+
+
+def partition_sizes(graph: CSRGraph, part: np.ndarray, num_partitions: int) -> np.ndarray:
+    """``|B(q)|`` per partition (vertex counts)."""
+    part = validate_partition_vector(graph, part, num_partitions)
+    return np.bincount(part, minlength=num_partitions)
+
+
+def edge_cut(graph: CSRGraph, part: np.ndarray) -> float:
+    """Total weight of cross edges, each counted once (``Cutset Total``)."""
+    part = np.asarray(part, dtype=np.int64)
+    src = graph.arc_sources()
+    cross = part[src] != part[graph.adj]
+    return float(graph.eweights[cross].sum() / 2.0)
+
+
+def cut_metrics(
+    graph: CSRGraph, part: np.ndarray, num_partitions: int
+) -> tuple[float, np.ndarray]:
+    """``(total, C)`` where ``C[q]`` is eq. (2)'s outgoing-edge cost of q."""
+    part = validate_partition_vector(graph, part, num_partitions)
+    src = graph.arc_sources()
+    cross = part[src] != part[graph.adj]
+    per_part = np.bincount(
+        part[src[cross]], weights=graph.eweights[cross], minlength=num_partitions
+    )
+    return float(per_part.sum() / 2.0), per_part
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Bundle of every metric the paper's tables report."""
+
+    num_partitions: int
+    cut_total: float
+    cut_max: float
+    cut_min: float
+    cut_per_partition: np.ndarray
+    weights: np.ndarray
+    imbalance: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for the table printers."""
+        return {
+            "cut_total": self.cut_total,
+            "cut_max": self.cut_max,
+            "cut_min": self.cut_min,
+            "imbalance": self.imbalance,
+            "w_max": float(self.weights.max()),
+            "w_min": float(self.weights.min()),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"cut total={self.cut_total:.0f} max={self.cut_max:.0f} "
+            f"min={self.cut_min:.0f} imbalance={self.imbalance:.3f}"
+        )
+
+
+def evaluate_partition(
+    graph: CSRGraph, part: np.ndarray, num_partitions: int
+) -> PartitionQuality:
+    """Compute the full quality bundle for a partition vector."""
+    total, per_part = cut_metrics(graph, part, num_partitions)
+    w = partition_weights(graph, part, num_partitions)
+    mean = w.sum() / num_partitions if num_partitions else 0.0
+    return PartitionQuality(
+        num_partitions=num_partitions,
+        cut_total=total,
+        cut_max=float(per_part.max()) if num_partitions else 0.0,
+        cut_min=float(per_part.min()) if num_partitions else 0.0,
+        cut_per_partition=per_part,
+        weights=w,
+        imbalance=float(w.max() / mean) if mean > 0 else np.inf,
+    )

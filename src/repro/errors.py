@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+
+The hierarchy mirrors the subsystem layout:
+
+* graph construction / validation errors (:class:`GraphError`),
+* mesh generation errors (:class:`MeshError`),
+* LP solver outcomes that are *exceptional* for the caller
+  (:class:`LPError` and friends — note that ordinary infeasibility is
+  normally reported through :class:`repro.lp.result.LPResult` rather than
+  raised; the exceptions exist for APIs that demand a solution),
+* virtual-machine misuse (:class:`ParallelError`),
+* incremental-partitioning failures (:class:`PartitioningError`), most
+  importantly :class:`RepartitionInfeasibleError`, which signals the
+  paper's "better to start partitioning from scratch" condition (§2.3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or an operation on an unsuitable graph."""
+
+
+class GraphValidationError(GraphError):
+    """A structural invariant of a graph container was violated."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An algorithm that requires a connected graph received one that is not.
+
+    The paper assumes ``G'`` is connected for the distance-based initial
+    assignment (§2.1) and the BFS layering (§2.2); callers can catch this
+    and fall back to the clustering strategy described there.
+    """
+
+
+class MeshError(ReproError):
+    """Mesh generation or refinement failed."""
+
+
+class LPError(ReproError):
+    """Base class for linear-programming solver errors."""
+
+
+class LPInfeasibleError(LPError):
+    """The LP has no feasible point (raised only by ``solve_or_raise``)."""
+
+
+class LPUnboundedError(LPError):
+    """The LP objective is unbounded (raised only by ``solve_or_raise``)."""
+
+
+class LPNumericalError(LPError):
+    """The solver detected numerical breakdown (singular basis, NaNs...)."""
+
+
+class LPIterationLimit(LPError):
+    """The simplex method exceeded its iteration budget."""
+
+
+class ParallelError(ReproError):
+    """Misuse of the virtual parallel machine (bad rank, dead runtime...)."""
+
+
+class CommunicatorError(ParallelError):
+    """Invalid point-to-point or collective communication request."""
+
+
+class PartitioningError(ReproError):
+    """An (incremental) partitioning algorithm could not complete."""
+
+
+class RepartitionInfeasibleError(PartitioningError):
+    """Incremental repartitioning cannot restore balance within the gamma cap.
+
+    Mirrors §2.3 of the paper: when no feasible flow exists for any relaxed
+    balance factor ``gamma <= C`` the right response is to repartition from
+    scratch or to insert the new vertices in smaller chunks.  The exception
+    carries the relaxation that was attempted so drivers can decide.
+    """
+
+    def __init__(self, message: str, *, gamma_tried: float | None = None):
+        super().__init__(message)
+        self.gamma_tried = gamma_tried

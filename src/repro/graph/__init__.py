@@ -1,0 +1,63 @@
+"""Graph substrate: CSR containers, builders, generators, incremental deltas.
+
+The paper's layering pseudo-code (Figure 3) indexes the graph through
+``xadj``/``adj`` arrays — the classic compressed-sparse-row (CSR) adjacency
+layout also used by Chaco/METIS.  :class:`~repro.graph.csr.CSRGraph` is that
+layout, immutable and numpy-backed; everything in the library operates on it.
+
+Incremental graphs ``G'(V ∪ V1 − V2, E ∪ E1 − E2)`` (paper §1.1, eqs. 4–5)
+are expressed as :class:`~repro.graph.incremental.GraphDelta` objects applied
+to a base graph, which produce both the new graph and the old→new vertex
+index mapping needed to carry a partition vector forward.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import GraphBuilder, from_edge_list, from_adjacency_dict
+from repro.graph.incremental import GraphDelta, IncrementalResult, apply_delta
+from repro.graph.operations import (
+    bfs_distances,
+    bfs_tree,
+    boundary_vertices,
+    connected_components,
+    degree_histogram,
+    induced_subgraph,
+    is_connected,
+    multi_source_bfs,
+)
+from repro.graph.laplacian import laplacian_dense, laplacian_sparse
+from repro.graph.generators import (
+    grid_graph,
+    path_graph,
+    cycle_graph,
+    complete_graph,
+    random_geometric_graph,
+    star_graph,
+    binary_tree_graph,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphBuilder",
+    "GraphDelta",
+    "IncrementalResult",
+    "apply_delta",
+    "bfs_distances",
+    "bfs_tree",
+    "binary_tree_graph",
+    "boundary_vertices",
+    "complete_graph",
+    "connected_components",
+    "cycle_graph",
+    "degree_histogram",
+    "from_adjacency_dict",
+    "from_edge_list",
+    "grid_graph",
+    "induced_subgraph",
+    "is_connected",
+    "laplacian_dense",
+    "laplacian_sparse",
+    "multi_source_bfs",
+    "path_graph",
+    "random_geometric_graph",
+    "star_graph",
+]

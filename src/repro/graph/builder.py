@@ -1,0 +1,214 @@
+"""Constructing :class:`~repro.graph.csr.CSRGraph` objects.
+
+Two entry points:
+
+* :func:`from_edge_list` — vectorised one-shot conversion of an undirected
+  edge list into CSR form (duplicate edges are merged, weights summed).
+* :class:`GraphBuilder` — an accumulating builder for code that discovers
+  edges incrementally (the mesh dual extraction and the incremental-delta
+  machinery both use it).
+
+Both guarantee the CSR invariants the rest of the library assumes:
+sorted adjacency lists, symmetric arcs, symmetric edge weights, no
+self-loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphBuilder", "from_edge_list", "from_adjacency_dict"]
+
+
+def from_edge_list(
+    n: int,
+    edges: Iterable[tuple[int, int]],
+    *,
+    eweights: Iterable[float] | None = None,
+    vweights: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+    merge_duplicates: bool = True,
+) -> CSRGraph:
+    """Build a CSR graph from an undirected edge list.
+
+    Parameters
+    ----------
+    n:
+        number of vertices (ids must lie in ``[0, n)``).
+    edges:
+        iterable of ``(u, v)`` pairs; orientation and duplicates are
+        irrelevant — the graph is undirected.
+    eweights:
+        optional per-edge weights aligned with ``edges``; duplicates are
+        summed when ``merge_duplicates`` (matching how multiple mesh
+        interactions between two tasks accumulate into one edge cost).
+    """
+    edge_arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if edge_arr.size == 0:
+        edge_arr = np.zeros((0, 2), dtype=np.int64)
+    edge_arr = edge_arr.astype(np.int64, copy=False).reshape(-1, 2)
+    if eweights is None:
+        w = np.ones(len(edge_arr), dtype=np.float64)
+    else:
+        w = np.asarray(list(eweights) if not isinstance(eweights, np.ndarray) else eweights,
+                       dtype=np.float64)
+        if len(w) != len(edge_arr):
+            raise GraphError(
+                f"{len(w)} edge weights for {len(edge_arr)} edges"
+            )
+
+    if len(edge_arr):
+        if edge_arr.min() < 0 or edge_arr.max() >= n:
+            raise GraphError("edge endpoint out of range")
+        if np.any(edge_arr[:, 0] == edge_arr[:, 1]):
+            raise GraphError("self-loops are not allowed")
+
+    # Canonicalise (u < v), merge duplicates.
+    lo = np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+    hi = np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+    if len(lo):
+        key = lo * np.int64(n) + hi
+        order = np.argsort(key, kind="stable")
+        key_sorted = key[order]
+        uniq_mask = np.empty(len(key_sorted), dtype=bool)
+        uniq_mask[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=uniq_mask[1:])
+        if not merge_duplicates and not uniq_mask.all():
+            raise GraphError("duplicate edges present and merging disabled")
+        group_id = np.cumsum(uniq_mask) - 1
+        merged_w = np.zeros(group_id[-1] + 1, dtype=np.float64)
+        np.add.at(merged_w, group_id, w[order])
+        uniq_key = key_sorted[uniq_mask]
+        lo = (uniq_key // n).astype(np.int64)
+        hi = (uniq_key % n).astype(np.int64)
+        w = merged_w
+    # Mirror into arcs.
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    arc_w = np.concatenate([w, w])
+
+    order = np.lexsort((dst, src))
+    src, dst, arc_w = src[order], dst[order], arc_w[order]
+    xadj = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(xadj, src + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    return CSRGraph(
+        xadj, dst, vweights=vweights, eweights=arc_w, coords=coords, validate=False
+    )
+
+
+def from_adjacency_dict(
+    adjacency: dict[int, Iterable[int]],
+    *,
+    n: int | None = None,
+    vweights: np.ndarray | None = None,
+    coords: np.ndarray | None = None,
+) -> CSRGraph:
+    """Build from ``{u: neighbours}``.  Missing reverse arcs are added."""
+    if n is None:
+        n = 0
+        for u, nbrs in adjacency.items():
+            n = max(n, u + 1, *(int(v) + 1 for v in nbrs)) if nbrs else max(n, u + 1)
+    edges = [(u, int(v)) for u, nbrs in adjacency.items() for v in nbrs]
+    return from_edge_list(n, edges, vweights=vweights, coords=coords)
+
+
+class GraphBuilder:
+    """Accumulate edges, then :meth:`build` a validated :class:`CSRGraph`.
+
+    Example
+    -------
+    >>> b = GraphBuilder(4)
+    >>> b.add_edge(0, 1)
+    >>> b.add_edge(1, 2, weight=2.0)
+    >>> b.add_path([2, 3, 0])
+    >>> g = b.build()
+    >>> g.num_edges
+    4
+    """
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise GraphError("vertex count must be non-negative")
+        self.n = int(n)
+        self._src: list[int] = []
+        self._dst: list[int] = []
+        self._w: list[float] = []
+        self.vweights: np.ndarray | None = None
+        self.coords: np.ndarray | None = None
+
+    def add_vertex(self) -> int:
+        """Append a fresh vertex; returns its id."""
+        self.n += 1
+        return self.n - 1
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Record the undirected edge ``{u, v}``."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise GraphError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if u == v:
+            raise GraphError("self-loops are not allowed")
+        self._src.append(int(u))
+        self._dst.append(int(v))
+        self._w.append(float(weight))
+
+    def add_edges(self, edges: Iterable[tuple[int, int]], weight: float = 1.0) -> None:
+        """Record many edges with a shared weight."""
+        for u, v in edges:
+            self.add_edge(u, v, weight)
+
+    def add_path(self, vertices: Iterable[int], weight: float = 1.0) -> None:
+        """Record consecutive edges along ``vertices``."""
+        vs = list(vertices)
+        for u, v in zip(vs, vs[1:]):
+            self.add_edge(u, v, weight)
+
+    def add_clique(self, vertices: Iterable[int], weight: float = 1.0) -> None:
+        """Record all pairwise edges among ``vertices``."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                self.add_edge(u, v, weight)
+
+    @property
+    def num_recorded_edges(self) -> int:
+        """Edges recorded so far (before duplicate merging)."""
+        return len(self._src)
+
+    def set_vertex_weights(self, vweights: np.ndarray) -> None:
+        """Attach per-vertex computation costs."""
+        vw = np.asarray(vweights, dtype=np.float64)
+        if len(vw) != self.n:
+            raise GraphError(f"{len(vw)} vertex weights for n={self.n}")
+        self.vweights = vw
+
+    def set_coords(self, coords: np.ndarray) -> None:
+        """Attach vertex coordinates."""
+        c = np.asarray(coords, dtype=np.float64)
+        if len(c) != self.n:
+            raise GraphError(f"{len(c)} coordinate rows for n={self.n}")
+        self.coords = c
+
+    def build(self, validate: bool = True) -> CSRGraph:
+        """Produce the CSR graph (duplicates merged, weights summed)."""
+        edges = np.column_stack(
+            [
+                np.asarray(self._src, dtype=np.int64),
+                np.asarray(self._dst, dtype=np.int64),
+            ]
+        ) if self._src else np.zeros((0, 2), dtype=np.int64)
+        g = from_edge_list(
+            self.n,
+            edges,
+            eweights=np.asarray(self._w, dtype=np.float64),
+            vweights=self.vweights,
+            coords=self.coords,
+        )
+        if validate:
+            g.validate()
+        return g

@@ -1,0 +1,150 @@
+"""Synthetic graph generators.
+
+These back the unit/property tests and the ablation benchmarks; the paper's
+actual evaluation meshes come from :mod:`repro.mesh.sequences` instead.
+All generators return :class:`~repro.graph.csr.CSRGraph` with coordinates
+attached when a natural embedding exists (grids, geometric graphs), because
+coordinate-based baselines (RCB/inertial) need them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.rng import make_rng
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "binary_tree_graph",
+    "random_geometric_graph",
+]
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path ``0 - 1 - ... - (n-1)`` with coordinates on a line."""
+    if n < 1:
+        raise GraphError("path needs >= 1 vertex")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    coords = np.column_stack([np.arange(n, dtype=float), np.zeros(n)])
+    return from_edge_list(n, edges, coords=coords)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices, embedded on the unit circle."""
+    if n < 3:
+        raise GraphError("cycle needs >= 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    theta = 2 * np.pi * np.arange(n) / n
+    coords = np.column_stack([np.cos(theta), np.sin(theta)])
+    return from_edge_list(n, edges, coords=coords)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph :math:`K_n`."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return from_edge_list(n, edges)
+
+
+def star_graph(n_leaves: int) -> CSRGraph:
+    """Vertex 0 connected to ``n_leaves`` leaves."""
+    edges = [(0, i + 1) for i in range(n_leaves)]
+    return from_edge_list(n_leaves + 1, edges)
+
+
+def grid_graph(rows: int, cols: int, diagonal: bool = False) -> CSRGraph:
+    """``rows x cols`` lattice; ``diagonal`` adds one diagonal per cell.
+
+    Grid graphs are the standard sanity workload for partitioners: the
+    optimal bisection cut of an ``r x c`` grid (``c`` even) is ``r`` edges,
+    which the spectral tests check.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+            if diagonal and r + 1 < rows and c + 1 < cols:
+                edges.append((vid(r, c), vid(r + 1, c + 1)))
+    rr, cc = np.divmod(np.arange(n), cols)
+    coords = np.column_stack([cc.astype(float), rr.astype(float)])
+    return from_edge_list(n, edges, coords=coords)
+
+
+def binary_tree_graph(depth: int) -> CSRGraph:
+    """Complete binary tree of the given depth (root = 0)."""
+    if depth < 0:
+        raise GraphError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    edges = [(v, (v - 1) // 2) for v in range(1, n)]
+    return from_edge_list(n, edges)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    *,
+    ensure_connected: bool = True,
+    max_attempts: int = 8,
+) -> CSRGraph:
+    """Random points in the unit square, edges between pairs within ``radius``.
+
+    With the default radius ``1.9 / sqrt(n)`` the expected degree is about
+    6 — mesh-like — which makes these graphs good stand-ins for irregular
+    computational meshes in property tests.  ``ensure_connected`` retries
+    with a 25% larger radius (up to ``max_attempts``) because the
+    incremental pipeline requires connectivity (paper §2.1).
+    """
+    if n < 1:
+        raise GraphError("need >= 1 vertex")
+    rng = make_rng(seed)
+    if radius is None:
+        radius = 1.9 / np.sqrt(max(n, 2))
+    from repro.graph.operations import is_connected
+
+    for _ in range(max_attempts):
+        pts = rng.random((n, 2))
+        # Cell-binned neighbour search: O(n) expected, avoids the O(n^2)
+        # distance matrix for the large property-test graphs.
+        cell = max(radius, 1e-9)
+        keys = np.floor(pts / cell).astype(np.int64)
+        buckets: dict[tuple[int, int], list[int]] = {}
+        for i, (kx, ky) in enumerate(keys):
+            buckets.setdefault((int(kx), int(ky)), []).append(i)
+        edges = []
+        r2 = radius * radius
+        for (kx, ky), members in buckets.items():
+            cand: list[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    cand.extend(buckets.get((kx + dx, ky + dy), ()))
+            for i in members:
+                pi = pts[i]
+                for j in cand:
+                    if j > i:
+                        d = pts[j] - pi
+                        if d[0] * d[0] + d[1] * d[1] <= r2:
+                            edges.append((i, j))
+        g = from_edge_list(n, edges, coords=pts)
+        if not ensure_connected or is_connected(g):
+            return g
+        radius *= 1.25
+    raise GraphError(
+        f"could not generate a connected geometric graph with n={n}"
+    )

@@ -1,0 +1,234 @@
+"""Incremental graph model: ``G'(V ∪ V1 − V2, E ∪ E1 − E2)``.
+
+The paper (§1.1, eqs. 4–5) defines an incremental graph by a set of added
+vertices ``V1``, deleted vertices ``V2 ⊆ V``, added edges ``E1`` and deleted
+edges ``E2 ⊆ E``.  :class:`GraphDelta` captures exactly that, and
+:func:`apply_delta` materialises the new :class:`CSRGraph` together with the
+index mappings needed to carry the old partition vector forward (deleted
+vertices vanish, surviving vertices keep their relative order, new vertices
+are appended at the end).
+
+Vertex naming convention inside a delta: the ``i``-th added vertex is
+referred to as ``n_old + i`` in ``added_edges``, so a delta can connect new
+vertices both to old vertices and to each other — which is what localized
+mesh refinement produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphDelta", "IncrementalResult", "apply_delta", "carry_partition"]
+
+
+def _as_edge_array(edges) -> np.ndarray:
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    return arr.reshape(-1, 2)
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """An incremental change to a graph.
+
+    Attributes
+    ----------
+    num_added_vertices:
+        ``|V1|``; the ``i``-th new vertex is addressed as ``n_old + i`` in
+        :attr:`added_edges`.
+    added_edges:
+        ``(k, 2)`` endpoints drawn from old ids and new ids (``E1``).
+    deleted_vertices:
+        old vertex ids to remove (``V2``); their incident edges go with
+        them automatically.
+    deleted_edges:
+        ``(k, 2)`` old-id pairs to remove (``E2``).
+    added_vweights / added_eweights / added_coords:
+        optional weights/coordinates for the additions (default unit / NaN).
+    """
+
+    num_added_vertices: int = 0
+    added_edges: np.ndarray = field(default_factory=lambda: np.zeros((0, 2), np.int64))
+    deleted_vertices: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+    deleted_edges: np.ndarray = field(default_factory=lambda: np.zeros((0, 2), np.int64))
+    added_vweights: np.ndarray | None = None
+    added_eweights: np.ndarray | None = None
+    added_coords: np.ndarray | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "added_edges", _as_edge_array(self.added_edges))
+        object.__setattr__(self, "deleted_edges", _as_edge_array(self.deleted_edges))
+        object.__setattr__(
+            self,
+            "deleted_vertices",
+            np.unique(np.asarray(self.deleted_vertices, dtype=np.int64)),
+        )
+        if self.num_added_vertices < 0:
+            raise GraphError("num_added_vertices must be >= 0")
+        if self.added_vweights is not None and len(self.added_vweights) != self.num_added_vertices:
+            raise GraphError("added_vweights length mismatch")
+        if self.added_eweights is not None and len(self.added_eweights) != len(self.added_edges):
+            raise GraphError("added_eweights length mismatch")
+        if self.added_coords is not None and len(self.added_coords) != self.num_added_vertices:
+            raise GraphError("added_coords length mismatch")
+
+    @property
+    def is_pure_growth(self) -> bool:
+        """True when nothing is deleted — the common adaptive-mesh case."""
+        return len(self.deleted_vertices) == 0 and len(self.deleted_edges) == 0
+
+    def summary(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"GraphDelta(+{self.num_added_vertices}v, +{len(self.added_edges)}e, "
+            f"-{len(self.deleted_vertices)}v, -{len(self.deleted_edges)}e)"
+        )
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """Output of :func:`apply_delta`.
+
+    Attributes
+    ----------
+    graph:
+        the new graph ``G'``.
+    old_to_new:
+        length ``n_old`` map; ``-1`` for deleted vertices.
+    new_vertex_ids:
+        ids (in ``graph``) of the added vertices, in delta order.
+    is_new:
+        boolean mask over ``graph``'s vertices (True = added by the delta).
+    """
+
+    graph: CSRGraph
+    old_to_new: np.ndarray
+    new_vertex_ids: np.ndarray
+    is_new: np.ndarray
+
+
+def apply_delta(graph: CSRGraph, delta: GraphDelta) -> IncrementalResult:
+    """Materialise ``G'`` from ``G`` and a :class:`GraphDelta`."""
+    n_old = graph.num_vertices
+    n_add = delta.num_added_vertices
+
+    # --- validate delta references -----------------------------------
+    if len(delta.deleted_vertices) and (
+        delta.deleted_vertices[0] < 0 or delta.deleted_vertices[-1] >= n_old
+    ):
+        raise GraphError("deleted vertex id out of range")
+    limit = n_old + n_add
+    if len(delta.added_edges) and (
+        delta.added_edges.min() < 0 or delta.added_edges.max() >= limit
+    ):
+        raise GraphError("added edge endpoint out of range")
+    if len(delta.deleted_edges) and (
+        delta.deleted_edges.min() < 0 or delta.deleted_edges.max() >= n_old
+    ):
+        raise GraphError("deleted edge endpoint out of range")
+
+    deleted_mask = np.zeros(n_old, dtype=bool)
+    deleted_mask[delta.deleted_vertices] = True
+    if len(delta.added_edges):
+        old_endpoints = delta.added_edges[delta.added_edges < n_old]
+        if np.any(deleted_mask[old_endpoints]):
+            raise GraphError("added edge references a deleted vertex")
+
+    # --- vertex renumbering ------------------------------------------
+    survivors = np.flatnonzero(~deleted_mask)
+    old_to_new = np.full(n_old, -1, dtype=np.int64)
+    old_to_new[survivors] = np.arange(len(survivors), dtype=np.int64)
+    n_new = len(survivors) + n_add
+    new_vertex_ids = np.arange(len(survivors), n_new, dtype=np.int64)
+
+    # --- surviving old edges ------------------------------------------
+    old_edges = graph.edge_array()
+    old_w = graph.edge_weight_array()
+    keep = ~deleted_mask[old_edges[:, 0]] & ~deleted_mask[old_edges[:, 1]]
+    if len(delta.deleted_edges):
+        de = delta.deleted_edges
+        lo = np.minimum(de[:, 0], de[:, 1]).astype(np.int64)
+        hi = np.maximum(de[:, 0], de[:, 1]).astype(np.int64)
+        del_keys = set((lo * np.int64(n_old) + hi).tolist())
+        keys = old_edges[:, 0] * np.int64(n_old) + old_edges[:, 1]
+        keep &= np.array([k not in del_keys for k in keys.tolist()])
+    old_edges, old_w = old_edges[keep], old_w[keep]
+    remapped = old_to_new[old_edges]
+
+    # --- added edges ---------------------------------------------------
+    def remap_endpoint(e: np.ndarray) -> np.ndarray:
+        if n_old == 0:
+            return e.copy()
+        out = np.where(e < n_old, old_to_new[np.minimum(e, n_old - 1)], 0)
+        is_new_ep = e >= n_old
+        out = np.where(is_new_ep, e - n_old + len(survivors), out)
+        return out
+
+    if len(delta.added_edges):
+        add_remapped = remap_endpoint(delta.added_edges)
+        add_w = (
+            np.ones(len(add_remapped))
+            if delta.added_eweights is None
+            else np.asarray(delta.added_eweights, dtype=np.float64)
+        )
+        all_edges = np.vstack([remapped, add_remapped])
+        all_w = np.concatenate([old_w, add_w])
+    else:
+        all_edges, all_w = remapped, old_w
+
+    # --- weights / coords ----------------------------------------------
+    vweights = np.concatenate(
+        [
+            graph.vweights[survivors],
+            (
+                np.ones(n_add)
+                if delta.added_vweights is None
+                else np.asarray(delta.added_vweights, dtype=np.float64)
+            ),
+        ]
+    )
+    coords = None
+    if graph.coords is not None:
+        dim = graph.coords.shape[1]
+        add_coords = (
+            np.full((n_add, dim), np.nan)
+            if delta.added_coords is None
+            else np.asarray(delta.added_coords, dtype=np.float64).reshape(n_add, dim)
+        )
+        coords = np.vstack([graph.coords[survivors], add_coords])
+
+    new_graph = CSRGraph.from_edges(
+        n_new, all_edges, eweights=all_w, vweights=vweights, coords=coords
+    )
+    is_new = np.zeros(n_new, dtype=bool)
+    is_new[new_vertex_ids] = True
+    return IncrementalResult(
+        graph=new_graph,
+        old_to_new=old_to_new,
+        new_vertex_ids=new_vertex_ids,
+        is_new=is_new,
+    )
+
+
+def carry_partition(
+    old_partition: np.ndarray, result: IncrementalResult, fill: int = -1
+) -> np.ndarray:
+    """Transport a partition vector across a delta.
+
+    Surviving vertices keep their partition; new vertices get ``fill``
+    (``-1`` by convention, to be resolved by Step 1 of the incremental
+    partitioner).
+    """
+    old_partition = np.asarray(old_partition, dtype=np.int64)
+    if len(old_partition) != len(result.old_to_new):
+        raise GraphError("partition vector does not match the old graph")
+    part = np.full(result.graph.num_vertices, fill, dtype=np.int64)
+    survivors = result.old_to_new >= 0
+    part[result.old_to_new[survivors]] = old_partition[survivors]
+    return part

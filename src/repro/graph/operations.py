@@ -1,0 +1,259 @@
+"""Graph algorithms used across the library.
+
+The incremental partitioner is built on breadth-first search: Step 1 of the
+paper assigns each new vertex the partition of the *nearest* old vertex
+(eq. 7), and Step 2's layering is a multi-source BFS per partition.  The
+BFS kernels here are array-based frontier sweeps (no per-vertex Python
+object churn), following the vectorisation guidance of the domain guides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "multi_source_bfs",
+    "connected_components",
+    "is_connected",
+    "induced_subgraph",
+    "boundary_vertices",
+    "degree_histogram",
+    "nearest_labeled_vertex",
+]
+
+_NO_DIST = np.iinfo(np.int64).max
+
+
+def _frontier_expand(graph: CSRGraph, frontier: np.ndarray, visited: np.ndarray) -> np.ndarray:
+    """One BFS level: all unvisited neighbours of ``frontier`` (marked)."""
+    if len(frontier) == 0:
+        return frontier
+    starts = graph.xadj[frontier]
+    ends = graph.xadj[frontier + 1]
+    counts = ends - starts
+    if counts.sum() == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Gather all neighbour ids of the frontier in one flat array.
+    idx = np.repeat(starts, counts) + (
+        np.arange(counts.sum(), dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    nbrs = graph.adj[idx]
+    fresh = nbrs[~visited[nbrs]]
+    if len(fresh) == 0:
+        return np.zeros(0, dtype=np.int64)
+    fresh = np.unique(fresh)
+    visited[fresh] = True
+    return fresh
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Hop distances from ``source``; unreachable vertices get ``-1``."""
+    n = graph.num_vertices
+    if not (0 <= source < n):
+        raise GraphError(f"source {source} out of range")
+    dist = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        frontier = _frontier_expand(graph, frontier, visited)
+        dist[frontier] = level
+    return dist
+
+
+def bfs_tree(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS parent array (``-1`` at the source and unreachable vertices)."""
+    n = graph.num_vertices
+    parent = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    frontier = [source]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if not visited[v]:
+                    visited[v] = True
+                    parent[v] = u
+                    nxt.append(int(v))
+        frontier = nxt
+    return parent
+
+
+def multi_source_bfs(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    labels: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Simultaneous BFS from many sources.
+
+    Returns ``(dist, owner)`` where ``owner[v]`` is the label of the source
+    whose BFS wave reached ``v`` first.  Ties between waves arriving in the
+    same level are broken toward the *smallest label*, which keeps the
+    routine deterministic (the paper breaks such ties arbitrarily).
+
+    This is the kernel behind both eq. (7) — assign each new vertex the
+    partition of the nearest old vertex — and the per-partition layering.
+    """
+    n = graph.num_vertices
+    sources = np.asarray(sources, dtype=np.int64)
+    if labels is None:
+        labels = sources.copy()
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(labels) != len(sources):
+        raise GraphError("labels must align with sources")
+    dist = np.full(n, _NO_DIST, dtype=np.int64)
+    owner = np.full(n, -1, dtype=np.int64)
+
+    # Deterministic seeding: if one vertex is listed twice keep min label.
+    order = np.lexsort((labels, sources))
+    s_sorted, l_sorted = sources[order], labels[order]
+    keep = np.ones(len(s_sorted), dtype=bool)
+    keep[1:] = s_sorted[1:] != s_sorted[:-1]
+    s0, l0 = s_sorted[keep], l_sorted[keep]
+    dist[s0] = 0
+    owner[s0] = l0
+
+    frontier = s0
+    level = 0
+    while len(frontier):
+        level += 1
+        # Expand, resolving label races at this level by smallest label.
+        starts = graph.xadj[frontier]
+        counts = graph.xadj[frontier + 1] - starts
+        total = counts.sum()
+        if total == 0:
+            break
+        idx = np.repeat(starts, counts) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+        )
+        nbrs = graph.adj[idx]
+        lab = np.repeat(owner[frontier], counts)
+        unseen = dist[nbrs] == _NO_DIST
+        nbrs, lab = nbrs[unseen], lab[unseen]
+        if len(nbrs) == 0:
+            break
+        # smallest label wins a tie: sort by (vertex, label), keep first
+        o = np.lexsort((lab, nbrs))
+        nbrs, lab = nbrs[o], lab[o]
+        first = np.ones(len(nbrs), dtype=bool)
+        first[1:] = nbrs[1:] != nbrs[:-1]
+        nbrs, lab = nbrs[first], lab[first]
+        dist[nbrs] = level
+        owner[nbrs] = lab
+        frontier = nbrs
+    dist[dist == _NO_DIST] = -1
+    return dist, owner
+
+
+def nearest_labeled_vertex(
+    graph: CSRGraph, labeled_mask: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """For every vertex, the label of the nearest vertex with ``labeled_mask``.
+
+    Vertices that are themselves labeled keep their own label.  Unreachable
+    vertices get ``-1`` (callers handle the disconnected case per §2.1).
+    """
+    sources = np.flatnonzero(labeled_mask)
+    if len(sources) == 0:
+        raise GraphError("no labeled vertices")
+    _, owner = multi_source_bfs(graph, sources, labels[sources])
+    return owner
+
+
+def connected_components(graph: CSRGraph) -> tuple[int, np.ndarray]:
+    """Number of components and per-vertex component id (BFS sweep)."""
+    n = graph.num_vertices
+    comp = np.full(n, -1, dtype=np.int64)
+    visited = np.zeros(n, dtype=bool)
+    cid = 0
+    for start in range(n):
+        if visited[start]:
+            continue
+        visited[start] = True
+        comp[start] = cid
+        frontier = np.array([start], dtype=np.int64)
+        while len(frontier):
+            frontier = _frontier_expand(graph, frontier, visited)
+            comp[frontier] = cid
+        cid += 1
+    return cid, comp
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True iff the graph has exactly one connected component (or is empty)."""
+    if graph.num_vertices == 0:
+        return True
+    ncomp, _ = connected_components(graph)
+    return ncomp == 1
+
+
+def require_connected(graph: CSRGraph, context: str = "") -> None:
+    """Raise :class:`DisconnectedGraphError` unless the graph is connected."""
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            f"graph is disconnected{': ' + context if context else ''}"
+        )
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(sub, orig_ids)`` where ``orig_ids[i]`` is the original id of
+    the subgraph's vertex ``i``.  Vertex weights, edge weights and
+    coordinates are carried over.  Used by recursive bisection (each half is
+    re-partitioned independently) and by per-partition layering.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    n = graph.num_vertices
+    if len(vertices) and (vertices[0] < 0 or vertices[-1] >= n):
+        raise GraphError("subgraph vertex out of range")
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices), dtype=np.int64)
+
+    # Keep arcs whose both endpoints stay.
+    src = graph.arc_sources()
+    keep = (new_id[src] >= 0) & (new_id[graph.adj] >= 0)
+    s, d, w = new_id[src[keep]], new_id[graph.adj[keep]], graph.eweights[keep]
+    order = np.lexsort((d, s))
+    s, d, w = s[order], d[order], w[order]
+    xadj = np.zeros(len(vertices) + 1, dtype=np.int64)
+    np.add.at(xadj, s + 1, 1)
+    np.cumsum(xadj, out=xadj)
+    sub = CSRGraph(
+        xadj,
+        d,
+        vweights=graph.vweights[vertices].copy(),
+        eweights=w,
+        coords=None if graph.coords is None else graph.coords[vertices].copy(),
+        validate=False,
+    )
+    return sub, vertices
+
+
+def boundary_vertices(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
+    """Vertices with at least one neighbour in a different partition.
+
+    ``part`` is the mapping :math:`M : V \\to P` as an int vector.
+    """
+    part = np.asarray(part, dtype=np.int64)
+    src = graph.arc_sources()
+    cross = part[src] != part[graph.adj]
+    return np.unique(src[cross])
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices with degree ``d``."""
+    return np.bincount(np.diff(graph.xadj))

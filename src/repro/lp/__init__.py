@@ -1,0 +1,38 @@
+"""Linear-programming substrate.
+
+The paper solves its load-balancing and refinement formulations with a
+**dense simplex method** the authors implemented themselves ("We have used
+a dense version of simplex algorithm", §2.3 fn. 1).  This package rebuilds
+that solver:
+
+* :mod:`repro.lp.simplex` — dense two-phase tableau simplex with Dantzig
+  pivoting and Bland anti-cycling; cost per iteration is ``O(v·c)`` in the
+  number of variables and constraints, matching the cost analysis in §3.
+* :mod:`repro.lp.standard_form` — general LP → standard equality form.
+* :mod:`repro.lp.scipy_backend` — scipy ``linprog``/HiGHS adapter used
+  *only* as a cross-check oracle in tests and as an ablation backend.
+* :mod:`repro.lp.netflow` — a successive-shortest-path min-cost-flow
+  solver specialised to the transportation structure of the balance LP
+  (an extension the paper hints at when noting the LP's sparsity).
+* :mod:`repro.lp.parallel_simplex` — column-distributed dense simplex on
+  the virtual parallel machine (the paper's "easily parallelized" claim).
+"""
+
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.problem import LinearProgram
+from repro.lp.simplex import DenseSimplexSolver, solve_lp
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.backends import get_backend, available_backends
+from repro.lp.netflow import solve_transportation
+
+__all__ = [
+    "DenseSimplexSolver",
+    "LPResult",
+    "LPStatus",
+    "LinearProgram",
+    "available_backends",
+    "get_backend",
+    "solve_lp",
+    "solve_lp_scipy",
+    "solve_transportation",
+]

@@ -1,0 +1,46 @@
+"""LP backend registry.
+
+The incremental partitioner takes a ``lp_backend`` name so experiments can
+swap the paper's dense simplex for alternatives (scipy/HiGHS, Bland-only
+simplex) — the backend ablation benchmark sweeps these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult
+from repro.lp.scipy_backend import solve_lp_scipy
+from repro.lp.simplex import DenseSimplexSolver
+
+__all__ = ["get_backend", "available_backends", "register_backend"]
+
+Backend = Callable[[LinearProgram], LPResult]
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(name: str, fn: Backend) -> None:
+    """Register a callable ``LinearProgram -> LPResult`` under ``name``."""
+    _REGISTRY[name] = fn
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`get_backend`."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend; raises ``KeyError`` with the valid names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LP backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+register_backend("dense_simplex", DenseSimplexSolver().solve)
+register_backend("dense_simplex_bland", DenseSimplexSolver(pivot="bland").solve)
+register_backend("scipy", solve_lp_scipy)

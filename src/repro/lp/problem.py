@@ -1,0 +1,140 @@
+"""General linear-program description.
+
+A :class:`LinearProgram` is the caller-facing problem statement:
+
+.. math::
+
+    \\min / \\max \\; c^T x \\quad \\text{s.t.} \\quad
+    A_{ub} x \\le b_{ub}, \\; A_{eq} x = b_{eq}, \\;
+    0 \\le x \\le u
+
+Lower bounds are fixed at zero because every LP in the paper has
+non-negative movement variables ``l_ij``; upper bounds (``l_ij ≤ δ_ij`` /
+``l_ij ≤ b_ij``) may be finite or ``+inf`` per variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LPError
+
+__all__ = ["LinearProgram"]
+
+
+def _as_matrix(a, ncols: int | None) -> np.ndarray:
+    if a is None:
+        return np.zeros((0, ncols or 0), dtype=np.float64)
+    m = np.asarray(a, dtype=np.float64)
+    if m.ndim == 1:
+        m = m[None, :]
+    return m
+
+
+@dataclass
+class LinearProgram:
+    """Immutable LP statement (see module docstring for the form)."""
+
+    c: np.ndarray
+    A_ub: np.ndarray | None = None
+    b_ub: np.ndarray | None = None
+    A_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    upper_bounds: np.ndarray | None = None
+    maximize: bool = False
+    variable_names: list[str] | None = None
+    _validated: bool = field(default=False, repr=False)
+
+    def __post_init__(self):
+        self.c = np.asarray(self.c, dtype=np.float64).ravel()
+        n = len(self.c)
+        self.A_ub = _as_matrix(self.A_ub, n)
+        self.A_eq = _as_matrix(self.A_eq, n)
+        self.b_ub = (
+            np.zeros(0) if self.b_ub is None
+            else np.asarray(self.b_ub, dtype=np.float64).ravel()
+        )
+        self.b_eq = (
+            np.zeros(0) if self.b_eq is None
+            else np.asarray(self.b_eq, dtype=np.float64).ravel()
+        )
+        if self.upper_bounds is not None:
+            self.upper_bounds = np.asarray(self.upper_bounds, dtype=np.float64).ravel()
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables ``v`` (the paper's LP-size metric)."""
+        return len(self.c)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of constraint rows ``c`` excluding variable bounds."""
+        return len(self.b_ub) + len(self.b_eq)
+
+    def validate(self) -> None:
+        """Shape consistency checks."""
+        n = self.num_variables
+        if self.A_ub.shape != (len(self.b_ub), n):
+            raise LPError(
+                f"A_ub shape {self.A_ub.shape} inconsistent with "
+                f"b_ub ({len(self.b_ub)}) and c ({n})"
+            )
+        if self.A_eq.shape != (len(self.b_eq), n):
+            raise LPError(
+                f"A_eq shape {self.A_eq.shape} inconsistent with "
+                f"b_eq ({len(self.b_eq)}) and c ({n})"
+            )
+        if self.upper_bounds is not None:
+            if len(self.upper_bounds) != n:
+                raise LPError("upper_bounds length mismatch")
+            if np.any(self.upper_bounds < 0):
+                raise LPError("upper bounds must be non-negative")
+        if self.variable_names is not None and len(self.variable_names) != n:
+            raise LPError("variable_names length mismatch")
+
+    # ------------------------------------------------------------------
+    def objective_value(self, x: np.ndarray) -> float:
+        """``c @ x`` in the problem's own orientation."""
+        return float(self.c @ x)
+
+    def feasibility_violations(self, x: np.ndarray) -> dict[str, float]:
+        """Max violation per constraint class (used by tests as an oracle)."""
+        x = np.asarray(x, dtype=np.float64)
+        out = {
+            "lower": float(max(0.0, -(x.min() if len(x) else 0.0))),
+            "upper": 0.0,
+            "ub_rows": 0.0,
+            "eq_rows": 0.0,
+        }
+        if self.upper_bounds is not None:
+            finite = np.isfinite(self.upper_bounds)
+            if finite.any():
+                out["upper"] = float(
+                    max(0.0, np.max(x[finite] - self.upper_bounds[finite]))
+                )
+        if len(self.b_ub):
+            out["ub_rows"] = float(
+                max(0.0, np.max(self.A_ub @ x - self.b_ub))
+            )
+        if len(self.b_eq):
+            out["eq_rows"] = float(np.max(np.abs(self.A_eq @ x - self.b_eq)))
+        return out
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-7) -> bool:
+        """True iff ``x`` satisfies every constraint within ``tol``."""
+        return all(v <= tol for v in self.feasibility_violations(x).values())
+
+    def describe(self) -> str:
+        """One-line size summary (``v`` variables, ``c`` constraints)."""
+        nb = (
+            0 if self.upper_bounds is None
+            else int(np.isfinite(self.upper_bounds).sum())
+        )
+        return (
+            f"LP({'max' if self.maximize else 'min'}, v={self.num_variables}, "
+            f"c={self.num_constraints}, finite_bounds={nb})"
+        )

@@ -1,0 +1,72 @@
+"""LP solve outcomes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import (
+    LPInfeasibleError,
+    LPIterationLimit,
+    LPNumericalError,
+    LPUnboundedError,
+)
+
+__all__ = ["LPStatus", "LPResult"]
+
+
+class LPStatus(enum.Enum):
+    """Terminal state of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL = "numerical"
+
+
+@dataclass
+class LPResult:
+    """Outcome of a linear-programming solve.
+
+    Attributes
+    ----------
+    status:
+        terminal :class:`LPStatus`.
+    x:
+        primal solution in the *caller's* variable space (None unless
+        optimal).
+    objective:
+        objective value at ``x`` (sign follows the caller's orientation,
+        i.e. already negated back for maximisation problems).
+    iterations:
+        simplex pivots performed (phases 1+2), or backend-reported count.
+    message:
+        human-readable diagnostics.
+    """
+
+    status: LPStatus
+    x: np.ndarray | None = None
+    objective: float = np.nan
+    iterations: int = 0
+    message: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        """True iff an optimal solution was found."""
+        return self.status is LPStatus.OPTIMAL
+
+    def raise_for_status(self) -> "LPResult":
+        """Return self if optimal, else raise the matching exception."""
+        if self.status is LPStatus.OPTIMAL:
+            return self
+        if self.status is LPStatus.INFEASIBLE:
+            raise LPInfeasibleError(self.message or "LP infeasible")
+        if self.status is LPStatus.UNBOUNDED:
+            raise LPUnboundedError(self.message or "LP unbounded")
+        if self.status is LPStatus.ITERATION_LIMIT:
+            raise LPIterationLimit(self.message or "iteration limit reached")
+        raise LPNumericalError(self.message or "numerical failure")

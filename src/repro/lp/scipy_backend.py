@@ -1,0 +1,63 @@
+"""scipy ``linprog`` adapter.
+
+Used as (a) the cross-check oracle in the property tests — our dense
+simplex must agree with HiGHS on every random LP — and (b) the alternate
+backend in the LP-backend ablation benchmark.  It is *not* used by the
+incremental partitioner itself; the paper's contribution includes its own
+dense simplex and so does ours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+
+__all__ = ["solve_lp_scipy"]
+
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ITERATION_LIMIT,
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.NUMERICAL,
+}
+
+
+def solve_lp_scipy(lp: LinearProgram) -> LPResult:
+    """Solve a :class:`LinearProgram` with ``scipy.optimize.linprog`` (HiGHS)."""
+    c = lp.c.copy()
+    if lp.maximize:
+        c = -c
+    n = lp.num_variables
+    if lp.upper_bounds is None:
+        bounds = [(0.0, None)] * n
+    else:
+        bounds = [
+            (0.0, None if not np.isfinite(u) else float(u))
+            for u in lp.upper_bounds
+        ]
+    res = linprog(
+        c,
+        A_ub=lp.A_ub if len(lp.b_ub) else None,
+        b_ub=lp.b_ub if len(lp.b_ub) else None,
+        A_eq=lp.A_eq if len(lp.b_eq) else None,
+        b_eq=lp.b_eq if len(lp.b_eq) else None,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS_MAP.get(res.status, LPStatus.NUMERICAL)
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(status, message=str(res.message))
+    obj = float(res.fun)
+    if lp.maximize:
+        obj = -obj
+    return LPResult(
+        LPStatus.OPTIMAL,
+        x=np.asarray(res.x, dtype=np.float64),
+        objective=obj,
+        iterations=int(getattr(res, "nit", 0) or 0),
+        message=str(res.message),
+    )

@@ -1,0 +1,112 @@
+"""Conversion of a :class:`~repro.lp.problem.LinearProgram` to standard form.
+
+Standard form here means::
+
+    min c_s @ y   s.t.   A y = b,  y >= 0,  b >= 0
+
+obtained by (in order):
+
+1. negating ``c`` for maximisation problems,
+2. turning each finite upper bound ``x_j <= u_j`` into a row
+   ``x_j + s = u_j`` (the paper's dense formulation does the same — its
+   constraint counts include the ``l_ij <= delta_ij`` rows),
+3. adding a slack to every ``<=`` row,
+4. flipping rows with negative right-hand sides.
+
+The mapping back to the caller's variables is just ``y[:n]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram
+
+__all__ = ["StandardFormLP", "to_standard_form"]
+
+
+@dataclass(frozen=True)
+class StandardFormLP:
+    """``min c @ y, A y = b, y >= 0`` plus bookkeeping to map back."""
+
+    A: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    num_original: int
+    sign_flip: bool  # True when the original problem was a maximisation
+
+    @property
+    def num_rows(self) -> int:
+        """Constraint count of the standard form."""
+        return self.A.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        """Variable count of the standard form (originals + slacks)."""
+        return self.A.shape[1]
+
+    def extract(self, y: np.ndarray) -> np.ndarray:
+        """Solution in the caller's variable space."""
+        return y[: self.num_original].copy()
+
+    def caller_objective(self, y: np.ndarray) -> float:
+        """Objective value with the caller's orientation restored."""
+        val = float(self.c @ y)
+        return -val if self.sign_flip else val
+
+
+def to_standard_form(lp: LinearProgram) -> StandardFormLP:
+    """Build the standard equality form described in the module docstring."""
+    n = lp.num_variables
+    c = lp.c.copy()
+    if lp.maximize:
+        c = -c
+
+    rows: list[np.ndarray] = []
+    rhs: list[float] = []
+    slack_cols: list[int] = []  # row index of each slack variable
+
+    # Upper-bound rows (x_j + s = u_j) for finite bounds.
+    if lp.upper_bounds is not None:
+        for j in range(n):
+            u = lp.upper_bounds[j]
+            if np.isfinite(u):
+                r = np.zeros(n)
+                r[j] = 1.0
+                rows.append(r)
+                rhs.append(float(u))
+                slack_cols.append(len(rows) - 1)
+
+    # General inequality rows (A_ub x + s = b_ub).
+    for i in range(len(lp.b_ub)):
+        rows.append(lp.A_ub[i].copy())
+        rhs.append(float(lp.b_ub[i]))
+        slack_cols.append(len(rows) - 1)
+
+    # Equality rows.
+    for i in range(len(lp.b_eq)):
+        rows.append(lp.A_eq[i].copy())
+        rhs.append(float(lp.b_eq[i]))
+
+    m = len(rows)
+    n_slack = len(slack_cols)
+    A = np.zeros((m, n + n_slack))
+    b = np.zeros(m)
+    for i, (r, v) in enumerate(zip(rows, rhs)):
+        A[i, :n] = r
+        b[i] = v
+    for k, row_idx in enumerate(slack_cols):
+        A[row_idx, n + k] = 1.0
+
+    c_full = np.concatenate([c, np.zeros(n_slack)])
+
+    # b >= 0 normalisation.
+    neg = b < 0
+    A[neg] *= -1.0
+    b[neg] *= -1.0
+
+    return StandardFormLP(
+        A=A, b=b, c=c_full, num_original=n, sign_flip=lp.maximize
+    )

@@ -1,0 +1,46 @@
+"""Adaptive triangular-mesh substrate (DIME stand-in).
+
+The paper's experiments run on meshes produced by DIME, Caltech's
+*Distributed Irregular Mesh Environment* (reference [11]), refined in a
+localized area between partitioning steps.  DIME is long defunct, so this
+package rebuilds the behaviour the algorithm actually depends on:
+
+* unstructured planar triangulations of irregular (graded-density) point
+  sets — :mod:`repro.mesh.generators`;
+* *localized incremental refinement* that adds a controlled number of
+  nodes inside a region and reports the resulting
+  :class:`~repro.graph.incremental.GraphDelta` —
+  :mod:`repro.mesh.refinement`;
+* extraction of the computational node graph (mesh nodes = tasks, mesh
+  edges = interactions) — :mod:`repro.mesh.dual`;
+* the two paper-shaped dataset sequences (1071→1192-node "A" and the
+  10166-node "B" with +48/+139/+229/+672 variants) —
+  :mod:`repro.mesh.sequences`.
+"""
+
+from repro.mesh.triangulation import TriangularMesh
+from repro.mesh.generators import (
+    delaunay_mesh,
+    irregular_mesh,
+    rectangle_mesh,
+    graded_mesh,
+)
+from repro.mesh.refinement import refine_in_disc, refine_triangles, MeshRefinement
+from repro.mesh.dual import node_graph, element_graph
+from repro.mesh.sequences import dataset_a, dataset_b, MeshSequence
+
+__all__ = [
+    "TriangularMesh",
+    "MeshRefinement",
+    "MeshSequence",
+    "dataset_a",
+    "dataset_b",
+    "delaunay_mesh",
+    "element_graph",
+    "graded_mesh",
+    "irregular_mesh",
+    "node_graph",
+    "rectangle_mesh",
+    "refine_in_disc",
+    "refine_triangles",
+]

@@ -1,0 +1,43 @@
+"""Mesh → computational graph extraction.
+
+The paper partitions the *node graph* of the mesh: vertices are mesh nodes
+(computational tasks of an FEM/mesh solver), edges are mesh edges
+(interactions).  :func:`node_graph` builds that graph with coordinates
+attached.  :func:`element_graph` builds the element-adjacency (dual) graph
+— triangles as tasks, shared edges as interactions — which some solvers
+partition instead; it is used by the extra examples and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.builder import from_edge_list
+from repro.graph.csr import CSRGraph
+from repro.mesh.triangulation import TriangularMesh
+
+__all__ = ["node_graph", "element_graph"]
+
+
+def node_graph(mesh: TriangularMesh) -> CSRGraph:
+    """Graph over mesh nodes with mesh edges (unit weights, coords kept)."""
+    return from_edge_list(mesh.num_nodes, mesh.edges(), coords=mesh.points.copy())
+
+
+def element_graph(mesh: TriangularMesh) -> CSRGraph:
+    """Graph over triangles; two triangles are adjacent iff they share an edge."""
+    t = mesh.triangles
+    n = mesh.num_nodes
+    raw = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+    owner = np.tile(np.arange(len(t), dtype=np.int64), 3)
+    lo = np.minimum(raw[:, 0], raw[:, 1])
+    hi = np.maximum(raw[:, 0], raw[:, 1])
+    key = lo * np.int64(n) + hi
+    order = np.argsort(key, kind="stable")
+    key_s, owner_s = key[order], owner[order]
+    same = key_s[1:] == key_s[:-1]
+    # interior edges appear exactly twice; pair up consecutive owners
+    pairs = np.column_stack([owner_s[:-1][same], owner_s[1:][same]])
+    return from_edge_list(
+        len(t), pairs, coords=mesh.centroids()
+    )

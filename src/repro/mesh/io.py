@@ -1,0 +1,24 @@
+"""Mesh persistence (npz) — lets the benchmark harness cache datasets."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.triangulation import TriangularMesh
+
+__all__ = ["save_mesh", "load_mesh"]
+
+
+def save_mesh(mesh: TriangularMesh, path: str | Path) -> None:
+    """Save points + triangles to a ``.npz`` file."""
+    np.savez_compressed(
+        Path(path), points=mesh.points, triangles=mesh.triangles
+    )
+
+
+def load_mesh(path: str | Path) -> TriangularMesh:
+    """Load a mesh written by :func:`save_mesh`."""
+    data = np.load(Path(path))
+    return TriangularMesh(data["points"], data["triangles"])

@@ -1,0 +1,205 @@
+"""Planar triangular mesh container.
+
+:class:`TriangularMesh` stores node coordinates and triangle connectivity
+(the two arrays a finite-element code actually keeps), and derives edges,
+boundary information and element quality from them on demand.  Meshes are
+immutable; refinement (in :mod:`repro.mesh.refinement`) returns new meshes
+plus a :class:`~repro.graph.incremental.GraphDelta` describing the change
+to the computational node graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+
+__all__ = ["TriangularMesh"]
+
+
+class TriangularMesh:
+    """Immutable 2-D triangular mesh.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` node coordinates.
+    triangles:
+        ``(t, 3)`` node indices per element; any orientation (normalised
+        to counter-clockwise internally).
+    """
+
+    __slots__ = ("points", "triangles", "_edges", "_areas")
+
+    def __init__(self, points: np.ndarray, triangles: np.ndarray, validate: bool = True):
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        triangles = np.ascontiguousarray(triangles, dtype=np.int64)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise MeshError("points must be (n, 2)")
+        if triangles.ndim != 2 or triangles.shape[1] != 3:
+            raise MeshError("triangles must be (t, 3)")
+        # Index range must hold before any geometry can be computed.
+        if len(triangles) and (
+            triangles.min() < 0 or triangles.max() >= len(points)
+        ):
+            raise MeshError("triangle references a missing node")
+        # Normalise orientation to CCW so signed areas are positive.
+        if len(triangles):
+            p = points
+            t = triangles
+            cross = (p[t[:, 1], 0] - p[t[:, 0], 0]) * (p[t[:, 2], 1] - p[t[:, 0], 1]) - (
+                p[t[:, 1], 1] - p[t[:, 0], 1]
+            ) * (p[t[:, 2], 0] - p[t[:, 0], 0])
+            flip = cross < 0
+            triangles = triangles.copy()
+            triangles[flip, 1], triangles[flip, 2] = (
+                triangles[flip, 2].copy(),
+                triangles[flip, 1].copy(),
+            )
+        self.points = points
+        self.triangles = triangles
+        self.points.setflags(write=False)
+        self.triangles.setflags(write=False)
+        self._edges: np.ndarray | None = None
+        self._areas: np.ndarray | None = None
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of mesh nodes."""
+        return len(self.points)
+
+    @property
+    def num_triangles(self) -> int:
+        """Number of elements."""
+        return len(self.triangles)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of unique mesh edges."""
+        return len(self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TriangularMesh(nodes={self.num_nodes}, "
+            f"triangles={self.num_triangles}, edges={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    def edges(self) -> np.ndarray:
+        """Unique undirected edges as an ``(m, 2)`` array with ``u < v``."""
+        if self._edges is None:
+            t = self.triangles
+            if len(t) == 0:
+                self._edges = np.zeros((0, 2), dtype=np.int64)
+            else:
+                raw = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+                lo = np.minimum(raw[:, 0], raw[:, 1])
+                hi = np.maximum(raw[:, 0], raw[:, 1])
+                key = lo * np.int64(self.num_nodes) + hi
+                uniq = np.unique(key)
+                self._edges = np.column_stack(
+                    [uniq // self.num_nodes, uniq % self.num_nodes]
+                ).astype(np.int64)
+            self._edges.setflags(write=False)
+        return self._edges
+
+    def edge_multiplicity(self) -> dict[tuple[int, int], int]:
+        """How many triangles share each edge (1 = boundary, 2 = interior)."""
+        t = self.triangles
+        raw = np.vstack([t[:, [0, 1]], t[:, [1, 2]], t[:, [2, 0]]])
+        lo = np.minimum(raw[:, 0], raw[:, 1])
+        hi = np.maximum(raw[:, 0], raw[:, 1])
+        key = lo * np.int64(self.num_nodes) + hi
+        uniq, counts = np.unique(key, return_counts=True)
+        return {
+            (int(k // self.num_nodes), int(k % self.num_nodes)): int(c)
+            for k, c in zip(uniq, counts)
+        }
+
+    def boundary_edges(self) -> np.ndarray:
+        """Edges belonging to exactly one triangle."""
+        mult = self.edge_multiplicity()
+        return np.asarray(
+            [e for e, c in mult.items() if c == 1], dtype=np.int64
+        ).reshape(-1, 2)
+
+    def boundary_nodes(self) -> np.ndarray:
+        """Nodes incident to a boundary edge."""
+        be = self.boundary_edges()
+        return np.unique(be) if len(be) else np.zeros(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def areas(self) -> np.ndarray:
+        """Signed (positive, CCW) area per triangle."""
+        if self._areas is None:
+            p, t = self.points, self.triangles
+            a = p[t[:, 0]]
+            b = p[t[:, 1]]
+            c = p[t[:, 2]]
+            self._areas = 0.5 * (
+                (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+                - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+            )
+            self._areas.setflags(write=False)
+        return self._areas
+
+    def centroids(self) -> np.ndarray:
+        """``(t, 2)`` triangle centroids."""
+        return self.points[self.triangles].mean(axis=1)
+
+    def aspect_ratios(self) -> np.ndarray:
+        """Longest-edge / shortest-altitude quality measure per triangle."""
+        p, t = self.points, self.triangles
+        e01 = np.linalg.norm(p[t[:, 1]] - p[t[:, 0]], axis=1)
+        e12 = np.linalg.norm(p[t[:, 2]] - p[t[:, 1]], axis=1)
+        e20 = np.linalg.norm(p[t[:, 0]] - p[t[:, 2]], axis=1)
+        longest = np.maximum(np.maximum(e01, e12), e20)
+        area = np.abs(self.areas())
+        with np.errstate(divide="ignore"):
+            return np.where(area > 0, longest * longest / (2.0 * area), np.inf)
+
+    def triangles_in_disc(self, center, radius: float) -> np.ndarray:
+        """Indices of triangles whose centroid lies within the disc."""
+        c = np.asarray(center, dtype=np.float64)
+        d = self.centroids() - c
+        return np.flatnonzero((d * d).sum(axis=1) <= radius * radius)
+
+    def nodes_in_disc(self, center, radius: float) -> np.ndarray:
+        """Indices of nodes within the disc."""
+        c = np.asarray(center, dtype=np.float64)
+        d = self.points - c
+        return np.flatnonzero((d * d).sum(axis=1) <= radius * radius)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural checks: index ranges, degeneracy, duplicate elements."""
+        if len(self.triangles):
+            if self.triangles.min() < 0 or self.triangles.max() >= self.num_nodes:
+                raise MeshError("triangle references a missing node")
+            t = np.sort(self.triangles, axis=1)
+            if np.any(t[:, 0] == t[:, 1]) or np.any(t[:, 1] == t[:, 2]):
+                raise MeshError("degenerate triangle (repeated node)")
+            key = (
+                t[:, 0] * np.int64(self.num_nodes) ** 2
+                + t[:, 1] * np.int64(self.num_nodes)
+                + t[:, 2]
+            )
+            if len(np.unique(key)) != len(key):
+                raise MeshError("duplicate triangles")
+            if np.any(np.abs(self.areas()) <= 0):
+                raise MeshError("zero-area triangle")
+
+    def stats(self) -> dict[str, float]:
+        """Summary statistics used by the benchmark harness logs."""
+        ar = self.aspect_ratios()
+        return {
+            "nodes": float(self.num_nodes),
+            "triangles": float(self.num_triangles),
+            "edges": float(self.num_edges),
+            "min_area": float(np.min(np.abs(self.areas()))) if len(self.triangles) else 0.0,
+            "max_aspect": float(np.max(ar)) if len(ar) else 0.0,
+            "mean_aspect": float(np.mean(ar)) if len(ar) else 0.0,
+        }

@@ -1,0 +1,49 @@
+"""Virtual parallel machine — the CM-5 substitute (DESIGN.md S7/S8).
+
+The paper's experiments ran on a 32-node Thinking Machines CM-5.  That
+hardware (and its CMMD message-passing library) is unobtainable, and this
+environment has no MPI, so the package provides a *simulated* SPMD
+message-passing machine:
+
+* each rank runs as a Python thread executing the same program (SPMD),
+* point-to-point messages and tree-based collectives follow the mpi4py
+  API conventions described in the domain guides (``send/recv/bcast/
+  reduce/allreduce/gather/allgather/alltoall/barrier``),
+* every rank carries a **simulated clock** advanced by an explicit
+  machine model (message latency ``α``, bandwidth ``β``, per-work-unit
+  compute time) — the postal/LogP-style model standard in parallel
+  algorithm analysis.  Clocks propagate with messages (receive time =
+  max(local, departure + transit)), so simulated timings are
+  deterministic and independent of host thread scheduling.
+
+``Time-p`` numbers in the benchmark tables are simulated CM-5 times from
+this machine; ``Time-s`` the corresponding single-rank simulation.  The
+algorithmic communication volumes are real — only hardware constants are
+modeled — so speedup *shapes* (the paper's 15–20× on 32 nodes) are
+preserved.
+"""
+
+from repro.parallel.machine import MachineModel, CM5, MODERN_CLUSTER, ZERO_COST
+from repro.parallel.runtime import VirtualMachine, VMRun
+from repro.parallel.comm import Comm, payload_nbytes
+from repro.parallel.decomposition import (
+    BlockDistribution,
+    block_counts,
+    block_owner,
+    block_range,
+)
+
+__all__ = [
+    "BlockDistribution",
+    "CM5",
+    "Comm",
+    "MODERN_CLUSTER",
+    "MachineModel",
+    "VMRun",
+    "VirtualMachine",
+    "ZERO_COST",
+    "block_counts",
+    "block_owner",
+    "block_range",
+    "payload_nbytes",
+]

@@ -1,0 +1,197 @@
+"""Tree-based collective algorithms over point-to-point messages.
+
+These are the textbook algorithms a real message-passing library uses, so
+the simulated clocks pick up the right ``O(log P)`` / ``O(P)`` round
+structure:
+
+* **binomial-tree broadcast / reduce** — ``ceil(log2 P)`` rounds,
+* **allreduce** = reduce + broadcast (two trees),
+* **gather / scatter** — binomial tree with payload concatenation,
+* **allgather** = gather + broadcast,
+* **alltoall** — ``P − 1`` pairwise exchange rounds (the classic
+  "ring/pairwise" schedule),
+* **barrier** — zero-payload allreduce.
+
+All functions take an explicit ``tag`` so concurrent collectives on the
+same communicator cannot cross-match; :class:`~repro.parallel.comm.Comm`
+derives one from its SPMD sequence counter.
+
+The tree rank arithmetic uses the *relative rank* trick: ranks are
+renumbered so the root is 0, making every algorithm root-agnostic.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+__all__ = [
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "alltoall",
+    "barrier",
+]
+
+
+def _rel(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _abs(rel: int, root: int, size: int) -> int:
+    return (rel + root) % size
+
+
+def bcast(comm, obj: Any, root: int, tag: int) -> Any:
+    """Binomial-tree broadcast; returns the object on every rank.
+
+    MPICH-style schedule: a rank with relative id ``rel`` receives from
+    ``rel - lowbit(rel)`` and then forwards to ``rel + m`` for every
+    ``m < lowbit(rel)`` descending (the root forwards to all powers of
+    two), giving ``ceil(log2 P)`` rounds.
+    """
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return obj
+    rel = _rel(rank, root, size)
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            obj = comm.recv(_abs(rel - mask, root, size), tag)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            comm.send(obj, _abs(rel + mask, root, size), tag)
+        mask >>= 1
+    return obj
+
+
+def reduce(
+    comm, value: Any, op: Callable[[Any, Any], Any] | None, root: int, tag: int
+) -> Any:
+    """Binomial-tree reduction; result on ``root`` (None elsewhere).
+
+    ``op`` must be associative; rank order of operands is preserved
+    (left = lower rank) so non-commutative ops like list concatenation
+    behave deterministically.
+    """
+    if op is None:
+        op = operator.add
+    size, rank = comm.size, comm.rank
+    rel = _rel(rank, root, size)
+    acc = value
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = rel & ~mask
+            comm.send(acc, _abs(parent, root, size), tag)
+            break
+        partner = rel | mask
+        if partner < size:
+            other = comm.recv(_abs(partner, root, size), tag)
+            # lower relative rank is the left operand
+            acc = op(acc, other)
+        mask <<= 1
+    return acc if rel == 0 else None
+
+
+def allreduce(comm, value: Any, op: Callable[[Any, Any], Any] | None, tag: int) -> Any:
+    """Reduce to rank 0 then broadcast (two binomial trees)."""
+    acc = reduce(comm, value, op, 0, tag)
+    return bcast(comm, acc, 0, tag)
+
+
+def gather(comm, value: Any, root: int, tag: int) -> list[Any] | None:
+    """Binomial-tree gather; root gets ``[v0, v1, ..., v_{P-1}]``."""
+    size, rank = comm.size, comm.rank
+    rel = _rel(rank, root, size)
+    # Accumulate (relative_rank, value) pairs up the tree.
+    acc: list[tuple[int, Any]] = [(rel, value)]
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = rel & ~mask
+            comm.send(acc, _abs(parent, root, size), tag)
+            break
+        partner = rel | mask
+        if partner < size:
+            acc.extend(comm.recv(_abs(partner, root, size), tag))
+        mask <<= 1
+    if rel != 0:
+        return None
+    out: list[Any] = [None] * size
+    for r, v in acc:
+        out[_abs(r, root, size)] = v
+    return out
+
+
+def allgather(comm, value: Any, tag: int) -> list[Any]:
+    """Gather to rank 0, then broadcast the list."""
+    values = gather(comm, value, 0, tag)
+    return bcast(comm, values, 0, tag)
+
+
+def scatter(comm, values: list[Any] | None, root: int, tag: int) -> Any:
+    """Binomial-tree scatter of one value per rank from ``root``.
+
+    Uses the broadcast tree but forwards only the sub-bundle destined for
+    each child's subtree (relative ranks ``[child, child + m)``).
+    """
+    size, rank = comm.size, comm.rank
+    rel = _rel(rank, root, size)
+    bundle: dict[int, Any]
+    mask = 1
+    if rel == 0:
+        if values is None or len(values) != size:
+            raise ValueError("scatter root needs exactly one value per rank")
+        bundle = {i: values[_abs(i, root, size)] for i in range(size)}
+        while mask < size:
+            mask <<= 1
+    else:
+        while mask < size:
+            if rel & mask:
+                bundle = comm.recv(_abs(rel - mask, root, size), tag)
+                break
+            mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < size:
+            child = rel + mask
+            sub = {i: v for i, v in bundle.items() if child <= i < child + mask}
+            comm.send(sub, _abs(child, root, size), tag)
+            for i in sub:
+                del bundle[i]
+        mask >>= 1
+    return bundle[rel]
+
+
+def alltoall(comm, values: list[Any], tag: int) -> list[Any]:
+    """Pairwise-exchange personalised all-to-all (P−1 rounds)."""
+    size, rank = comm.size, comm.rank
+    if len(values) != size:
+        raise ValueError("alltoall needs exactly one value per rank")
+    out: list[Any] = [None] * size
+    out[rank] = values[rank]
+    for round_ in range(1, size):
+        peer = rank ^ round_ if (size & (size - 1)) == 0 else (rank + round_) % size
+        if peer == rank or peer >= size:
+            continue
+        if (size & (size - 1)) == 0:
+            # power-of-two: XOR schedule pairs everyone simultaneously
+            out[peer] = comm.sendrecv(values[peer], peer, tag)
+        else:
+            # general size: send to (rank+r), receive from (rank-r)
+            src = (rank - round_) % size
+            comm.send(values[peer], peer, tag)
+            out[src] = comm.recv(src, tag)
+    return out
+
+
+def barrier(comm, tag: int) -> None:
+    """Zero-payload allreduce; synchronises simulated clocks."""
+    allreduce(comm, 0, operator.add, tag)

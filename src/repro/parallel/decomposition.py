@@ -1,0 +1,75 @@
+"""Data decompositions across ranks.
+
+Two kinds are used by the parallel algorithms:
+
+* **block distribution** of a 1-D index range (columns of the simplex
+  tableau, chunks of a vertex array) — the classic
+  ``ceil``/``floor`` split where the first ``n mod p`` ranks get one
+  extra element;
+* the **partition-per-rank** mapping of the IGP driver (partition ``q``
+  lives on rank ``q``), which needs no helper beyond identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["block_counts", "block_range", "block_owner", "BlockDistribution"]
+
+
+def block_counts(n: int, p: int) -> np.ndarray:
+    """Element counts per rank for a block distribution of ``n`` items."""
+    base, extra = divmod(n, p)
+    return np.array([base + (r < extra) for r in range(p)], dtype=np.int64)
+
+
+def block_range(n: int, p: int, rank: int) -> tuple[int, int]:
+    """Half-open ``[lo, hi)`` range owned by ``rank``."""
+    counts = block_counts(n, p)
+    lo = int(counts[:rank].sum())
+    return lo, lo + int(counts[rank])
+
+
+def block_owner(n: int, p: int, index: int) -> int:
+    """Rank owning ``index`` under the block distribution."""
+    base, extra = divmod(n, p)
+    threshold = (base + 1) * extra
+    if index < threshold:
+        return index // (base + 1)
+    return extra + (index - threshold) // base if base else p - 1
+
+
+@dataclass(frozen=True)
+class BlockDistribution:
+    """Convenience wrapper: block distribution of ``n`` items over ``p`` ranks."""
+
+    n: int
+    p: int
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-rank counts."""
+        return block_counts(self.n, self.p)
+
+    @property
+    def displs(self) -> np.ndarray:
+        """Per-rank starting offsets."""
+        c = self.counts
+        return np.concatenate([[0], np.cumsum(c)[:-1]]).astype(np.int64)
+
+    def range_of(self, rank: int) -> tuple[int, int]:
+        """Half-open range of ``rank``."""
+        return block_range(self.n, self.p, rank)
+
+    def owner_of(self, index: int) -> int:
+        """Owning rank of a global index."""
+        if not (0 <= index < self.n):
+            raise IndexError(index)
+        return block_owner(self.n, self.p, index)
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        """Global indices owned by ``rank``."""
+        lo, hi = self.range_of(rank)
+        return np.arange(lo, hi, dtype=np.int64)

@@ -1,0 +1,59 @@
+"""Machine cost models for the virtual parallel machine.
+
+A :class:`MachineModel` is a classic postal-model parameterisation:
+sending a message of ``s`` bytes costs ``latency + s / bandwidth`` seconds
+of simulated time, and one abstract *work unit* (roughly one floating-point
+operation plus its memory traffic) costs ``flop_time`` seconds.
+
+:data:`CM5` is calibrated to mid-1990s CM-5 node characteristics:
+
+* 33 MHz SPARC nodes sustaining a few MFLOP/s on irregular codes
+  (we charge 0.25 µs/unit ≈ 4 M units/s — the paper's serial RSB and
+  simplex timings on a 1-node CM-5 are consistent with single-digit
+  megaflops),
+* data-network point-to-point latency of order 10 µs and per-link
+  bandwidth of order 8 MB/s.
+
+Absolute constants only set the scale of reported times; speedups and
+algorithm comparisons depend on ratios, which is what the reproduction
+targets (DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "CM5", "MODERN_CLUSTER", "ZERO_COST"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Postal-model machine constants (all in seconds / bytes)."""
+
+    name: str
+    latency: float  # per-message software+network latency (s)
+    bandwidth: float  # payload bandwidth (bytes/s)
+    flop_time: float  # seconds per abstract work unit
+
+    def comm_time(self, nbytes: float) -> float:
+        """Transit time for a message of ``nbytes`` payload bytes."""
+        return self.latency + nbytes / self.bandwidth
+
+    def compute_time(self, work_units: float) -> float:
+        """Time to execute ``work_units`` abstract operations."""
+        return work_units * self.flop_time
+
+
+#: Thinking Machines CM-5 class constants (see module docstring); the
+#: data network's point-to-point bandwidth was up to 20 MB/s per node.
+CM5 = MachineModel(name="CM-5", latency=10e-6, bandwidth=20e6, flop_time=0.25e-6)
+
+#: A contemporary commodity cluster, for the "what would this look like
+#: today" ablation (≈1 µs latency, 10 GB/s, ~1 G work units/s).
+MODERN_CLUSTER = MachineModel(
+    name="modern-cluster", latency=1e-6, bandwidth=10e9, flop_time=1e-9
+)
+
+#: Free communication/computation — used by semantics-only tests so they
+#: can assert collective results without caring about clocks.
+ZERO_COST = MachineModel(name="zero-cost", latency=0.0, bandwidth=float("inf"), flop_time=0.0)

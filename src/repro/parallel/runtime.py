@@ -1,0 +1,185 @@
+"""Threaded SPMD executor with simulated clocks.
+
+:class:`VirtualMachine` runs one Python thread per rank, all executing the
+same program (SPMD, like ``mpiexec -n P python script.py`` in the domain
+guide).  Host threads only provide concurrency for the *control flow*;
+all reported times come from the per-rank simulated clocks maintained by
+:class:`~repro.parallel.comm.Comm`, which advance deterministically from
+message timestamps and declared compute costs.  Host scheduling therefore
+cannot change any measured number — a property the tests assert.
+
+Failure handling: if any rank raises, the machine is poisoned, all blocked
+receives abort, and :meth:`VirtualMachine.run` re-raises the first error
+wrapped in :class:`~repro.errors.ParallelError` with the failing rank id.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import CommunicatorError, ParallelError
+from repro.parallel.comm import Comm
+from repro.parallel.machine import CM5, MachineModel
+
+__all__ = ["VirtualMachine", "VMRun"]
+
+
+@dataclass
+class VMRun:
+    """Result of one :meth:`VirtualMachine.run`.
+
+    Attributes
+    ----------
+    results:
+        per-rank return values of the program.
+    elapsed:
+        simulated wall-clock of the run — the max over rank clocks
+        (this is the paper's ``Time-p`` when ``num_ranks = 32``).
+    rank_times:
+        final simulated clock per rank.
+    messages / bytes_sent:
+        total point-to-point traffic (collectives included, since they
+        decompose into point-to-point sends).
+    """
+
+    results: list[Any]
+    elapsed: float
+    rank_times: list[float]
+    messages: int
+    bytes_sent: int
+    extra: dict = field(default_factory=dict)
+
+
+class VirtualMachine:
+    """A P-rank simulated message-passing machine.
+
+    Parameters
+    ----------
+    num_ranks:
+        number of SPMD ranks (the paper uses 32).
+    machine:
+        cost model; defaults to the CM-5 calibration.
+    recv_timeout:
+        *host* seconds a blocked receive waits before declaring deadlock —
+        a debugging aid, not simulated time.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        machine: MachineModel = CM5,
+        recv_timeout: float = 120.0,
+    ):
+        if num_ranks < 1:
+            raise ParallelError("need at least one rank")
+        self.num_ranks = num_ranks
+        self.machine = machine
+        self.recv_timeout = recv_timeout
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # mailbox[(dst, src, tag)] -> deque of (payload, arrival_time)
+        self._mail: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._failed: BaseException | None = None
+        self._failed_rank: int | None = None
+        self._messages = 0
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # Message transport (called by Comm)
+    # ------------------------------------------------------------------
+    def _deliver(
+        self, src: int, dst: int, tag: int, obj: Any, arrival: float, nbytes: int
+    ) -> None:
+        with self._cond:
+            self._mail[(dst, src, tag)].append((obj, arrival))
+            self._messages += 1
+            self._bytes += nbytes
+            self._cond.notify_all()
+
+    def _collect(self, dst: int, src: int, tag: int) -> tuple[Any, float]:
+        key = (dst, src, tag)
+        with self._cond:
+            while True:
+                if self._failed is not None:
+                    raise CommunicatorError(
+                        f"rank {dst}: aborting recv, rank {self._failed_rank} failed"
+                    )
+                box = self._mail.get(key)
+                if box:
+                    return box.popleft()
+                if not self._cond.wait(timeout=self.recv_timeout):
+                    raise CommunicatorError(
+                        f"rank {dst}: recv(source={src}, tag={tag}) timed out "
+                        f"after {self.recv_timeout}s host time (deadlock?)"
+                    )
+
+    def _poison(self, rank: int, exc: BaseException) -> None:
+        with self._cond:
+            if self._failed is None:
+                self._failed = exc
+                self._failed_rank = rank
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> VMRun:
+        """Execute ``program(comm, *args, **kwargs)`` on every rank.
+
+        The machine is single-use per call but reusable across calls
+        (mailboxes must drain; leftover messages indicate a program bug
+        and raise).
+        """
+        self._failed = None
+        self._failed_rank = None
+        self._messages = 0
+        self._bytes = 0
+
+        comms = [Comm(self, r) for r in range(self.num_ranks)]
+        results: list[Any] = [None] * self.num_ranks
+        errors: list[tuple[int, BaseException, str]] = []
+
+        def worker(rank: int) -> None:
+            try:
+                results[rank] = program(comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must propagate
+                errors.append((rank, exc, traceback.format_exc()))
+                self._poison(rank, exc)
+
+        if self.num_ranks == 1:
+            # Fast path: no threads for serial simulations.
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=worker, args=(r,), name=f"vm-rank-{r}", daemon=True
+                )
+                for r in range(self.num_ranks)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        if errors:
+            rank, exc, tb = sorted(errors)[0]
+            raise ParallelError(
+                f"rank {rank} failed: {exc!r}\n--- rank traceback ---\n{tb}"
+            ) from exc
+
+        leftover = {k: len(v) for k, v in self._mail.items() if len(v)}
+        if leftover:
+            raise ParallelError(
+                f"unconsumed messages after program exit: {leftover}"
+            )
+
+        rank_times = [c.clock for c in comms]
+        return VMRun(
+            results=results,
+            elapsed=max(rank_times),
+            rank_times=rank_times,
+            messages=self._messages,
+            bytes_sent=self._bytes,
+        )

@@ -1,0 +1,34 @@
+"""From-scratch partitioners: RSB and the other §1 baselines.
+
+The paper's reference partitioner is **recursive spectral bisection**
+(Pothen–Simon–Liou, its ref. [9]): split by the median of the Fiedler
+vector (second Laplacian eigenvector), recurse.  We implement the Fiedler
+computation with our own Lanczos iteration (:mod:`repro.spectral.lanczos`)
+— dense ``eigh`` only as a small-subproblem fallback — and the recursion
+with weighted proportional splits so non-power-of-two ``P`` works.
+
+Also provided, because §1 names them among the known heuristics and the
+comparison benchmarks use them: recursive coordinate bisection
+(:mod:`repro.spectral.rcb`), recursive graph (BFS) bisection
+(:mod:`repro.spectral.rgb`), inertial bisection
+(:mod:`repro.spectral.inertial`), and a Kernighan–Lin/FM boundary
+refinement pass (:mod:`repro.spectral.kl`) usable on any bisection.
+"""
+
+from repro.spectral.fiedler import fiedler_vector
+from repro.spectral.lanczos import lanczos_smallest_nontrivial
+from repro.spectral.rsb import rsb_partition
+from repro.spectral.rcb import rcb_partition
+from repro.spectral.rgb import rgb_partition
+from repro.spectral.inertial import inertial_partition
+from repro.spectral.kl import kl_refine_bisection
+
+__all__ = [
+    "fiedler_vector",
+    "inertial_partition",
+    "kl_refine_bisection",
+    "lanczos_smallest_nontrivial",
+    "rcb_partition",
+    "rgb_partition",
+    "rsb_partition",
+]

@@ -1,0 +1,57 @@
+"""Fiedler vector computation.
+
+Dispatches between a dense ``numpy.linalg.eigh`` (small subproblems — at
+the bottom of the RSB recursion most subgraphs are tiny, and dense is both
+exact and faster there) and our Lanczos iteration
+(:mod:`repro.spectral.lanczos`) for everything larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.laplacian import adjacency_sparse, laplacian_dense
+
+__all__ = ["fiedler_vector"]
+
+#: Below this size the dense path is used.
+DENSE_CUTOFF = 192
+
+
+def fiedler_vector(
+    graph: CSRGraph,
+    *,
+    method: str = "auto",
+    seed=None,
+    tol: float = 1e-6,
+) -> np.ndarray:
+    """Second-smallest Laplacian eigenvector of a connected graph.
+
+    ``method``: ``"auto"`` (size-based dispatch), ``"dense"`` or
+    ``"lanczos"``.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise GraphError("Fiedler vector needs at least 2 vertices")
+    if method == "auto":
+        method = "dense" if n <= DENSE_CUTOFF else "lanczos"
+    if method == "dense":
+        lap = laplacian_dense(graph)
+        _, vecs = np.linalg.eigh(lap)
+        return vecs[:, 1].copy()
+    if method == "lanczos":
+        a = adjacency_sparse(graph)
+        deg = graph.weighted_degrees()
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            return deg * x - a @ x
+
+        from repro.spectral.lanczos import lanczos_smallest_nontrivial
+
+        _, vec = lanczos_smallest_nontrivial(
+            matvec, n, tol=tol, seed=seed
+        )
+        return vec
+    raise ValueError(f"unknown Fiedler method {method!r}")

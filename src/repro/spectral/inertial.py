@@ -1,0 +1,34 @@
+"""Inertial (principal-axis) bisection — a geometry baseline.
+
+Projects subgraph coordinates onto the principal axis of their (weighted)
+covariance and splits at the weighted median — the "geometry-based
+mapping" family the paper's §1 cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.spectral.recursive import recursive_bisection
+
+__all__ = ["inertial_partition"]
+
+
+def inertial_partition(graph: CSRGraph, num_partitions: int) -> np.ndarray:
+    """Partition by recursive principal-axis bisection."""
+    if graph.coords is None:
+        raise GraphError("inertial bisection requires vertex coordinates")
+
+    def score(sub: CSRGraph) -> np.ndarray:
+        pts = sub.coords
+        w = sub.vweights / sub.vweights.sum()
+        mean = (w[:, None] * pts).sum(axis=0)
+        centered = pts - mean
+        cov = centered.T @ (centered * w[:, None])
+        _, vecs = np.linalg.eigh(cov)
+        axis = vecs[:, -1]  # largest-variance direction
+        return centered @ axis
+
+    return recursive_bisection(graph, num_partitions, score)

@@ -1,0 +1,122 @@
+"""Generic recursive bisection driver.
+
+RSB, RCB, RGB and inertial bisection differ only in *how they order the
+vertices of a subgraph* (Fiedler value, coordinate, BFS level, principal-
+axis projection); the recursion, the weighted proportional split, and the
+handling of disconnected subgraphs are identical.  This module hosts that
+shared machinery.
+
+Splits are *weighted*: a subproblem targeting ``P = P₁ + P₂`` partitions
+(``P₁ = ⌈P/2⌉``) cuts the vertex ordering at the prefix whose weight is
+closest to ``P₁/P`` of the subgraph weight, so non-power-of-two ``P`` and
+non-unit vertex weights both come out balanced.
+
+Disconnected subgraphs (which arise mid-recursion even for connected
+inputs) are ordered component-by-component — splitting along component
+boundaries is free, cut-wise — with the scoring function applied within
+the largest component only when it is worth the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.operations import connected_components, induced_subgraph
+
+__all__ = ["recursive_bisection"]
+
+#: signature: score(subgraph) -> float array over subgraph vertices.
+ScoreFn = Callable[[CSRGraph], np.ndarray]
+
+
+def _split_point(weights_in_order: np.ndarray, frac: float) -> int:
+    """Prefix length whose weight best approximates ``frac`` of the total."""
+    total = weights_in_order.sum()
+    if total <= 0:
+        return len(weights_in_order) // 2
+    csum = np.cumsum(weights_in_order)
+    target = frac * total
+    k = int(np.searchsorted(csum, target))
+    # Choose between k and k+1 prefix lengths, whichever lands closer.
+    best_k, best_err = 0, np.inf
+    for cand in (k, k + 1):
+        if 0 < cand < len(weights_in_order):
+            err = abs(csum[cand - 1] - target)
+            if err < best_err:
+                best_k, best_err = cand, err
+    if best_k == 0:  # degenerate tiny subproblem: force nonempty halves
+        best_k = max(1, min(len(weights_in_order) - 1, k))
+    return best_k
+
+
+def _order_vertices(sub: CSRGraph, score_fn: ScoreFn) -> np.ndarray:
+    """Vertex ordering of a subgraph, component-aware."""
+    ncomp, comp = connected_components(sub)
+    if ncomp == 1:
+        score = score_fn(sub)
+        return np.lexsort((np.arange(sub.num_vertices), score))
+    # Multiple components: order components (largest first) and score
+    # only inside components of non-trivial size.
+    order_parts: list[np.ndarray] = []
+    sizes = np.bincount(comp)
+    for cid in np.argsort(-sizes):
+        members = np.flatnonzero(comp == cid)
+        if len(members) > 2:
+            csub, orig = induced_subgraph(sub, members)
+            local_score = score_fn(csub)
+            members = orig[np.lexsort((orig, local_score))]
+        order_parts.append(members)
+    return np.concatenate(order_parts)
+
+
+def recursive_bisection(
+    graph: CSRGraph,
+    num_partitions: int,
+    score_fn: ScoreFn,
+    *,
+    refine_fn: Callable[[CSRGraph, np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
+    """Partition by recursive weighted bisection along ``score_fn`` orders.
+
+    ``refine_fn(subgraph, sides)`` may post-process each bisection (e.g.
+    a KL/FM pass); it receives/returns a 0/1 side vector.
+    """
+    if num_partitions < 1:
+        raise GraphError("need at least one partition")
+    n = graph.num_vertices
+    part = np.zeros(n, dtype=np.int64)
+    if num_partitions == 1 or n == 0:
+        return part
+
+    # Work queue: (vertex ids, first partition label, partition count).
+    stack: list[tuple[np.ndarray, int, int]] = [
+        (np.arange(n, dtype=np.int64), 0, num_partitions)
+    ]
+    while stack:
+        vertices, label0, p = stack.pop()
+        if p == 1 or len(vertices) == 0:
+            part[vertices] = label0
+            continue
+        if len(vertices) == 1:
+            part[vertices] = label0
+            continue
+        p1 = (p + 1) // 2
+        sub, orig = induced_subgraph(graph, vertices)
+        order = _order_vertices(sub, score_fn)
+        k = _split_point(sub.vweights[order], p1 / p)
+        sides = np.ones(sub.num_vertices, dtype=np.int64)
+        sides[order[:k]] = 0
+        if refine_fn is not None:
+            sides = refine_fn(sub, sides)
+        left = orig[sides == 0]
+        right = orig[sides == 1]
+        if len(left) == 0 or len(right) == 0:  # refinement degenerated
+            half = len(vertices) // 2
+            left, right = orig[order[:half]], orig[order[half:]]
+        stack.append((left, label0, p1))
+        stack.append((right, label0 + p1, p - p1))
+    return part

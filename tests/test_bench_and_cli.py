@@ -1,0 +1,137 @@
+"""Tests for the benchmark harness, table printers and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentRecorder,
+    format_paper_table,
+    format_rows,
+    run_figure11,
+    run_figure14,
+    run_speedup_curve,
+)
+from repro.bench.harness import estimate_rsb_cm5_time
+from repro.bench.workloads import geometric_hotspot_delta, small_dataset_a, small_dataset_b
+from repro.cli import build_parser, main
+from repro.graph.incremental import apply_delta, carry_partition
+from repro.mesh.sequences import dataset_a
+from repro.spectral import rsb_partition
+
+
+@pytest.fixture(scope="module")
+def rows_a():
+    return run_figure11(
+        small_dataset_a(scale=0.2), num_partitions=4, with_parallel=False
+    )
+
+
+class TestHarness:
+    def test_figure11_row_structure(self, rows_a):
+        # base + 4 versions x 3 partitioners
+        assert len(rows_a) == 1 + 4 * 3
+        partitioners = {r.partitioner for r in rows_a}
+        assert partitioners == {"SB(base)", "SB", "IGP", "IGPR"}
+
+    def test_igpr_cut_not_worse_than_igp(self, rows_a):
+        for v in range(1, 5):
+            igp = next(r for r in rows_a if r.version == v and r.partitioner == "IGP")
+            igpr = next(r for r in rows_a if r.version == v and r.partitioner == "IGPR")
+            assert igpr.cut_total <= igp.cut_total
+
+    def test_balance_maintained(self, rows_a):
+        for r in rows_a:
+            if r.partitioner in ("IGP", "IGPR"):
+                assert r.imbalance <= 1.4  # small meshes: ±1 vertex on tiny parts
+
+    def test_figure14_star_structure(self):
+        rows = run_figure14(
+            small_dataset_b(scale=0.05), num_partitions=4, with_parallel=False
+        )
+        versions = {r.version for r in rows}
+        assert versions == {0, 1, 2, 3, 4}
+
+    def test_speedup_curve_shape(self):
+        seq = small_dataset_a(scale=0.2)
+        g0 = seq.graphs[0]
+        base = rsb_partition(g0, 4, seed=0)
+        inc = apply_delta(g0, seq.deltas[0])
+        carried = carry_partition(base, inc)
+        curve = run_speedup_curve(
+            inc.graph, carried, num_partitions=4, rank_counts=(1, 2, 4)
+        )
+        assert [c["ranks"] for c in curve] == [1, 2, 4]
+        assert curve[0]["speedup"] == 1.0
+        assert all(c["sim_time"] > 0 for c in curve)
+
+    def test_rsb_time_estimate_scales(self):
+        seq = small_dataset_a(scale=0.2)
+        t_small = estimate_rsb_cm5_time(seq.graphs[0], 4)
+        t_more_parts = estimate_rsb_cm5_time(seq.graphs[0], 16)
+        assert t_more_parts > t_small
+
+    def test_hotspot_workload(self):
+        g, delta = geometric_hotspot_delta(n=200, extra=20, seed=2)
+        inc = apply_delta(g, delta)
+        assert inc.graph.num_vertices == 220
+        assert delta.is_pure_growth
+
+
+class TestTables:
+    def test_paper_table_format(self, rows_a):
+        text = format_paper_table(rows_a, title="Figure 11 test")
+        assert "Partitioner" in text
+        assert "Time-s" in text and "Time-p" in text
+        assert "IGPR" in text
+        assert "|V| =" in text
+
+    def test_flat_format(self, rows_a):
+        text = format_rows(rows_a)
+        assert len(text.splitlines()) == len(rows_a)
+
+
+class TestRecorder:
+    def test_markdown_output(self):
+        rec = ExperimentRecorder()
+        rec.record("fig11", "cut_total(v1, IGPR)", 730, 728, note="close")
+        md = rec.to_markdown()
+        assert "| fig11 |" in md
+        assert "728" in md
+
+    def test_dump(self, tmp_path):
+        rec = ExperimentRecorder()
+        rec.record("e", "m", 1, 2)
+        f = tmp_path / "exp.md"
+        rec.dump(f)
+        assert "| e | m | 1 | 2 |" in f.read_text()
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        ap = build_parser()
+        args = ap.parse_args(["fig11", "--scale", "0.2", "--no-parallel", "-p", "4"])
+        assert args.scale == 0.2 and args.no_parallel
+
+    def test_fig11_command_runs(self, capsys):
+        rc = main(["fig11", "--scale", "0.2", "-p", "4", "--no-parallel"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out and "IGPR" in out
+
+    def test_partition_command(self, tmp_path, capsys):
+        from repro.graph import grid_graph
+        from repro.graph.io import write_metis
+
+        f = tmp_path / "g.metis"
+        write_metis(grid_graph(6, 6), f)
+        out_file = tmp_path / "part.txt"
+        rc = main(["partition", str(f), "-p", "4", "-o", str(out_file)])
+        assert rc == 0
+        part = np.loadtxt(out_file, dtype=int)
+        assert len(part) == 36
+        assert set(part.tolist()) == {0, 1, 2, 3}
+
+    def test_speedup_command_runs(self, capsys):
+        rc = main(["speedup", "--scale", "0.15", "-p", "4"])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Tests for Step 1: initial assignment of new vertices (paper §2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import assign_new_vertices
+from repro.errors import GraphError
+from repro.graph import CSRGraph, path_graph
+
+
+class TestNearestAssignment:
+    def test_inherits_nearest_partition(self):
+        g = path_graph(7)
+        part = np.array([0, 0, 0, -1, 1, 1, 1])
+        out = assign_new_vertices(g, part, 2)
+        # vertex 3 is distance 1 from partition 0 (v2) and 1 (v4):
+        # tie toward smaller partition id
+        assert out[3] == 0
+
+    def test_chain_of_new_vertices(self):
+        g = path_graph(6)
+        part = np.array([0, -1, -1, -1, -1, 1])
+        out = assign_new_vertices(g, part, 2)
+        assert out.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_no_new_vertices_is_noop(self):
+        g = path_graph(3)
+        part = np.array([0, 1, 1])
+        out = assign_new_vertices(g, part, 2)
+        assert out.tolist() == [0, 1, 1]
+        assert out is not part  # copy semantics
+
+    def test_original_not_mutated(self):
+        g = path_graph(3)
+        part = np.array([0, -1, 1])
+        assign_new_vertices(g, part, 2)
+        assert part[1] == -1
+
+    def test_all_unassigned_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            assign_new_vertices(g, np.full(3, -1), 2)
+
+    def test_length_mismatch_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            assign_new_vertices(g, np.array([0, 1]), 2)
+
+    def test_new_cluster_attached_to_one_side(self):
+        # star of new vertices hanging off partition 1's territory
+        g = CSRGraph.from_edges(
+            6, [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)]
+        )
+        part = np.array([0, 0, 1, -1, -1, -1])
+        out = assign_new_vertices(g, part, 2)
+        assert out[3] == out[4] == out[5] == 1
+
+
+class TestDisconnectedFallback:
+    def test_island_goes_to_lightest_partition(self):
+        # partitions: 0 has 3 vertices, 1 has 1; island of 2 new vertices
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        part = np.array([0, 0, 0, 1, -1, -1])
+        out = assign_new_vertices(g, part, 2)
+        assert out[4] == 1 and out[5] == 1
+
+    def test_multiple_islands_spread(self):
+        # two separate islands; second should go to the partition that
+        # is lightest *after* the first was placed
+        g = CSRGraph.from_edges(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        part = np.array([0, 0, 1, 1, -1, -1, -1, -1])
+        out = assign_new_vertices(g, part, 2)
+        placed = {out[4], out[6]}
+        assert placed == {0, 1}  # one island each
+
+    def test_weighted_lightest_selection(self):
+        g = CSRGraph.from_edges(
+            5, [(0, 1), (3, 4)],
+            vweights=np.array([10.0, 10.0, 1.0, 1.0, 1.0]),
+        )
+        part = np.array([0, 0, 1, -1, -1])
+        out = assign_new_vertices(g, part, 2)
+        # partition 1 weighs 1, partition 0 weighs 20
+        assert out[3] == 1 and out[4] == 1

@@ -1,0 +1,129 @@
+"""Tests for Step 3: the load-balancing LP (paper §2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_balance_lp, solve_balance
+from repro.core.layering import layer_partitions
+from repro.graph import grid_graph
+
+
+class TestLPConstruction:
+    def test_variables_only_for_positive_delta(self):
+        delta = np.array([[0.0, 5.0], [0.0, 0.0]])
+        bal = build_balance_lp(delta, np.array([6.0, 4.0]))
+        assert bal.pairs == [(0, 1)]
+        assert bal.num_variables == 1
+
+    def test_paper_figure5_dimensions(self):
+        # 10 directed pairs -> 10 vars; 4 flow rows + 10 bound rows
+        delta = np.zeros((4, 4))
+        bounds = {
+            (0, 1): 9, (0, 2): 7, (0, 3): 12, (1, 0): 10, (1, 2): 11,
+            (2, 0): 3, (2, 1): 7, (2, 3): 9, (3, 0): 7, (3, 2): 5,
+        }
+        for (i, j), v in bounds.items():
+            delta[i, j] = v
+        loads = np.array([17.0, 10.0, 8.0, 1.0])  # surplus 8,1,-1,-8 vs λ=9
+        bal = build_balance_lp(delta, loads)
+        assert bal.num_variables == 10
+        assert bal.num_constraints == 14
+
+    def test_gamma_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            build_balance_lp(np.zeros((2, 2)), np.array([1.0, 1.0]), gamma=0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_balance_lp(np.zeros((2, 3)), np.array([1.0, 1.0]))
+
+    def test_integral_target_rounds_up(self):
+        delta = np.array([[0.0, 5.0], [5.0, 0.0]])
+        bal = build_balance_lp(delta, np.array([6.0, 5.0]))  # λ = 5.5
+        assert bal.target == 6.0
+
+
+class TestSolveBalance:
+    def test_paper_figure5_solution(self):
+        delta = np.zeros((4, 4))
+        for (i, j), v in {
+            (0, 1): 9, (0, 2): 7, (0, 3): 12, (1, 0): 10, (1, 2): 11,
+            (2, 0): 3, (2, 1): 7, (2, 3): 9, (3, 0): 7, (3, 2): 5,
+        }.items():
+            delta[i, j] = v
+        loads = np.array([17.0, 10.0, 8.0, 1.0])
+        sol = solve_balance(delta, loads)
+        assert sol.feasible
+        assert sol.total_movement == pytest.approx(9.0)
+        assert sol.moves[0, 3] == pytest.approx(8.0)
+        assert sol.moves[1, 2] == pytest.approx(1.0)
+
+    def test_balanced_input_moves_nothing(self):
+        delta = np.array([[0.0, 3.0], [3.0, 0.0]])
+        sol = solve_balance(delta, np.array([5.0, 5.0]))
+        assert sol.feasible
+        assert sol.total_movement == 0.0
+
+    def test_infeasible_when_capacity_lacking(self):
+        delta = np.array([[0.0, 1.0], [1.0, 0.0]])  # only 1 movable
+        sol = solve_balance(delta, np.array([9.0, 1.0]))
+        assert not sol.feasible
+
+    def test_gamma_relaxation_recovers_feasibility(self):
+        delta = np.array([[0.0, 2.0], [2.0, 0.0]])
+        loads = np.array([9.0, 1.0])  # λ=5, needs 4 moved but cap is 2
+        assert not solve_balance(delta, loads).feasible
+        relaxed = solve_balance(delta, loads, gamma=1.4)  # target ceil(7)=7
+        assert relaxed.feasible
+        assert relaxed.moves[0, 1] == pytest.approx(2.0)
+
+    def test_flow_conservation_of_solution(self):
+        delta = np.zeros((3, 3))
+        delta[0, 1] = delta[1, 0] = delta[1, 2] = delta[2, 1] = 4
+        loads = np.array([7.0, 5.0, 3.0])
+        sol = solve_balance(delta, loads)
+        assert sol.feasible
+        net_out = sol.moves.sum(axis=1) - sol.moves.sum(axis=0)
+        final = loads - net_out
+        assert final.max() <= np.ceil(loads.sum() / 3) + 1e-9
+
+    def test_solution_integral_for_unit_weights(self):
+        delta = np.zeros((3, 3))
+        delta[0, 1] = 5
+        delta[1, 2] = 5
+        delta[1, 0] = 2
+        delta[2, 1] = 2
+        sol = solve_balance(delta, np.array([9.0, 3.0, 3.0]))
+        assert sol.feasible
+        assert np.allclose(sol.moves, np.round(sol.moves))
+
+    def test_no_circular_flow(self):
+        delta = np.array([[0.0, 5.0], [5.0, 0.0]])
+        sol = solve_balance(delta, np.array([8.0, 2.0]))
+        assert sol.feasible
+        assert sol.moves[1, 0] == 0.0  # nothing flows uphill
+
+    def test_scipy_backend_agrees(self):
+        delta = np.zeros((3, 3))
+        delta[0, 1] = 4
+        delta[1, 2] = 4
+        delta[2, 0] = 4
+        delta[1, 0] = 4
+        loads = np.array([8.0, 4.0, 0.0])
+        a = solve_balance(delta, loads, lp_backend="dense_simplex")
+        b = solve_balance(delta, loads, lp_backend="scipy")
+        assert a.feasible and b.feasible
+        assert a.total_movement == pytest.approx(b.total_movement)
+
+
+class TestEndToEndWithLayering:
+    def test_grid_imbalance_resolved(self):
+        g = grid_graph(6, 6)
+        # partition 0: rows 0-2 (18), partition 1: rows 3-5 (18) but
+        # shift 6 vertices to make it 24/12
+        part = (np.arange(36) // 24).astype(np.int64)
+        lay = layer_partitions(g, part, 2)
+        loads = np.bincount(part, minlength=2).astype(float)
+        sol = solve_balance(lay.delta, loads)
+        assert sol.feasible
+        assert sol.moves[0, 1] == pytest.approx(6.0)

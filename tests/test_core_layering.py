@@ -1,0 +1,133 @@
+"""Tests for Step 2: the Figure 3 layering algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core import layer_partitions
+from repro.graph import CSRGraph, grid_graph, path_graph
+
+
+class TestLayeringBasics:
+    def test_two_strip_grid(self, strip_partition):
+        g = grid_graph(4, 4)
+        part = strip_partition(g, 2)
+        lay = layer_partitions(g, part, 2)
+        # every vertex labeled with the only other partition
+        assert np.all(lay.label[part == 0] == 1)
+        assert np.all(lay.label[part == 1] == 0)
+        # rows adjacent to the boundary are layer 0, outer rows layer 1
+        assert np.all(lay.layer[[4, 5, 6, 7, 8, 9, 10, 11]] == 0)
+        assert np.all(lay.layer[[0, 1, 2, 3, 12, 13, 14, 15]] == 1)
+
+    def test_delta_counts_match_labels(self, strip_partition):
+        g = grid_graph(6, 6)
+        part = strip_partition(g, 3)
+        lay = layer_partitions(g, part, 3)
+        for i in range(3):
+            for j in range(3):
+                expected = int(np.sum((part == i) & (lay.label == j)))
+                assert lay.delta[i, j] == expected
+
+    def test_delta_diagonal_zero(self, geo300, strip_partition):
+        part = strip_partition(geo300, 4)
+        lay = layer_partitions(geo300, part, 4)
+        assert np.all(np.diag(lay.delta) == 0)
+
+    def test_all_vertices_labeled_in_connected_graph(self, geo300, strip_partition):
+        part = strip_partition(geo300, 5)
+        lay = layer_partitions(geo300, part, 5)
+        assert np.all(lay.label >= 0)
+        assert np.all(lay.layer >= 0)
+
+    def test_label_is_foreign(self, geo300, strip_partition):
+        part = strip_partition(geo300, 5)
+        lay = layer_partitions(geo300, part, 5)
+        assert np.all(lay.label != part)
+
+    def test_layer0_iff_boundary(self, strip_partition):
+        from repro.graph.operations import boundary_vertices
+
+        g = grid_graph(5, 5)
+        part = strip_partition(g, 2)
+        lay = layer_partitions(g, part, 2)
+        boundary = set(boundary_vertices(g, part).tolist())
+        layer0 = set(np.flatnonzero(lay.layer == 0).tolist())
+        assert boundary == layer0
+
+    def test_single_partition_all_landlocked(self, grid8):
+        lay = layer_partitions(grid8, np.zeros(64, dtype=np.int64), 1)
+        assert np.all(lay.label == -1)
+        assert lay.delta.sum() == 0
+
+
+class TestTieBreaks:
+    def test_majority_count_wins(self):
+        # vertex 0 in partition 0 with 2 edges to partition 2, 1 to partition 1
+        g = CSRGraph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        part = np.array([0, 1, 2, 2])
+        lay = layer_partitions(g, part, 3)
+        assert lay.label[0] == 2
+
+    def test_equal_counts_take_smaller_id(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2)])
+        part = np.array([0, 2, 1])
+        lay = layer_partitions(g, part, 3)
+        assert lay.label[0] == 1
+
+    def test_interior_majority_of_previous_layer(self):
+        # path: [p1] - [p0 boundary->1] - [p0 interior] - [p0 boundary->2] - [p2]
+        g = path_graph(5)
+        part = np.array([1, 0, 0, 0, 2])
+        lay = layer_partitions(g, part, 3)
+        assert lay.label[1] == 1
+        assert lay.label[3] == 2
+        # middle vertex sees one layer-0 neighbour labeled 1, one labeled 2
+        assert lay.label[2] == 1  # tie -> smaller label
+        assert lay.layer[2] == 1
+
+
+class TestCandidates:
+    def test_candidates_boundary_first(self, strip_partition):
+        g = grid_graph(4, 4)
+        part = strip_partition(g, 2)
+        lay = layer_partitions(g, part, 2)
+        cands = lay.candidates(part, 0, 1)
+        # all of partition 0 is labeled 1; first 4 are the boundary row
+        assert set(cands[:4].tolist()) == {4, 5, 6, 7}
+        assert set(cands[4:].tolist()) == {0, 1, 2, 3}
+
+    def test_candidates_empty_for_nonneighbors(self):
+        g = path_graph(9)
+        part = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        lay = layer_partitions(g, part, 3)
+        assert len(lay.candidates(part, 0, 2)) == 0
+
+    def test_neighbor_pairs(self):
+        g = path_graph(9)
+        part = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+        lay = layer_partitions(g, part, 3)
+        pairs = set(lay.neighbor_pairs())
+        assert (0, 1) in pairs and (1, 0) in pairs
+        assert (0, 2) not in pairs
+
+
+class TestWeighted:
+    def test_delta_uses_vertex_weights(self):
+        g = CSRGraph.from_edges(
+            2, [(0, 1)], vweights=np.array([5.0, 3.0])
+        )
+        part = np.array([0, 1])
+        lay = layer_partitions(g, part, 2)
+        assert lay.delta[0, 1] == 5.0
+        assert lay.delta[1, 0] == 3.0
+
+
+class TestLandlocked:
+    def test_isolated_interior_island(self):
+        # partition 0 has a component with no boundary: vertices 4,5
+        g = CSRGraph.from_edges(6, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        part = np.array([0, 0, 1, 1, 0, 0])
+        lay = layer_partitions(g, part, 2)
+        assert lay.label[4] == -1 and lay.label[5] == -1
+        # delta only counts reachable vertices
+        assert lay.delta[0, 1] == 2.0

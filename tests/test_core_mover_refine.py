@@ -1,0 +1,137 @@
+"""Tests for the vertex mover (Step 3 realisation) and refinement (Step 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import layer_partitions, refine_partition, select_movers, apply_moves
+from repro.core.quality import edge_cut, partition_sizes
+from repro.core.refine import refinement_pools
+from repro.errors import PartitioningError
+from repro.graph import CSRGraph, grid_graph
+
+
+class TestSelectMovers:
+    def _setup(self):
+        g = grid_graph(4, 4)
+        part = (np.arange(16) // 12).astype(np.int64)  # 12 vs 4
+        lay = layer_partitions(g, part, 2)
+        return g, part, lay
+
+    def test_moves_exact_count(self):
+        g, part, lay = self._setup()
+        moves = np.zeros((2, 2))
+        moves[0, 1] = 4.0
+        movers = select_movers(g, part, lay, moves)
+        assert len(movers[(0, 1)]) == 4
+
+    def test_movers_closest_to_boundary(self):
+        g, part, lay = self._setup()
+        moves = np.zeros((2, 2))
+        moves[0, 1] = 4.0
+        movers = select_movers(g, part, lay, moves)
+        # the row adjacent to partition 1 (vertices 8-11) moves first
+        assert set(movers[(0, 1)].tolist()) == {8, 9, 10, 11}
+
+    def test_zero_flow_selects_nothing(self):
+        g, part, lay = self._setup()
+        assert select_movers(g, part, lay, np.zeros((2, 2))) == {}
+
+    def test_flow_without_candidates_raises(self):
+        g, part, lay = self._setup()
+        moves = np.zeros((2, 2))
+        moves[1, 0] = 99.0
+        moves[1, 0] = 99.0
+        with pytest.raises(PartitioningError):
+            # partition 1 only has 4 vertices; δ10 = 4 < 99
+            bad = np.zeros((2, 2))
+            bad[1, 0] = 99.0
+            # select_movers checks candidate sufficiency via overshoot
+            select_movers(g, part, lay, bad)
+
+    def test_apply_moves_updates_vector(self):
+        g, part, lay = self._setup()
+        moves = np.zeros((2, 2))
+        moves[0, 1] = 4.0
+        movers = select_movers(g, part, lay, moves)
+        new_part = apply_moves(part, movers)
+        assert partition_sizes(g, new_part, 2).tolist() == [8, 8]
+        assert part[8] == 0  # original untouched
+
+    def test_apply_moves_rejects_wrong_source(self):
+        part = np.array([0, 0, 1])
+        with pytest.raises(PartitioningError):
+            apply_moves(part, {(1, 0): np.array([0])})
+
+    def test_apply_moves_rejects_double_selection(self):
+        part = np.array([0, 0])
+        with pytest.raises(PartitioningError):
+            apply_moves(part, {(0, 1): np.array([0, 0])})
+
+
+class TestRefinementPools:
+    def test_pools_empty_for_perfect_partition(self, two_cliques):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        pass_ = refinement_pools(two_cliques, part, 2, strict=True)
+        assert pass_.lp is None  # nothing has gain > 0
+
+    def test_misplaced_vertex_detected(self, two_cliques):
+        # vertex 4 moved into partition 0: it has 3 edges to clique B
+        # (partition 1... after the swap it's in partition 0)
+        part = np.array([0, 0, 0, 0, 0, 1, 1, 1])
+        pass_ = refinement_pools(two_cliques, part, 2, strict=True)
+        assert (0, 1) in pass_.pools
+        assert 4 in pass_.pools[(0, 1)].tolist()
+
+    def test_strict_excludes_zero_gain(self):
+        # 4-cycle split 2/2: every vertex has 1 internal, 1 external edge
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        part = np.array([0, 0, 1, 1])
+        loose = refinement_pools(g, part, 2, strict=False)
+        strict = refinement_pools(g, part, 2, strict=True)
+        assert loose.b.sum() > 0
+        assert strict.b.sum() == 0
+
+    def test_pools_disjoint(self, geo300, strip_partition):
+        part = strip_partition(geo300, 4)
+        pass_ = refinement_pools(geo300, part, 4, strict=False)
+        seen: set[int] = set()
+        for verts in pass_.pools.values():
+            vs = set(verts.tolist())
+            assert not (vs & seen)
+            seen |= vs
+
+
+class TestRefinePartition:
+    def test_fixes_misplaced_pair(self, two_cliques):
+        # swap one vertex across the bridge: cut jumps from 1 to 6
+        part = np.array([0, 0, 0, 1, 0, 1, 1, 1])
+        assert edge_cut(two_cliques, part) == 6.0
+        new_part, stats = refine_partition(two_cliques, part, 2)
+        assert edge_cut(two_cliques, new_part) == 1.0
+        assert stats.gain == 5.0
+        # balance preserved (circulation): 4/4 both before and after
+        assert partition_sizes(two_cliques, new_part, 2).tolist() == [4, 4]
+
+    def test_monotone_never_worsens(self, geo300, strip_partition):
+        part = strip_partition(geo300, 6)
+        before = edge_cut(geo300, part)
+        new_part, stats = refine_partition(geo300, part, 6)
+        assert edge_cut(geo300, new_part) <= before
+        assert stats.cut_after <= stats.cut_before
+
+    def test_balance_preserved(self, geo300, strip_partition):
+        part = strip_partition(geo300, 5)
+        sizes_before = partition_sizes(geo300, part, 5)
+        new_part, _ = refine_partition(geo300, part, 5)
+        assert np.array_equal(partition_sizes(geo300, new_part, 5), sizes_before)
+
+    def test_respects_round_budget(self, geo300, strip_partition):
+        part = strip_partition(geo300, 6)
+        _, stats = refine_partition(geo300, part, 6, max_rounds=1)
+        assert stats.rounds <= 1
+
+    def test_already_optimal_stops_immediately(self, two_cliques):
+        part = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        new_part, stats = refine_partition(two_cliques, part, 2)
+        assert np.array_equal(new_part, part)
+        assert stats.rounds == 0

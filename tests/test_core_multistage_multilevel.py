@@ -1,0 +1,83 @@
+"""Tests for chunked insertion and the sequence runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import IGPConfig
+from repro.core.history import SequenceRunner
+from repro.core.multistage import chunked_insertion_repartition
+from repro.core.quality import partition_sizes
+from repro.graph.incremental import GraphDelta, apply_delta, carry_partition
+from repro.graph import path_graph, random_geometric_graph
+from repro.mesh.sequences import dataset_a
+from repro.spectral import rsb_partition
+
+
+class TestChunkedInsertion:
+    def _blob_case(self, extra=24):
+        g = path_graph(40)
+        part = (np.arange(40) // 10).astype(np.int64)
+        rng = np.random.default_rng(5)
+        anchor = np.flatnonzero(part == 0)
+        edges = []
+        for k in range(extra):
+            edges.append((int(rng.choice(anchor)), 40 + k))
+            if k > 0:
+                edges.append((40 + k - 1, 40 + k))
+        inc = apply_delta(g, GraphDelta(num_added_vertices=extra, added_edges=edges))
+        return inc.graph, carry_partition(part, inc)
+
+    def test_chunked_reaches_balance(self):
+        graph, carried = self._blob_case()
+        cfg = IGPConfig(num_partitions=4)
+        res = chunked_insertion_repartition(graph, carried, cfg, chunk_fraction=0.4)
+        sizes = partition_sizes(graph, res.part, 4)
+        assert sizes.max() == int(np.ceil(graph.num_vertices / 4))
+
+    def test_no_new_vertices_falls_through(self):
+        g = random_geometric_graph(100, seed=51)
+        part = (np.arange(100) * 4 // 100).astype(np.int64)
+        cfg = IGPConfig(num_partitions=4)
+        res = chunked_insertion_repartition(g, part.copy(), cfg)
+        assert res.quality_final is not None
+
+    def test_all_vertices_assigned(self):
+        graph, carried = self._blob_case()
+        cfg = IGPConfig(num_partitions=4)
+        res = chunked_insertion_repartition(graph, carried, cfg, chunk_fraction=0.3)
+        assert np.all(res.part >= 0)
+        assert len(res.part) == graph.num_vertices
+
+    def test_timings_merged_across_chunks(self):
+        graph, carried = self._blob_case()
+        cfg = IGPConfig(num_partitions=4)
+        res = chunked_insertion_repartition(graph, carried, cfg, chunk_fraction=0.25)
+        assert res.total_time > 0
+
+
+class TestSequenceRunner:
+    def test_runs_dataset_a_small(self):
+        seq = dataset_a(scale=0.25)
+        runner = SequenceRunner(
+            config=IGPConfig(num_partitions=8, refine=True),
+            initial_partitioner=lambda g: rsb_partition(g, 8, seed=0),
+        )
+        steps = runner.run(seq)
+        assert len(steps) == 4
+        assert runner.base_quality is not None
+        for step in steps:
+            assert step.quality.imbalance <= 1.25
+            assert step.wall_time >= 0
+            # node counts line up with the sequence graphs
+            assert step.graph.num_vertices == seq.graphs[step.index].num_vertices
+
+    def test_chained_partitions_carry_forward(self):
+        seq = dataset_a(scale=0.25)
+        runner = SequenceRunner(
+            config=IGPConfig(num_partitions=4),
+            initial_partitioner=lambda g: rsb_partition(g, 4, seed=0),
+        )
+        steps = runner.run(seq)
+        # every step's partition covers its graph
+        for step in steps:
+            assert len(step.result.part) == step.graph.num_vertices

@@ -1,0 +1,94 @@
+"""Parallel IGP must be bit-identical to serial, at every rank count."""
+
+import numpy as np
+import pytest
+
+from repro.core import IGPConfig, IncrementalGraphPartitioner
+from repro.core.parallel_igp import parallel_repartition
+from repro.graph.incremental import apply_delta, carry_partition
+from repro.mesh import irregular_mesh, node_graph, refine_in_disc
+from repro.parallel import CM5, ZERO_COST
+from repro.parallel.palgorithms import (
+    owned_partitions,
+    parallel_assign_new,
+    parallel_layering,
+    rank_of_partition,
+)
+from repro.parallel.runtime import VirtualMachine
+from repro.spectral import rsb_partition
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    mesh = irregular_mesh(350, seed=19)
+    g0 = node_graph(mesh)
+    base = rsb_partition(g0, 8, seed=0)
+    ref = refine_in_disc(mesh, (0.7, 0.3), 0.14, 30)
+    inc = apply_delta(g0, ref.delta)
+    carried = carry_partition(base, inc)
+    return inc.graph, carried
+
+
+class TestOwnership:
+    def test_round_robin(self):
+        assert rank_of_partition(5, 4) == 1
+        assert owned_partitions(8, 4, 1).tolist() == [1, 5]
+        assert owned_partitions(8, 1, 0).tolist() == list(range(8))
+
+
+class TestDistributedSteps:
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_assign_matches_serial(self, scenario, ranks):
+        from repro.core.assign import assign_new_vertices
+
+        graph, carried = scenario
+        serial = assign_new_vertices(graph, carried, 8)
+        vm = VirtualMachine(ranks, machine=ZERO_COST, recv_timeout=30)
+        run = vm.run(parallel_assign_new, graph, carried, 8)
+        for out in run.results:
+            assert np.array_equal(out, serial)
+
+    @pytest.mark.parametrize("ranks", [1, 2, 4])
+    def test_layering_matches_serial(self, scenario, ranks):
+        from repro.core.assign import assign_new_vertices
+        from repro.core.layering import layer_partitions
+
+        graph, carried = scenario
+        part = assign_new_vertices(graph, carried, 8)
+        serial = layer_partitions(graph, part, 8)
+        vm = VirtualMachine(ranks, machine=ZERO_COST, recv_timeout=30)
+        run = vm.run(parallel_layering, graph, part, 8)
+        for lay in run.results:
+            assert np.array_equal(lay.label, serial.label)
+            assert np.array_equal(lay.layer, serial.layer)
+            assert np.allclose(lay.delta, serial.delta)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+    def test_identical_to_serial(self, scenario, ranks):
+        graph, carried = scenario
+        cfg = IGPConfig(num_partitions=8, refine=True)
+        serial = IncrementalGraphPartitioner(cfg).repartition(graph, carried.copy())
+        par = parallel_repartition(
+            graph, carried.copy(), cfg, num_ranks=ranks, machine=CM5
+        )
+        assert np.array_equal(par.part, serial.part)
+        assert par.num_stages == serial.num_stages
+
+    def test_simulated_speedup_positive(self, scenario):
+        graph, carried = scenario
+        cfg = IGPConfig(num_partitions=8, refine=False)
+        t1 = parallel_repartition(graph, carried.copy(), cfg, num_ranks=1)
+        t8 = parallel_repartition(graph, carried.copy(), cfg, num_ranks=8)
+        assert t8.elapsed < t1.elapsed  # parallelism helps at this size
+        assert t8.messages > 0
+        assert t1.messages == 0  # single rank never communicates
+
+    def test_deterministic_simulated_times(self, scenario):
+        graph, carried = scenario
+        cfg = IGPConfig(num_partitions=8, refine=False)
+        a = parallel_repartition(graph, carried.copy(), cfg, num_ranks=4)
+        b = parallel_repartition(graph, carried.copy(), cfg, num_ranks=4)
+        assert a.elapsed == b.elapsed
+        assert a.rank_times == b.rank_times

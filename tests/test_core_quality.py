@@ -1,0 +1,94 @@
+"""Tests for partition quality metrics (the paper's table columns)."""
+
+import numpy as np
+import pytest
+
+from repro.core import cut_metrics, edge_cut, evaluate_partition, partition_sizes, partition_weights
+from repro.core.quality import validate_partition_vector
+from repro.errors import GraphError
+from repro.graph import CSRGraph, grid_graph
+
+
+@pytest.fixture
+def grid4():
+    return grid_graph(4, 4)
+
+
+class TestCutMetrics:
+    def test_strip_cut_of_grid(self, grid4, strip_partition):
+        part = strip_partition(grid4, 2)  # split after row 1
+        assert edge_cut(grid4, part) == 4.0
+
+    def test_per_partition_costs_sum_to_twice_total(self, grid4, strip_partition):
+        part = strip_partition(grid4, 4)
+        total, per = cut_metrics(grid4, part, 4)
+        assert per.sum() == pytest.approx(2 * total)
+
+    def test_single_partition_no_cut(self, grid4):
+        assert edge_cut(grid4, np.zeros(16, dtype=np.int64)) == 0.0
+
+    def test_weighted_cut(self):
+        g = CSRGraph.from_edges(2, [(0, 1)], eweights=[7.0])
+        assert edge_cut(g, np.array([0, 1])) == 7.0
+
+    def test_interior_partition_cost(self, strip_partition):
+        g = grid_graph(3, 3)
+        part = strip_partition(g, 3)  # one row each
+        _, per = cut_metrics(g, part, 3)
+        # middle row touches both others: C = 6; outer rows: 3 each
+        assert per.tolist() == [3.0, 6.0, 3.0]
+
+
+class TestLoadMetrics:
+    def test_sizes_and_weights_unit(self, grid4, strip_partition):
+        part = strip_partition(grid4, 4)
+        assert partition_sizes(grid4, part, 4).tolist() == [4, 4, 4, 4]
+        assert partition_weights(grid4, part, 4).tolist() == [4, 4, 4, 4]
+
+    def test_weighted_loads(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], vweights=np.array([1.0, 2, 4]))
+        w = partition_weights(g, np.array([0, 0, 1]), 2)
+        assert w.tolist() == [3.0, 4.0]
+
+    def test_empty_partition_counts_zero(self, grid4):
+        part = np.zeros(16, dtype=np.int64)
+        assert partition_sizes(grid4, part, 3).tolist() == [16, 0, 0]
+
+
+class TestEvaluate:
+    def test_bundle_consistency(self, grid4, strip_partition):
+        part = strip_partition(grid4, 2)
+        q = evaluate_partition(grid4, part, 2)
+        assert q.cut_total == 4.0
+        assert q.cut_max == 4.0 and q.cut_min == 4.0
+        assert q.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_detects_skew(self, grid4):
+        part = np.zeros(16, dtype=np.int64)
+        part[0] = 1
+        q = evaluate_partition(grid4, part, 2)
+        assert q.imbalance == pytest.approx(15 / 8)
+
+    def test_row_dict(self, grid4, strip_partition):
+        q = evaluate_partition(grid4, strip_partition(grid4, 2), 2)
+        row = q.row()
+        assert set(row) >= {"cut_total", "cut_max", "cut_min", "imbalance"}
+
+
+class TestValidation:
+    def test_length_checked(self, grid4):
+        with pytest.raises(GraphError):
+            validate_partition_vector(grid4, np.zeros(3, dtype=np.int64), 2)
+
+    def test_range_checked(self, grid4):
+        bad = np.zeros(16, dtype=np.int64)
+        bad[0] = 5
+        with pytest.raises(GraphError):
+            validate_partition_vector(grid4, bad, 2)
+
+    def test_unassigned_allowed_when_requested(self, grid4):
+        part = np.full(16, -1, dtype=np.int64)
+        part[0] = 0
+        validate_partition_vector(grid4, part, 2, allow_unassigned=True)
+        with pytest.raises(GraphError):
+            validate_partition_vector(grid4, part, 2)

@@ -1,0 +1,152 @@
+"""Pipeline coverage for the less-travelled halves of the paper's model.
+
+The incremental model (eqs. 4–5) allows vertex and edge *deletion* —
+``V2`` and ``E2`` — not just growth, and eqs. (1)–(2) define weighted
+vertices and edges.  The mesh experiments only grow with unit weights, so
+these paths get dedicated coverage here: coarsening deltas (deletions),
+mixed add+delete deltas, and edge-weighted refinement decisions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IGPConfig, IncrementalGraphPartitioner, refine_partition
+from repro.core.quality import edge_cut, partition_sizes, partition_weights
+from repro.graph import CSRGraph, random_geometric_graph
+from repro.graph.incremental import GraphDelta, apply_delta, carry_partition
+from repro.spectral import rsb_partition
+
+
+@pytest.fixture(scope="module")
+def partitioned_geo():
+    g = random_geometric_graph(240, seed=77)
+    part = rsb_partition(g, 6, seed=0)
+    return g, part
+
+
+class TestDeletionPipeline:
+    def test_localized_deletion_rebalances(self, partitioned_geo):
+        g, part = partitioned_geo
+        # Derefinement: delete a third of one partition's vertices (the
+        # adaptive-mesh coarsening case).
+        victims = np.flatnonzero(part == 0)[: len(np.flatnonzero(part == 0)) // 3 * 1]
+        victims = victims[: max(len(victims) // 1, 8)][:12]
+        inc = apply_delta(g, GraphDelta(deleted_vertices=victims))
+        carried = carry_partition(part, inc)
+        assert np.all(carried >= 0)  # deletions leave no unassigned vertices
+        if not _connected(inc.graph):
+            pytest.skip("random deletion disconnected the graph")
+        res = IncrementalGraphPartitioner(num_partitions=6).repartition(
+            inc.graph, carried
+        )
+        sizes = partition_sizes(inc.graph, res.part, 6)
+        assert sizes.max() <= int(np.ceil(inc.graph.num_vertices / 6))
+
+    def test_mixed_add_and_delete_delta(self, partitioned_geo):
+        g, part = partitioned_geo
+        n = g.num_vertices
+        # delete a few interior vertices of partition 1, add a blob near
+        # partition 2's territory
+        del_ids = np.flatnonzero(part == 1)[:6]
+        anchors = np.flatnonzero(part == 2)[:4]
+        edges = [(int(a), n + k) for k, a in enumerate(np.repeat(anchors, 3)[:10])]
+        edges += [(n + k, n + k + 1) for k in range(9)]
+        delta = GraphDelta(
+            num_added_vertices=10,
+            added_edges=edges,
+            deleted_vertices=del_ids,
+        )
+        inc = apply_delta(g, delta)
+        carried = carry_partition(part, inc)
+        assert (carried < 0).sum() == 10
+        if not _connected(inc.graph):
+            pytest.skip("random deletion disconnected the graph")
+        res = IncrementalGraphPartitioner(
+            num_partitions=6, refine=True
+        ).repartition(inc.graph, carried)
+        sizes = partition_sizes(inc.graph, res.part, 6)
+        assert sizes.max() <= int(np.ceil(inc.graph.num_vertices / 6))
+
+    def test_edge_deletion_changes_cut_accounting(self, partitioned_geo):
+        g, part = partitioned_geo
+        # delete a handful of cross edges: cut must drop accordingly
+        src = g.arc_sources()
+        cross_mask = part[src] != part[g.adj]
+        cross_edges = np.column_stack([src[cross_mask], g.adj[cross_mask]])
+        cross_edges = cross_edges[cross_edges[:, 0] < cross_edges[:, 1]][:5]
+        before = edge_cut(g, part)
+        inc = apply_delta(g, GraphDelta(deleted_edges=cross_edges))
+        carried = carry_partition(part, inc)
+        assert edge_cut(inc.graph, carried) == before - 5
+
+
+class TestWeightedPipeline:
+    def test_conflicting_weighted_swap_rolls_back_safely(self):
+        # Path 0-1-2-3 with a heavy middle edge, split 2|2.  Both middle
+        # vertices want to defect simultaneously; the batch swap would
+        # *worsen* the cut (snapshot gains lie — the classic KL batch
+        # interaction, present in the paper's formulation too).  The
+        # refinement must detect this, roll the round back and leave the
+        # partition untouched.
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3)], eweights=[1.0, 10.0, 1.0]
+        )
+        part = np.array([0, 0, 1, 1])
+        new_part, stats = refine_partition(g, part, 2)
+        assert edge_cut(g, new_part) <= 10.0  # never worse
+        assert partition_sizes(g, new_part, 2).tolist() == [2, 2]
+        assert np.array_equal(new_part, part)  # rolled back cleanly
+
+    def test_edge_weights_steer_fixable_refinement(self):
+        # Two weight-5 K4 cliques with a light bridge, one vertex of
+        # each swapped across.  Only the two exiles are eligible (every
+        # native is anchored by 10+ internal weight), so the circulation
+        # is exactly the fixing swap and the weighted cut collapses to
+        # the bridge.
+        edges, weights = [], []
+        for base in (0, 4):
+            for a in range(4):
+                for b in range(a + 1, 4):
+                    edges.append((base + a, base + b))
+                    weights.append(5.0)
+        edges.append((0, 4))
+        weights.append(1.0)
+        g = CSRGraph.from_edges(8, edges, eweights=weights)
+        part = np.array([0, 0, 0, 1, 0, 1, 1, 1])  # vertices 3 and 4 swapped
+        before = edge_cut(g, part)
+        new_part, stats = refine_partition(g, part, 2)
+        assert edge_cut(g, new_part) < before
+        assert edge_cut(g, new_part) == 1.0  # only the bridge remains cut
+        assert partition_sizes(g, new_part, 2).tolist() == [4, 4]
+
+    def test_vertex_weights_balance_weighted_load(self):
+        g = random_geometric_graph(150, seed=88)
+        w = np.ones(150)
+        w[:15] = 4.0  # heavy vertices clustered in id space
+        g = g.with_vertex_weights(w)
+        part = (np.arange(150) * 3 // 150).astype(np.int64)
+        res = IncrementalGraphPartitioner(num_partitions=3).repartition(g, part)
+        loads = partition_weights(g, res.part, 3)
+        lam = w.sum() / 3
+        # within granularity of the heaviest vertex
+        assert loads.max() <= np.ceil(lam) + 3.0
+
+    def test_weighted_delta_carries_weights(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], vweights=np.array([1.0, 2, 3]))
+        inc = apply_delta(
+            g,
+            GraphDelta(
+                num_added_vertices=1,
+                added_edges=[(2, 3)],
+                added_vweights=np.array([7.0]),
+                added_eweights=np.array([2.5]),
+            ),
+        )
+        assert inc.graph.total_vertex_weight == 13.0
+        assert inc.graph.edge_weight(2, 3) == 2.5
+
+
+def _connected(graph) -> bool:
+    from repro.graph.operations import is_connected
+
+    return is_connected(graph)

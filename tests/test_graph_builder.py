@@ -1,0 +1,137 @@
+"""Unit tests for graph construction (from_edge_list / GraphBuilder)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder, from_adjacency_dict, from_edge_list
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list(4, [(0, 1), (2, 3)])
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_orientation_irrelevant(self):
+        g1 = from_edge_list(3, [(0, 1), (1, 2)])
+        g2 = from_edge_list(3, [(1, 0), (2, 1)])
+        assert g1.same_structure(g2)
+
+    def test_duplicate_edges_merge_weights(self):
+        g = from_edge_list(2, [(0, 1), (1, 0), (0, 1)], eweights=[1.0, 2.0, 3.0])
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 6.0
+
+    def test_duplicate_rejected_when_merging_disabled(self):
+        with pytest.raises(GraphError):
+            from_edge_list(2, [(0, 1), (0, 1)], merge_duplicates=False)
+
+    def test_empty_edge_list(self):
+        g = from_edge_list(3, [])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            from_edge_list(2, [(0, 2)])
+        with pytest.raises(GraphError):
+            from_edge_list(2, [(-1, 0)])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            from_edge_list(3, [(1, 1)])
+
+    def test_rejects_weight_length_mismatch(self):
+        with pytest.raises(GraphError):
+            from_edge_list(3, [(0, 1)], eweights=[1.0, 2.0])
+
+    def test_numpy_edge_input(self):
+        g = from_edge_list(3, np.array([[0, 1], [1, 2]]))
+        assert g.num_edges == 2
+
+    def test_validates_result(self):
+        g = from_edge_list(100, [(i, (i + 7) % 100) for i in range(100)])
+        g.validate()  # must not raise
+
+
+class TestAdjacencyDict:
+    def test_round_trip(self):
+        g = from_adjacency_dict({0: [1, 2], 1: [0], 2: [0]})
+        assert g.num_edges == 2
+
+    def test_missing_reverse_arcs_added(self):
+        g = from_adjacency_dict({0: [1]}, n=2)
+        assert g.has_edge(1, 0)
+
+    def test_n_inferred(self):
+        g = from_adjacency_dict({0: [5]})
+        assert g.num_vertices == 6
+
+
+class TestGraphBuilder:
+    def test_incremental_building(self):
+        b = GraphBuilder(4)
+        b.add_edge(0, 1)
+        b.add_edge(1, 2, weight=2.0)
+        g = b.build()
+        assert g.num_edges == 2
+        assert g.edge_weight(1, 2) == 2.0
+
+    def test_add_vertex(self):
+        b = GraphBuilder(2)
+        v = b.add_vertex()
+        assert v == 2
+        b.add_edge(0, v)
+        assert b.build().num_vertices == 3
+
+    def test_add_path(self):
+        b = GraphBuilder(4)
+        b.add_path([0, 1, 2, 3])
+        assert b.build().num_edges == 3
+
+    def test_add_clique(self):
+        b = GraphBuilder(4)
+        b.add_clique([0, 1, 2, 3])
+        assert b.build().num_edges == 6
+
+    def test_duplicates_merged_on_build(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1, weight=1.0)
+        b.add_edge(1, 0, weight=2.0)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_vertex_weights(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.set_vertex_weights([1.0, 2.0, 3.0])
+        assert b.build().total_vertex_weight == 6.0
+
+    def test_vertex_weight_length_checked(self):
+        b = GraphBuilder(3)
+        with pytest.raises(GraphError):
+            b.set_vertex_weights([1.0])
+
+    def test_coords(self):
+        b = GraphBuilder(2)
+        b.add_edge(0, 1)
+        b.set_coords(np.array([[0.0, 0.0], [1.0, 1.0]]))
+        assert b.build().coords is not None
+
+    def test_out_of_range_edge_rejected_eagerly(self):
+        b = GraphBuilder(2)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 5)
+
+    def test_self_loop_rejected_eagerly(self):
+        b = GraphBuilder(2)
+        with pytest.raises(GraphError):
+            b.add_edge(1, 1)
+
+    def test_num_recorded_edges(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 1)
+        b.add_edge(0, 1)
+        assert b.num_recorded_edges == 2

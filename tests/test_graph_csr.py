@@ -1,0 +1,173 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphValidationError
+from repro.graph import CSRGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph.empty(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = CSRGraph.empty(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 0
+        assert g.degree(3) == 0
+
+    def test_from_edges_basic(self, triangle_graph):
+        assert triangle_graph.num_vertices == 3
+        assert triangle_graph.num_edges == 3
+        assert triangle_graph.num_arcs == 6
+
+    def test_default_weights_are_unit(self, triangle_graph):
+        assert np.all(triangle_graph.vweights == 1.0)
+        assert np.all(triangle_graph.eweights == 1.0)
+
+    def test_arrays_are_frozen(self, triangle_graph):
+        with pytest.raises(ValueError):
+            triangle_graph.adj[0] = 99
+        with pytest.raises(ValueError):
+            triangle_graph.vweights[0] = 5.0
+
+
+class TestValidation:
+    def test_rejects_bad_xadj_start(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_rejects_xadj_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 5]), np.array([1]))
+
+    def test_rejects_out_of_range_neighbor(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([5, 0]))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1, 2]), np.array([0, 0]))
+
+    def test_rejects_asymmetric_adjacency(self):
+        # arc 0->1 without 1->0
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 1, 1]), np.array([1]))
+
+    def test_rejects_asymmetric_edge_weights(self):
+        xadj = np.array([0, 1, 2])
+        adj = np.array([1, 0])
+        with pytest.raises(GraphValidationError):
+            CSRGraph(xadj, adj, eweights=np.array([1.0, 2.0]))
+
+    def test_rejects_wrong_vweight_length(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 0]), np.zeros(0, np.int64), vweights=np.ones(3))
+
+    def test_rejects_decreasing_xadj(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(np.array([0, 2, 1, 2]), np.array([1, 2]))
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self, grid8):
+        for v in range(grid8.num_vertices):
+            nbrs = grid8.neighbors(v)
+            assert np.all(np.diff(nbrs) > 0)
+
+    def test_degree_matches_neighbors(self, grid8):
+        for v in (0, 7, 27, 63):
+            assert grid8.degree(v) == len(grid8.neighbors(v))
+
+    def test_grid_corner_degrees(self, grid8):
+        assert grid8.degree(0) == 2
+        assert grid8.degree(7) == 2
+        assert grid8.degree(56) == 2
+        assert grid8.degree(63) == 2
+
+    def test_degrees_vector(self, grid8):
+        d = grid8.degrees()
+        assert d.sum() == grid8.num_arcs
+        assert d[0] == 2
+
+    def test_weighted_degrees_unit(self, triangle_graph):
+        assert np.allclose(triangle_graph.weighted_degrees(), [2, 2, 2])
+
+    def test_weighted_degrees_with_isolated_vertex(self):
+        g = CSRGraph.from_edges(3, [(0, 1)])
+        assert np.allclose(g.weighted_degrees(), [1, 1, 0])
+
+    def test_has_edge(self, triangle_graph):
+        assert triangle_graph.has_edge(0, 1)
+        assert triangle_graph.has_edge(2, 0)
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        assert not g.has_edge(0, 2)
+
+    def test_edge_weight_lookup(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], eweights=[2.5, 4.0])
+        assert g.edge_weight(0, 1) == 2.5
+        assert g.edge_weight(2, 1) == 4.0
+        with pytest.raises(KeyError):
+            g.edge_weight(0, 2)
+
+    def test_total_vertex_weight(self):
+        g = CSRGraph.from_edges(3, [(0, 1)], vweights=np.array([1.0, 2.0, 3.0]))
+        assert g.total_vertex_weight == 6.0
+
+
+class TestEdgeExport:
+    def test_edges_iterator_unique(self, grid8):
+        edges = list(grid8.edges())
+        assert len(edges) == grid8.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_edge_array_matches_iterator(self, grid8):
+        arr = grid8.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(grid8.edges())
+
+    def test_edge_weight_array_alignment(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (1, 2)], eweights=[5.0, 7.0])
+        ea = g.edge_array()
+        ew = g.edge_weight_array()
+        lookup = {tuple(e): w for e, w in zip(ea.tolist(), ew)}
+        assert lookup[(0, 1)] == 5.0
+        assert lookup[(1, 2)] == 7.0
+
+    def test_arc_sources(self, triangle_graph):
+        src = triangle_graph.arc_sources()
+        assert len(src) == 6
+        assert np.all(np.diff(src) >= 0)
+
+    def test_to_adjacency_dict(self, small_path):
+        d = small_path.to_adjacency_dict()
+        assert d[0] == [1]
+        assert d[2] == [1, 3]
+
+
+class TestDerivedGraphs:
+    def test_with_vertex_weights(self, triangle_graph):
+        g = triangle_graph.with_vertex_weights([3, 4, 5])
+        assert g.total_vertex_weight == 12
+        # original untouched
+        assert triangle_graph.total_vertex_weight == 3
+
+    def test_with_edge_weights_requires_symmetry(self, triangle_graph):
+        bad = np.array([1.0, 2, 3, 4, 5, 6])
+        with pytest.raises(GraphValidationError):
+            triangle_graph.with_edge_weights(bad)
+
+    def test_with_coords(self, triangle_graph):
+        g = triangle_graph.with_coords(np.zeros((3, 2)))
+        assert g.coords.shape == (3, 2)
+        with pytest.raises(GraphValidationError):
+            triangle_graph.with_coords(np.zeros((4, 2)))
+
+    def test_same_structure(self, triangle_graph):
+        g2 = CSRGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert triangle_graph.same_structure(g2)
+        g3 = CSRGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert not triangle_graph.same_structure(g3)

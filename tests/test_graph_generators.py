@@ -1,0 +1,99 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    binary_tree_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+    random_geometric_graph,
+    star_graph,
+)
+
+
+class TestDeterministicGenerators:
+    def test_path(self):
+        g = path_graph(10)
+        assert g.num_edges == 9
+        assert g.degree(0) == 1 and g.degree(5) == 2
+
+    def test_path_single_vertex(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_edges == 8
+        assert np.all(g.degrees() == 2)
+
+    def test_cycle_min_size(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert np.all(g.degrees() == 5)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.num_vertices == 8
+        assert g.degree(0) == 7
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_grid_edge_count(self):
+        g = grid_graph(4, 6)
+        # horizontal: 4*5, vertical: 3*6
+        assert g.num_edges == 20 + 18
+
+    def test_grid_diagonal(self):
+        g = grid_graph(3, 3, diagonal=True)
+        assert g.num_edges == 12 + 4
+
+    def test_grid_coords(self):
+        g = grid_graph(2, 3)
+        assert np.allclose(g.coords[4], [1.0, 1.0])  # row 1, col 1
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 5)
+
+
+class TestRandomGeometric:
+    def test_connected_by_default(self):
+        g = random_geometric_graph(150, seed=5)
+        assert is_connected(g)
+
+    def test_deterministic_with_seed(self):
+        g1 = random_geometric_graph(100, seed=8)
+        g2 = random_geometric_graph(100, seed=8)
+        assert g1.same_structure(g2)
+
+    def test_different_seeds_differ(self):
+        g1 = random_geometric_graph(100, seed=8)
+        g2 = random_geometric_graph(100, seed=9)
+        assert not g1.same_structure(g2)
+
+    def test_coords_attached_in_unit_square(self):
+        g = random_geometric_graph(50, seed=1)
+        assert g.coords is not None
+        assert g.coords.min() >= 0 and g.coords.max() <= 1
+
+    def test_radius_respected(self):
+        g = random_geometric_graph(80, radius=0.3, seed=2, ensure_connected=False)
+        for u, v in g.edges():
+            assert np.linalg.norm(g.coords[u] - g.coords[v]) <= 0.3 + 1e-12
+
+    def test_mesh_like_degree(self):
+        g = random_geometric_graph(400, seed=3)
+        mean_deg = 2 * g.num_edges / g.num_vertices
+        assert 3 < mean_deg < 12  # mesh-like, not dense

@@ -1,0 +1,135 @@
+"""Unit tests for the incremental graph model (deltas, carrying partitions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, GraphDelta, apply_delta
+from repro.graph.incremental import carry_partition
+
+
+@pytest.fixture
+def base() -> CSRGraph:
+    """Square 0-1-2-3 with a tail 3-4."""
+    return CSRGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4)])
+
+
+class TestPureGrowth:
+    def test_add_vertex_with_edges(self, base):
+        delta = GraphDelta(num_added_vertices=1, added_edges=[(4, 5), (0, 5)])
+        res = apply_delta(base, delta)
+        g = res.graph
+        assert g.num_vertices == 6
+        assert g.num_edges == 7
+        assert g.has_edge(4, 5) and g.has_edge(0, 5)
+        assert res.new_vertex_ids.tolist() == [5]
+        assert res.is_new.tolist() == [False] * 5 + [True]
+
+    def test_new_new_edges(self, base):
+        delta = GraphDelta(num_added_vertices=2, added_edges=[(0, 5), (5, 6)])
+        g = apply_delta(base, delta).graph
+        assert g.has_edge(5, 6)
+
+    def test_old_ids_preserved_on_pure_growth(self, base):
+        delta = GraphDelta(num_added_vertices=1, added_edges=[(2, 5)])
+        res = apply_delta(base, delta)
+        assert np.array_equal(res.old_to_new, np.arange(5))
+
+    def test_added_weights(self, base):
+        delta = GraphDelta(
+            num_added_vertices=1,
+            added_edges=[(0, 5)],
+            added_vweights=np.array([4.0]),
+            added_eweights=np.array([2.5]),
+        )
+        g = apply_delta(base, delta).graph
+        assert g.vweights[5] == 4.0
+        assert g.edge_weight(0, 5) == 2.5
+
+    def test_is_pure_growth_flag(self):
+        assert GraphDelta(num_added_vertices=1).is_pure_growth
+        assert not GraphDelta(deleted_vertices=[0]).is_pure_growth
+
+
+class TestDeletion:
+    def test_delete_vertex_removes_incident_edges(self, base):
+        delta = GraphDelta(deleted_vertices=[3])
+        res = apply_delta(base, delta)
+        g = res.graph
+        assert g.num_vertices == 4
+        # edges (2,3),(3,0),(3,4) gone; (0,1),(1,2) remain
+        assert g.num_edges == 2
+        assert res.old_to_new[3] == -1
+
+    def test_renumbering_is_order_preserving(self, base):
+        res = apply_delta(base, GraphDelta(deleted_vertices=[1]))
+        # old 0,2,3,4 -> new 0,1,2,3
+        assert res.old_to_new.tolist() == [0, -1, 1, 2, 3]
+
+    def test_delete_edge_only(self, base):
+        res = apply_delta(base, GraphDelta(deleted_edges=[(0, 3)]))
+        assert res.graph.num_edges == 4
+        assert not res.graph.has_edge(0, 3)
+
+    def test_delete_edge_either_orientation(self, base):
+        res = apply_delta(base, GraphDelta(deleted_edges=[(3, 0)]))
+        assert not res.graph.has_edge(0, 3)
+
+    def test_combined_add_and_delete(self, base):
+        delta = GraphDelta(
+            num_added_vertices=1,
+            added_edges=[(0, 5), (4, 5)],
+            deleted_vertices=[1],
+            deleted_edges=[(2, 3)],
+        )
+        res = apply_delta(base, delta)
+        g = res.graph
+        assert g.num_vertices == 5
+        # surviving: (2,3)x deleted, (3,0)ok, (3,4)ok + 2 added
+        assert g.num_edges == 4
+
+
+class TestDeltaValidation:
+    def test_added_edge_to_deleted_vertex_rejected(self, base):
+        delta = GraphDelta(
+            num_added_vertices=1, added_edges=[(1, 5)], deleted_vertices=[1]
+        )
+        with pytest.raises(GraphError):
+            apply_delta(base, delta)
+
+    def test_out_of_range_added_edge(self, base):
+        with pytest.raises(GraphError):
+            apply_delta(base, GraphDelta(num_added_vertices=1, added_edges=[(0, 7)]))
+
+    def test_out_of_range_deleted_vertex(self, base):
+        with pytest.raises(GraphError):
+            apply_delta(base, GraphDelta(deleted_vertices=[99]))
+
+    def test_negative_added_vertices(self):
+        with pytest.raises(GraphError):
+            GraphDelta(num_added_vertices=-1)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(GraphError):
+            GraphDelta(num_added_vertices=2, added_vweights=np.ones(1))
+
+    def test_summary_string(self):
+        d = GraphDelta(num_added_vertices=2, added_edges=[(0, 1)])
+        assert "+2v" in d.summary()
+
+
+class TestCarryPartition:
+    def test_new_vertices_get_fill(self, base):
+        res = apply_delta(base, GraphDelta(num_added_vertices=2, added_edges=[(0, 5), (0, 6)]))
+        part = carry_partition(np.array([0, 0, 1, 1, 1]), res)
+        assert part.tolist() == [0, 0, 1, 1, 1, -1, -1]
+
+    def test_deleted_vertices_drop_out(self, base):
+        res = apply_delta(base, GraphDelta(deleted_vertices=[0]))
+        part = carry_partition(np.array([7, 1, 2, 3, 4]), res)
+        assert part.tolist() == [1, 2, 3, 4]
+
+    def test_length_checked(self, base):
+        res = apply_delta(base, GraphDelta())
+        with pytest.raises(GraphError):
+            carry_partition(np.array([0, 1]), res)

@@ -1,0 +1,88 @@
+"""Round-trip tests for graph I/O formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, grid_graph, random_geometric_graph
+from repro.graph.io import read_edge_list, read_metis, write_edge_list, write_metis
+
+
+class TestMetis:
+    def test_round_trip_unit_weights(self, tmp_path):
+        g = grid_graph(5, 5)
+        f = tmp_path / "g.metis"
+        write_metis(g, f)
+        g2 = read_metis(f)
+        assert g.same_structure(g2)
+
+    def test_round_trip_weighted(self, tmp_path):
+        g = CSRGraph.from_edges(
+            3, [(0, 1), (1, 2)], eweights=[2.0, 3.0],
+            vweights=np.array([1.0, 5.0, 1.0]),
+        )
+        f = tmp_path / "w.metis"
+        write_metis(g, f)
+        g2 = read_metis(f)
+        assert g.same_structure(g2)
+
+    def test_header_format_flag(self, tmp_path):
+        g = CSRGraph.from_edges(2, [(0, 1)], eweights=[9.0])
+        f = tmp_path / "e.metis"
+        write_metis(g, f)
+        header = f.read_text().splitlines()[0].split()
+        assert header[2] == "01"  # edge weights only
+
+    def test_comment_lines_skipped(self, tmp_path):
+        f = tmp_path / "c.metis"
+        f.write_text("% comment\n3 2\n2\n1 3\n2\n")
+        g = read_metis(f)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_edge_count_mismatch_detected(self, tmp_path):
+        f = tmp_path / "bad.metis"
+        f.write_text("3 5\n2\n1 3\n2\n")
+        with pytest.raises(GraphError):
+            read_metis(f)
+
+    def test_vertex_line_count_checked(self, tmp_path):
+        f = tmp_path / "short.metis"
+        f.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphError):
+            read_metis(f)
+
+    def test_empty_file_rejected(self, tmp_path):
+        f = tmp_path / "empty.metis"
+        f.write_text("")
+        with pytest.raises(GraphError):
+            read_metis(f)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = random_geometric_graph(60, seed=4)
+        f = tmp_path / "g.edges"
+        write_edge_list(g, f)
+        g2 = read_edge_list(f)
+        assert np.array_equal(g.xadj, g2.xadj)
+        assert np.array_equal(g.adj, g2.adj)
+        assert np.allclose(g.eweights, g2.eweights)
+
+    def test_isolated_trailing_vertex_survives(self, tmp_path):
+        g = CSRGraph.from_edges(5, [(0, 1)])  # vertices 2..4 isolated
+        f = tmp_path / "iso.edges"
+        write_edge_list(g, f)
+        assert read_edge_list(f).num_vertices == 5
+
+    def test_n_inferred_without_header(self, tmp_path):
+        f = tmp_path / "no_header.edges"
+        f.write_text("0 3\n1 2\n")
+        g = read_edge_list(f)
+        assert g.num_vertices == 4
+
+    def test_weights_parsed(self, tmp_path):
+        f = tmp_path / "w.edges"
+        f.write_text("# n 2\n0 1 4.5\n")
+        g = read_edge_list(f)
+        assert g.edge_weight(0, 1) == 4.5

@@ -1,0 +1,173 @@
+"""Unit tests for BFS machinery, components, subgraphs, boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    bfs_distances,
+    bfs_tree,
+    boundary_vertices,
+    connected_components,
+    degree_histogram,
+    grid_graph,
+    induced_subgraph,
+    is_connected,
+    multi_source_bfs,
+    path_graph,
+)
+from repro.graph.operations import nearest_labeled_vertex, require_connected
+from repro.errors import DisconnectedGraphError
+
+
+class TestBFS:
+    def test_path_distances(self, small_path):
+        d = bfs_distances(small_path, 0)
+        assert d.tolist() == [0, 1, 2, 3, 4]
+
+    def test_distances_from_middle(self, small_path):
+        d = bfs_distances(small_path, 2)
+        assert d.tolist() == [2, 1, 0, 1, 2]
+
+    def test_unreachable_marked(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        d = bfs_distances(g, 0)
+        assert d[1] == 1 and d[2] == -1 and d[3] == -1
+
+    def test_grid_distance_is_manhattan(self):
+        g = grid_graph(5, 5)
+        d = bfs_distances(g, 0)
+        for r in range(5):
+            for c in range(5):
+                assert d[r * 5 + c] == r + c
+
+    def test_source_out_of_range(self, small_path):
+        with pytest.raises(GraphError):
+            bfs_distances(small_path, 99)
+
+    def test_bfs_tree_parents(self, small_path):
+        parent = bfs_tree(small_path, 0)
+        assert parent[0] == -1
+        assert parent[1] == 0
+        assert parent[4] == 3
+
+    def test_bfs_tree_is_consistent_with_distances(self, geo300):
+        d = bfs_distances(geo300, 0)
+        parent = bfs_tree(geo300, 0)
+        for v in range(1, geo300.num_vertices):
+            if parent[v] >= 0:
+                assert d[v] == d[parent[v]] + 1
+
+
+class TestMultiSourceBFS:
+    def test_single_source_matches_bfs(self, geo300):
+        d1 = bfs_distances(geo300, 5)
+        d2, owner = multi_source_bfs(geo300, np.array([5]))
+        assert np.array_equal(d1, d2)
+        assert np.all(owner[d2 >= 0] == 5)
+
+    def test_two_sources_split_path(self):
+        g = path_graph(7)
+        d, owner = multi_source_bfs(g, np.array([0, 6]), np.array([10, 20]))
+        assert owner.tolist() == [10, 10, 10, 10, 20, 20, 20]
+        assert d.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_tie_breaks_to_smaller_label(self):
+        g = path_graph(5)
+        # vertex 2 is equidistant from both sources
+        _, owner = multi_source_bfs(g, np.array([0, 4]), np.array([7, 3]))
+        assert owner[2] == 3
+
+    def test_labels_must_align(self, small_path):
+        with pytest.raises(GraphError):
+            multi_source_bfs(small_path, np.array([0, 1]), np.array([5]))
+
+    def test_nearest_labeled_vertex(self):
+        g = path_graph(6)
+        labeled = np.array([True, False, False, False, False, True])
+        labels = np.array([100, -1, -1, -1, -1, 200])
+        out = nearest_labeled_vertex(g, labeled, labels)
+        assert out.tolist() == [100, 100, 100, 200, 200, 200]
+
+
+class TestComponents:
+    def test_connected_single(self, grid8):
+        assert is_connected(grid8)
+        ncomp, comp = connected_components(grid8)
+        assert ncomp == 1
+        assert np.all(comp == 0)
+
+    def test_two_components(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3), (3, 4)])
+        ncomp, comp = connected_components(g)
+        assert ncomp == 2
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3] == comp[4]
+        assert comp[0] != comp[2]
+
+    def test_isolated_vertices_are_components(self):
+        g = CSRGraph.empty(3)
+        ncomp, _ = connected_components(g)
+        assert ncomp == 3
+
+    def test_empty_graph_connected(self):
+        assert is_connected(CSRGraph.empty(0))
+
+    def test_require_connected_raises(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            require_connected(g)
+
+
+class TestSubgraph:
+    def test_induced_subgraph_structure(self, grid8):
+        # top-left 2x2 block of the grid
+        verts = np.array([0, 1, 8, 9])
+        sub, orig = induced_subgraph(grid8, verts)
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 4  # the 2x2 cycle
+        assert np.array_equal(orig, verts)
+
+    def test_subgraph_keeps_weights(self):
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 2), (2, 3)],
+            eweights=[5.0, 6.0, 7.0],
+            vweights=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        sub, orig = induced_subgraph(g, np.array([1, 2]))
+        assert sub.total_vertex_weight == 5.0
+        assert sub.edge_weight(0, 1) == 6.0
+
+    def test_subgraph_keeps_coords(self, grid8):
+        sub, _ = induced_subgraph(grid8, np.array([0, 1, 2]))
+        assert sub.coords is not None
+        assert np.allclose(sub.coords[1], [1.0, 0.0])
+
+    def test_subgraph_out_of_range(self, grid8):
+        with pytest.raises(GraphError):
+            induced_subgraph(grid8, np.array([999]))
+
+    def test_subgraph_duplicate_ids_deduped(self, grid8):
+        sub, orig = induced_subgraph(grid8, np.array([3, 3, 4]))
+        assert sub.num_vertices == 2
+
+
+class TestBoundary:
+    def test_boundary_of_strip_partition(self, strip_partition):
+        g = grid_graph(4, 4)
+        part = strip_partition(g, 2)  # rows 0-1 vs rows 2-3
+        b = boundary_vertices(g, part)
+        assert set(b.tolist()) == {4, 5, 6, 7, 8, 9, 10, 11}
+
+    def test_no_boundary_single_partition(self, grid8):
+        b = boundary_vertices(grid8, np.zeros(64, dtype=np.int64))
+        assert len(b) == 0
+
+
+class TestHistogram:
+    def test_degree_histogram_grid(self):
+        h = degree_histogram(grid_graph(3, 3))
+        assert h[2] == 4   # corners
+        assert h[3] == 4   # edge midpoints
+        assert h[4] == 1   # centre

@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the graph substrate.
+
+Invariants checked on arbitrary random edge lists:
+
+* CSR construction is orientation/duplication invariant,
+* adjacency is always symmetric and sorted,
+* induced subgraphs never invent edges,
+* applying a pure-growth delta then deleting the added vertices is the
+  identity,
+* our connected-components agrees with networkx (oracle, tests only).
+"""
+
+import numpy as np
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph, GraphDelta, apply_delta, from_edge_list
+from repro.graph.operations import connected_components, induced_subgraph
+
+
+@st.composite
+def edge_lists(draw, max_n=24, max_m=60):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(m)
+    ]
+    edges = [(u, v) for u, v in edges if u != v]
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants(data):
+    n, edges = data
+    g = from_edge_list(n, edges)
+    g.validate()  # symmetry, sortedness, ranges
+    # degree sum == 2m
+    assert int(g.degrees().sum()) == 2 * g.num_edges
+    # every input edge present
+    for u, v in edges:
+        assert g.has_edge(u, v)
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_orientation_invariance(data):
+    n, edges = data
+    g1 = from_edge_list(n, edges)
+    g2 = from_edge_list(n, [(v, u) for u, v in edges])
+    assert np.array_equal(g1.xadj, g2.xadj)
+    assert np.array_equal(g1.adj, g2.adj)
+
+
+@given(edge_lists(), st.randoms())
+@settings(max_examples=40, deadline=None)
+def test_subgraph_edges_are_subset(data, rnd):
+    n, edges = data
+    g = from_edge_list(n, edges)
+    k = rnd.randint(1, n)
+    verts = np.array(sorted(rnd.sample(range(n), k)))
+    sub, orig = induced_subgraph(g, verts)
+    for u, v in sub.edges():
+        assert g.has_edge(int(orig[u]), int(orig[v]))
+    # and no edge between chosen vertices is lost
+    chosen = set(verts.tolist())
+    expected = sum(
+        1 for u, v in g.edges() if u in chosen and v in chosen
+    )
+    assert sub.num_edges == expected
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_components_match_networkx(data):
+    n, edges = data
+    g = from_edge_list(n, edges)
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(n))
+    nxg.add_edges_from(edges)
+    ncomp, comp = connected_components(g)
+    assert ncomp == nx.number_connected_components(nxg)
+    # same-component relation agrees
+    for cc in nx.connected_components(nxg):
+        ids = {comp[v] for v in cc}
+        assert len(ids) == 1
+
+
+@given(edge_lists(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_grow_then_delete_is_identity(data, extra):
+    n, edges = data
+    g = from_edge_list(n, edges)
+    added_edges = [(i % n, n + i) for i in range(extra)]
+    grown = apply_delta(
+        g, GraphDelta(num_added_vertices=extra, added_edges=added_edges)
+    ).graph
+    shrunk = apply_delta(
+        grown, GraphDelta(deleted_vertices=np.arange(n, n + extra))
+    ).graph
+    assert shrunk.same_structure(g)

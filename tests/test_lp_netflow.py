@@ -1,0 +1,71 @@
+"""Unit tests for the min-cost-flow transportation solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LPStatus, solve_transportation
+
+
+class TestTransportation:
+    def test_direct_shipment(self):
+        res = solve_transportation(
+            np.array([5.0, -5.0]), {(0, 1): 10.0}
+        )
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(5.0)
+
+    def test_two_hop_costs_double(self):
+        # 0 must route through 1 to reach 2: each unit crosses two arcs.
+        res = solve_transportation(
+            np.array([4.0, 0.0, -4.0]), {(0, 1): 10.0, (1, 2): 10.0}
+        )
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(8.0)
+
+    def test_prefers_direct_over_indirect(self):
+        caps = {(0, 1): 10.0, (0, 2): 10.0, (2, 1): 10.0}
+        res = solve_transportation(np.array([3.0, -3.0, 0.0]), caps)
+        sol = dict(zip(res.extra["arc_order"], res.x))
+        assert sol[(0, 1)] == pytest.approx(3.0)
+        assert res.objective == pytest.approx(3.0)
+
+    def test_capacity_forces_split(self):
+        caps = {(0, 1): 2.0, (0, 2): 10.0, (2, 1): 10.0}
+        res = solve_transportation(np.array([5.0, -5.0, 0.0]), caps)
+        assert res.status is LPStatus.OPTIMAL
+        sol = dict(zip(res.extra["arc_order"], res.x))
+        assert sol[(0, 1)] == pytest.approx(2.0)
+        assert sol[(0, 2)] == pytest.approx(3.0)
+        assert res.objective == pytest.approx(2.0 + 3.0 * 2)
+
+    def test_infeasible_when_capacity_too_small(self):
+        res = solve_transportation(np.array([5.0, -5.0]), {(0, 1): 2.0})
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_infeasible_when_supplies_unbalanced(self):
+        res = solve_transportation(np.array([5.0, -2.0]), {(0, 1): 9.0})
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_already_balanced_moves_nothing(self):
+        res = solve_transportation(np.array([0.0, 0.0]), {(0, 1): 5.0})
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(0.0)
+
+    def test_multiple_sources_and_sinks(self):
+        caps = {(i, j): 20.0 for i in range(4) for j in range(4) if i != j}
+        res = solve_transportation(np.array([3.0, 2.0, -1.0, -4.0]), caps)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(5.0)  # all direct
+
+    def test_integral_flows_for_integral_data(self):
+        caps = {(0, 1): 3.0, (1, 2): 4.0, (0, 2): 1.0, (2, 0): 2.0}
+        res = solve_transportation(np.array([4.0, -1.0, -3.0]), caps)
+        assert res.status is LPStatus.OPTIMAL
+        assert np.allclose(res.x, np.round(res.x))
+
+    def test_flow_respects_capacities(self):
+        caps = {(0, 1): 2.5, (0, 2): 2.5, (1, 2): 2.5, (2, 1): 2.5}
+        res = solve_transportation(np.array([4.0, -2.0, -2.0]), caps)
+        assert res.status is LPStatus.OPTIMAL
+        for arc, f in zip(res.extra["arc_order"], res.x):
+            assert 0 <= f <= caps[arc] + 1e-9

@@ -1,0 +1,96 @@
+"""Parallel simplex must replicate the serial solver exactly."""
+
+import numpy as np
+import pytest
+
+from repro.lp import DenseSimplexSolver, LinearProgram, LPStatus
+from repro.lp.parallel_simplex import parallel_simplex_solve
+from repro.parallel import VirtualMachine, ZERO_COST
+from repro.rng import make_rng
+
+
+def _solve_parallel(lp: LinearProgram, ranks: int):
+    vm = VirtualMachine(ranks, machine=ZERO_COST, recv_timeout=30)
+    run = vm.run(parallel_simplex_solve, lp)
+    return run.results
+
+
+def _random_bounded_lp(seed: int, n: int = 6, m: int = 4) -> LinearProgram:
+    rng = make_rng(seed)
+    return LinearProgram(
+        c=rng.normal(size=n),
+        A_ub=rng.normal(size=(m, n)),
+        b_ub=rng.random(m) * 5,
+        upper_bounds=rng.random(n) * 4 + 0.5,
+    )
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 3, 4, 8])
+def test_matches_serial_on_random_lps(ranks):
+    for seed in range(6):
+        lp = _random_bounded_lp(seed)
+        serial = DenseSimplexSolver().solve(lp)
+        results = _solve_parallel(lp, ranks)
+        for res in results:
+            assert res.status is serial.status
+            if serial.is_optimal:
+                np.testing.assert_allclose(res.x, serial.x, atol=1e-8)
+                np.testing.assert_allclose(
+                    res.objective, serial.objective, atol=1e-8
+                )
+
+
+@pytest.mark.parametrize("ranks", [1, 3, 4])
+def test_identical_pivot_counts(ranks):
+    """Same pivot sequence => same iteration count as the serial solver."""
+    lp = _random_bounded_lp(99)
+    serial = DenseSimplexSolver().solve(lp)
+    results = _solve_parallel(lp, ranks)
+    assert all(r.iterations == serial.iterations for r in results)
+
+
+def test_infeasible_detected_in_parallel():
+    lp = LinearProgram(c=[1.0], A_ub=[[1.0], [-1.0]], b_ub=[1.0, -3.0])
+    for res in _solve_parallel(lp, 3):
+        assert res.status is LPStatus.INFEASIBLE
+
+
+def test_unbounded_detected_in_parallel():
+    lp = LinearProgram(c=[-1.0], A_ub=[[-1.0]], b_ub=[0.0])
+    for res in _solve_parallel(lp, 3):
+        assert res.status is LPStatus.UNBOUNDED
+
+
+def test_paper_figure5_lp_parallel():
+    pairs = ["01", "02", "03", "10", "12", "20", "21", "23", "30", "32"]
+    a_eq = np.zeros((4, 10))
+    for k, name in enumerate(pairs):
+        i, j = int(name[0]), int(name[1])
+        a_eq[i, k] += 1
+        a_eq[j, k] -= 1
+    lp = LinearProgram(
+        c=np.ones(10),
+        A_eq=a_eq,
+        b_eq=np.array([8.0, 1.0, -1.0, -8.0]),
+        upper_bounds=np.array([9, 7, 12, 10, 11, 3, 7, 9, 7, 5], dtype=float),
+    )
+    for res in _solve_parallel(lp, 4):
+        assert res.is_optimal
+        assert res.objective == pytest.approx(9.0)
+
+
+def test_more_ranks_than_columns():
+    lp = LinearProgram(c=[-1.0], upper_bounds=[2.0])
+    for res in _solve_parallel(lp, 8):
+        assert res.is_optimal
+        assert res.objective == pytest.approx(-2.0)
+
+
+def test_redundant_rows_handled_in_parallel():
+    a_eq = np.array([[1.0, -1.0, 0.0], [-1.0, 0.0, 1.0], [0.0, 1.0, -1.0]])
+    lp = LinearProgram(
+        c=np.ones(3), A_eq=a_eq, b_eq=np.zeros(3), upper_bounds=np.full(3, 5.0)
+    )
+    for res in _solve_parallel(lp, 3):
+        assert res.is_optimal
+        assert res.objective == pytest.approx(0.0)

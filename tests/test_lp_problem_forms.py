@@ -1,0 +1,102 @@
+"""Unit tests for LinearProgram validation and standard-form conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError
+from repro.lp import LinearProgram
+from repro.lp.standard_form import to_standard_form
+
+
+class TestLinearProgram:
+    def test_shapes_validated(self):
+        with pytest.raises(LPError):
+            LinearProgram(c=[1.0, 2.0], A_ub=[[1.0]], b_ub=[1.0])
+        with pytest.raises(LPError):
+            LinearProgram(c=[1.0], A_eq=[[1.0, 2.0]], b_eq=[0.0])
+        with pytest.raises(LPError):
+            LinearProgram(c=[1.0], upper_bounds=[1.0, 2.0])
+
+    def test_negative_upper_bound_rejected(self):
+        with pytest.raises(LPError):
+            LinearProgram(c=[1.0], upper_bounds=[-1.0])
+
+    def test_counts(self):
+        lp = LinearProgram(
+            c=[1.0, 2.0, 3.0],
+            A_ub=[[1, 0, 0]],
+            b_ub=[1.0],
+            A_eq=[[0, 1, 1]],
+            b_eq=[2.0],
+        )
+        assert lp.num_variables == 3
+        assert lp.num_constraints == 2
+
+    def test_objective_value(self):
+        lp = LinearProgram(c=[2.0, 3.0])
+        assert lp.objective_value(np.array([1.0, 1.0])) == 5.0
+
+    def test_feasibility_check(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0], A_ub=[[1, 1]], b_ub=[3.0], upper_bounds=[2.0, 2.0]
+        )
+        assert lp.is_feasible(np.array([1.0, 1.0]))
+        assert not lp.is_feasible(np.array([2.0, 2.0]))       # row violated
+        assert not lp.is_feasible(np.array([-0.1, 0.0]))      # lower bound
+        assert not lp.is_feasible(np.array([2.5, 0.0]))       # upper bound
+
+    def test_violations_breakdown(self):
+        lp = LinearProgram(c=[1.0], A_eq=[[1.0]], b_eq=[2.0])
+        v = lp.feasibility_violations(np.array([5.0]))
+        assert v["eq_rows"] == pytest.approx(3.0)
+
+    def test_describe_mentions_sizes(self):
+        lp = LinearProgram(c=[1.0, 1.0], upper_bounds=[1.0, np.inf])
+        s = lp.describe()
+        assert "v=2" in s and "finite_bounds=1" in s
+
+    def test_variable_names_length_checked(self):
+        with pytest.raises(LPError):
+            LinearProgram(c=[1.0], variable_names=["a", "b"])
+
+
+class TestStandardForm:
+    def test_slack_per_inequality(self):
+        lp = LinearProgram(c=[1.0, 2.0], A_ub=[[1, 1], [1, 0]], b_ub=[4, 2])
+        sf = to_standard_form(lp)
+        assert sf.num_rows == 2
+        assert sf.num_cols == 2 + 2  # originals + 2 slacks
+
+    def test_finite_bounds_become_rows(self):
+        lp = LinearProgram(c=[1.0, 2.0], upper_bounds=[3.0, np.inf])
+        sf = to_standard_form(lp)
+        assert sf.num_rows == 1  # only the finite bound
+        assert sf.num_cols == 3
+
+    def test_rhs_nonnegative(self):
+        lp = LinearProgram(c=[1.0], A_ub=[[-1.0]], b_ub=[-5.0])
+        sf = to_standard_form(lp)
+        assert np.all(sf.b >= 0)
+
+    def test_maximize_negates_cost(self):
+        lp = LinearProgram(c=[2.0], maximize=True)
+        sf = to_standard_form(lp)
+        assert sf.c[0] == -2.0
+        assert sf.sign_flip
+
+    def test_caller_objective_restores_sign(self):
+        lp = LinearProgram(c=[2.0], maximize=True, upper_bounds=[1.0])
+        sf = to_standard_form(lp)
+        y = np.array([1.0, 0.0])
+        assert sf.caller_objective(y) == pytest.approx(2.0)
+
+    def test_extract_returns_original_vars(self):
+        lp = LinearProgram(c=[1.0, 1.0], A_ub=[[1, 1]], b_ub=[2.0])
+        sf = to_standard_form(lp)
+        y = np.array([0.5, 0.25, 1.25])
+        assert np.allclose(sf.extract(y), [0.5, 0.25])
+
+    def test_equality_rows_have_no_slack(self):
+        lp = LinearProgram(c=[1.0], A_eq=[[1.0]], b_eq=[2.0])
+        sf = to_standard_form(lp)
+        assert sf.num_cols == 1  # no slack added

@@ -1,0 +1,94 @@
+"""Property-based LP tests: our dense simplex vs scipy's HiGHS oracle.
+
+Random bounded LPs (finite upper bounds guarantee boundedness; a zero
+vector is always feasible for `A_ub x <= b_ub` with `b_ub >= 0`) must
+yield the same optimal objective as scipy.  Random transportation LPs
+(the balance-LP family) must additionally return *integral* vertex
+solutions — total unimodularity in action.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lp import DenseSimplexSolver, LinearProgram, LPStatus, solve_lp_scipy
+from repro.lp.netflow import solve_transportation
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+nonneg = st.floats(min_value=0, max_value=10, allow_nan=False)
+
+
+@st.composite
+def bounded_lps(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 4))
+    c = [draw(finite) for _ in range(n)]
+    a = [[draw(finite) for _ in range(n)] for _ in range(m)]
+    b = [draw(nonneg) for _ in range(m)]  # b >= 0 keeps x=0 feasible
+    ub = [draw(st.floats(min_value=0.125, max_value=8)) for _ in range(n)]
+    return LinearProgram(
+        c=np.array(c), A_ub=np.array(a).reshape(m, n), b_ub=np.array(b),
+        upper_bounds=np.array(ub),
+    )
+
+
+@given(bounded_lps())
+@settings(max_examples=60, deadline=None)
+def test_simplex_matches_scipy_on_bounded_lps(lp):
+    ours = DenseSimplexSolver().solve(lp)
+    ref = solve_lp_scipy(lp)
+    assert ours.status is LPStatus.OPTIMAL
+    assert ref.status is LPStatus.OPTIMAL
+    assert ours.objective == np.float64(ours.objective)  # finite
+    np.testing.assert_allclose(ours.objective, ref.objective, rtol=1e-6, atol=1e-6)
+    # our solution must actually be feasible
+    assert lp.is_feasible(ours.x, tol=1e-6)
+
+
+@given(bounded_lps())
+@settings(max_examples=30, deadline=None)
+def test_bland_rule_agrees_with_dantzig(lp):
+    d = DenseSimplexSolver(pivot="dantzig").solve(lp)
+    b = DenseSimplexSolver(pivot="bland").solve(lp)
+    np.testing.assert_allclose(d.objective, b.objective, rtol=1e-6, atol=1e-6)
+
+
+@st.composite
+def transportation_instances(draw):
+    p = draw(st.integers(2, 6))
+    # random surpluses summing to zero
+    raw = [draw(st.integers(-6, 6)) for _ in range(p)]
+    raw[-1] -= sum(raw)
+    # ring + random chords, integral capacities
+    caps = {}
+    for i in range(p):
+        caps[(i, (i + 1) % p)] = draw(st.integers(1, 12))
+        caps[((i + 1) % p, i)] = draw(st.integers(1, 12))
+    return np.array(raw, dtype=float), caps
+
+
+@given(transportation_instances())
+@settings(max_examples=40, deadline=None)
+def test_balance_lp_integrality_and_netflow_agreement(inst):
+    surplus, caps = inst
+    pairs = sorted(caps)
+    p = len(surplus)
+    a_eq = np.zeros((p, len(pairs)))
+    for k, (i, j) in enumerate(pairs):
+        a_eq[i, k] += 1
+        a_eq[j, k] -= 1
+    lp = LinearProgram(
+        c=np.ones(len(pairs)),
+        A_eq=a_eq,
+        b_eq=surplus,
+        upper_bounds=np.array([caps[pq] for pq in pairs], dtype=float),
+    )
+    simplex = DenseSimplexSolver().solve(lp)
+    flow = solve_transportation(surplus, caps)
+    if simplex.status is LPStatus.OPTIMAL:
+        # TU matrix + integral data => integral vertex solution
+        assert np.allclose(simplex.x, np.round(simplex.x), atol=1e-7)
+        assert flow.status is LPStatus.OPTIMAL
+        np.testing.assert_allclose(simplex.objective, flow.objective, atol=1e-7)
+    else:
+        assert simplex.status is LPStatus.INFEASIBLE
+        assert flow.status is not LPStatus.OPTIMAL

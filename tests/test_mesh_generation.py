@@ -1,0 +1,154 @@
+"""Unit tests for mesh generators, refinement and graph extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.graph.incremental import apply_delta
+from repro.graph.operations import is_connected
+from repro.mesh import (
+    delaunay_mesh,
+    element_graph,
+    graded_mesh,
+    irregular_mesh,
+    node_graph,
+    rectangle_mesh,
+    refine_in_disc,
+    refine_triangles,
+)
+from repro.mesh.io import load_mesh, save_mesh
+from repro.mesh.points import min_separation_filter, sample_graded, sample_lshape
+
+
+class TestGenerators:
+    def test_rectangle_mesh_counts(self):
+        m = rectangle_mesh(4, 3)
+        assert m.num_nodes == 12
+        assert m.num_triangles == 2 * 3 * 2  # 2 per cell, 3x2 cells
+
+    def test_rectangle_needs_lattice(self):
+        with pytest.raises(MeshError):
+            rectangle_mesh(1, 5)
+
+    def test_irregular_mesh_exact_count(self):
+        m = irregular_mesh(250, seed=1)
+        assert m.num_nodes == 250
+
+    def test_irregular_mesh_deterministic(self):
+        m1 = irregular_mesh(120, seed=3)
+        m2 = irregular_mesh(120, seed=3)
+        assert np.allclose(m1.points, m2.points)
+
+    def test_irregular_mesh_edge_ratio(self):
+        # Delaunay of n generic points has ~3n edges (paper's ratio).
+        m = irregular_mesh(300, seed=2)
+        assert 2.7 < m.num_edges / m.num_nodes < 3.0
+
+    def test_node_graph_connected(self):
+        g = node_graph(irregular_mesh(200, seed=4))
+        assert is_connected(g)
+
+    def test_graded_mesh_density_followed(self):
+        def density(pts):
+            return 1.0 + 20.0 * (pts[:, 0] < 0.5)
+
+        m = graded_mesh(400, density, seed=5)
+        left = (m.points[:, 0] < 0.5).sum()
+        assert left > 250  # dense half holds most nodes
+
+    def test_delaunay_needs_three_points(self):
+        with pytest.raises(MeshError):
+            delaunay_mesh(np.zeros((2, 2)))
+
+
+class TestPoints:
+    def test_lshape_avoids_cut_corner(self):
+        pts = sample_lshape(300, seed=1)
+        assert not np.any((pts[:, 0] > 0.5) & (pts[:, 1] > 0.5))
+
+    def test_sample_graded_rejects_bad_density(self):
+        with pytest.raises(MeshError):
+            sample_graded(10, lambda p: np.zeros(len(p)), seed=1)
+
+    def test_min_separation_filter(self):
+        pts = np.array([[0.0, 0.0], [0.001, 0.0], [0.5, 0.5]])
+        keep = min_separation_filter(pts, 0.01)
+        assert keep.tolist() == [0, 2]
+
+    def test_min_separation_zero_keeps_all(self):
+        pts = np.random.default_rng(0).random((20, 2))
+        assert len(min_separation_filter(pts, 0.0)) == 20
+
+
+class TestRefinement:
+    def test_refine_triangles_adds_centroids(self):
+        m = irregular_mesh(100, seed=6)
+        ref = refine_triangles(m, np.array([0, 1]))
+        assert ref.new_mesh.num_nodes == 102
+        assert len(ref.new_node_ids) == 2
+        assert ref.delta.num_added_vertices == 2
+
+    def test_refine_in_disc_exact_count(self):
+        m = irregular_mesh(150, seed=7)
+        ref = refine_in_disc(m, (0.5, 0.5), 0.2, 30)
+        assert ref.new_mesh.num_nodes == 180
+
+    def test_refinement_is_localized(self):
+        m = irregular_mesh(200, seed=8)
+        ref = refine_in_disc(m, (0.3, 0.3), 0.15, 25)
+        # all new nodes inside (or a hair outside) the disc
+        d = np.linalg.norm(ref.new_mesh.points[ref.new_node_ids] - [0.3, 0.3], axis=1)
+        assert np.all(d <= 0.15 + 1e-9)
+
+    def test_delta_reconstructs_node_graph(self):
+        m = irregular_mesh(180, seed=9)
+        g0 = node_graph(m)
+        ref = refine_in_disc(m, (0.6, 0.4), 0.18, 20)
+        inc = apply_delta(g0, ref.delta)
+        assert inc.graph.same_structure(node_graph(ref.new_mesh))
+
+    def test_delta_contains_deletions_from_flips(self):
+        m = irregular_mesh(200, seed=10)
+        ref = refine_in_disc(m, (0.5, 0.5), 0.2, 30)
+        # Delaunay flips delete some old edges: the full E∪E1−E2 model.
+        assert len(ref.delta.deleted_edges) > 0
+
+    def test_empty_selection_rejected(self):
+        m = irregular_mesh(100, seed=11)
+        with pytest.raises(MeshError):
+            refine_triangles(m, np.array([], dtype=int))
+
+    def test_disc_without_triangles_rejected(self):
+        m = irregular_mesh(100, seed=12)
+        with pytest.raises(MeshError):
+            refine_in_disc(m, (5.0, 5.0), 0.01, 5)
+
+    def test_many_insertions_in_small_disc(self):
+        # more nodes than the disc has triangles: needs multiple passes
+        m = irregular_mesh(150, seed=13)
+        ref = refine_in_disc(m, (0.5, 0.5), 0.08, 60)
+        assert ref.new_mesh.num_nodes == 210
+
+
+class TestElementGraph:
+    def test_element_graph_adjacency(self):
+        m = rectangle_mesh(3, 3)
+        eg = element_graph(m)
+        assert eg.num_vertices == m.num_triangles
+        # interior edges = adjacent triangle pairs
+        interior = sum(1 for c in m.edge_multiplicity().values() if c == 2)
+        assert eg.num_edges == interior
+
+    def test_element_graph_connected(self):
+        eg = element_graph(irregular_mesh(150, seed=14))
+        assert is_connected(eg)
+
+
+class TestMeshIO:
+    def test_save_load_round_trip(self, tmp_path):
+        m = irregular_mesh(80, seed=15)
+        f = tmp_path / "mesh.npz"
+        save_mesh(m, f)
+        m2 = load_mesh(f)
+        assert np.allclose(m.points, m2.points)
+        assert np.array_equal(m.triangles, m2.triangles)

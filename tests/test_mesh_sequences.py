@@ -1,0 +1,82 @@
+"""Tests for the paper-shaped dataset sequences (run at reduced scale)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.incremental import apply_delta
+from repro.graph.operations import is_connected
+from repro.mesh.sequences import dataset_a, dataset_b
+
+
+@pytest.fixture(scope="module")
+def seq_a():
+    return dataset_a(scale=0.3)  # ~321-node base
+
+
+@pytest.fixture(scope="module")
+def seq_b():
+    return dataset_b(scale=0.06)  # ~610-node base
+
+
+class TestDatasetA:
+    def test_structure(self, seq_a):
+        assert seq_a.name == "A"
+        assert seq_a.num_versions == 4
+        assert seq_a.parents == (0, 1, 2, 3)  # chained
+
+    def test_node_counts_grow_by_increments(self, seq_a):
+        counts = [g.num_vertices for g in seq_a.graphs]
+        assert counts[0] == int(round(1071 * 0.3))
+        diffs = np.diff(counts)
+        assert all(d > 0 for d in diffs)
+
+    def test_deltas_map_parent_to_child(self, seq_a):
+        for k, delta in enumerate(seq_a.deltas):
+            parent = seq_a.graphs[seq_a.parents[k]]
+            child = seq_a.graphs[k + 1]
+            inc = apply_delta(parent, delta)
+            assert inc.graph.same_structure(child)
+
+    def test_graphs_connected(self, seq_a):
+        assert all(is_connected(g) for g in seq_a.graphs)
+
+    def test_describe(self, seq_a):
+        text = seq_a.describe()
+        assert "dataset A" in text and "base" in text
+
+    def test_full_scale_counts_match_paper(self):
+        # only check the arithmetic, not a full build (slow): the scale-1
+        # increments are +25,+25,+31,+40 on a 1071 base.
+        seq = dataset_a()  # cached by other runs; cheap after first call
+        assert [g.num_vertices for g in seq.graphs] == [1071, 1096, 1121, 1152, 1192]
+
+
+class TestDatasetB:
+    def test_structure(self, seq_b):
+        assert seq_b.name == "B"
+        assert seq_b.num_versions == 4
+        assert seq_b.parents == (0, 0, 0, 0)  # star
+
+    def test_variants_all_from_base(self, seq_b):
+        base_n = seq_b.graphs[0].num_vertices
+        for k, delta in enumerate(seq_b.deltas):
+            inc = apply_delta(seq_b.graphs[0], delta)
+            assert inc.graph.num_vertices == base_n + delta.num_added_vertices
+            assert inc.graph.same_structure(seq_b.graphs[k + 1])
+
+    def test_increments_monotone(self, seq_b):
+        sizes = [d.num_added_vertices for d in seq_b.deltas]
+        assert sizes == sorted(sizes)
+
+    def test_insertions_localized(self, seq_b):
+        from repro.mesh.sequences import _B_CENTER, _B_RADIUS
+
+        mesh = seq_b.meshes[-1]
+        new_ids = np.arange(seq_b.meshes[0].num_nodes, mesh.num_nodes)
+        d = np.linalg.norm(mesh.points[new_ids] - np.array(_B_CENTER), axis=1)
+        assert np.all(d <= _B_RADIUS + 1e-9)
+
+    def test_caching(self):
+        s1 = dataset_b(scale=0.06)
+        s2 = dataset_b(scale=0.06)
+        assert s1 is s2  # lru_cache

@@ -1,0 +1,104 @@
+"""Unit tests for the triangular mesh container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.mesh import TriangularMesh
+
+
+@pytest.fixture
+def unit_square_two_tris() -> TriangularMesh:
+    pts = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    tris = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangularMesh(pts, tris)
+
+
+class TestBasics:
+    def test_counts(self, unit_square_two_tris):
+        m = unit_square_two_tris
+        assert m.num_nodes == 4
+        assert m.num_triangles == 2
+        assert m.num_edges == 5
+
+    def test_orientation_normalised(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        # clockwise input
+        m = TriangularMesh(pts, np.array([[0, 2, 1]]))
+        assert m.areas()[0] > 0
+
+    def test_areas(self, unit_square_two_tris):
+        assert np.allclose(unit_square_two_tris.areas(), [0.5, 0.5])
+
+    def test_centroids(self, unit_square_two_tris):
+        c = unit_square_two_tris.centroids()
+        assert np.allclose(c[0], [2 / 3, 1 / 3])
+
+    def test_edges_unique_and_sorted(self, unit_square_two_tris):
+        e = unit_square_two_tris.edges()
+        assert np.all(e[:, 0] < e[:, 1])
+        keys = e[:, 0] * 10 + e[:, 1]
+        assert len(np.unique(keys)) == len(keys)
+
+
+class TestBoundary:
+    def test_boundary_edges(self, unit_square_two_tris):
+        be = unit_square_two_tris.boundary_edges()
+        assert len(be) == 4  # square outline; diagonal is interior
+
+    def test_boundary_nodes(self, unit_square_two_tris):
+        assert set(unit_square_two_tris.boundary_nodes().tolist()) == {0, 1, 2, 3}
+
+    def test_edge_multiplicity(self, unit_square_two_tris):
+        mult = unit_square_two_tris.edge_multiplicity()
+        assert mult[(0, 2)] == 2  # shared diagonal
+        assert mult[(0, 1)] == 1
+
+
+class TestGeometricQueries:
+    def test_triangles_in_disc(self, unit_square_two_tris):
+        hits = unit_square_two_tris.triangles_in_disc((2 / 3, 1 / 3), 0.05)
+        assert hits.tolist() == [0]
+
+    def test_nodes_in_disc(self, unit_square_two_tris):
+        hits = unit_square_two_tris.nodes_in_disc((0, 0), 0.1)
+        assert hits.tolist() == [0]
+
+    def test_aspect_ratios_equilateral_is_small(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        m = TriangularMesh(pts, np.array([[0, 1, 2]]))
+        ar = m.aspect_ratios()
+        assert ar[0] == pytest.approx(2 / np.sqrt(3), rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_bad_node_index(self):
+        pts = np.zeros((3, 2))
+        with pytest.raises(MeshError):
+            TriangularMesh(np.array([[0.0, 0], [1, 0], [0, 1]]), np.array([[0, 1, 5]]))
+
+    def test_rejects_degenerate_triangle(self):
+        with pytest.raises(MeshError):
+            TriangularMesh(
+                np.array([[0.0, 0], [1, 0], [0, 1]]), np.array([[0, 1, 1]])
+            )
+
+    def test_rejects_duplicate_triangles(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        with pytest.raises(MeshError):
+            TriangularMesh(pts, np.array([[0, 1, 2], [2, 0, 1]]))
+
+    def test_rejects_zero_area(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])  # collinear
+        with pytest.raises(MeshError):
+            TriangularMesh(pts, np.array([[0, 1, 2]]))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(MeshError):
+            TriangularMesh(np.zeros((3, 3)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(MeshError):
+            TriangularMesh(np.zeros((3, 2)), np.zeros((1, 4), dtype=int))
+
+    def test_stats_keys(self, unit_square_two_tris):
+        s = unit_square_two_tris.stats()
+        assert s["nodes"] == 4 and s["triangles"] == 2

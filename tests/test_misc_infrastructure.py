@@ -1,0 +1,88 @@
+"""Tests for the small infrastructure modules: errors, rng, version."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    CommunicatorError,
+    DisconnectedGraphError,
+    GraphError,
+    GraphValidationError,
+    LPError,
+    LPInfeasibleError,
+    MeshError,
+    ParallelError,
+    PartitioningError,
+    RepartitionInfeasibleError,
+    ReproError,
+)
+from repro.rng import DEFAULT_SEED, make_rng, spawn
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            GraphValidationError,
+            DisconnectedGraphError,
+            MeshError,
+            LPError,
+            LPInfeasibleError,
+            ParallelError,
+            CommunicatorError,
+            PartitioningError,
+            RepartitionInfeasibleError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_specialisations(self):
+        assert issubclass(GraphValidationError, GraphError)
+        assert issubclass(LPInfeasibleError, LPError)
+        assert issubclass(CommunicatorError, ParallelError)
+        assert issubclass(RepartitionInfeasibleError, PartitioningError)
+
+    def test_repartition_error_carries_gamma(self):
+        e = RepartitionInfeasibleError("nope", gamma_tried=2.5)
+        assert e.gamma_tried == 2.5
+        assert "nope" in str(e)
+
+
+class TestRng:
+    def test_default_seed_is_deterministic(self):
+        a = make_rng().random(5)
+        b = make_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed(self):
+        assert np.array_equal(make_rng(7).random(3), make_rng(7).random(3))
+        assert not np.array_equal(make_rng(7).random(3), make_rng(8).random(3))
+
+    def test_generator_passthrough(self):
+        g = make_rng(1)
+        assert make_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        children = spawn(make_rng(3), 4)
+        draws = [c.random(4).tolist() for c in children]
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 19940515
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_api_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_backends_registry(self):
+        from repro.lp import available_backends, get_backend
+
+        names = available_backends()
+        assert "dense_simplex" in names and "scipy" in names
+        with pytest.raises(KeyError):
+            get_backend("does-not-exist")

@@ -1,0 +1,175 @@
+"""Semantics tests for every collective, across rank counts (incl. non-powers of 2)."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.parallel import VirtualMachine, ZERO_COST
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 16]
+
+
+def run(p, program, **kwargs):
+    vm = VirtualMachine(p, machine=ZERO_COST, recv_timeout=20)
+    return vm.run(program, **kwargs)
+
+
+@pytest.mark.parametrize("p", SIZES)
+@pytest.mark.parametrize("root", [0, "last", "mid"])
+def test_bcast_any_root(p, root):
+    r = {"last": p - 1, "mid": p // 2, 0: 0}[root]
+
+    def prog(comm):
+        payload = {"data": np.arange(5)} if comm.rank == r else None
+        out = comm.bcast(payload, root=r)
+        assert np.array_equal(out["data"], np.arange(5))
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_sum_and_max(p):
+    def prog(comm):
+        s = comm.reduce(comm.rank + 1, root=0)
+        m = comm.reduce(comm.rank, op=max, root=0)
+        if comm.rank == 0:
+            assert s == p * (p + 1) // 2
+            assert m == p - 1
+        else:
+            assert s is None and m is None
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_preserves_operand_order(p):
+    """Non-commutative op: list concatenation must come out in rank order."""
+
+    def prog(comm):
+        out = comm.reduce([comm.rank], op=operator.add, root=0)
+        if comm.rank == 0:
+            assert out == list(range(p))
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_numpy_vectors(p):
+    def prog(comm):
+        local = np.full(4, comm.rank, dtype=np.float64)
+        total = comm.allreduce(local)
+        assert np.allclose(total, sum(range(p)))
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gather_rank_order(p):
+    def prog(comm):
+        out = comm.gather(comm.rank * 11, root=p - 1)
+        if comm.rank == p - 1:
+            assert out == [r * 11 for r in range(p)]
+        else:
+            assert out is None
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgather(p):
+    def prog(comm):
+        out = comm.allgather((comm.rank, comm.rank ** 2))
+        assert out == [(r, r * r) for r in range(p)]
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter(p):
+    def prog(comm):
+        vals = [f"v{r}" for r in range(p)] if comm.rank == 0 else None
+        assert comm.scatter(vals, root=0) == f"v{comm.rank}"
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter_nonzero_root(p):
+    r = p - 1
+
+    def prog(comm):
+        vals = list(range(p)) if comm.rank == r else None
+        assert comm.scatter(vals, root=r) == comm.rank
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoall(p):
+    def prog(comm):
+        out = comm.alltoall([comm.rank * 100 + d for d in range(p)])
+        assert out == [s * 100 + comm.rank for s in range(p)]
+        return True
+
+    assert all(run(p, prog).results)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_barrier_synchronises_clocks(p):
+    from repro.parallel import CM5
+
+    def prog(comm):
+        comm.compute(1000 * (comm.rank + 1))  # unequal work
+        comm.barrier()
+        return comm.time()
+
+    vm = VirtualMachine(p, machine=CM5, recv_timeout=20)
+    times = vm.run(prog).results
+    # After a barrier every clock is at least the slowest rank's time.
+    slowest_work = CM5.compute_time(1000 * p)
+    assert all(t >= slowest_work for t in times)
+
+
+def test_scatter_wrong_length_rejected():
+    def prog(comm):
+        vals = [1, 2, 3] if comm.rank == 0 else None
+        return comm.scatter(vals, root=0)
+
+    from repro.errors import ParallelError
+
+    with pytest.raises(ParallelError):
+        run(2, prog)
+
+
+def test_alltoall_wrong_length_rejected():
+    def prog(comm):
+        return comm.alltoall([0])
+
+    from repro.errors import ParallelError
+
+    with pytest.raises(ParallelError):
+        run(3, prog)
+
+
+def test_collectives_compose_in_sequence():
+    """A realistic SPMD mix must line up without tag collisions."""
+
+    def prog(comm):
+        x = comm.bcast(comm.rank if comm.rank == 1 else None, root=1)
+        y = comm.allreduce(x + comm.rank)
+        z = comm.allgather(y)
+        comm.barrier()
+        w = comm.alltoall([comm.rank] * comm.size)
+        return (x, y, z[0], sum(w))
+
+    res = run(5, prog).results
+    assert len({r for r in res}) == 1 or all(r[0] == 1 for r in res)

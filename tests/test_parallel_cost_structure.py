@@ -1,0 +1,113 @@
+"""Tests for the *cost structure* of the simulated machine.
+
+The credibility of the Time-p reproduction rests on the collectives
+having realistic algorithmic shape.  These tests pin the message counts
+and the latency scaling of each tree algorithm:
+
+* binomial broadcast/reduce send exactly ``P − 1`` messages,
+* allreduce exactly ``2 (P − 1)``,
+* pairwise alltoall exactly ``P (P − 1)``,
+* simulated broadcast *time* grows like ``log P`` (not ``P``) for
+  latency-bound messages,
+* compute/communication charges are additive and exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import CM5, VirtualMachine, ZERO_COST
+
+
+def _run(p, prog):
+    vm = VirtualMachine(p, machine=ZERO_COST, recv_timeout=20)
+    return vm.run(prog)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_bcast_message_count(p):
+    run = _run(p, lambda comm: comm.bcast("x" if comm.rank == 0 else None, 0))
+    assert run.messages == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_reduce_message_count(p):
+    run = _run(p, lambda comm: comm.reduce(1, root=0))
+    assert run.messages == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_allreduce_message_count(p):
+    run = _run(p, lambda comm: comm.allreduce(1))
+    assert run.messages == 2 * (p - 1)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+def test_alltoall_message_count(p):
+    run = _run(p, lambda comm: comm.alltoall(list(range(comm.size))))
+    assert run.messages == p * (p - 1)
+
+
+def test_bcast_time_scales_logarithmically():
+    """Latency-bound broadcast: T(P) ~ ceil(log2 P) * (2 alpha + eps)."""
+
+    def timed_bcast(comm):
+        comm.bcast(0 if comm.rank == 0 else None, 0)
+        return comm.time()
+
+    times = {}
+    for p in (2, 4, 16):
+        vm = VirtualMachine(p, machine=CM5, recv_timeout=20)
+        times[p] = vm.run(timed_bcast).elapsed
+    # 16 ranks = 4 rounds vs 1 round for 2 ranks: ~4x, nowhere near 15x.
+    assert times[16] < 6 * times[2]
+    assert times[16] > times[4] > times[2]
+
+
+def test_message_time_includes_payload_term():
+    big = np.zeros(250_000)  # 2 MB -> 0.1 s at 20 MB/s
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(big, dest=1)
+        else:
+            comm.recv(source=0)
+        return comm.time()
+
+    run = VirtualMachine(2, machine=CM5, recv_timeout=20).run(prog)
+    transfer = CM5.comm_time(big.nbytes)
+    assert run.results[1] == pytest.approx(transfer + CM5.latency, rel=1e-9)
+
+
+def test_compute_charges_are_exact_and_additive():
+    def prog(comm):
+        comm.compute(1_000)
+        comm.compute(2_500)
+        return comm.time()
+
+    run = VirtualMachine(1, machine=CM5).run(prog)
+    assert run.results[0] == pytest.approx(CM5.compute_time(3_500))
+
+
+def test_critical_path_dominates_elapsed():
+    """elapsed = max over ranks, not sum: idle ranks don't add time."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            comm.compute(4_000_000)  # 1 simulated second
+        comm.barrier()
+        return comm.time()
+
+    run = VirtualMachine(4, machine=CM5, recv_timeout=20).run(prog)
+    assert run.elapsed == pytest.approx(max(run.rank_times))
+    # barrier synchronised everyone to >= the slow rank's compute time
+    assert min(run.rank_times) >= 1.0
+
+
+def test_zero_cost_machine_times_are_zero():
+    def prog(comm):
+        comm.allreduce(np.ones(1000))
+        comm.alltoall([0] * comm.size)
+        return comm.time()
+
+    run = VirtualMachine(8, machine=ZERO_COST, recv_timeout=20).run(prog)
+    assert all(t == 0.0 for t in run.rank_times)

@@ -1,0 +1,96 @@
+"""Tests for the machine cost models and data decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    BlockDistribution,
+    CM5,
+    MODERN_CLUSTER,
+    ZERO_COST,
+    block_counts,
+    block_owner,
+    block_range,
+    payload_nbytes,
+)
+
+
+class TestMachineModel:
+    def test_comm_time_formula(self):
+        assert CM5.comm_time(0) == pytest.approx(CM5.latency)
+        assert CM5.comm_time(20e6) == pytest.approx(CM5.latency + 1.0)
+
+    def test_compute_time(self):
+        assert CM5.compute_time(4e6) == pytest.approx(1.0)
+
+    def test_zero_cost_is_free(self):
+        assert ZERO_COST.comm_time(1e9) == 0.0
+        assert ZERO_COST.compute_time(1e9) == 0.0
+
+    def test_modern_faster_than_cm5(self):
+        assert MODERN_CLUSTER.comm_time(1000) < CM5.comm_time(1000)
+        assert MODERN_CLUSTER.compute_time(1000) < CM5.compute_time(1000)
+
+
+class TestPayloadSizing:
+    def test_numpy_array_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_scalars(self):
+        assert payload_nbytes(5) == 8
+        assert payload_nbytes(3.14) == 8
+        assert payload_nbytes(None) == 1
+
+    def test_containers_sum(self):
+        small = payload_nbytes((1,))
+        big = payload_nbytes((1, 2, 3, 4))
+        assert big > small
+
+    def test_strings_and_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("abcd") == 4
+
+    def test_generic_object_falls_back_to_pickle(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) > 0
+
+
+class TestBlockDistribution:
+    def test_counts_sum_to_n(self):
+        for n in (0, 1, 7, 100):
+            for p in (1, 3, 8):
+                assert block_counts(n, p).sum() == n
+
+    def test_counts_balanced(self):
+        c = block_counts(10, 3)
+        assert c.tolist() == [4, 3, 3]
+
+    def test_ranges_cover(self):
+        spans = [block_range(11, 4, r) for r in range(4)]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 11
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_owner_consistent_with_range(self):
+        n, p = 23, 5
+        for idx in range(n):
+            r = block_owner(n, p, idx)
+            lo, hi = block_range(n, p, r)
+            assert lo <= idx < hi
+
+    def test_distribution_object(self):
+        d = BlockDistribution(10, 3)
+        assert d.counts.tolist() == [4, 3, 3]
+        assert d.displs.tolist() == [0, 4, 7]
+        assert d.owner_of(5) == 1
+        assert d.local_indices(2).tolist() == [7, 8, 9]
+        with pytest.raises(IndexError):
+            d.owner_of(10)
+
+    def test_more_ranks_than_items(self):
+        c = block_counts(2, 5)
+        assert c.tolist() == [1, 1, 0, 0, 0]
+        assert block_range(2, 5, 4) == (2, 2)

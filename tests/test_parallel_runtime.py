@@ -1,0 +1,167 @@
+"""Tests for the virtual machine runtime: p2p, clocks, failures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError, ParallelError
+from repro.parallel import CM5, VirtualMachine, ZERO_COST
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 42}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        run = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10).run(prog)
+        assert run.results[1] == {"x": 42}
+
+    def test_tag_matching_out_of_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            b = comm.recv(source=0, tag=2)  # request later tag first
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        run = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10).run(prog)
+        assert run.results[1] == ("first", "second")
+
+    def test_messages_fifo_within_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        run = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10).run(prog)
+        assert run.results[1] == [0, 1, 2, 3, 4]
+
+    def test_sendrecv_exchange(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            return comm.sendrecv(comm.rank * 10, peer)
+
+        run = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10).run(prog)
+        assert run.results == [10, 0]
+
+    def test_self_send_rejected(self):
+        def prog(comm):
+            comm.send(1, dest=comm.rank)
+
+        with pytest.raises(ParallelError):
+            VirtualMachine(2, machine=ZERO_COST, recv_timeout=5).run(prog)
+
+    def test_bad_dest_rejected(self):
+        def prog(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(ParallelError):
+            VirtualMachine(2, machine=ZERO_COST, recv_timeout=5).run(prog)
+
+
+class TestSimulatedClocks:
+    def test_compute_advances_clock(self):
+        def prog(comm):
+            comm.compute(4e6)
+            return comm.time()
+
+        run = VirtualMachine(1, machine=CM5).run(prog)
+        assert run.results[0] == pytest.approx(1.0)
+        assert run.elapsed == pytest.approx(1.0)
+
+    def test_message_carries_time(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(4e6)  # 1 simulated second
+                comm.send(np.zeros(1000), dest=1)
+                return comm.time()
+            comm.recv(source=0)
+            return comm.time()
+
+        run = VirtualMachine(2, machine=CM5, recv_timeout=10).run(prog)
+        # receiver's clock must include sender's compute + transfer time
+        assert run.results[1] > 1.0
+
+    def test_deterministic_across_runs(self):
+        def prog(comm):
+            comm.compute(1000 * (comm.rank + 1))
+            v = comm.allreduce(np.ones(100))
+            comm.barrier()
+            return comm.time()
+
+        t1 = VirtualMachine(6, machine=CM5, recv_timeout=10).run(prog).rank_times
+        t2 = VirtualMachine(6, machine=CM5, recv_timeout=10).run(prog).rank_times
+        assert t1 == t2
+
+    def test_negative_work_rejected(self):
+        def prog(comm):
+            comm.compute(-5)
+
+        with pytest.raises(ParallelError):
+            VirtualMachine(1, machine=CM5).run(prog)
+
+    def test_traffic_accounted(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(125), dest=1)  # 1000 bytes
+            else:
+                comm.recv(source=0)
+
+        run = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10).run(prog)
+        assert run.messages == 1
+        assert run.bytes_sent == 1000
+
+
+class TestFailureHandling:
+    def test_rank_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return True
+
+        with pytest.raises(ParallelError, match="boom"):
+            VirtualMachine(3, machine=ZERO_COST, recv_timeout=5).run(prog)
+
+    def test_failure_unblocks_receivers(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead rank")
+            comm.recv(source=0)  # would deadlock without poisoning
+
+        with pytest.raises(ParallelError, match="dead rank"):
+            VirtualMachine(2, machine=ZERO_COST, recv_timeout=30).run(prog)
+
+    def test_leftover_messages_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1)  # never received
+
+        with pytest.raises(ParallelError, match="unconsumed"):
+            VirtualMachine(2, machine=ZERO_COST, recv_timeout=5).run(prog)
+
+    def test_recv_timeout_is_deadlock_guard(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.recv(source=1)  # nobody sends
+
+        with pytest.raises(ParallelError, match="timed out"):
+            VirtualMachine(2, machine=ZERO_COST, recv_timeout=0.3).run(prog)
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ParallelError):
+            VirtualMachine(0)
+
+    def test_machine_reusable_across_runs(self):
+        vm = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10)
+
+        def prog(comm):
+            return comm.allreduce(1)
+
+        assert vm.run(prog).results == [2, 2]
+        assert vm.run(prog).results == [2, 2]

@@ -1,0 +1,109 @@
+"""Property-based tests of the full incremental pipeline.
+
+For random connected geometric graphs with random (possibly very skewed)
+initial partitions and random vertex growth, the IGP pipeline must always
+either (a) return a valid, exactly balanced partition, or (b) raise
+``RepartitionInfeasibleError`` — never a wrong answer.  Refinement must
+never undo balance or worsen the cut.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IGPConfig, IncrementalGraphPartitioner
+from repro.core.layering import layer_partitions
+from repro.core.quality import edge_cut, partition_sizes
+from repro.errors import RepartitionInfeasibleError
+from repro.graph import random_geometric_graph
+from repro.graph.incremental import GraphDelta, apply_delta, carry_partition
+from repro.rng import make_rng
+
+
+@st.composite
+def pipeline_cases(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(60, 160))
+    p = draw(st.integers(2, 6))
+    extra = draw(st.integers(0, 30))
+    skew = draw(st.floats(min_value=1.0, max_value=4.0))
+    return seed, n, p, extra, skew
+
+
+def _build_case(seed, n, p, extra, skew):
+    rng = make_rng(seed)
+    g = random_geometric_graph(n, seed=rng)
+    # skewed initial partition: partition 0 gets `skew`x its fair share
+    weights = np.ones(p)
+    weights[0] = skew
+    weights /= weights.sum()
+    bounds = np.floor(np.cumsum(weights) * n).astype(int)
+    part = np.searchsorted(bounds, np.arange(n), side="right")
+    part = np.minimum(part, p - 1).astype(np.int64)
+    if extra:
+        anchors = rng.integers(0, n, size=extra)
+        edges = [(int(a), n + k) for k, a in enumerate(anchors)]
+        edges += [(n + k - 1, n + k) for k in range(1, extra)]
+        inc = apply_delta(
+            g, GraphDelta(num_added_vertices=extra, added_edges=edges)
+        )
+        return inc.graph, carry_partition(part, inc), p
+    return g, part, p
+
+
+@given(pipeline_cases())
+@settings(max_examples=25, deadline=None)
+def test_igp_balances_or_raises(case):
+    graph, carried, p = _build_case(*case)
+    igp = IncrementalGraphPartitioner(IGPConfig(num_partitions=p))
+    try:
+        res = igp.repartition(graph, carried)
+    except RepartitionInfeasibleError:
+        return  # legitimate outcome per the paper's §2.3 fallback
+    sizes = partition_sizes(graph, res.part, p)
+    assert sizes.max() <= int(np.ceil(graph.num_vertices / p))
+    assert np.all(res.part >= 0) and np.all(res.part < p)
+
+
+@given(pipeline_cases())
+@settings(max_examples=15, deadline=None)
+def test_igpr_refinement_monotone_and_balanced(case):
+    graph, carried, p = _build_case(*case)
+    try:
+        plain = IncrementalGraphPartitioner(
+            IGPConfig(num_partitions=p)
+        ).repartition(graph, carried.copy())
+        refined = IncrementalGraphPartitioner(
+            IGPConfig(num_partitions=p, refine=True)
+        ).repartition(graph, carried.copy())
+    except RepartitionInfeasibleError:
+        return
+    assert edge_cut(graph, refined.part) <= edge_cut(graph, plain.part)
+    assert np.array_equal(
+        partition_sizes(graph, refined.part, p),
+        partition_sizes(graph, plain.part, p),
+    )
+
+
+@given(pipeline_cases())
+@settings(max_examples=20, deadline=None)
+def test_layering_invariants_on_random_partitions(case):
+    graph, carried, p = _build_case(*case)
+    from repro.core.assign import assign_new_vertices
+
+    part = assign_new_vertices(graph, carried, p)
+    lay = layer_partitions(graph, part, p)
+    # labels are foreign partitions; delta counts match label sets
+    labeled = lay.label >= 0
+    assert np.all(lay.label[labeled] != part[labeled])
+    for i in range(p):
+        for j in range(p):
+            assert lay.delta[i, j] == np.sum(
+                (part == i) & (lay.label == j)
+            )
+    # layer-0 vertices are exactly the boundary
+    from repro.graph.operations import boundary_vertices
+
+    assert set(np.flatnonzero(lay.layer == 0).tolist()) == set(
+        boundary_vertices(graph, part).tolist()
+    )

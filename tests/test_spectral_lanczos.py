@@ -1,0 +1,106 @@
+"""Tests for the Lanczos eigensolver and Fiedler computation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import grid_graph, path_graph, random_geometric_graph
+from repro.graph.laplacian import adjacency_sparse, laplacian_dense, laplacian_sparse
+from repro.spectral import fiedler_vector, lanczos_smallest_nontrivial
+
+
+class TestLaplacian:
+    def test_dense_rows_sum_to_zero(self, geo300):
+        lap = laplacian_dense(geo300)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_sparse_matches_dense(self, grid8):
+        dense = laplacian_dense(grid8)
+        sparse = laplacian_sparse(grid8).toarray()
+        assert np.allclose(dense, sparse)
+
+    def test_weighted_laplacian(self):
+        from repro.graph import CSRGraph
+
+        g = CSRGraph.from_edges(2, [(0, 1)], eweights=[3.0])
+        lap = laplacian_dense(g)
+        assert np.allclose(lap, [[3.0, -3.0], [-3.0, 3.0]])
+
+    def test_adjacency_sparse_shares_data(self, grid8):
+        a = adjacency_sparse(grid8)
+        assert a.shape == (64, 64)
+        assert a.nnz == grid8.num_arcs
+
+
+class TestLanczos:
+    def _fiedler_oracle(self, graph):
+        lap = laplacian_dense(graph)
+        vals, vecs = np.linalg.eigh(lap)
+        return vals[1], vecs[:, 1]
+
+    @pytest.mark.parametrize("maker", [
+        lambda: path_graph(40),
+        lambda: grid_graph(8, 8),
+        lambda: random_geometric_graph(150, seed=17),
+    ])
+    def test_eigenvalue_matches_dense(self, maker):
+        g = maker()
+        lam_ref, _ = self._fiedler_oracle(g)
+        lap = laplacian_dense(g)
+        lam, vec = lanczos_smallest_nontrivial(
+            lambda x: lap @ x, g.num_vertices, seed=0
+        )
+        assert lam == pytest.approx(lam_ref, rel=1e-3, abs=1e-6)
+        # residual small and orthogonal to ones
+        assert abs(vec.sum()) < 1e-6 * np.sqrt(g.num_vertices)
+        assert np.linalg.norm(lap @ vec - lam * vec) < 1e-3 * max(1, lam) * np.sqrt(g.num_vertices)
+
+    def test_deterministic_given_seed(self):
+        g = grid_graph(6, 6)
+        lap = laplacian_dense(g)
+        l1, v1 = lanczos_smallest_nontrivial(lambda x: lap @ x, 36, seed=5)
+        l2, v2 = lanczos_smallest_nontrivial(lambda x: lap @ x, 36, seed=5)
+        assert l1 == l2
+        assert np.array_equal(v1, v2)
+
+    def test_dimension_guard(self):
+        with pytest.raises(ValueError):
+            lanczos_smallest_nontrivial(lambda x: x, 1)
+
+
+class TestFiedlerVector:
+    def test_path_fiedler_is_monotone(self):
+        # The path graph's Fiedler vector is a cosine: strictly monotone
+        # ordering along the path.
+        g = path_graph(30)
+        for method in ("dense", "lanczos"):
+            v = fiedler_vector(g, method=method, seed=0)
+            order = np.argsort(v)
+            assert order.tolist() == list(range(30)) or order.tolist() == list(range(29, -1, -1))
+
+    def test_methods_agree_on_bisection(self):
+        g = random_geometric_graph(250, seed=23)
+        vd = fiedler_vector(g, method="dense")
+        vl = fiedler_vector(g, method="lanczos", seed=0)
+        # sign is arbitrary: compare the median split sets
+        half = g.num_vertices // 2
+        sd = set(np.argsort(vd)[:half].tolist())
+        sl = set(np.argsort(vl)[:half].tolist())
+        sl_flip = set(np.argsort(-vl)[:half].tolist())
+        overlap = max(len(sd & sl), len(sd & sl_flip)) / half
+        assert overlap > 0.9
+
+    def test_auto_dispatch(self, grid8):
+        v = fiedler_vector(grid8, method="auto")
+        assert len(v) == 64
+
+    def test_unknown_method(self, grid8):
+        with pytest.raises(ValueError):
+            fiedler_vector(grid8, method="magic")
+
+    def test_tiny_graph_guard(self):
+        from repro.errors import GraphError
+        from repro.graph import CSRGraph
+
+        with pytest.raises(GraphError):
+            fiedler_vector(CSRGraph.empty(1))

@@ -1,0 +1,171 @@
+"""Tests for RSB / RCB / RGB / inertial / KL / multilevel partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_partition
+from repro.core.multilevel import coarsen_heavy_edge, multilevel_bisection_partition
+from repro.core.quality import edge_cut, partition_sizes
+from repro.errors import GraphError
+from repro.graph import CSRGraph, grid_graph, random_geometric_graph
+from repro.spectral import (
+    inertial_partition,
+    kl_refine_bisection,
+    rcb_partition,
+    rgb_partition,
+    rsb_partition,
+)
+from repro.spectral.kl import bisection_gains
+from repro.spectral.rgb import pseudo_peripheral_vertex
+
+ALL_PARTITIONERS = {
+    "rsb": lambda g, p: rsb_partition(g, p, seed=0),
+    "rcb": rcb_partition,
+    "rgb": rgb_partition,
+    "inertial": inertial_partition,
+    "multilevel": lambda g, p: multilevel_bisection_partition(g, p, seed=0),
+}
+
+
+@pytest.mark.parametrize("name", list(ALL_PARTITIONERS))
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+def test_partitioners_balanced_and_complete(name, p, geo300):
+    part = ALL_PARTITIONERS[name](geo300, p)
+    assert len(part) == 300
+    sizes = partition_sizes(geo300, part, p)
+    assert sizes.min() >= 1
+    # weighted-median splits: within one vertex of perfect at each level,
+    # so total skew is bounded by the recursion depth
+    assert sizes.max() - sizes.min() <= int(np.ceil(np.log2(p))) + 1
+
+
+class TestRSB:
+    def test_grid_bisection_is_straight_cut(self):
+        # 8x16: the Fiedler eigenvalue is simple (unlike a square grid,
+        # whose degenerate eigenspace lets eigh return rotated modes),
+        # so RSB must find the optimal straight cut of 8 edges.
+        g = grid_graph(8, 16)
+        part = rsb_partition(g, 2, seed=0)
+        assert edge_cut(g, part) == 8.0
+
+    def test_two_cliques_optimal(self, two_cliques):
+        part = rsb_partition(two_cliques, 2, seed=0)
+        assert edge_cut(two_cliques, part) == 1.0
+
+    def test_respects_vertex_weights(self):
+        g = random_geometric_graph(120, seed=41)
+        w = np.ones(120)
+        w[:10] = 5.0
+        g = g.with_vertex_weights(w)
+        part = rsb_partition(g, 2, seed=0)
+        from repro.core.quality import partition_weights
+
+        loads = partition_weights(g, part, 2)
+        assert abs(loads[0] - loads[1]) <= 5.0  # within one heavy vertex
+
+    def test_kl_refine_not_worse(self, geo300):
+        plain = rsb_partition(geo300, 4, seed=0)
+        refined = rsb_partition(geo300, 4, seed=0, kl_refine=True)
+        assert edge_cut(geo300, refined) <= edge_cut(geo300, plain)
+
+    def test_handles_disconnected_graph(self):
+        g = CSRGraph.from_edges(8, [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)])
+        part = rsb_partition(g, 2, seed=0)
+        # the two components are the obvious halves: zero cut
+        assert edge_cut(g, part) == 0.0
+
+    def test_single_partition(self, geo300):
+        part = rsb_partition(geo300, 1)
+        assert np.all(part == 0)
+
+    def test_invalid_partition_count(self, geo300):
+        with pytest.raises(GraphError):
+            rsb_partition(geo300, 0)
+
+
+class TestRCBInertial:
+    def test_rcb_grid_splits_on_long_axis(self):
+        g = grid_graph(4, 16)  # wide: first split should be vertical
+        part = rcb_partition(g, 2)
+        cols = g.coords[:, 0]
+        left = cols[part == part[0]]
+        assert left.max() < 8  # one side entirely in the left half
+
+    def test_rcb_requires_coords(self, two_cliques):
+        with pytest.raises(GraphError):
+            rcb_partition(two_cliques, 2)
+
+    def test_inertial_requires_coords(self, two_cliques):
+        with pytest.raises(GraphError):
+            inertial_partition(two_cliques, 2)
+
+    def test_inertial_splits_elongated_cloud(self):
+        # points along a diagonal line: principal axis is the diagonal
+        rng = np.random.default_rng(3)
+        t = np.sort(rng.random(100))
+        pts = np.column_stack([t, t + 0.01 * rng.standard_normal(100)])
+        g = random_geometric_graph(100, seed=3).with_coords(pts)
+        part = inertial_partition(g, 2)
+        # the split must separate small-t from large-t
+        t0 = t[part == part[0]]
+        t1 = t[part != part[0]]
+        assert max(t0.min(), t1.min()) > min(t0.max(), t1.max()) - 0.2
+
+
+class TestRGB:
+    def test_pseudo_peripheral_on_path(self):
+        from repro.graph import path_graph
+
+        g = path_graph(20)
+        v = pseudo_peripheral_vertex(g, start=10)
+        assert v in (0, 19)
+
+    def test_rgb_path_gives_contiguous_blocks(self):
+        from repro.graph import path_graph
+
+        g = path_graph(16)
+        part = rgb_partition(g, 4)
+        # each partition should be one contiguous run: cut of 3
+        assert edge_cut(g, part) == 3.0
+
+
+class TestKL:
+    def test_gains_formula(self, two_cliques):
+        sides = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        gains = bisection_gains(two_cliques, sides)
+        # vertex 0 has bridge edge external (1) and 3 internal: gain -2
+        assert gains[0] == -2.0
+
+    def test_kl_fixes_swapped_pair(self, two_cliques):
+        sides = np.array([0, 0, 0, 1, 0, 1, 1, 1])  # 3 and 4 swapped
+        fixed = kl_refine_bisection(two_cliques, sides)
+        assert edge_cut(two_cliques, fixed) == 1.0
+
+    def test_kl_never_worsens(self, geo300):
+        sides = (np.arange(300) >= 150).astype(np.int64)
+        refined = kl_refine_bisection(geo300, sides)
+        assert edge_cut(geo300, refined) <= edge_cut(geo300, sides)
+
+    def test_kl_keeps_balance_within_tolerance(self, geo300):
+        sides = (np.arange(300) >= 150).astype(np.int64)
+        refined = kl_refine_bisection(geo300, sides, balance_tol=0.02)
+        counts = np.bincount(refined, minlength=2)
+        assert abs(counts[0] - 150) <= 0.02 * 300 + 1
+
+
+class TestMultilevel:
+    def test_coarsening_halves_vertices(self, geo300):
+        lvl = coarsen_heavy_edge(geo300, seed=1)
+        assert 150 <= lvl.graph.num_vertices <= 230
+        # weights conserved
+        assert lvl.graph.total_vertex_weight == pytest.approx(300.0)
+
+    def test_coarse_map_is_total(self, geo300):
+        lvl = coarsen_heavy_edge(geo300, seed=1)
+        assert np.all(lvl.fine_to_coarse >= 0)
+        assert np.all(lvl.fine_to_coarse < lvl.graph.num_vertices)
+
+    def test_multilevel_quality_close_to_rsb(self, geo300):
+        ml = multilevel_bisection_partition(geo300, 4, seed=0)
+        sb = rsb_partition(geo300, 4, seed=0)
+        assert edge_cut(geo300, ml) <= 1.5 * edge_cut(geo300, sb)
