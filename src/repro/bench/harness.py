@@ -112,10 +112,13 @@ def _igp_rows(
     with_parallel: bool,
     machine: MachineModel,
     parallel_ranks: int,
+    lp_backend: str = "dense_simplex",
 ) -> list[ExperimentRow]:
     rows = []
     for refine, name in ((False, "IGP"), (True, "IGPR")):
-        cfg = IGPConfig(num_partitions=num_partitions, refine=refine)
+        cfg = IGPConfig(
+            num_partitions=num_partitions, refine=refine, lp_backend=lp_backend
+        )
         t0 = time.perf_counter()
         res = IncrementalGraphPartitioner(cfg).repartition(graph, carried.copy())
         wall = time.perf_counter() - t0
@@ -191,6 +194,7 @@ def run_figure11(
     parallel_versions: tuple[int, ...] | None = None,
     machine: MachineModel = CM5,
     parallel_ranks: int = 32,
+    lp_backend: str = "dense_simplex",
 ) -> list[ExperimentRow]:
     """Dataset-A experiment: chained refinements, SB vs IGP vs IGPR.
 
@@ -229,7 +233,9 @@ def run_figure11(
         )
         for refine, name in ((False, "IGP"), (True, "IGPR")):
             carried = carry_partition(chained[name][parent], inc)
-            cfg = IGPConfig(num_partitions=num_partitions, refine=refine)
+            cfg = IGPConfig(
+                num_partitions=num_partitions, refine=refine, lp_backend=lp_backend
+            )
             t0 = time.perf_counter()
             res = IncrementalGraphPartitioner(cfg).repartition(inc.graph, carried.copy())
             wall = time.perf_counter() - t0
@@ -278,6 +284,7 @@ def run_figure14(
     parallel_versions: tuple[int, ...] | None = None,
     machine: MachineModel = CM5,
     parallel_ranks: int = 32,
+    lp_backend: str = "dense_simplex",
 ) -> list[ExperimentRow]:
     """Dataset-B experiment: star variants off one base partitioning.
 
@@ -324,6 +331,7 @@ def run_figure14(
                 with_parallel=par_ok,
                 machine=machine,
                 parallel_ranks=parallel_ranks,
+                lp_backend=lp_backend,
             )
         )
     return rows
@@ -337,9 +345,12 @@ def run_speedup_curve(
     rank_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
     refine: bool = True,
     machine: MachineModel = CM5,
+    lp_backend: str = "dense_simplex",
 ) -> list[dict]:
     """E5: simulated CM-5 speedup of the IGP pipeline vs rank count."""
-    cfg = IGPConfig(num_partitions=num_partitions, refine=refine)
+    cfg = IGPConfig(
+        num_partitions=num_partitions, refine=refine, lp_backend=lp_backend
+    )
     out = []
     base = None
     for ranks in rank_counts:

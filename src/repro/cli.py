@@ -32,6 +32,7 @@ def _cmd_fig11(args) -> int:
         num_partitions=args.partitions,
         with_parallel=not args.no_parallel,
         parallel_ranks=args.ranks,
+        lp_backend=args.lp_backend,
     )
     print(format_paper_table(rows, title="Figure 11 — dataset A"))
     return 0
@@ -48,6 +49,7 @@ def _cmd_fig14(args) -> int:
         num_partitions=args.partitions,
         with_parallel=not args.no_parallel,
         parallel_ranks=args.ranks,
+        lp_backend=args.lp_backend,
     )
     print(format_paper_table(rows, title="Figure 14 — dataset B"))
     return 0
@@ -65,7 +67,8 @@ def _cmd_speedup(args) -> int:
     inc = apply_delta(g0, seq.deltas[0])
     carried = carry_partition(base, inc)
     curve = run_speedup_curve(
-        inc.graph, carried, num_partitions=args.partitions
+        inc.graph, carried, num_partitions=args.partitions,
+        lp_backend=args.lp_backend,
     )
     print(f"{'ranks':>6}{'Time-p (s)':>12}{'speedup':>9}{'messages':>10}")
     for row in curve:
@@ -109,6 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="virtual CM-5 ranks for Time-p")
     common.add_argument("--no-parallel", action="store_true",
                         help="skip the simulated-machine timings")
+    common.add_argument("--lp-backend", default="dense_simplex",
+                        dest="lp_backend",
+                        help="LP solver backend for the balance/refinement "
+                             "LPs (e.g. tableau, revised, scipy; see "
+                             "repro.lp.available_backends())")
 
     sub.add_parser("fig11", parents=[common]).set_defaults(fn=_cmd_fig11)
     sub.add_parser("fig14", parents=[common]).set_defaults(fn=_cmd_fig14)

@@ -35,9 +35,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.lp.backends import get_backend
+from repro.lp.backends import solve_with_backend
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
+from repro.lp.revised import Basis, BasisCarrier
 
 __all__ = [
     "BalanceLP",
@@ -254,6 +255,7 @@ def solve_stage(
     relaxed_attempt,
     lam: float,
     integral: bool,
+    carrier: BasisCarrier | None = None,
 ):
     """One balance stage: exact LP first, max-progress relaxation second.
 
@@ -267,6 +269,12 @@ def solve_stage(
         decisions.
     lam:
         average load; the stage target is ``ceil(λ)`` for integral data.
+    carrier:
+        optional :class:`~repro.lp.revised.BasisCarrier`; every optimal
+        attempt deposits its final basis here so the *next* stage (or the
+        relaxed retry of this one) can warm-start.  The attempt callables
+        are expected to read ``carrier.basis`` themselves when building
+        their solves.
 
     Returns
     -------
@@ -277,9 +285,13 @@ def solve_stage(
     """
     target = float(np.ceil(lam - 1e-9)) if integral else lam
     sol = plain_attempt(target)
+    if carrier is not None:
+        carrier.update_from(sol.result)
     if sol.feasible:
         return sol, 1.0
     sol = relaxed_attempt(target)
+    if carrier is not None:
+        carrier.update_from(sol.result)
     if sol.feasible and sol.total_movement > 1e-9:
         return sol, np.inf  # effective gamma computed by the caller
     return None
@@ -292,12 +304,16 @@ def solve_balance(
     lp_backend: str = "dense_simplex",
     *,
     target: float | None = None,
+    basis: Basis | None = None,
 ) -> BalanceSolution:
-    """Build and solve the balance LP; always returns (check ``feasible``)."""
+    """Build and solve the balance LP; always returns (check ``feasible``).
+
+    ``basis`` warm-starts warm-capable backends (``"revised"``); other
+    backends ignore it.
+    """
     bal = build_balance_lp(delta, loads, gamma, target=target)
     p = len(loads)
-    solver = get_backend(lp_backend)
-    result = solver(bal.lp)
+    result = solve_with_backend(lp_backend, bal.lp, basis)
     return BalanceSolution(
         moves=extract_moves(bal, result, p), result=result, balance_lp=bal
     )
@@ -308,12 +324,13 @@ def solve_balance_relaxed(
     loads: np.ndarray,
     target: float,
     lp_backend: str = "dense_simplex",
+    *,
+    basis: Basis | None = None,
 ) -> BalanceSolution:
     """Build and solve the max-progress relaxation (always feasible)."""
     bal = build_relaxed_balance_lp(delta, loads, target)
     p = len(loads)
-    solver = get_backend(lp_backend)
-    result = solver(bal.lp)
+    result = solve_with_backend(lp_backend, bal.lp, basis)
     return BalanceSolution(
         moves=extract_moves(bal, result, p), result=result, balance_lp=bal
     )

@@ -8,10 +8,14 @@ simplex (:mod:`repro.lp.parallel_simplex`), movement by owner exchange.
 Determinism contract: :func:`parallel_repartition` returns *exactly* the
 partition vector the serial
 :class:`~repro.core.partitioner.IncrementalGraphPartitioner` produces for
-the same inputs (every tie-break is replicated; the parallel simplex
-performs the identical pivot sequence).  The integration tests assert
-vector equality — the parallel machine changes the clock, never the
-answer.
+the same inputs **and the same starting warm-start bases** (every
+tie-break is replicated; the tableau backends pivot identically, the
+other backends run replicated).  A fresh serial partitioner matches a
+plain parallel call; a serial partitioner *reused* across repartition
+calls under ``lp_backend="revised"`` carries bases between calls, so the
+matching parallel call must be seeded with ``initial_bases=
+igp.warm_bases``.  The integration tests assert vector equality — the
+parallel machine changes the clock, never the answer.
 
 Simulated timings: run under ``num_ranks=1`` for the paper's ``Time-s``
 (one CM-5 node) and ``num_ranks=32`` for ``Time-p``; both come from the
@@ -37,16 +41,67 @@ from repro.core.quality import edge_cut
 from repro.core.refine import refinement_pools
 from repro.errors import RepartitionInfeasibleError
 from repro.graph.csr import CSRGraph
+from repro.lp.backends import get_backend_spec
 from repro.lp.parallel_simplex import parallel_simplex_solve
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult
+from repro.lp.revised import BasisCarrier
 from repro.parallel.machine import CM5, MachineModel
 from repro.parallel.palgorithms import (
     parallel_apply_flows,
     parallel_assign_new,
     parallel_layering,
 )
-from repro.parallel.runtime import VirtualMachine
+from repro.parallel.runtime import DEFAULT_RECV_TIMEOUT, VirtualMachine
 
 __all__ = ["ParallelRepartitionResult", "igp_rank_program", "parallel_repartition"]
+
+
+# Backends whose serial pivot sequence the column-distributed parallel
+# simplex reproduces exactly; any other backend must run replicated or the
+# serial and parallel drivers could land on different alternate optima.
+_TABLEAU_BACKENDS = frozenset({"dense_simplex", "tableau"})
+
+
+def _solve_stage_lp(
+    comm, lp: LinearProgram, config: IGPConfig, carrier: BasisCarrier
+) -> LPResult:
+    """Solve one pipeline LP under the configured backend, SPMD-safe.
+
+    * The tableau backends keep the column-distributed dense simplex
+      (:func:`~repro.lp.parallel_simplex.parallel_simplex_solve`), whose
+      pivot sequence is identical to the serial tableau's.
+    * Every other backend runs **replicated**: each rank solves the same
+      LP with the same (deterministic) solver — warm-capable ones from
+      the same carried basis — so all ranks agree bit-for-bit, and each
+      rank's clock is charged the full replicated work.
+
+    Either way the serial driver makes the same solver decisions for the
+    same ``lp_backend``, which is what keeps the serial/parallel
+    partition vectors equal under every backend.
+    """
+    spec = get_backend_spec(config.lp_backend)
+    if spec.name in _TABLEAU_BACKENDS:
+        return parallel_simplex_solve(comm, lp)
+    if spec.supports_warm_start:
+        result = spec.solve_warm(lp, carrier.basis)
+        carrier.update_from(result)
+        stats = result.extra.get("stats")
+        if stats is not None:
+            m, n = stats.rows, stats.cols
+            comm.compute(
+                stats.total_iterations * (2 * m * m + m * n)
+                + stats.refactorizations * m ** 3
+            )
+        return result
+    result = spec.solve(lp)
+    # Generic replicated-cost estimate: iterations over the dense matrix.
+    comm.compute(
+        max(result.iterations, 1)
+        * max(lp.num_constraints, 1)
+        * max(lp.num_variables, 1)
+    )
+    return result
 
 
 @dataclass
@@ -82,9 +137,19 @@ def _owned_moves(moves: np.ndarray, size: int, rank: int) -> dict[tuple[int, int
 
 
 def igp_rank_program(
-    comm, graph: CSRGraph, carried_part: np.ndarray, config: IGPConfig
-) -> tuple[np.ndarray, int]:
-    """The SPMD program each rank executes; returns ``(part, stages)``."""
+    comm,
+    graph: CSRGraph,
+    carried_part: np.ndarray,
+    config: IGPConfig,
+    initial_bases: tuple | None = None,
+) -> tuple[np.ndarray, int, tuple]:
+    """The SPMD program each rank executes.
+
+    Returns ``(part, stages, (balance_basis, refine_basis))``; the final
+    bases let a caller chaining incremental steps thread warm starts into
+    the next :func:`parallel_repartition` call, mirroring the serial
+    partitioner's persistent carriers.
+    """
     p = config.num_partitions
     size, rank = comm.size, comm.rank
 
@@ -104,6 +169,14 @@ def igp_rank_program(
     def excess_of(loads_vec: np.ndarray) -> float:
         return float(np.maximum(loads_vec - exact_target, 0.0).sum())
 
+    # Per-rank warm-start carriers: every rank carries the identical basis
+    # sequence (deterministic solver, replicated data).  Seeding them from
+    # ``initial_bases`` reproduces a serial partitioner that was reused
+    # across repartition calls.
+    init_balance, init_refine = initial_bases or (None, None)
+    balance_carrier = BasisCarrier(init_balance)
+    refine_carrier = BasisCarrier(init_refine)
+
     stages = 0
     for _ in range(config.max_stages):
         loads = _distributed_loads(comm, part, graph.vweights, p)
@@ -115,19 +188,19 @@ def igp_rank_program(
 
         def plain(target: float) -> BalanceSolution:
             bal = build_balance_lp(layering.delta, loads, target=float(target))
-            result = parallel_simplex_solve(comm, bal.lp)
+            result = _solve_stage_lp(comm, bal.lp, config, balance_carrier)
             return BalanceSolution(
                 moves=extract_moves(bal, result, p), result=result, balance_lp=bal
             )
 
         def relaxed(target: float) -> BalanceSolution:
             bal = build_relaxed_balance_lp(layering.delta, loads, float(target))
-            result = parallel_simplex_solve(comm, bal.lp)
+            result = _solve_stage_lp(comm, bal.lp, config, balance_carrier)
             return BalanceSolution(
                 moves=extract_moves(bal, result, p), result=result, balance_lp=bal
             )
 
-        stage = solve_stage(plain, relaxed, lam, integral)
+        stage = solve_stage(plain, relaxed, lam, integral, carrier=balance_carrier)
         if stage is None:
             raise RepartitionInfeasibleError(
                 "balance LP infeasible and the relaxation cannot move anything",
@@ -160,12 +233,18 @@ def igp_rank_program(
             )
 
     if config.refine:
-        part = _parallel_refine(comm, graph, part, config)
+        part = _parallel_refine(comm, graph, part, config, refine_carrier)
 
-    return part, stages
+    return part, stages, (balance_carrier.basis, refine_carrier.basis)
 
 
-def _parallel_refine(comm, graph: CSRGraph, part: np.ndarray, config: IGPConfig) -> np.ndarray:
+def _parallel_refine(
+    comm,
+    graph: CSRGraph,
+    part: np.ndarray,
+    config: IGPConfig,
+    refine_carrier: BasisCarrier,
+) -> np.ndarray:
     """Distributed mirror of :func:`repro.core.refine.refine_partition`."""
     p = config.num_partitions
     size, rank = comm.size, comm.rank
@@ -188,7 +267,7 @@ def _parallel_refine(comm, graph: CSRGraph, part: np.ndarray, config: IGPConfig)
         comm.compute(graph.num_arcs // max(size, 1))
         if pass_.lp is None:
             break
-        result = parallel_simplex_solve(comm, pass_.lp)
+        result = _solve_stage_lp(comm, pass_.lp, config, refine_carrier)
         if not result.is_optimal or result.objective <= 1e-9:
             break
         x = np.clip(np.round(np.asarray(result.x)), 0, None)
@@ -226,15 +305,30 @@ def parallel_repartition(
     *,
     num_ranks: int = 32,
     machine: MachineModel = CM5,
-    recv_timeout: float = 300.0,
+    recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    initial_bases: tuple | None = None,
 ) -> ParallelRepartitionResult:
     """Run the SPMD pipeline on a fresh virtual machine.
 
     ``num_ranks=1`` gives the paper's one-node ``Time-s`` for the same
     algorithm; ``num_ranks=32`` the ``Time-p`` of the tables.
+
+    ``recv_timeout`` defaults to the runtime-wide
+    :data:`~repro.parallel.runtime.DEFAULT_RECV_TIMEOUT` so deadlock
+    diagnostics behave the same here as on a hand-built machine.
+
+    ``initial_bases`` — ``(balance_basis, refine_basis)`` — seeds the
+    warm-start carriers of every rank; the run's final bases come back in
+    ``result.extra["final_bases"]``.  A caller chaining incremental steps
+    under ``lp_backend="revised"`` threads them call to call; matching a
+    *reused* serial :class:`~repro.core.partitioner
+    .IncrementalGraphPartitioner` requires passing its carried bases
+    (``warm_bases``), since each virtual machine otherwise starts cold.
     """
     vm = VirtualMachine(num_ranks, machine=machine, recv_timeout=recv_timeout)
-    run = vm.run(igp_rank_program, graph, np.asarray(carried_part), config)
+    run = vm.run(
+        igp_rank_program, graph, np.asarray(carried_part), config, initial_bases
+    )
     parts = [r[0] for r in run.results]
     for other in parts[1:]:
         if not np.array_equal(parts[0], other):
@@ -246,4 +340,5 @@ def parallel_repartition(
         rank_times=run.rank_times,
         messages=run.messages,
         bytes_sent=run.bytes_sent,
+        extra={"final_bases": run.results[0][2]},
     )

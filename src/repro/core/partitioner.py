@@ -36,6 +36,7 @@ from repro.core.quality import PartitionQuality, evaluate_partition, partition_w
 from repro.core.refine import RefineStats, refine_partition
 from repro.errors import RepartitionInfeasibleError
 from repro.graph.csr import CSRGraph
+from repro.lp.revised import BasisCarrier
 
 __all__ = ["IGPConfig", "StageRecord", "RepartitionResult", "IncrementalGraphPartitioner"]
 
@@ -125,6 +126,26 @@ class IncrementalGraphPartitioner:
         elif kwargs:
             raise TypeError("pass either a config object or keyword overrides")
         self.config = config
+        # Warm-start state: under a warm-capable backend ("revised") the
+        # balance stages and refinement rounds deposit their final bases
+        # here, and successive stages *and successive repartition() calls
+        # on this instance* reuse them instead of restarting Phase 1 from
+        # artificials.  Other backends leave the carriers empty.
+        self._balance_carrier = BasisCarrier()
+        self._refine_carrier = BasisCarrier()
+
+    def reset_warm_start(self) -> None:
+        """Drop carried LP bases; the next repartition solves cold."""
+        self._balance_carrier.reset()
+        self._refine_carrier.reset()
+
+    @property
+    def warm_bases(self) -> tuple:
+        """Carried ``(balance_basis, refine_basis)`` — pass as
+        ``initial_bases`` to :func:`~repro.core.parallel_igp
+        .parallel_repartition` to make a fresh virtual machine reproduce
+        this instance's warm-started pivot sequence."""
+        return (self._balance_carrier.basis, self._refine_carrier.basis)
 
     # ------------------------------------------------------------------
     def repartition(self, graph: CSRGraph, part: np.ndarray) -> RepartitionResult:
@@ -228,6 +249,7 @@ class IncrementalGraphPartitioner:
                 strict_after=cfg.refine_strict_after,
                 min_gain=cfg.refine_min_gain,
                 lp_backend=cfg.lp_backend,
+                carrier=self._refine_carrier,
             )
             timings["refine"] = time.perf_counter() - t0
             result.refine_stats = refine_stats
@@ -249,15 +271,24 @@ class IncrementalGraphPartitioner:
         cfg = self.config
         integral = bool(np.allclose(loads, np.round(loads)))
         lam = float(np.sum(loads)) / len(loads)
+        carrier = self._balance_carrier
 
         def plain(target):
             return solve_balance(
-                delta, loads, target=float(target), lp_backend=cfg.lp_backend
+                delta,
+                loads,
+                target=float(target),
+                lp_backend=cfg.lp_backend,
+                basis=carrier.basis,
             )
 
         def relaxed(target):
             return solve_balance_relaxed(
-                delta, loads, float(target), lp_backend=cfg.lp_backend
+                delta,
+                loads,
+                float(target),
+                lp_backend=cfg.lp_backend,
+                basis=carrier.basis,
             )
 
-        return solve_stage(plain, relaxed, lam, integral)
+        return solve_stage(plain, relaxed, lam, integral, carrier=carrier)

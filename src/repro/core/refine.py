@@ -34,9 +34,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.quality import edge_cut
-from repro.lp.backends import get_backend
+from repro.lp.backends import solve_with_backend
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
+from repro.lp.revised import BasisCarrier
 
 __all__ = ["RefinementPass", "RefineStats", "refine_partition", "refinement_pools"]
 
@@ -149,6 +150,7 @@ def refine_partition(
     strict_after: int = 2,
     min_gain: float = 0.5,
     lp_backend: str = "dense_simplex",
+    carrier: BasisCarrier | None = None,
 ) -> tuple[np.ndarray, RefineStats]:
     """Iterated LP refinement; returns ``(new_part, stats)``.
 
@@ -156,9 +158,14 @@ def refine_partition(
     strict ``>`` (paper §2.4); iteration stops when the realised gain of
     a round falls below ``min_gain``, when the LP moves nothing, or when
     a round would worsen the cut (that round is rolled back).
+
+    ``carrier`` threads a warm-start basis between rounds (and across
+    calls, if the caller keeps it): every round's circulation LP shares
+    its row structure (one flow-conservation row per partition), so the
+    previous round's basis usually prices out in a handful of pivots
+    under ``lp_backend="revised"``.
     """
     part = np.asarray(part, dtype=np.int64).copy()
-    solver = get_backend(lp_backend)
     stats = RefineStats(cut_before=edge_cut(graph, part))
     current_cut = stats.cut_before
     forced_strict = False
@@ -168,7 +175,11 @@ def refine_partition(
         pass_ = refinement_pools(graph, part, num_partitions, strict)
         if pass_.lp is None:
             break
-        result: LPResult = solver(pass_.lp)
+        result: LPResult = solve_with_backend(
+            lp_backend, pass_.lp, carrier.basis if carrier is not None else None
+        )
+        if carrier is not None:
+            carrier.update_from(result)
         stats.lp_iterations += result.iterations
         if not result.is_optimal or result.objective <= 1e-9:
             break

@@ -152,12 +152,21 @@ def apply_delta(graph: CSRGraph, delta: GraphDelta) -> IncrementalResult:
     old_w = graph.edge_weight_array()
     keep = ~deleted_mask[old_edges[:, 0]] & ~deleted_mask[old_edges[:, 1]]
     if len(delta.deleted_edges):
+        # Canonical (min, max) packed keys on both sides: deletions may be
+        # specified in either orientation, and the match is a single
+        # vectorized np.isin instead of a Python-speed set comprehension
+        # over every surviving edge (this runs on the incremental hot
+        # path for every delta).
         de = delta.deleted_edges
-        lo = np.minimum(de[:, 0], de[:, 1]).astype(np.int64)
-        hi = np.maximum(de[:, 0], de[:, 1]).astype(np.int64)
-        del_keys = set((lo * np.int64(n_old) + hi).tolist())
-        keys = old_edges[:, 0] * np.int64(n_old) + old_edges[:, 1]
-        keep &= np.array([k not in del_keys for k in keys.tolist()])
+        del_keys = (
+            np.minimum(de[:, 0], de[:, 1]) * np.int64(n_old)
+            + np.maximum(de[:, 0], de[:, 1])
+        )
+        keys = (
+            np.minimum(old_edges[:, 0], old_edges[:, 1]) * np.int64(n_old)
+            + np.maximum(old_edges[:, 0], old_edges[:, 1])
+        )
+        keep &= ~np.isin(keys, del_keys)
     old_edges, old_w = old_edges[keep], old_w[keep]
     remapped = old_to_new[old_edges]
 

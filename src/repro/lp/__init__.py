@@ -16,23 +16,43 @@ that solver:
   (an extension the paper hints at when noting the LP's sparsity).
 * :mod:`repro.lp.parallel_simplex` — column-distributed dense simplex on
   the virtual parallel machine (the paper's "easily parallelized" claim).
+* :mod:`repro.lp.revised` — revised simplex with bounded variables, LU
+  basis factorization and warm-start basis reuse across the pipeline's
+  repeated similar LPs (``lp_backend="revised"``).
 """
 
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.problem import LinearProgram
 from repro.lp.simplex import DenseSimplexSolver, solve_lp
 from repro.lp.scipy_backend import solve_lp_scipy
-from repro.lp.backends import get_backend, available_backends
+from repro.lp.revised import (
+    Basis,
+    BasisCarrier,
+    RevisedSimplexSolver,
+    solve_lp_revised,
+)
+from repro.lp.backends import (
+    available_backends,
+    get_backend,
+    get_backend_spec,
+    solve_with_backend,
+)
 from repro.lp.netflow import solve_transportation
 
 __all__ = [
+    "Basis",
+    "BasisCarrier",
     "DenseSimplexSolver",
     "LPResult",
     "LPStatus",
     "LinearProgram",
+    "RevisedSimplexSolver",
     "available_backends",
     "get_backend",
+    "get_backend_spec",
     "solve_lp",
+    "solve_lp_revised",
     "solve_lp_scipy",
     "solve_transportation",
+    "solve_with_backend",
 ]

@@ -1,29 +1,76 @@
 """LP backend registry.
 
 The incremental partitioner takes a ``lp_backend`` name so experiments can
-swap the paper's dense simplex for alternatives (scipy/HiGHS, Bland-only
-simplex) — the backend ablation benchmark sweeps these.
+swap the paper's dense simplex for alternatives (the revised simplex with
+warm starts, scipy/HiGHS, Bland-only simplex) — the backend ablation
+benchmark sweeps these.
+
+Backends are registered as :class:`BackendSpec` objects.  A spec always
+exposes ``solve(lp)``; warm-start-capable backends (currently the revised
+simplex) additionally expose ``solve_warm(lp, basis)``, which accepts a
+:class:`~repro.lp.revised.Basis` carried from a previous solve.  Callers
+that thread bases use :func:`solve_with_backend`, which silently ignores
+the basis for backends that cannot use it — so the same driver code runs
+under every backend.
+
+Warm-start contract: an optimal result from a warm-capable backend puts
+its final basis in ``result.extra["basis"]`` and sets
+``result.extra["warm_start"]`` to whether the carried basis was actually
+reused (it is dropped when it cannot be mapped onto the new LP or is no
+longer primal feasible — the solve then falls back to a cold start, never
+to a wrong answer).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
+from repro.lp.revised import Basis, RevisedSimplexSolver, solve_lp_revised
 from repro.lp.scipy_backend import solve_lp_scipy
 from repro.lp.simplex import DenseSimplexSolver
 
-__all__ = ["get_backend", "available_backends", "register_backend"]
+__all__ = [
+    "BackendSpec",
+    "available_backends",
+    "get_backend",
+    "get_backend_spec",
+    "register_backend",
+    "solve_with_backend",
+]
 
 Backend = Callable[[LinearProgram], LPResult]
+WarmBackend = Callable[[LinearProgram, "Basis | None"], LPResult]
 
-_REGISTRY: dict[str, Backend] = {}
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A registered LP solver and its capabilities."""
+
+    name: str
+    solve: Backend
+    solve_warm: WarmBackend | None = None
+
+    @property
+    def supports_warm_start(self) -> bool:
+        """True when the backend can reuse a carried basis."""
+        return self.solve_warm is not None
 
 
-def register_backend(name: str, fn: Backend) -> None:
-    """Register a callable ``LinearProgram -> LPResult`` under ``name``."""
-    _REGISTRY[name] = fn
+_REGISTRY: dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str, fn: Backend, *, solve_warm: WarmBackend | None = None
+) -> None:
+    """Register a callable ``LinearProgram -> LPResult`` under ``name``.
+
+    ``solve_warm`` (``(LinearProgram, Basis | None) -> LPResult``) marks
+    the backend as warm-start capable.
+    """
+    _REGISTRY[name] = BackendSpec(name=name, solve=fn, solve_warm=solve_warm)
 
 
 def available_backends() -> list[str]:
@@ -31,8 +78,8 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def get_backend(name: str) -> Backend:
-    """Look up a backend; raises ``KeyError`` with the valid names."""
+def get_backend_spec(name: str) -> BackendSpec:
+    """Look up a backend spec; raises ``KeyError`` with the valid names."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -41,6 +88,29 @@ def get_backend(name: str) -> Backend:
         ) from None
 
 
+def get_backend(name: str) -> Backend:
+    """Look up a backend's plain solve callable (cold start)."""
+    return get_backend_spec(name).solve
+
+
+def solve_with_backend(
+    name: str, lp: LinearProgram, basis: Basis | None = None
+) -> LPResult:
+    """Solve ``lp`` with backend ``name``, warm-starting when possible.
+
+    The ``basis`` is forwarded only to warm-capable backends; others
+    ignore it, so drivers can thread bases unconditionally.
+    """
+    spec = get_backend_spec(name)
+    if basis is not None and spec.solve_warm is not None:
+        return spec.solve_warm(lp, basis)
+    return spec.solve(lp)
+
+
 register_backend("dense_simplex", DenseSimplexSolver().solve)
 register_backend("dense_simplex_bland", DenseSimplexSolver(pivot="bland").solve)
 register_backend("scipy", solve_lp_scipy)
+register_backend("revised", solve_lp_revised, solve_warm=solve_lp_revised)
+# "tableau" is the paper-facing alias for the dense Gauss–Jordan solver,
+# so configs read naturally as lp_backend="tableau" vs lp_backend="revised".
+register_backend("tableau", DenseSimplexSolver().solve)

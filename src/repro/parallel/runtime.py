@@ -25,7 +25,14 @@ from repro.errors import CommunicatorError, ParallelError
 from repro.parallel.comm import Comm
 from repro.parallel.machine import CM5, MachineModel
 
-__all__ = ["VirtualMachine", "VMRun"]
+__all__ = ["DEFAULT_RECV_TIMEOUT", "VirtualMachine", "VMRun"]
+
+#: Host seconds a blocked receive waits before declaring deadlock.  One
+#: constant shared by :class:`VirtualMachine` and the high-level drivers
+#: (:func:`repro.core.parallel_igp.parallel_repartition`), so deadlock
+#: diagnostics trip after the same interval no matter which entry point
+#: built the machine.
+DEFAULT_RECV_TIMEOUT = 120.0
 
 
 @dataclass
@@ -72,7 +79,7 @@ class VirtualMachine:
         self,
         num_ranks: int,
         machine: MachineModel = CM5,
-        recv_timeout: float = 120.0,
+        recv_timeout: float = DEFAULT_RECV_TIMEOUT,
     ):
         if num_ranks < 1:
             raise ParallelError("need at least one rank")
@@ -136,6 +143,11 @@ class VirtualMachine:
         self._failed_rank = None
         self._messages = 0
         self._bytes = 0
+        # A poisoned or aborted previous run can leave messages in flight
+        # (ranks die mid-exchange); without this reset a reused machine
+        # would mis-deliver them to the new program or falsely report
+        # them as "unconsumed" at its exit.
+        self._mail.clear()
 
         comms = [Comm(self, r) for r in range(self.num_ranks)]
         results: list[Any] = [None] * self.num_ranks

@@ -75,6 +75,21 @@ class TestDeletion:
         res = apply_delta(base, GraphDelta(deleted_edges=[(3, 0)]))
         assert not res.graph.has_edge(0, 3)
 
+    def test_delete_many_edges_mixed_orientation(self):
+        """Batch deletions with reversed endpoints all match (vectorized
+        np.isin path): a cycle graph loses every other edge."""
+        n = 40
+        ring = [(i, (i + 1) % n) for i in range(n)]
+        g = CSRGraph.from_edges(n, ring)
+        # delete the even-indexed ring edges, every one given reversed
+        doomed = [((i + 1) % n, i) for i in range(0, n, 2)]
+        res = apply_delta(g, GraphDelta(deleted_edges=doomed))
+        assert res.graph.num_edges == n - len(doomed)
+        for u, v in doomed:
+            assert not res.graph.has_edge(v, u)
+        for i in range(1, n, 2):
+            assert res.graph.has_edge(i, (i + 1) % n)
+
     def test_combined_add_and_delete(self, base):
         delta = GraphDelta(
             num_added_vertices=1,

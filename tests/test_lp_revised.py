@@ -1,0 +1,264 @@
+"""Revised simplex: agreement with the dense tableau, warm-start contract.
+
+Property tests assert the revised backend returns the same optimal
+objective as the dense tableau (and scipy/HiGHS) on randomized
+balance/refinement-family LPs, and — on transportation LPs with integral
+data — an integral vertex.  The warm-start tests pin down the contract:
+a carried basis that is still primal feasible skips Phase 1 entirely; a
+basis that no longer fits falls back to a cold start, never to a wrong
+answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import (
+    Basis,
+    BasisCarrier,
+    DenseSimplexSolver,
+    LinearProgram,
+    LPStatus,
+    RevisedSimplexSolver,
+    available_backends,
+    get_backend_spec,
+    solve_lp_revised,
+    solve_lp_scipy,
+    solve_with_backend,
+)
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+nonneg = st.floats(min_value=0, max_value=10, allow_nan=False)
+
+
+@st.composite
+def bounded_lps(draw):
+    n = draw(st.integers(1, 5))
+    m = draw(st.integers(0, 4))
+    c = [draw(finite) for _ in range(n)]
+    a = [[draw(finite) for _ in range(n)] for _ in range(m)]
+    b = [draw(nonneg) for _ in range(m)]  # b >= 0 keeps x=0 feasible
+    ub = [draw(st.floats(min_value=0.125, max_value=8)) for _ in range(n)]
+    return LinearProgram(
+        c=np.array(c), A_ub=np.array(a).reshape(m, n), b_ub=np.array(b),
+        upper_bounds=np.array(ub),
+    )
+
+
+@st.composite
+def balance_like_lps(draw):
+    """Randomized balance-stage LPs: circulation rows, finite capacities."""
+    p = draw(st.integers(2, 5))
+    k = draw(st.integers(1, 8))
+    pairs = []
+    for _ in range(k):
+        i = draw(st.integers(0, p - 1))
+        j = draw(st.integers(0, p - 1))
+        if i != j and (i, j) not in pairs:
+            pairs.append((i, j))
+    if not pairs:
+        pairs = [(0, 1)]
+    v = len(pairs)
+    a_ub = np.zeros((p, v))
+    for idx, (i, j) in enumerate(pairs):
+        a_ub[i, idx] -= 1.0
+        a_ub[j, idx] += 1.0
+    loads = np.array([draw(st.integers(0, 12)) for _ in range(p)], dtype=float)
+    target = float(np.ceil(loads.sum() / p))
+    caps = np.array([draw(st.integers(1, 9)) for _ in range(v)], dtype=float)
+    return LinearProgram(
+        c=np.ones(v),
+        A_ub=a_ub,
+        b_ub=target - loads,
+        upper_bounds=caps,
+        variable_names=[f"l{i}_{j}" for i, j in pairs],
+    )
+
+
+class TestAgreementWithTableau:
+    @given(bounded_lps())
+    @settings(max_examples=60, deadline=None)
+    def test_same_objective_on_random_bounded_lps(self, lp):
+        tab = DenseSimplexSolver().solve(lp)
+        rev = RevisedSimplexSolver().solve(lp)
+        assert rev.status is LPStatus.OPTIMAL
+        assert tab.status is LPStatus.OPTIMAL
+        np.testing.assert_allclose(rev.objective, tab.objective, rtol=1e-6, atol=1e-6)
+        assert lp.is_feasible(rev.x, tol=1e-6)
+        ref = solve_lp_scipy(lp)
+        np.testing.assert_allclose(rev.objective, ref.objective, rtol=1e-6, atol=1e-6)
+
+    @given(balance_like_lps())
+    @settings(max_examples=60, deadline=None)
+    def test_balance_family_status_objective_and_integrality(self, lp):
+        tab = DenseSimplexSolver().solve(lp)
+        rev = RevisedSimplexSolver().solve(lp)
+        assert rev.status is tab.status
+        if tab.status is LPStatus.OPTIMAL:
+            np.testing.assert_allclose(
+                rev.objective, tab.objective, rtol=1e-7, atol=1e-7
+            )
+            # TU matrix + integral data => both engines land on integral
+            # vertices (the paper's movement counts must be realisable).
+            assert np.allclose(rev.x, np.round(rev.x), atol=1e-7)
+            assert np.allclose(tab.x, np.round(tab.x), atol=1e-7)
+            assert lp.is_feasible(rev.x, tol=1e-6)
+
+    def test_infeasible_detected(self):
+        lp = LinearProgram(
+            c=[1.0], A_ub=[[-1.0]], b_ub=[-3.0], upper_bounds=[1.0]
+        )
+        assert RevisedSimplexSolver().solve(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded_detected(self):
+        lp = LinearProgram(c=[-1.0, 0.0], A_ub=[[0.0, 1.0]], b_ub=[5.0])
+        assert RevisedSimplexSolver().solve(lp).status is LPStatus.UNBOUNDED
+
+    def test_no_constraints_box_optimum(self):
+        lp = LinearProgram(c=[-2.0, 3.0], upper_bounds=[4.0, 4.0])
+        res = RevisedSimplexSolver().solve(lp)
+        assert res.is_optimal
+        np.testing.assert_allclose(res.x, [4.0, 0.0])
+        assert res.objective == pytest.approx(-8.0)
+
+    def test_maximize_orientation(self):
+        lp = LinearProgram(
+            c=[1.0, 2.0], A_ub=[[1.0, 1.0]], b_ub=[4.0],
+            upper_bounds=[3.0, 3.0], maximize=True,
+        )
+        rev = RevisedSimplexSolver().solve(lp)
+        tab = DenseSimplexSolver().solve(lp)
+        assert rev.objective == pytest.approx(tab.objective) == pytest.approx(7.0)
+
+
+def _balance_lp(loads, caps, pairs):
+    p = len(loads)
+    v = len(pairs)
+    a_ub = np.zeros((p, v))
+    for k, (i, j) in enumerate(pairs):
+        a_ub[i, k] -= 1.0
+        a_ub[j, k] += 1.0
+    target = float(np.ceil(np.sum(loads) / p))
+    return LinearProgram(
+        c=np.ones(v),
+        A_ub=a_ub,
+        b_ub=target - np.asarray(loads, dtype=float),
+        upper_bounds=np.asarray(caps, dtype=float),
+        variable_names=[f"l{i}_{j}" for i, j in pairs],
+    )
+
+
+class TestWarmStart:
+    pairs = [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2), (3, 0), (0, 3)]
+
+    def test_resolve_same_lp_skips_phase1_with_zero_pivots(self):
+        lp = _balance_lp([10, 2, 3, 1], [20] * 8, self.pairs)
+        solver = RevisedSimplexSolver()
+        cold, cold_stats = solver.solve_with_stats(lp)
+        assert cold.is_optimal and cold_stats.phase1_iterations > 0
+        warm, warm_stats = solver.solve_with_stats(lp, basis=cold.extra["basis"])
+        assert warm.is_optimal
+        assert warm_stats.warm_start_used
+        assert warm_stats.phase1_iterations == 0
+        assert warm_stats.total_iterations == 0  # basis is already optimal
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_feasible_carried_basis_skips_phase1_on_perturbed_lp(self):
+        solver = RevisedSimplexSolver()
+        lp1 = _balance_lp([10, 2, 3, 1], [20] * 8, self.pairs)
+        r1 = solver.solve(lp1)
+        # Small load drift: the optimal basis of lp1 stays feasible.
+        lp2 = _balance_lp([10, 3, 2, 1], [20] * 8, self.pairs)
+        warm, stats = solver.solve_with_stats(lp2, basis=r1.extra["basis"])
+        assert warm.is_optimal
+        assert stats.warm_start_used
+        assert stats.phase1_iterations == 0
+        cold = solver.solve(lp2)
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_stale_basis_falls_back_to_cold_start(self):
+        solver = RevisedSimplexSolver()
+        lp1 = _balance_lp([10, 2, 3, 1], [20] * 8, self.pairs)
+        r1 = solver.solve(lp1)
+        # Violent drift: the carried basis is no longer primal feasible.
+        lp2 = _balance_lp([1, 40, 1, 38], [20] * 8, self.pairs)
+        warm, stats = solver.solve_with_stats(lp2, basis=r1.extra["basis"])
+        assert warm.is_optimal
+        assert not stats.warm_start_used  # fell back, not wrong
+        cold = solver.solve(lp2)
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_basis_from_unrelated_lp_is_harmless(self):
+        solver = RevisedSimplexSolver()
+        other = LinearProgram(
+            c=[1.0, -1.0], A_ub=[[1.0, 1.0]], b_ub=[2.0],
+            upper_bounds=[2.0, 2.0], variable_names=["u", "v"],
+        )
+        stale = solver.solve(other).extra["basis"]
+        lp = _balance_lp([10, 2, 3, 1], [20] * 8, self.pairs)
+        warm = solver.solve(lp, basis=stale)
+        cold = solver.solve(lp)
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_multi_stage_warm_uses_fewer_pivots_than_tableau(self):
+        rng = np.random.default_rng(11)
+        solver = RevisedSimplexSolver()
+        tableau = DenseSimplexSolver()
+        loads = np.array([12.0, 4.0, 6.0, 2.0])
+        basis = None
+        warm_total = tableau_total = 0
+        for _ in range(6):
+            loads = np.maximum(loads + rng.integers(-2, 3, 4), 1.0)
+            lp = _balance_lp(loads, [25] * 8, self.pairs)
+            warm, ws = solver.solve_with_stats(lp, basis=basis)
+            tab, ts = tableau.solve_with_stats(lp)
+            assert warm.is_optimal and tab.is_optimal
+            assert warm.objective == pytest.approx(tab.objective)
+            basis = warm.extra["basis"]
+            warm_total += ws.total_iterations
+            tableau_total += ts.total_iterations
+        assert warm_total < tableau_total
+
+    def test_carrier_only_stores_optimal_bases(self):
+        carrier = BasisCarrier()
+        solver = RevisedSimplexSolver()
+        lp_ok = _balance_lp([10, 2, 3, 1], [20] * 8, self.pairs)
+        carrier.update_from(solver.solve(lp_ok))
+        kept = carrier.basis
+        assert isinstance(kept, Basis) and kept.num_basic > 0
+        infeasible = LinearProgram(
+            c=[1.0], A_ub=[[-1.0]], b_ub=[-3.0], upper_bounds=[1.0]
+        )
+        carrier.update_from(RevisedSimplexSolver().solve(infeasible))
+        assert carrier.basis is kept  # unchanged by the failed solve
+        carrier.reset()
+        assert carrier.basis is None
+
+
+class TestBackendRegistry:
+    def test_revised_and_tableau_registered(self):
+        names = available_backends()
+        assert "revised" in names and "tableau" in names
+
+    def test_revised_spec_is_warm_capable(self):
+        assert get_backend_spec("revised").supports_warm_start
+        assert not get_backend_spec("tableau").supports_warm_start
+        assert not get_backend_spec("dense_simplex").supports_warm_start
+
+    def test_solve_with_backend_threads_basis(self):
+        lp = _balance_lp([10, 2, 3, 1], [20] * 8, TestWarmStart.pairs)
+        first = solve_with_backend("revised", lp)
+        second = solve_with_backend("revised", lp, first.extra["basis"])
+        assert second.extra["warm_start"]
+        assert second.objective == pytest.approx(first.objective)
+
+    def test_solve_with_backend_ignores_basis_for_cold_backends(self):
+        lp = _balance_lp([10, 2, 3, 1], [20] * 8, TestWarmStart.pairs)
+        basis = solve_lp_revised(lp).extra["basis"]
+        res = solve_with_backend("tableau", lp, basis)
+        assert res.is_optimal
+
+    def test_unknown_backend_raises_with_names(self):
+        with pytest.raises(KeyError, match="revised"):
+            get_backend_spec("nonsense")

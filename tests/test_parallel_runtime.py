@@ -165,3 +165,42 @@ class TestFailureHandling:
 
         assert vm.run(prog).results == [2, 2]
         assert vm.run(prog).results == [2, 2]
+
+    def test_machine_reusable_after_failed_run(self):
+        """A poisoned run must not leak its in-flight mail into the next.
+
+        Rank 0 sends before rank 1 dies, so the message sits undelivered
+        in the mailbox when the run aborts.  Without clearing the mailbox
+        a reused machine would hand that stale payload to the next
+        program's recv (mis-delivery) or flag it as "unconsumed" at exit.
+        """
+        vm = VirtualMachine(2, machine=ZERO_COST, recv_timeout=10)
+
+        def crashing(comm):
+            if comm.rank == 0:
+                comm.send("stale", dest=1, tag=7)
+                return None
+            raise RuntimeError("rank 1 dies before receiving")
+
+        with pytest.raises(ParallelError, match="rank 1 dies"):
+            vm.run(crashing)
+
+        def clean(comm):
+            if comm.rank == 0:
+                comm.send("fresh", dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        run = vm.run(clean)  # would raise "unconsumed messages" pre-fix
+        assert run.results[1] == "fresh"
+
+    def test_default_recv_timeout_shared_constant(self):
+        """VirtualMachine and parallel_repartition share one default."""
+        import inspect
+
+        from repro.core.parallel_igp import parallel_repartition
+        from repro.parallel.runtime import DEFAULT_RECV_TIMEOUT
+
+        assert VirtualMachine(1).recv_timeout == DEFAULT_RECV_TIMEOUT
+        sig = inspect.signature(parallel_repartition)
+        assert sig.parameters["recv_timeout"].default == DEFAULT_RECV_TIMEOUT
