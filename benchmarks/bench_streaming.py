@@ -1,0 +1,121 @@
+"""Streaming repartitioning: per-delta vs batched cost/quality.
+
+The amortization claim behind the streaming layer: composing a chain of
+small deltas into one batch and repartitioning once costs less wall-clock
+than repartitioning after every delta, at comparable quality.  This
+benchmark measures both regimes on
+
+* the dataset-A refinement chain (the paper's incremental workload), and
+* a social-graph churn stream (deletion-heavy, non-mesh),
+
+and fails (exit 1) if batching does not beat per-delta total
+repartitioning wall-time on the dataset-A chain.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py           # full scale
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.workloads import social_churn_stream
+from repro.core.streaming import FlushPolicy, StreamingPartitioner
+from repro.mesh.sequences import dataset_a
+from repro.spectral.rsb import rsb_partition
+
+PER_DELTA = FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=1)
+BATCH_ALL = FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=None)
+
+
+def run_session(base, part, deltas, p, policy, lp_backend):
+    """One streaming session; returns summary metrics."""
+    sp = StreamingPartitioner(
+        base,
+        part.copy(),
+        num_partitions=p,
+        policy=policy,
+        lp_backend=lp_backend,
+    )
+    sp.extend(deltas)
+    sp.flush()
+    final = sp.history[-1].result.quality_final
+    return {
+        "batches": len(sp.history),
+        "wall_s": sp.total_wall_s(),
+        "stages": sum(r.result.num_stages for r in sp.history),
+        "lp_iters": sum(
+            s.lp_iterations for r in sp.history for s in r.result.stages
+        ),
+        "cut": final.cut_total,
+        "imbal": final.imbalance,
+        "fallbacks": sum(1 for r in sp.history if r.fallback),
+    }
+
+
+def compare(name, base, deltas, p, lp_backend):
+    part = rsb_partition(base, p, seed=0)
+    per = run_session(base, part, deltas, p, PER_DELTA, lp_backend)
+    bat = run_session(base, part, deltas, p, BATCH_ALL, lp_backend)
+    print(f"\n== {name}: |V|={base.num_vertices}, {len(deltas)} deltas, P={p} ==")
+    hdr = f"{'regime':>10}{'batches':>9}{'wall_s':>10}{'stages':>8}{'lp_iters':>10}{'cut':>8}{'imbal':>8}"
+    print(hdr)
+    for label, m in (("per-delta", per), ("batched", bat)):
+        print(
+            f"{label:>10}{m['batches']:>9}{m['wall_s']:>10.4f}{m['stages']:>8}"
+            f"{m['lp_iters']:>10}{m['cut']:>8.0f}{m['imbal']:>8.3f}"
+        )
+    speedup = per["wall_s"] / max(bat["wall_s"], 1e-12)
+    print(f"batched speedup over per-delta: {speedup:.2f}x")
+    return per, bat
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced scale for CI (seconds, not minutes)")
+    ap.add_argument("--lp-backend", default="tableau", dest="lp_backend")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        scale, p = 0.25, 8
+        churn_n, churn_steps = 150, 6
+    else:
+        scale, p = 1.0, 32
+        churn_n, churn_steps = 1200, 16
+
+    seq = dataset_a(scale=scale)
+    per_a, bat_a = compare(
+        "dataset-A chain", seq.graphs[0], list(seq.deltas), p, args.lp_backend
+    )
+
+    base, deltas = social_churn_stream(n=churn_n, steps=churn_steps, seed=7)
+    compare("social churn", base, deltas, p, args.lp_backend)
+
+    # Gate on the deterministic work counters (batches and simplex
+    # pivots) so a preempted CI runner cannot flip the verdict; the
+    # wall-clock comparison is enforced only at full scale, where the
+    # margin is several hundred milliseconds.
+    failures = []
+    if bat_a["batches"] >= per_a["batches"]:
+        failures.append("batched did not reduce repartition batch count")
+    if bat_a["lp_iters"] >= per_a["lp_iters"]:
+        failures.append("batched did not reduce total simplex pivots")
+    if not args.smoke and bat_a["wall_s"] >= per_a["wall_s"]:
+        failures.append("batched did not beat per-delta wall-time")
+    if failures:
+        print("\nFAIL (dataset-A chain): " + "; ".join(failures))
+        return 1
+    print(
+        "\nOK: batched beats per-delta on the dataset-A chain "
+        f"({per_a['lp_iters']} -> {bat_a['lp_iters']} pivots, "
+        f"{per_a['wall_s']:.4f}s -> {bat_a['wall_s']:.4f}s wall)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,17 +46,20 @@ from repro.errors import (
     RepartitionInfeasibleError,
     ReproError,
 )
-from repro.graph import CSRGraph, GraphDelta, apply_delta
+from repro.graph import CSRGraph, GraphDelta, apply_delta, compose_deltas
 from repro.core import (
+    FlushPolicy,
     IGPConfig,
     IncrementalGraphPartitioner,
     PartitionQuality,
+    StreamingPartitioner,
     evaluate_partition,
 )
 from repro.spectral import rsb_partition
 
 __all__ = [
     "CSRGraph",
+    "FlushPolicy",
     "GraphDelta",
     "GraphError",
     "IGPConfig",
@@ -68,8 +71,10 @@ __all__ = [
     "PartitioningError",
     "RepartitionInfeasibleError",
     "ReproError",
+    "StreamingPartitioner",
     "__version__",
     "apply_delta",
+    "compose_deltas",
     "evaluate_partition",
     "rsb_partition",
 ]

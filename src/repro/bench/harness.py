@@ -112,7 +112,7 @@ def _igp_rows(
     with_parallel: bool,
     machine: MachineModel,
     parallel_ranks: int,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
 ) -> list[ExperimentRow]:
     rows = []
     for refine, name in ((False, "IGP"), (True, "IGPR")):
@@ -194,7 +194,7 @@ def run_figure11(
     parallel_versions: tuple[int, ...] | None = None,
     machine: MachineModel = CM5,
     parallel_ranks: int = 32,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
 ) -> list[ExperimentRow]:
     """Dataset-A experiment: chained refinements, SB vs IGP vs IGPR.
 
@@ -284,7 +284,7 @@ def run_figure14(
     parallel_versions: tuple[int, ...] | None = None,
     machine: MachineModel = CM5,
     parallel_ranks: int = 32,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
 ) -> list[ExperimentRow]:
     """Dataset-B experiment: star variants off one base partitioning.
 
@@ -345,7 +345,7 @@ def run_speedup_curve(
     rank_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
     refine: bool = True,
     machine: MachineModel = CM5,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
 ) -> list[dict]:
     """E5: simulated CM-5 speedup of the IGP pipeline vs rank count."""
     cfg = IGPConfig(

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.graph.incremental import GraphDelta
+from repro.graph.incremental import GraphDelta, apply_delta
 from repro.graph.generators import random_geometric_graph
 from repro.mesh.sequences import MeshSequence, dataset_a, dataset_b
 from repro.rng import make_rng
@@ -22,6 +22,7 @@ __all__ = [
     "small_dataset_a",
     "small_dataset_b",
     "geometric_hotspot_delta",
+    "social_churn_stream",
 ]
 
 
@@ -87,3 +88,168 @@ def geometric_hotspot_delta(
         num_added_vertices=extra, added_edges=np.asarray(edges), added_coords=pts
     )
     return g, delta
+
+
+def _is_connected_over(adj: dict[int, set[int]], live: set[int]) -> bool:
+    """BFS connectivity of the subgraph induced by ``live`` in ``adj``."""
+    if not live:
+        return True
+    start = next(iter(live))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in adj[u]:
+                if v in live and v not in seen:
+                    seen.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    return len(seen) == len(live)
+
+
+def _churn_delta(
+    cur: CSRGraph,
+    rng,
+    *,
+    grow: int,
+    kill: int,
+    attach: int,
+    edge_add: int,
+    edge_del: int,
+) -> GraphDelta:
+    """One churn step against ``cur``: interleaved add/delete of vertices
+    and edges, constrained to keep the graph connected (the IGP layering
+    assumes a connected ``G'``)."""
+    n_cur = cur.num_vertices
+    adj = {u: set(int(v) for v in cur.neighbors(u)) for u in range(n_cur)}
+    live = set(range(n_cur))
+
+    # Vertex deletions: leaf-heavy churn (accounts leaving), skipping any
+    # deletion that would disconnect the survivors.
+    dead: list[int] = []
+    degree_order = sorted(range(n_cur), key=lambda u: (len(adj[u]), rng.random()))
+    for u in degree_order:
+        if len(dead) >= kill:
+            break
+        trial = live - {u}
+        if len(trial) >= 2 and _is_connected_over(adj, trial):
+            dead.append(u)
+            live = trial
+
+    # Edge deletions among survivors: only cycle edges (connectivity kept).
+    survivors = np.array(sorted(live), dtype=np.int64)
+    edge_pool = [
+        (int(u), int(v))
+        for u, v in cur.edge_array()
+        if int(u) in live and int(v) in live
+    ]
+    rng.shuffle(edge_pool)
+    deleted_edges: list[tuple[int, int]] = []
+    for u, v in edge_pool:
+        if len(deleted_edges) >= edge_del:
+            break
+        adj[u].discard(v)
+        adj[v].discard(u)
+        if _is_connected_over(adj, live):
+            deleted_edges.append((u, v))
+        else:
+            adj[u].add(v)
+            adj[v].add(u)
+
+    # New edges between existing survivors (friendships forming), sampled
+    # preferentially toward high-degree vertices.
+    deg = np.array([len(adj[int(u)]) for u in survivors], dtype=np.float64)
+    prob = (deg + 1.0) / (deg + 1.0).sum()
+    added_edges: list[tuple[int, int]] = []
+    seen_pairs = set()
+    for _ in range(4 * edge_add):
+        if len(added_edges) >= edge_add:
+            break
+        u = int(survivors[rng.choice(len(survivors), p=prob)])
+        v = int(survivors[rng.integers(len(survivors))])
+        k = (min(u, v), max(u, v))
+        if u == v or v in adj[u] or k in seen_pairs:
+            continue
+        seen_pairs.add(k)
+        added_edges.append(k)
+        adj[u].add(v)
+        adj[v].add(u)
+
+    # New vertices (accounts joining): preferential attachment to
+    # surviving vertices, plus a chain edge between consecutive newcomers
+    # so some additions cluster together.
+    for t in range(grow):
+        new_id = n_cur + t
+        targets = rng.choice(
+            len(survivors), size=min(attach, len(survivors)), replace=False, p=prob
+        )
+        for ti in targets:
+            added_edges.append((int(survivors[ti]), new_id))
+        if t > 0 and rng.random() < 0.5:
+            added_edges.append((n_cur + t - 1, new_id))
+
+    return GraphDelta(
+        num_added_vertices=grow,
+        added_edges=np.asarray(added_edges, dtype=np.int64).reshape(-1, 2),
+        deleted_vertices=np.asarray(dead, dtype=np.int64),
+        deleted_edges=np.asarray(deleted_edges, dtype=np.int64).reshape(-1, 2),
+    )
+
+
+def social_churn_stream(
+    n: int = 400,
+    steps: int = 10,
+    seed: int = 3,
+    *,
+    attach: int = 3,
+    grow: int = 5,
+    kill: int = 2,
+    edge_add: int = 4,
+    edge_del: int = 3,
+) -> tuple[CSRGraph, list[GraphDelta]]:
+    """Social-graph churn workload: a preferential-attachment base graph
+    plus a chain of interleaved add/delete deltas.
+
+    Unlike mesh refinement (pure localized growth), every churn delta
+    mixes vertex additions, *vertex deletions*, edge additions and edge
+    deletions — the deletion-heavy regime the streaming layer must
+    handle.  ``deltas[i]`` is relative to the graph produced by
+    ``deltas[:i]`` applied to the base, so the chain feeds directly into
+    :func:`repro.graph.compose_deltas` or
+    :class:`repro.core.streaming.StreamingPartitioner`.  Deltas never
+    disconnect the graph (the IGP layering assumes connectivity).
+
+    Returns ``(base_graph, deltas)``.
+    """
+    if n < attach + 2:
+        raise ValueError("need at least attach + 2 vertices")
+    rng = make_rng(seed)
+    core = attach + 1
+    edges = [(i, j) for i in range(core) for j in range(i + 1, core)]
+    deg = np.zeros(n, dtype=np.float64)
+    deg[:core] = core - 1
+    for v in range(core, n):
+        prob = (deg[:v] + 1.0) / (deg[:v] + 1.0).sum()
+        targets = rng.choice(v, size=min(attach, v), replace=False, p=prob)
+        for t in targets:
+            edges.append((int(t), v))
+            deg[t] += 1
+            deg[v] += 1
+    base = CSRGraph.from_edges(n, edges)
+
+    deltas: list[GraphDelta] = []
+    cur = base
+    for _ in range(steps):
+        d = _churn_delta(
+            cur,
+            rng,
+            grow=grow,
+            kill=kill,
+            attach=attach,
+            edge_add=edge_add,
+            edge_del=edge_del,
+        )
+        deltas.append(d)
+        cur = apply_delta(cur, d).graph
+    return base, deltas

@@ -9,6 +9,9 @@ Subcommands:
 * ``repro-igp speedup [--scale S]`` — the CM-5 speedup curve (E5).
 * ``repro-igp partition GRAPH.metis -p P [-o OUT]`` — partition a METIS
   file with RSB and print/save the vector.
+* ``repro-igp stream [--source dataset-a|churn]`` — run a streaming
+  repartition session (batched deltas under a flush policy) and print the
+  per-batch log.
 """
 
 from __future__ import annotations
@@ -96,6 +99,52 @@ def _cmd_partition(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.bench.workloads import social_churn_stream
+    from repro.core.streaming import FlushPolicy, StreamingPartitioner
+    from repro.mesh.sequences import dataset_a
+    from repro.spectral.rsb import rsb_partition
+
+    if args.source == "dataset-a":
+        seq = dataset_a(scale=args.scale)
+        base, deltas = seq.graphs[0], list(seq.deltas)
+    else:
+        base, deltas = social_churn_stream(
+            n=max(int(round(400 * args.scale)), 32),
+            steps=args.steps,
+            seed=args.seed,
+        )
+    part = rsb_partition(base, args.partitions, seed=args.seed)
+
+    if args.per_delta:
+        policy = FlushPolicy(
+            weight_fraction=None, imbalance_limit=None, max_pending=1
+        )
+    else:
+        policy = FlushPolicy(
+            weight_fraction=args.flush_weight,
+            imbalance_limit=args.flush_imbalance,
+            max_pending=args.max_pending,
+        )
+    sp = StreamingPartitioner(
+        base,
+        part,
+        num_partitions=args.partitions,
+        policy=policy,
+        lp_backend=args.lp_backend,
+    )
+    sp.extend(deltas)
+    sp.flush()
+    print(sp.describe())
+    fallbacks = sum(1 for r in sp.history if r.fallback)
+    print(
+        f"{len(deltas)} deltas -> {len(sp.history)} repartition batches "
+        f"({fallbacks} chunked fallbacks), "
+        f"repartition wall-time {sp.total_wall_s():.3f}s"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     ap = argparse.ArgumentParser(
@@ -112,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="virtual CM-5 ranks for Time-p")
     common.add_argument("--no-parallel", action="store_true",
                         help="skip the simulated-machine timings")
-    common.add_argument("--lp-backend", default="dense_simplex",
+    common.add_argument("--lp-backend", default="tableau",
                         dest="lp_backend",
                         help="LP solver backend for the balance/refinement "
                              "LPs (e.g. tableau, revised, scipy; see "
@@ -121,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig11", parents=[common]).set_defaults(fn=_cmd_fig11)
     sub.add_parser("fig14", parents=[common]).set_defaults(fn=_cmd_fig14)
     sub.add_parser("speedup", parents=[common]).set_defaults(fn=_cmd_speedup)
+
+    st = sub.add_parser("stream", parents=[common],
+                        help="streaming repartition session (batched deltas)")
+    st.add_argument("--source", choices=("dataset-a", "churn"),
+                    default="dataset-a",
+                    help="delta stream: the dataset-A refinement chain or "
+                         "a social-graph churn stream")
+    st.add_argument("--steps", type=int, default=10,
+                    help="churn stream length (ignored for dataset-a)")
+    st.add_argument("--seed", type=int, default=0)
+    st.add_argument("--flush-weight", type=float, default=0.5,
+                    help="flush when pending churn weight exceeds this "
+                         "fraction of the average partition load")
+    st.add_argument("--flush-imbalance", type=float, default=2.0,
+                    help="flush when the estimated imbalance exceeds this")
+    st.add_argument("--max-pending", type=int, default=None,
+                    help="flush after this many pending deltas")
+    st.add_argument("--per-delta", action="store_true",
+                    help="repartition after every delta (paper regime; "
+                         "disables the batching policy)")
+    st.set_defaults(fn=_cmd_stream)
 
     pp = sub.add_parser("partition")
     pp.add_argument("graph", help="METIS-format graph file")

@@ -39,10 +39,12 @@ from repro.core.partitioner import (
     RepartitionResult,
 )
 from repro.core.multistage import chunked_insertion_repartition
+from repro.core.streaming import BatchRecord, FlushPolicy, StreamingPartitioner
 from repro.core.multilevel import multilevel_bisection_partition
 
 __all__ = [
     "BalanceLP",
+    "BatchRecord",
     "BalanceSolution",
     "IGPConfig",
     "IncrementalGraphPartitioner",
@@ -50,6 +52,7 @@ __all__ = [
     "PartitionQuality",
     "RefineStats",
     "RefinementPass",
+    "FlushPolicy",
     "RepartitionResult",
     "apply_moves",
     "assign_new_vertices",
@@ -63,6 +66,7 @@ __all__ = [
     "partition_sizes",
     "partition_weights",
     "refine_partition",
+    "StreamingPartitioner",
     "select_movers",
     "solve_balance",
 ]

@@ -301,7 +301,7 @@ def solve_balance(
     delta: np.ndarray,
     loads: np.ndarray,
     gamma: float = 1.0,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
     *,
     target: float | None = None,
     basis: Basis | None = None,
@@ -323,7 +323,7 @@ def solve_balance_relaxed(
     delta: np.ndarray,
     loads: np.ndarray,
     target: float,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
     *,
     basis: Basis | None = None,
 ) -> BalanceSolution:

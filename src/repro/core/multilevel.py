@@ -110,7 +110,7 @@ def multilevel_bisection_partition(
     coarsen_to: int = 256,
     max_levels: int = 12,
     seed=None,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
 ) -> np.ndarray:
     """Multilevel partitioner with LP-based uncoarsening repair.
 

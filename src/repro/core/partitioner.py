@@ -60,7 +60,7 @@ class IGPConfig:
     refine_max_rounds: int = 8
     refine_strict_after: int = 2
     refine_min_gain: float = 0.5
-    lp_backend: str = "dense_simplex"
+    lp_backend: str = "tableau"
 
     def __post_init__(self):
         if self.num_partitions < 1:

@@ -149,7 +149,7 @@ def refine_partition(
     max_rounds: int = 8,
     strict_after: int = 2,
     min_gain: float = 0.5,
-    lp_backend: str = "dense_simplex",
+    lp_backend: str = "tableau",
     carrier: BasisCarrier | None = None,
 ) -> tuple[np.ndarray, RefineStats]:
     """Iterated LP refinement; returns ``(new_part, stats)``.

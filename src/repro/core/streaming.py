@@ -1,0 +1,383 @@
+"""Streaming repartitioning: batch a delta stream into repartition-worthy steps.
+
+The paper's incremental model treats one delta at a time, but a production
+system serving continuous change wants to *amortize*: many small deltas
+rarely each deserve an LP solve.  :class:`StreamingPartitioner` is a
+session object that owns the evolving graph and partition vector, folds
+incoming :class:`~repro.graph.incremental.GraphDelta`\\ s into one pending
+composed delta (:func:`~repro.graph.incremental.compose_deltas`), and
+repartitions only when a :class:`FlushPolicy` fires — accumulated churn
+weight crossing a fraction of the average partition load λ, the estimated
+imbalance crossing a threshold, a pending-delta cap, or an explicit
+:meth:`~StreamingPartitioner.flush`.
+
+Warm-start LP bases (:attr:`IncrementalGraphPartitioner.warm_bases`) are
+carried across batches automatically because the session reuses one
+partitioner instance; under ``lp_backend="revised"`` successive batch LPs
+start from the previous batch's basis.  When a batch is too large for any
+admissible γ (:class:`~repro.errors.RepartitionInfeasibleError`), the
+session falls back to the paper's §2.3 chunked insertion
+(:func:`~repro.core.multistage.chunked_insertion_repartition`) before
+giving up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.multistage import chunked_insertion_repartition
+from repro.core.partitioner import (
+    IGPConfig,
+    IncrementalGraphPartitioner,
+    RepartitionResult,
+)
+from repro.errors import GraphError, RepartitionInfeasibleError
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import (
+    DeltaComposer,
+    GraphDelta,
+    apply_delta,
+    carry_partition,
+)
+
+__all__ = ["FlushPolicy", "BatchRecord", "StreamingPartitioner"]
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When does accumulated churn deserve a repartition?
+
+    Attributes
+    ----------
+    weight_fraction:
+        flush when the composed delta's churn weight (added vertex weight
+        plus deleted vertex weight) exceeds this fraction of the average
+        partition load λ; ``None`` disables the trigger.
+    imbalance_limit:
+        flush when the *estimated* post-batch imbalance exceeds this.  The
+        estimate is pessimistic-localized: deletions are charged to their
+        exact partitions (they are known), and all added weight is charged
+        to the heaviest surviving partition — the worst case for the
+        localized growth adaptive meshes produce.  ``None`` disables.
+    max_pending:
+        flush after this many pending deltas (``1`` degenerates to
+        per-delta repartitioning, the paper's original regime); ``None``
+        disables.
+    """
+
+    weight_fraction: float | None = 0.5
+    imbalance_limit: float | None = 2.0
+    max_pending: int | None = None
+
+    def __post_init__(self):
+        if self.weight_fraction is not None and self.weight_fraction <= 0:
+            raise ValueError("weight_fraction must be positive")
+        if self.imbalance_limit is not None and self.imbalance_limit < 1.0:
+            raise ValueError("imbalance_limit must be >= 1")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One flushed batch: what went in, what triggered it, what came out."""
+
+    num_deltas: int
+    composed: GraphDelta
+    trigger: str
+    result: RepartitionResult
+    fallback: bool
+    wall_s: float
+
+    def summary(self) -> str:
+        """Human-readable one-liner for logs and tables."""
+        q = self.result.quality_final
+        return (
+            f"batch[{self.num_deltas} deltas, {self.trigger}] "
+            f"{self.composed.summary()} -> cut={q.cut_total:.0f} "
+            f"imbal={q.imbalance:.3f} stages={self.result.num_stages}"
+            f"{' (chunked fallback)' if self.fallback else ''}"
+        )
+
+
+class StreamingPartitioner:
+    """A repartitioning session over a stream of graph deltas.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.graph import grid_graph, GraphDelta
+    >>> from repro.core.streaming import StreamingPartitioner, FlushPolicy
+    >>> g = grid_graph(8, 8)
+    >>> part = (np.arange(64) // 16).astype(np.int64)
+    >>> sp = StreamingPartitioner(g, part, num_partitions=4,
+    ...                           policy=FlushPolicy(max_pending=2))
+    >>> sp.push(GraphDelta(num_added_vertices=1, added_edges=[(0, 64)])) is None
+    True
+    >>> res = sp.push(GraphDelta(num_added_vertices=1, added_edges=[(7, 65)]))
+    >>> res.quality_final.imbalance <= 2.0 and len(sp.history) == 1
+    True
+
+    Parameters
+    ----------
+    graph / part:
+        the current graph and its partition vector (``-1`` entries are
+        allowed and resolved at the first flush).
+    config / ``**kwargs``:
+        :class:`IGPConfig` or keyword overrides for one, exactly like
+        :class:`IncrementalGraphPartitioner`.
+    policy:
+        the :class:`FlushPolicy`; defaults to the weight/imbalance
+        triggers with no pending cap.
+    strict / accumulate_weights:
+        forwarded to :func:`compose_deltas` / :func:`apply_delta` (see
+        there); streams racing deletions against a moving graph use
+        ``strict=False``.
+    chunk_fraction:
+        chunk size for the §2.3 fallback (see
+        :func:`chunked_insertion_repartition`).
+    max_history:
+        keep at most this many :class:`BatchRecord` entries (oldest dropped
+        first); ``None`` (default) keeps everything.  Long-lived sessions
+        should bound this — each record retains the batch's composed
+        delta and full repartition result.  Session totals
+        (:meth:`total_wall_s`, :attr:`num_batches`) are running
+        accumulators and stay exact regardless.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        part: np.ndarray,
+        config: IGPConfig | None = None,
+        *,
+        policy: FlushPolicy | None = None,
+        strict: bool = True,
+        accumulate_weights: bool = False,
+        chunk_fraction: float = 0.5,
+        max_history: int | None = None,
+        **kwargs,
+    ):
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be >= 1 (or None)")
+        if config is None:
+            config = IGPConfig(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a config object or keyword overrides")
+        part = np.asarray(part, dtype=np.int64).copy()
+        if len(part) != graph.num_vertices:
+            raise GraphError("partition vector does not match the graph")
+        self.config = config
+        self.policy = policy if policy is not None else FlushPolicy()
+        self.strict = strict
+        self.accumulate_weights = accumulate_weights
+        self.chunk_fraction = chunk_fraction
+        self.max_history = max_history
+        self.graph = graph
+        self.part = part
+        self.history: list[BatchRecord] = []
+        self.num_batches = 0
+        self._total_wall_s = 0.0
+        self._igp = IncrementalGraphPartitioner(config)
+        self._composer: DeltaComposer | None = None
+        self._epoch_loads: np.ndarray | None = None
+        self._epoch_unassigned = 0.0
+
+    # ------------------------------------------------------------------
+    # Pending-state inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pending(self) -> int:
+        """Deltas accumulated since the last flush."""
+        return 0 if self._composer is None else self._composer.num_folded
+
+    @property
+    def pending_delta(self) -> GraphDelta | None:
+        """The composed pending delta (``None`` when nothing is pending).
+
+        Materialised on demand; prefer the cheap accessors
+        (:meth:`pending_churn_weight`, :meth:`estimated_imbalance`) in
+        hot loops.
+        """
+        return None if self._composer is None else self._composer.to_delta()
+
+    @property
+    def warm_bases(self) -> tuple:
+        """Carried LP bases of the underlying partitioner."""
+        return self._igp.warm_bases
+
+    def pending_churn_weight(self) -> float:
+        """Added plus deleted vertex weight of the pending composed delta
+        (running totals kept by the composer — O(1))."""
+        c = self._composer
+        if c is None:
+            return 0.0
+        return c.added_weight() + c.deleted_weight()
+
+    def _base_loads(self) -> tuple[np.ndarray, float]:
+        """Per-partition loads of the current graph (cached per flush
+        epoch — graph and partition vector only change at flush).
+
+        Returns ``(loads, unassigned_weight)``; vertices still carrying
+        ``-1`` behave like pending additions (they get a partition only
+        at flush time).
+        """
+        if self._epoch_loads is None:
+            assigned = self.part >= 0
+            self._epoch_loads = np.bincount(
+                self.part[assigned],
+                weights=self.graph.vweights[assigned],
+                minlength=self.config.num_partitions,
+            ).astype(np.float64)
+            self._epoch_unassigned = float(np.sum(self.graph.vweights[~assigned]))
+        return self._epoch_loads, self._epoch_unassigned
+
+    def estimated_imbalance(self) -> float:
+        """Pessimistic post-batch imbalance if flushed right now.
+
+        Deletions are charged exactly (their partitions are known from
+        the current vector); all added weight lands on the heaviest
+        surviving partition — the localized-growth worst case.  Cost per
+        call is O(pending churn + P), not O(|V|).
+        """
+        p = self.config.num_partitions
+        base_loads, unassigned = self._base_loads()
+        added = unassigned
+        c = self._composer
+        loads = base_loads
+        if c is not None and c.deleted_old_vertices:
+            dead = np.fromiter(c.deleted_old_vertices, dtype=np.int64)
+            dead = dead[self.part[dead] >= 0]
+            if len(dead):
+                loads = base_loads - np.bincount(
+                    self.part[dead],
+                    weights=self.graph.vweights[dead],
+                    minlength=p,
+                )
+        if c is not None:
+            added += c.added_weight()
+        total = float(loads.sum()) + added
+        if total <= 0:
+            return 1.0
+        lam = total / p
+        return (float(loads.max()) + added) / lam
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def push(self, delta: GraphDelta) -> RepartitionResult | None:
+        """Fold one delta into the pending batch; flush if the policy fires.
+
+        Returns the batch's :class:`RepartitionResult` when a flush
+        happened, ``None`` while the delta is merely accumulated.
+        """
+        if self._composer is None:
+            self._composer = DeltaComposer(
+                self.graph,
+                strict=self.strict,
+                accumulate_weights=self.accumulate_weights,
+            )
+        self._composer.fold(delta)
+        trigger = self._policy_trigger()
+        if trigger is not None:
+            return self.flush(trigger=trigger)
+        return None
+
+    def extend(self, deltas) -> list[RepartitionResult]:
+        """Push many deltas; returns the results of the flushes that fired."""
+        results = []
+        for d in deltas:
+            res = self.push(d)
+            if res is not None:
+                results.append(res)
+        return results
+
+    def _policy_trigger(self) -> str | None:
+        pol = self.policy
+        if pol.max_pending is not None and self.num_pending >= pol.max_pending:
+            return "max_pending"
+        if pol.weight_fraction is not None:
+            lam = self.graph.total_vertex_weight / self.config.num_partitions
+            if self.pending_churn_weight() > pol.weight_fraction * lam:
+                return "weight"
+        if pol.imbalance_limit is not None:
+            if self.estimated_imbalance() > pol.imbalance_limit:
+                return "imbalance"
+        return None
+
+    def flush(self, trigger: str = "explicit") -> RepartitionResult | None:
+        """Apply the pending composed delta and repartition.
+
+        Falls back to chunked insertion on
+        :class:`RepartitionInfeasibleError`; if even that fails the error
+        propagates and the session state is left untouched (the flush can
+        be retried with a different config).  Returns ``None`` when
+        nothing is pending.
+        """
+        if self._composer is None:
+            return None
+        composed = self._composer.to_delta()
+        num_deltas = self._composer.num_folded
+        t0 = time.perf_counter()
+        inc = apply_delta(
+            self.graph,
+            composed,
+            strict=self.strict,
+            accumulate_weights=self.accumulate_weights,
+        )
+        carried = carry_partition(self.part, inc)
+        fallback = False
+        try:
+            result = self._igp.repartition(inc.graph, carried)
+        except RepartitionInfeasibleError:
+            fallback = True
+            result = chunked_insertion_repartition(
+                inc.graph,
+                carried,
+                self.config,
+                chunk_fraction=self.chunk_fraction,
+            )
+            # The chunked driver ran its own partitioner; carried bases
+            # describe a trajectory that no longer exists.
+            self._igp.reset_warm_start()
+        wall = time.perf_counter() - t0
+        self.graph = inc.graph
+        self.part = result.part
+        self.num_batches += 1
+        self._total_wall_s += wall
+        self.history.append(
+            BatchRecord(
+                num_deltas=num_deltas,
+                composed=composed,
+                trigger=trigger,
+                result=result,
+                fallback=fallback,
+                wall_s=wall,
+            )
+        )
+        if self.max_history is not None and len(self.history) > self.max_history:
+            del self.history[: len(self.history) - self.max_history]
+        self._composer = None
+        self._epoch_loads = None  # new graph/part: recompute lazily
+        return result
+
+    # ------------------------------------------------------------------
+    # Session-level accounting
+    # ------------------------------------------------------------------
+    def total_wall_s(self) -> float:
+        """Wall-clock spent repartitioning across all flushed batches
+        (a running total; unaffected by ``max_history`` trimming)."""
+        return self._total_wall_s
+
+    def describe(self) -> str:
+        """Multi-line session log (one line per flushed batch)."""
+        lines = [
+            f"StreamingPartitioner: |V|={self.graph.num_vertices} "
+            f"P={self.config.num_partitions} batches={self.num_batches} "
+            f"pending={self.num_pending}"
+        ]
+        lines.extend(f"  {rec.summary()}" for rec in self.history)
+        return "\n".join(lines)

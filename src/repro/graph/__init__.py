@@ -13,7 +13,14 @@ index mapping needed to carry a partition vector forward.
 
 from repro.graph.csr import CSRGraph
 from repro.graph.builder import GraphBuilder, from_edge_list, from_adjacency_dict
-from repro.graph.incremental import GraphDelta, IncrementalResult, apply_delta
+from repro.graph.incremental import (
+    DeltaComposer,
+    GraphDelta,
+    IncrementalResult,
+    apply_delta,
+    carry_partition,
+    compose_deltas,
+)
 from repro.graph.operations import (
     bfs_distances,
     bfs_tree,
@@ -37,6 +44,7 @@ from repro.graph.generators import (
 
 __all__ = [
     "CSRGraph",
+    "DeltaComposer",
     "GraphBuilder",
     "GraphDelta",
     "IncrementalResult",
@@ -45,7 +53,9 @@ __all__ = [
     "bfs_tree",
     "binary_tree_graph",
     "boundary_vertices",
+    "carry_partition",
     "complete_graph",
+    "compose_deltas",
     "connected_components",
     "cycle_graph",
     "degree_histogram",

@@ -12,6 +12,16 @@ Vertex naming convention inside a delta: the ``i``-th added vertex is
 referred to as ``n_old + i`` in ``added_edges``, so a delta can connect new
 vertices both to old vertices and to each other — which is what localized
 mesh refinement produces.
+
+Deltas form an algebra: :func:`compose_deltas` fuses a chain
+``[d1, ..., dk]`` (each relative to the graph produced by its
+predecessors) into one equivalent delta relative to the base graph —
+add-then-delete cancels, intermediate vertex ids are renumbered into the
+base frame, and edge deletions/re-additions collapse.  The invariant is
+exact: applying the composed delta yields the *same* graph (ids, weights,
+coordinates) and the same carried partition as applying the chain
+sequentially.  The streaming layer (:mod:`repro.core.streaming`) leans on
+this to batch many small deltas into one repartition-worthy step.
 """
 
 from __future__ import annotations
@@ -23,7 +33,14 @@ import numpy as np
 from repro.errors import GraphError
 from repro.graph.csr import CSRGraph
 
-__all__ = ["GraphDelta", "IncrementalResult", "apply_delta", "carry_partition"]
+__all__ = [
+    "DeltaComposer",
+    "GraphDelta",
+    "IncrementalResult",
+    "apply_delta",
+    "carry_partition",
+    "compose_deltas",
+]
 
 
 def _as_edge_array(edges) -> np.ndarray:
@@ -113,8 +130,31 @@ class IncrementalResult:
     is_new: np.ndarray
 
 
-def apply_delta(graph: CSRGraph, delta: GraphDelta) -> IncrementalResult:
-    """Materialise ``G'`` from ``G`` and a :class:`GraphDelta`."""
+def apply_delta(
+    graph: CSRGraph,
+    delta: GraphDelta,
+    *,
+    strict: bool = True,
+    accumulate_weights: bool = False,
+) -> IncrementalResult:
+    """Materialise ``G'`` from ``G`` and a :class:`GraphDelta`.
+
+    Parameters
+    ----------
+    strict:
+        when True (default), every entry of ``delta.deleted_edges`` must
+        match a live edge of ``graph``; a miss raises :class:`GraphError`
+        instead of being silently ignored (silent misses mask upstream id
+        bugs).  Streams that legitimately race deletions against a moving
+        graph can pass ``strict=False`` to skip non-existent edges.
+    accumulate_weights:
+        an added edge that duplicates a *surviving* old edge (one not
+        deleted by this same delta) silently doubles the edge weight when
+        merged; that is almost always an upstream bug, so it raises
+        :class:`GraphError` by default.  Pass ``accumulate_weights=True``
+        to accept it and sum the weights (interaction costs accumulating
+        onto an existing link).
+    """
     n_old = graph.num_vertices
     n_add = delta.num_added_vertices
 
@@ -166,6 +206,20 @@ def apply_delta(graph: CSRGraph, delta: GraphDelta) -> IncrementalResult:
             np.minimum(old_edges[:, 0], old_edges[:, 1]) * np.int64(n_old)
             + np.maximum(old_edges[:, 0], old_edges[:, 1])
         )
+        if strict:
+            # A deletion key that matches nothing in the pre-delta edge
+            # set is an upstream id bug, not a no-op (deletions of edges
+            # that vanish with a deleted vertex in the same delta are
+            # fine: those edges are still in `keys`).
+            hit = np.isin(del_keys, keys)
+            if not hit.all():
+                missing = de[~hit][:5]
+                raise GraphError(
+                    f"deleted_edges entries do not exist in the graph: "
+                    f"{[tuple(int(x) for x in row) for row in missing]}"
+                    f"{'...' if (~hit).sum() > 5 else ''} "
+                    f"(pass strict=False to skip missing deletions)"
+                )
         keep &= ~np.isin(keys, del_keys)
     old_edges, old_w = old_edges[keep], old_w[keep]
     remapped = old_to_new[old_edges]
@@ -186,6 +240,35 @@ def apply_delta(graph: CSRGraph, delta: GraphDelta) -> IncrementalResult:
             if delta.added_eweights is None
             else np.asarray(delta.added_eweights, dtype=np.float64)
         )
+        if not accumulate_weights:
+            # An added edge that coincides with a surviving old edge — or
+            # with another added edge — would be merged by from_edge_list
+            # with the weights *summed*: a silent doubling for unit
+            # weights.  Compare canonical packed keys in the new id space
+            # (covers both orientations).
+            m = np.int64(n_new)
+            add_keys = (
+                np.minimum(add_remapped[:, 0], add_remapped[:, 1]) * m
+                + np.maximum(add_remapped[:, 0], add_remapped[:, 1])
+            )
+            order = np.argsort(add_keys, kind="stable")
+            internal = np.zeros(len(add_keys), dtype=bool)
+            internal[order[1:]] = add_keys[order[1:]] == add_keys[order[:-1]]
+            clash = internal
+            if len(remapped):
+                surviving_keys = (
+                    np.minimum(remapped[:, 0], remapped[:, 1]) * m
+                    + np.maximum(remapped[:, 0], remapped[:, 1])
+                )
+                clash = clash | np.isin(add_keys, surviving_keys)
+            if clash.any():
+                offending = delta.added_edges[clash][:5]
+                raise GraphError(
+                    f"added_edges duplicate existing or other added edges: "
+                    f"{[tuple(int(x) for x in row) for row in offending]}"
+                    f"{'...' if clash.sum() > 5 else ''} (pass "
+                    f"accumulate_weights=True to sum the weights instead)"
+                )
         all_edges = np.vstack([remapped, add_remapped])
         all_w = np.concatenate([old_w, add_w])
     else:
@@ -241,3 +324,284 @@ def carry_partition(
     survivors = result.old_to_new >= 0
     part[result.old_to_new[survivors]] = old_partition[survivors]
     return part
+
+
+
+class DeltaComposer:
+    """Incrementally fold a chain of deltas into one equivalent delta.
+
+    Encoded ids: ``0..n_old-1`` are base-graph vertices; ``n_old + j`` is
+    the ``j``-th vertex ever added along the chain (cancelled additions
+    keep their slot so encodings stay stable; :meth:`to_delta` compacts
+    them).  An addition-only :meth:`fold` costs time proportional to the
+    folded delta; a fold that deletes vertices additionally pays one
+    O(frame) renumbering pass.  Nothing re-walks the *accumulated* edge
+    state per fold, which is what lets the streaming layer ingest long
+    delta streams cheaply and only materialise the composed
+    :class:`GraphDelta` at flush.
+
+    See :func:`compose_deltas` for the equivalence and cancellation
+    semantics; that function is a thin wrapper over this class.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        strict: bool = True,
+        accumulate_weights: bool = False,
+    ):
+        self.graph = graph
+        self.strict = strict
+        self.accumulate_weights = accumulate_weights
+        self.n_old = graph.num_vertices
+        self.num_folded = 0
+        # Current-frame id -> encoded id; a plain list so addition-only
+        # folds extend in O(delta) instead of copying the whole frame.
+        self._prov: list[int] = list(range(self.n_old))
+        self._add_alive: list[bool] = []
+        self._add_w: list[float] = []
+        self._add_coords: list[np.ndarray | None] = []
+        self._deleted_old: set[int] = set()
+        self._added_edges: dict[tuple[int, int], float] = {}
+        self._deleted_orig: set[tuple[int, int]] = set()
+        self._alive_added_weight = 0.0
+        self._deleted_old_weight = 0.0
+
+    # ------------------------------------------------------------------
+    # Cheap accounting (used by streaming flush policies)
+    # ------------------------------------------------------------------
+    @property
+    def deleted_old_vertices(self) -> set[int]:
+        """Base-graph ids of original vertices deleted so far."""
+        return self._deleted_old
+
+    def added_weight(self) -> float:
+        """Total vertex weight of the surviving additions (running total)."""
+        return self._alive_added_weight
+
+    def deleted_weight(self) -> float:
+        """Total vertex weight of the deleted original vertices."""
+        return self._deleted_old_weight
+
+    def _orig_alive(self, k: tuple[int, int]) -> bool:
+        return (
+            k[1] < self.n_old
+            and k not in self._deleted_orig
+            and self.graph.has_edge(k[0], k[1])
+        )
+
+    # ------------------------------------------------------------------
+    def fold(self, d: GraphDelta) -> "DeltaComposer":
+        """Fold one more delta (relative to the chain-so-far's frame)."""
+        n_old = self.n_old
+        prov = self._prov
+        n_cur = len(prov)
+        base_j = len(self._add_alive)
+
+        # --- validate against the current frame (mirrors apply_delta) ---
+        if len(d.deleted_vertices) and (
+            d.deleted_vertices[0] < 0 or d.deleted_vertices[-1] >= n_cur
+        ):
+            raise GraphError("deleted vertex id out of range")
+        limit = n_cur + d.num_added_vertices
+        if len(d.added_edges) and (
+            d.added_edges.min() < 0 or d.added_edges.max() >= limit
+        ):
+            raise GraphError("added edge endpoint out of range")
+        if len(d.deleted_edges) and (
+            d.deleted_edges.min() < 0 or d.deleted_edges.max() >= n_cur
+        ):
+            raise GraphError("deleted edge endpoint out of range")
+        dv_set = {int(c) for c in d.deleted_vertices}
+        if dv_set and len(d.added_edges):
+            for c in d.added_edges.flat:
+                if c < n_cur and int(c) in dv_set:
+                    raise GraphError("added edge references a deleted vertex")
+
+        def encode(c: int) -> int:
+            if c < n_cur:
+                return prov[c]
+            return n_old + base_j + (c - n_cur)
+
+        # --- edge deletions (against the pre-delta edge state) ----------
+        # Repeats of the same key within one delta are tolerated, exactly
+        # as apply_delta's vectorized np.isin treats them (dedup, not a
+        # miss); only a key that was never live this step is an error.
+        seen_this_fold: set[tuple[int, int]] = set()
+        for u, v in d.deleted_edges:
+            a, b = encode(int(u)), encode(int(v))
+            k = (a, b) if a < b else (b, a)
+            if k in seen_this_fold:
+                continue
+            seen_this_fold.add(k)
+            in_added = k in self._added_edges
+            in_orig = self._orig_alive(k)
+            if not (in_added or in_orig):
+                if self.strict:
+                    raise GraphError(
+                        f"deleted edge ({int(u)}, {int(v)}) does not exist "
+                        f"at its step of the chain (pass strict=False to "
+                        f"skip missing deletions)"
+                    )
+                continue
+            # An accumulated duplicate means the live edge is the *merge*
+            # of the original and the added part; deleting it kills both.
+            if in_added:
+                del self._added_edges[k]
+            if in_orig:
+                self._deleted_orig.add(k)
+
+        # --- vertex deletions -------------------------------------------
+        doomed: set[int] = set()
+        for c in dv_set:
+            enc = prov[c]
+            doomed.add(enc)
+            if enc < n_old:
+                if enc not in self._deleted_old:
+                    self._deleted_old.add(enc)
+                    self._deleted_old_weight += float(self.graph.vweights[enc])
+            else:
+                self._add_alive[enc - n_old] = False
+                self._alive_added_weight -= self._add_w[enc - n_old]
+        if doomed and self._added_edges:
+            self._added_edges = {
+                k: w
+                for k, w in self._added_edges.items()
+                if k[0] not in doomed and k[1] not in doomed
+            }
+
+        # --- vertex additions -------------------------------------------
+        coords = (
+            None
+            if d.added_coords is None
+            else np.asarray(d.added_coords, dtype=np.float64).reshape(
+                d.num_added_vertices, -1
+            )
+        )
+        for t in range(d.num_added_vertices):
+            w_t = 1.0 if d.added_vweights is None else float(d.added_vweights[t])
+            self._add_alive.append(True)
+            self._add_w.append(w_t)
+            self._alive_added_weight += w_t
+            self._add_coords.append(None if coords is None else coords[t])
+
+        # --- edge additions ---------------------------------------------
+        ew = (
+            np.ones(len(d.added_edges))
+            if d.added_eweights is None
+            else np.asarray(d.added_eweights, dtype=np.float64)
+        )
+        for (u, v), w in zip(d.added_edges, ew):
+            a, b = encode(int(u)), encode(int(v))
+            if a == b:
+                raise GraphError("self-loops are not allowed")
+            k = (a, b) if a < b else (b, a)
+            if k in self._added_edges or self._orig_alive(k):
+                if not self.accumulate_weights:
+                    raise GraphError(
+                        f"added edge ({int(u)}, {int(v)}) duplicates an "
+                        f"existing edge at its step of the chain (pass "
+                        f"accumulate_weights=True to sum the weights)"
+                    )
+                self._added_edges[k] = self._added_edges.get(k, 0.0) + float(w)
+            else:
+                self._added_edges[k] = float(w)
+
+        # --- renumber into the next frame -------------------------------
+        # Addition-only folds append in O(delta); only deltas that delete
+        # vertices pay an O(frame) compaction.
+        if dv_set:
+            self._prov = [p for i, p in enumerate(prov) if i not in dv_set]
+        self._prov.extend(
+            range(n_old + base_j, n_old + base_j + d.num_added_vertices)
+        )
+        self.num_folded += 1
+        return self
+
+    # ------------------------------------------------------------------
+    def to_delta(self) -> GraphDelta:
+        """Materialise the composed delta (compacting cancelled additions)."""
+        n_old = self.n_old
+        alive_idx = [j for j, a in enumerate(self._add_alive) if a]
+        remap = {n_old + j: n_old + r for r, j in enumerate(alive_idx)}
+
+        def final_id(enc: int) -> int:
+            return enc if enc < n_old else remap[enc]
+
+        edge_items = sorted(self._added_edges.items())
+        comp_edges = np.array(
+            [(final_id(a), final_id(b)) for (a, b), _ in edge_items],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        comp_ew = np.array([w for _, w in edge_items], dtype=np.float64)
+
+        comp_coords = None
+        if self.graph.coords is not None and any(
+            self._add_coords[j] is not None for j in alive_idx
+        ):
+            dim = self.graph.coords.shape[1]
+            comp_coords = np.full((len(alive_idx), dim), np.nan)
+            for r, j in enumerate(alive_idx):
+                if self._add_coords[j] is not None:
+                    comp_coords[r] = self._add_coords[j]
+
+        return GraphDelta(
+            num_added_vertices=len(alive_idx),
+            added_edges=comp_edges,
+            deleted_vertices=np.array(sorted(self._deleted_old), dtype=np.int64),
+            deleted_edges=np.array(
+                sorted(self._deleted_orig), dtype=np.int64
+            ).reshape(-1, 2),
+            added_vweights=(
+                np.array([self._add_w[j] for j in alive_idx], dtype=np.float64)
+                if alive_idx
+                else None
+            ),
+            added_eweights=comp_ew if len(comp_ew) else None,
+            added_coords=comp_coords,
+        )
+
+
+def compose_deltas(
+    graph: CSRGraph,
+    deltas,
+    *,
+    strict: bool = True,
+    accumulate_weights: bool = False,
+) -> GraphDelta:
+    """Fuse a chain of deltas into one equivalent :class:`GraphDelta`.
+
+    ``deltas[0]`` is relative to ``graph``, ``deltas[i]`` to the graph
+    produced by applying ``deltas[:i]``.  The result is a single delta
+    relative to ``graph`` with the exact-equivalence invariant::
+
+        apply_delta(graph, compose_deltas(graph, ds)).graph
+            == reduce(apply_delta, ds, graph)          # same ids/weights
+
+    and the same for the carried partition vector.  This holds because
+    :func:`apply_delta` keeps survivors in relative order and appends new
+    vertices at the end: the composed delta lists the *surviving*
+    additions in chronological order, so the final numbering coincides
+    with the sequential one.
+
+    Cancellation rules: a vertex added by one delta and deleted by a later
+    one vanishes entirely (with its incident edges); an edge added then
+    deleted cancels; an original edge deleted then re-added becomes a
+    delete + add pair (the re-added weight wins, as it does sequentially).
+    Composition is associative — ``compose(g, [compose(g, ds[:k]),
+    ds[k]])`` equals ``compose(g, ds[:k+1])`` — and
+    :class:`DeltaComposer` exposes the fold step directly so streams can
+    ingest one delta at a time without re-walking the accumulated state.
+
+    ``strict`` / ``accumulate_weights`` carry the same meaning as in
+    :func:`apply_delta`, enforced per chain step (so the composed delta is
+    exactly as valid as the sequential application would have been).
+    """
+    composer = DeltaComposer(
+        graph, strict=strict, accumulate_weights=accumulate_weights
+    )
+    for d in deltas:
+        if d is not None:
+            composer.fold(d)
+    return composer.to_delta()

@@ -107,10 +107,11 @@ def solve_with_backend(
     return spec.solve(lp)
 
 
-register_backend("dense_simplex", DenseSimplexSolver().solve)
 register_backend("dense_simplex_bland", DenseSimplexSolver(pivot="bland").solve)
 register_backend("scipy", solve_lp_scipy)
 register_backend("revised", solve_lp_revised, solve_warm=solve_lp_revised)
-# "tableau" is the paper-facing alias for the dense Gauss–Jordan solver,
-# so configs read naturally as lp_backend="tableau" vs lp_backend="revised".
+# "tableau" is the paper-facing name for the dense Gauss–Jordan solver
+# and the default of IGPConfig/the CLI; "dense_simplex" is the legacy
+# internal name, kept registered so existing configs don't break.
 register_backend("tableau", DenseSimplexSolver().solve)
+register_backend("dense_simplex", DenseSimplexSolver().solve)

@@ -135,3 +135,22 @@ class TestCLI:
         rc = main(["speedup", "--scale", "0.15", "-p", "4"])
         assert rc == 0
         assert "speedup" in capsys.readouterr().out
+
+    def test_stream_command_dataset_a(self, capsys):
+        rc = main(["stream", "--scale", "0.2", "-p", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "StreamingPartitioner" in out and "repartition batches" in out
+
+    def test_stream_command_churn_per_delta(self, capsys):
+        rc = main(
+            ["stream", "--source", "churn", "--scale", "0.25", "-p", "4",
+             "--steps", "3", "--per-delta"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 deltas -> 3 repartition batches" in out
+
+    def test_default_lp_backend_is_tableau(self):
+        args = build_parser().parse_args(["fig11"])
+        assert args.lp_backend == "tableau"

@@ -1,0 +1,257 @@
+"""Tests for the streaming repartition session (batched deltas + flush policy)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import social_churn_stream
+from repro.core import (
+    FlushPolicy,
+    IGPConfig,
+    IncrementalGraphPartitioner,
+    StreamingPartitioner,
+)
+from repro.errors import GraphError, RepartitionInfeasibleError
+from repro.graph import GraphDelta, apply_delta, grid_graph
+from repro.graph.incremental import carry_partition
+from repro.mesh.sequences import dataset_a
+
+
+@pytest.fixture(scope="module")
+def seq_a():
+    return dataset_a(scale=0.25)
+
+
+def strip_partition(g, p):
+    return (np.arange(g.num_vertices) * p // g.num_vertices).astype(np.int64)
+
+
+class TestFlushPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(weight_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlushPolicy(imbalance_limit=0.5)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_pending=0)
+
+    def test_max_pending_trigger(self, seq_a):
+        g = seq_a.graphs[0]
+        sp = StreamingPartitioner(
+            g, strip_partition(g, 4), num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=2),
+        )
+        assert sp.push(seq_a.deltas[0]) is None
+        assert sp.num_pending == 1
+        res = sp.push(seq_a.deltas[1])
+        assert res is not None
+        assert sp.num_pending == 0
+        assert [r.trigger for r in sp.history] == ["max_pending"]
+        assert sp.history[0].num_deltas == 2
+
+    def test_weight_trigger(self):
+        base, deltas = social_churn_stream(n=80, steps=6, seed=4)
+        sp = StreamingPartitioner(
+            base, strip_partition(base, 4), num_partitions=4,
+            policy=FlushPolicy(weight_fraction=0.15, imbalance_limit=None),
+        )
+        sp.extend(deltas)
+        assert len(sp.history) >= 1
+        assert all(r.trigger == "weight" for r in sp.history)
+
+    def test_imbalance_trigger(self):
+        g = grid_graph(8, 8)
+        part = strip_partition(g, 4)
+        sp = StreamingPartitioner(
+            g, part, num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=1.3),
+        )
+        # pile additions onto one corner until the pessimistic estimate
+        # trips; each delta is relative to the evolving stream frame, so
+        # the new vertex id grows with the pending additions
+        results = []
+        for k in range(30):
+            frame_n = g.num_vertices + k
+            res = sp.push(
+                GraphDelta(num_added_vertices=1, added_edges=[(0, frame_n)])
+            )
+            if res is not None:
+                results.append(res)
+                break
+        assert results, "imbalance trigger never fired"
+        assert sp.history[0].trigger == "imbalance"
+
+    def test_explicit_flush_on_empty_returns_none(self, seq_a):
+        g = seq_a.graphs[0]
+        sp = StreamingPartitioner(g, strip_partition(g, 4), num_partitions=4)
+        assert sp.flush() is None
+        assert sp.history == []
+
+
+class TestSessionSemantics:
+    def test_batched_final_state_matches_one_shot(self, seq_a):
+        """Explicit flush of the whole chain == compose+repartition once."""
+        g0 = seq_a.graphs[0]
+        part = strip_partition(g0, 4)
+        sp = StreamingPartitioner(
+            g0, part, num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None),
+        )
+        assert sp.extend(seq_a.deltas) == []  # nothing fires
+        res = sp.flush()
+        # manual one-shot
+        from repro.graph import compose_deltas
+
+        inc = apply_delta(g0, compose_deltas(g0, list(seq_a.deltas)))
+        manual = IncrementalGraphPartitioner(num_partitions=4).repartition(
+            inc.graph, carry_partition(part, inc)
+        )
+        assert np.array_equal(res.part, manual.part)
+        assert np.array_equal(sp.part, manual.part)
+        assert sp.graph.same_structure(inc.graph)
+
+    def test_per_delta_matches_manual_loop(self, seq_a):
+        """max_pending=1 reproduces the paper's one-delta-at-a-time loop."""
+        g0 = seq_a.graphs[0]
+        part = strip_partition(g0, 4)
+        sp = StreamingPartitioner(
+            g0, part, num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=1),
+        )
+        sp.extend(seq_a.deltas)
+
+        igp = IncrementalGraphPartitioner(num_partitions=4)
+        cur, carried = g0, part
+        for d in seq_a.deltas:
+            inc = apply_delta(cur, d)
+            carried = igp.repartition(inc.graph, carry_partition(carried, inc)).part
+            cur = inc.graph
+        assert len(sp.history) == len(seq_a.deltas)
+        assert np.array_equal(sp.part, carried)
+
+    def test_churn_session_stays_balanced(self):
+        base, deltas = social_churn_stream(n=150, steps=8, seed=9)
+        sp = StreamingPartitioner(
+            base, strip_partition(base, 4), num_partitions=4,
+            policy=FlushPolicy(weight_fraction=0.3, imbalance_limit=1.5),
+        )
+        sp.extend(deltas)
+        sp.flush()
+        # final graph equals the plain sequential application
+        cur = base
+        for d in deltas:
+            cur = apply_delta(cur, d).graph
+        assert sp.graph.same_structure(cur)
+        assert sp.history[-1].result.quality_final.imbalance <= 1.2
+
+    def test_warm_bases_carried_across_batches(self, seq_a):
+        g0 = seq_a.graphs[0]
+        sp = StreamingPartitioner(
+            g0, strip_partition(g0, 4),
+            IGPConfig(num_partitions=4, lp_backend="revised"),
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=1),
+        )
+        sp.extend(seq_a.deltas[:2])
+        balance_basis, _ = sp.warm_bases
+        assert balance_basis is not None  # revised backend deposited a basis
+
+    def test_partition_vector_length_checked(self, seq_a):
+        g = seq_a.graphs[0]
+        with pytest.raises(GraphError):
+            StreamingPartitioner(g, np.zeros(3), num_partitions=4)
+
+    def test_config_kwargs_exclusive(self, seq_a):
+        g = seq_a.graphs[0]
+        with pytest.raises(TypeError):
+            StreamingPartitioner(
+                g, strip_partition(g, 4), IGPConfig(num_partitions=4), num_partitions=4
+            )
+
+    def test_max_history_bounds_retention(self, seq_a):
+        g = seq_a.graphs[0]
+        sp = StreamingPartitioner(
+            g, strip_partition(g, 4), num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=1),
+            max_history=2,
+        )
+        sp.extend(seq_a.deltas)  # 4 per-delta batches
+        assert sp.num_batches == len(seq_a.deltas)
+        assert len(sp.history) == 2  # only the most recent two retained
+        assert sp.total_wall_s() > sum(r.wall_s for r in sp.history) > 0
+        with pytest.raises(ValueError):
+            StreamingPartitioner(
+                g, strip_partition(g, 4), num_partitions=4, max_history=0
+            )
+
+    def test_describe_mentions_batches(self, seq_a):
+        g = seq_a.graphs[0]
+        sp = StreamingPartitioner(
+            g, strip_partition(g, 4), num_partitions=4,
+            policy=FlushPolicy(max_pending=1),
+        )
+        sp.push(seq_a.deltas[0])
+        text = sp.describe()
+        assert "batches=1" in text and "batch[1 deltas" in text
+
+
+class TestFallback:
+    def test_chunked_fallback_on_infeasible(self, seq_a, monkeypatch):
+        g0 = seq_a.graphs[0]
+        sp = StreamingPartitioner(g0, strip_partition(g0, 4), num_partitions=4)
+
+        def boom(graph, part):
+            raise RepartitionInfeasibleError("forced", gamma_tried=4.0)
+
+        monkeypatch.setattr(sp._igp, "repartition", boom)
+        sp.push(seq_a.deltas[0])
+        res = sp.flush()
+        assert res is not None
+        assert sp.history[0].fallback
+        assert "chunked fallback" in sp.history[0].summary()
+        assert res.quality_final.imbalance <= 1.5
+
+    def test_failed_flush_leaves_state_intact(self, seq_a, monkeypatch):
+        import repro.core.streaming as streaming_mod
+
+        g0 = seq_a.graphs[0]
+        sp = StreamingPartitioner(g0, strip_partition(g0, 4), num_partitions=4)
+
+        def boom(graph, part):
+            raise RepartitionInfeasibleError("forced", gamma_tried=4.0)
+
+        monkeypatch.setattr(sp._igp, "repartition", boom)
+        monkeypatch.setattr(
+            streaming_mod,
+            "chunked_insertion_repartition",
+            lambda *a, **k: (_ for _ in ()).throw(
+                RepartitionInfeasibleError("still stuck", gamma_tried=4.0)
+            ),
+        )
+        sp.push(seq_a.deltas[0])
+        with pytest.raises(RepartitionInfeasibleError):
+            sp.flush()
+        # session unchanged: pending kept, graph/part untouched
+        assert sp.num_pending == 1
+        assert sp.graph is g0
+        assert sp.history == []
+
+
+class TestChurnWorkload:
+    def test_stream_is_chained_and_connected(self):
+        from repro.graph.operations import is_connected
+
+        base, deltas = social_churn_stream(n=100, steps=5, seed=1)
+        assert is_connected(base)
+        cur = base
+        for d in deltas:
+            assert not d.is_pure_growth  # churn deletes things
+            cur = apply_delta(cur, d).graph
+            assert is_connected(cur)
+
+    def test_stream_deterministic(self):
+        b1, d1 = social_churn_stream(n=90, steps=3, seed=42)
+        b2, d2 = social_churn_stream(n=90, steps=3, seed=42)
+        assert b1.same_structure(b2)
+        for a, b in zip(d1, d2):
+            assert np.array_equal(a.added_edges, b.added_edges)
+            assert np.array_equal(a.deleted_vertices, b.deleted_vertices)
+            assert np.array_equal(a.deleted_edges, b.deleted_edges)

@@ -104,6 +104,87 @@ class TestDeletion:
         assert g.num_edges == 4
 
 
+class TestDuplicateAddedEdges:
+    """Regression: an added edge duplicating a surviving old edge used to
+    be merged silently by from_edge_list, doubling the weight."""
+
+    def test_duplicate_add_raises(self, base):
+        with pytest.raises(GraphError, match="duplicate"):
+            apply_delta(base, GraphDelta(added_edges=[(0, 1)]))
+
+    def test_duplicate_add_raises_reversed_orientation(self, base):
+        with pytest.raises(GraphError, match="duplicate"):
+            apply_delta(base, GraphDelta(added_edges=[(1, 0)]))
+
+    def test_accumulate_weights_sums(self, base):
+        res = apply_delta(
+            base,
+            GraphDelta(added_edges=[(0, 1)], added_eweights=[2.5]),
+            accumulate_weights=True,
+        )
+        assert res.graph.edge_weight(0, 1) == 3.5  # 1.0 original + 2.5
+
+    def test_accumulate_weights_sums_reversed_orientation(self, base):
+        res = apply_delta(
+            base,
+            GraphDelta(added_edges=[(1, 0)], added_eweights=[2.5]),
+            accumulate_weights=True,
+        )
+        assert res.graph.edge_weight(0, 1) == 3.5
+
+    def test_internal_duplicate_add_raises(self, base):
+        """Two added_edges entries naming the same edge (either
+        orientation) would also be silently merge-summed."""
+        delta = GraphDelta(
+            num_added_vertices=1, added_edges=[(0, 5), (5, 0)]
+        )
+        with pytest.raises(GraphError, match="duplicate"):
+            apply_delta(base, delta)
+        res = apply_delta(base, delta, accumulate_weights=True)
+        assert res.graph.edge_weight(0, 5) == 2.0
+
+    def test_readding_deleted_edge_is_not_a_duplicate(self, base):
+        """The overlap test is against *surviving* old edges: deleting an
+        edge and re-adding it (new weight) in the same delta is legal."""
+        res = apply_delta(
+            base,
+            GraphDelta(
+                added_edges=[(0, 1)], added_eweights=[5.0], deleted_edges=[(0, 1)]
+            ),
+        )
+        assert res.graph.edge_weight(0, 1) == 5.0
+
+
+class TestDeletedEdgeValidation:
+    """Regression: deleted_edges entries that matched nothing used to be
+    silently ignored (np.isin matched nothing), masking id bugs."""
+
+    def test_missing_deletion_raises(self, base):
+        with pytest.raises(GraphError, match="do not exist"):
+            apply_delta(base, GraphDelta(deleted_edges=[(0, 2)]))
+
+    def test_missing_deletion_raises_reversed_orientation(self, base):
+        with pytest.raises(GraphError, match="do not exist"):
+            apply_delta(base, GraphDelta(deleted_edges=[(2, 0)]))
+
+    def test_strict_false_skips_missing(self, base):
+        res = apply_delta(base, GraphDelta(deleted_edges=[(0, 2)]), strict=False)
+        assert res.graph.num_edges == base.num_edges
+
+    def test_mixed_hit_and_miss_raises(self, base):
+        with pytest.raises(GraphError, match="do not exist"):
+            apply_delta(base, GraphDelta(deleted_edges=[(0, 1), (0, 2)]))
+
+    def test_deleting_edge_of_deleted_vertex_ok(self, base):
+        """An edge that vanishes with a vertex deleted in the same delta
+        is still a live edge of the pre-delta graph — not a miss."""
+        res = apply_delta(
+            base, GraphDelta(deleted_vertices=[4], deleted_edges=[(3, 4)])
+        )
+        assert res.graph.num_vertices == 4
+        assert res.graph.num_edges == 4
+
+
 class TestDeltaValidation:
     def test_added_edge_to_deleted_vertex_rejected(self, base):
         delta = GraphDelta(

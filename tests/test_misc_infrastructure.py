@@ -86,3 +86,12 @@ class TestPackageSurface:
         assert "dense_simplex" in names and "scipy" in names
         with pytest.raises(KeyError):
             get_backend("does-not-exist")
+
+    def test_tableau_is_default_and_dense_simplex_aliases_it(self):
+        """The paper-facing name is the config default; the legacy
+        internal name stays registered so existing configs don't break."""
+        from repro.core import IGPConfig
+        from repro.lp import available_backends
+
+        assert IGPConfig().lp_backend == "tableau"
+        assert {"tableau", "dense_simplex"} <= set(available_backends())
