@@ -1,0 +1,167 @@
+"""Session resume: warm-restored snapshot ≈ uninterrupted session.
+
+The durability claim behind ``PartitionSession.save`` / ``load``: a
+session snapshot round-trips *everything* that shapes the remaining
+computation — graph, carried partition, composed pending delta, and the
+name-keyed warm LP bases — so a restored session's repartitions are
+bit-identical to the uninterrupted session's, pivot counts included.
+
+This benchmark runs the dataset-A refinement chain (per-delta regime,
+``lp_backend="revised"``) three ways:
+
+* **uninterrupted** — one session consumes the whole chain;
+* **warm restore** — a *child process* consumes the first half and writes
+  a snapshot, then this process loads it and consumes the rest (a real
+  kill/restart boundary);
+* **cold restore** — same snapshot, but the warm bases are dropped before
+  resuming (the control showing the carried bases are what is doing the
+  work).
+
+It fails (exit 1) if the warm-restored final partition labels differ from
+the uninterrupted run's, or if any post-resume batch's simplex pivot
+count differs.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_session_resume.py           # full scale
+    PYTHONPATH=src python benchmarks/bench_session_resume.py --smoke   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+import repro
+from repro.core.streaming import FlushPolicy
+from repro.mesh.sequences import dataset_a
+
+PER_DELTA = dict(weight_fraction=None, imbalance_limit=None, max_pending=1)
+
+# The interrupted half runs in a real child process so the snapshot
+# crosses a genuine process boundary (nothing survives but the file).
+_CHILD = """
+import sys
+import repro
+from repro.core.streaming import FlushPolicy
+from repro.mesh.sequences import dataset_a
+
+scale, p, backend, upto, path = (
+    float(sys.argv[1]), int(sys.argv[2]), sys.argv[3], int(sys.argv[4]),
+    sys.argv[5],
+)
+seq = dataset_a(scale=scale)
+session = repro.open_session(
+    seq.graphs[0], p,
+    policy=FlushPolicy(weight_fraction=None, imbalance_limit=None,
+                       max_pending=1),
+    seed=0, lp_backend=backend,
+)
+for d in seq.deltas[:upto]:
+    session.push(d)
+session.save(path)
+"""
+
+
+def open_fresh(seq, p, backend):
+    return repro.open_session(
+        seq.graphs[0],
+        p,
+        policy=FlushPolicy(**PER_DELTA),
+        seed=0,
+        lp_backend=backend,
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced scale for CI (seconds, not minutes)")
+    ap.add_argument("--lp-backend", default="revised", dest="lp_backend",
+                    help="warm-capable backend (default: revised)")
+    args = ap.parse_args(argv)
+
+    scale, p = (0.25, 4) if args.smoke else (1.0, 32)
+    seq = dataset_a(scale=scale)
+    num_deltas = len(seq.deltas)
+    upto = num_deltas // 2
+
+    # Uninterrupted reference: the whole chain plus a final explicit
+    # repartition (the call a restored service makes on wake-up).
+    full = open_fresh(seq, p, args.lp_backend)
+    full.extend(seq.deltas)
+    full.repartition()
+
+    # Interrupted: child process writes the mid-chain snapshot and dies.
+    snap = tempfile.NamedTemporaryFile(suffix=".igps", delete=False)
+    snap.close()
+    try:
+        subprocess.run(
+            [sys.executable, "-c", _CHILD, str(scale), str(p),
+             args.lp_backend, str(upto), snap.name],
+            check=True,
+            env=os.environ.copy(),
+        )
+
+        warm = repro.PartitionSession.load(snap.name)
+        warm.extend(seq.deltas[upto:])
+        warm.repartition()
+
+        cold = repro.PartitionSession.load(snap.name)
+        cold.reset_warm_start()
+        cold.extend(seq.deltas[upto:])
+        cold.repartition()
+    finally:
+        os.unlink(snap.name)
+
+    full_hist = full.history()
+    warm_hist = warm.history()
+    cold_hist = cold.history()
+    full_pivots = [h.lp_pivots for h in full_hist[upto:]]
+    warm_pivots = [h.lp_pivots for h in warm_hist[upto:]]
+    cold_pivots = [h.lp_pivots for h in cold_hist[upto:]]
+
+    print(
+        f"dataset-A chain: |V|={seq.graphs[0].num_vertices} "
+        f"{num_deltas} deltas, P={p}, backend={args.lp_backend}, "
+        f"snapshot after delta {upto}"
+    )
+    print(f"{'regime':>14}{'batches':>9}{'post-resume pivots':>20}{'cut':>8}{'imbal':>8}")
+    for label, sess, pivots in (
+        ("uninterrupted", full, full_pivots),
+        ("warm restore", warm, warm_pivots),
+        ("cold restore", cold, cold_pivots),
+    ):
+        q = sess.quality()
+        print(
+            f"{label:>14}{sess.num_batches:>9}{sum(pivots):>20}"
+            f"{q.cut_total:>8.0f}{q.imbalance:>8.3f}"
+        )
+
+    failures = []
+    if not np.array_equal(full.part, warm.part):
+        failures.append("warm-restored final partition differs from uninterrupted")
+    if warm_pivots != full_pivots:
+        failures.append(
+            f"warm-restored pivot counts {warm_pivots} != uninterrupted "
+            f"{full_pivots}"
+        )
+    if len(warm_hist) != len(full_hist):
+        failures.append("restored history is misaligned with the uninterrupted run")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: warm-restored session matches the uninterrupted run exactly "
+        f"({sum(warm_pivots)} pivots post-resume vs {sum(cold_pivots)} cold)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

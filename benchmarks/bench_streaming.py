@@ -5,8 +5,10 @@ small deltas into one batch and repartitioning once costs less wall-clock
 than repartitioning after every delta, at comparable quality.  This
 benchmark measures both regimes on
 
-* the dataset-A refinement chain (the paper's incremental workload), and
-* a social-graph churn stream (deletion-heavy, non-mesh),
+* the dataset-A refinement chain (the paper's incremental workload),
+* a social-graph churn stream (deletion-heavy, non-mesh), and
+* a bursty churn stream (hub deletions + flash-crowd insert storms —
+  the spiky regime that stresses the flush policy hardest),
 
 and fails (exit 1) if batching does not beat per-delta total
 repartitioning wall-time on the dataset-A chain.
@@ -22,7 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.workloads import social_churn_stream
+from repro.bench.workloads import bursty_churn_stream, social_churn_stream
 from repro.core.streaming import FlushPolicy, StreamingPartitioner
 from repro.mesh.sequences import dataset_a
 from repro.spectral.rsb import rsb_partition
@@ -94,6 +96,9 @@ def main(argv=None) -> int:
 
     base, deltas = social_churn_stream(n=churn_n, steps=churn_steps, seed=7)
     compare("social churn", base, deltas, p, args.lp_backend)
+
+    base, deltas = bursty_churn_stream(n=churn_n, steps=churn_steps, seed=5)
+    compare("bursty churn", base, deltas, p, args.lp_backend)
 
     # Gate on the deterministic work counters (batches and simplex
     # pivots) so a preempted CI runner cannot flip the verdict; the

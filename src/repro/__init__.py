@@ -1,31 +1,43 @@
 """repro — Parallel Incremental Graph Partitioning Using Linear Programming.
 
-A complete reproduction of Ou & Ranka (SC 1994): the LP-based incremental
-graph partitioner (IGP/IGPR), every substrate it depends on (CSR graphs,
-DIME-style adaptive meshes, recursive spectral bisection, a dense simplex
-solver, a simulated 32-node CM-5), and the benchmark harness that
-regenerates the paper's tables.
+A complete reproduction — and progressive scale-up — of Ou & Ranka
+(SC 1994): the LP-based incremental graph partitioner (IGP/IGPR), every
+substrate it depends on (CSR graphs, DIME-style adaptive meshes, recursive
+spectral bisection, simplex solvers, a simulated 32-node CM-5), and the
+benchmark harness that regenerates the paper's tables.
 
-Quick start::
+Quick start — the session API is the front door for every scenario
+(one-shot, streaming, resumable)::
 
-    from repro.mesh import irregular_mesh, refine_in_disc, node_graph
-    from repro.graph.incremental import apply_delta, carry_partition
-    from repro.spectral import rsb_partition
-    from repro.core import IncrementalGraphPartitioner, IGPConfig
+    import repro
+    from repro.mesh import irregular_mesh, refine_in_disc
 
     mesh = irregular_mesh(1000, seed=1)
-    graph = node_graph(mesh)
-    part = rsb_partition(graph, 32)                      # initial RSB
-    ref = refine_in_disc(mesh, (0.7, 0.3), 0.15, 40)     # adapt the mesh
-    inc = apply_delta(graph, ref.delta)
-    carried = carry_partition(part, inc)
-    igp = IncrementalGraphPartitioner(IGPConfig(num_partitions=32, refine=True))
-    result = igp.repartition(inc.graph, carried)         # IGPR
-    print(result.quality_final)
+    session = repro.open_session(mesh, 32, lp_backend="revised")
+    print(session.quality())                       # initial RSB partition
+
+    ref = refine_in_disc(mesh, (0.7, 0.3), 0.15, 40)   # adapt the mesh
+    session.push(ref.delta)        # batched under the FlushPolicy
+    session.repartition()          # force the IGP pipeline now
+    print(session.quality())
+
+    session.save("state.igps")     # durable snapshot: graph + partition
+                                   # + pending delta + warm LP bases
+    restored = repro.PartitionSession.load("state.igps")
+    restored.repartition()         # warm-starts exactly like the original
+
+``open_session`` accepts a graph or a mesh, picks the initial partitioner
+from a registry (``rsb`` / ``rcb`` / ``inertial`` / ``given``), and wraps
+the streaming engine so pushed deltas are composed and flushed under a
+:class:`~repro.core.streaming.FlushPolicy`.  The lower-level pieces
+(``IncrementalGraphPartitioner``, ``StreamingPartitioner``) remain
+available under :mod:`repro.core` for custom drivers — see the README's
+"advanced / internals" section.
 
 Package map (see DESIGN.md for the full inventory):
 
 =================  ====================================================
+``repro.session``  the public session facade: open/push/flush/save/load
 ``repro.graph``    CSR graphs, builders, generators, incremental deltas
 ``repro.mesh``     DIME-style triangulations, refinement, datasets A/B
 ``repro.lp``       dense two-phase simplex, netflow, parallel simplex
@@ -36,6 +48,8 @@ Package map (see DESIGN.md for the full inventory):
 =================  ====================================================
 """
 
+import warnings as _warnings
+
 from repro._version import __version__
 from repro.errors import (
     GraphError,
@@ -45,36 +59,77 @@ from repro.errors import (
     PartitioningError,
     RepartitionInfeasibleError,
     ReproError,
+    SnapshotError,
 )
 from repro.graph import CSRGraph, GraphDelta, apply_delta, compose_deltas
 from repro.core import (
     FlushPolicy,
     IGPConfig,
-    IncrementalGraphPartitioner,
     PartitionQuality,
-    StreamingPartitioner,
     evaluate_partition,
+)
+from repro.session import (
+    BatchSummary,
+    PartitionSession,
+    available_initial_partitioners,
+    open_session,
+    register_initial_partitioner,
 )
 from repro.spectral import rsb_partition
 
 __all__ = [
+    "BatchSummary",
     "CSRGraph",
     "FlushPolicy",
     "GraphDelta",
     "GraphError",
     "IGPConfig",
-    "IncrementalGraphPartitioner",
     "LPError",
     "MeshError",
     "ParallelError",
     "PartitionQuality",
+    "PartitionSession",
     "PartitioningError",
     "RepartitionInfeasibleError",
     "ReproError",
-    "StreamingPartitioner",
+    "SnapshotError",
     "__version__",
     "apply_delta",
+    "available_initial_partitioners",
     "compose_deltas",
     "evaluate_partition",
+    "open_session",
+    "register_initial_partitioner",
     "rsb_partition",
 ]
+
+# Deprecated top-level spellings (deliberately absent from __all__ so
+# ``from repro import *`` stays warning-free).  The classes themselves
+# are not deprecated — they are the session's engine and stay canonical
+# under repro.core — but the *top-level* re-exports predate the session
+# API and steer new code away from the one documented front door.
+_DEPRECATED_TOP_LEVEL = {
+    "IncrementalGraphPartitioner": (
+        "repro.core", "repro.open_session(...) (or repro.core."
+        "IncrementalGraphPartitioner for custom drivers)",
+    ),
+    "StreamingPartitioner": (
+        "repro.core", "repro.open_session(...) (or repro.core."
+        "StreamingPartitioner for custom drivers)",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shims: old top-level spellings warn and forward."""
+    if name in _DEPRECATED_TOP_LEVEL:
+        module, replacement = _DEPRECATED_TOP_LEVEL[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

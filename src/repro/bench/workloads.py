@@ -23,6 +23,7 @@ __all__ = [
     "small_dataset_b",
     "geometric_hotspot_delta",
     "social_churn_stream",
+    "bursty_churn_stream",
 ]
 
 
@@ -94,7 +95,11 @@ def _is_connected_over(adj: dict[int, set[int]], live: set[int]) -> bool:
     """BFS connectivity of the subgraph induced by ``live`` in ``adj``."""
     if not live:
         return True
-    start = next(iter(live))
+    return len(_component_of(adj, live, next(iter(live)))) == len(live)
+
+
+def _component_of(adj: dict[int, set[int]], live: set[int], start: int) -> set[int]:
+    """Connected component of ``start`` in the ``live``-induced subgraph."""
     seen = {start}
     frontier = [start]
     while frontier:
@@ -105,7 +110,38 @@ def _is_connected_over(adj: dict[int, set[int]], live: set[int]) -> bool:
                     seen.add(v)
                     nxt.append(v)
         frontier = nxt
-    return len(seen) == len(live)
+    return seen
+
+
+def _components_over(adj: dict[int, set[int]], live: set[int]) -> list[set[int]]:
+    """All connected components of the ``live``-induced subgraph."""
+    remaining = set(live)
+    comps = []
+    while remaining:
+        comp = _component_of(adj, remaining, next(iter(remaining)))
+        comps.append(comp)
+        remaining -= comp
+    return comps
+
+
+def _preferential_attachment_base(
+    n: int, attach: int, rng
+) -> CSRGraph:
+    """Preferential-attachment base graph shared by the churn workloads."""
+    if n < attach + 2:
+        raise ValueError("need at least attach + 2 vertices")
+    core = attach + 1
+    edges = [(i, j) for i in range(core) for j in range(i + 1, core)]
+    deg = np.zeros(n, dtype=np.float64)
+    deg[:core] = core - 1
+    for v in range(core, n):
+        prob = (deg[:v] + 1.0) / (deg[:v] + 1.0).sum()
+        targets = rng.choice(v, size=min(attach, v), replace=False, p=prob)
+        for t in targets:
+            edges.append((int(t), v))
+            deg[t] += 1
+            deg[v] += 1
+    return CSRGraph.from_edges(n, edges)
 
 
 def _churn_delta(
@@ -222,21 +258,8 @@ def social_churn_stream(
 
     Returns ``(base_graph, deltas)``.
     """
-    if n < attach + 2:
-        raise ValueError("need at least attach + 2 vertices")
     rng = make_rng(seed)
-    core = attach + 1
-    edges = [(i, j) for i in range(core) for j in range(i + 1, core)]
-    deg = np.zeros(n, dtype=np.float64)
-    deg[:core] = core - 1
-    for v in range(core, n):
-        prob = (deg[:v] + 1.0) / (deg[:v] + 1.0).sum()
-        targets = rng.choice(v, size=min(attach, v), replace=False, p=prob)
-        for t in targets:
-            edges.append((int(t), v))
-            deg[t] += 1
-            deg[v] += 1
-    base = CSRGraph.from_edges(n, edges)
+    base = _preferential_attachment_base(n, attach, rng)
 
     deltas: list[GraphDelta] = []
     cur = base
@@ -250,6 +273,115 @@ def social_churn_stream(
             edge_add=edge_add,
             edge_del=edge_del,
         )
+        deltas.append(d)
+        cur = apply_delta(cur, d).graph
+    return base, deltas
+
+
+def _burst_delta(
+    cur: CSRGraph, rng, *, hub_kill: int, flash_size: int, attach: int
+) -> GraphDelta:
+    """One burst step: hub deletions followed by a flash-crowd storm.
+
+    Deletes up to ``hub_kill`` of the highest-degree vertices outright
+    (their incident edges go with them); survivor components orphaned by a
+    hub's removal are rewired to the flash center, and ``flash_size``
+    newcomers then storm that center (everyone attaching to it, plus a
+    few random survivors and a chain between consecutive newcomers) — the
+    flash crowd absorbs the dead hub's audience.
+    """
+    n_cur = cur.num_vertices
+    adj = {u: set(int(v) for v in cur.neighbors(u)) for u in range(n_cur)}
+    live = set(range(n_cur))
+
+    dead: list[int] = []
+    for u in sorted(range(n_cur), key=lambda u: -len(adj[u])):
+        if len(dead) >= hub_kill or len(live) - 1 < attach + 2:
+            break
+        dead.append(u)
+        live.discard(u)
+
+    comps = _components_over(adj, live)
+    main = max(comps, key=len)
+    # The flash center is the hottest surviving vertex of the main
+    # component (lowest id on degree ties, keeping the stream
+    # deterministic).
+    center = min(main, key=lambda u: (-len(adj[u] & live), u))
+
+    added_edges: list[tuple[int, int]] = []
+    for comp in comps:
+        if comp is not main:
+            added_edges.append((min(comp), center))  # re-absorb orphans
+
+    survivors = np.array(sorted(live), dtype=np.int64)
+    others = survivors[survivors != center]
+    for t in range(flash_size):
+        new_id = n_cur + t
+        added_edges.append((center, new_id))
+        extra = rng.choice(
+            len(others), size=min(attach - 1, len(others)), replace=False
+        )
+        for ti in extra:
+            added_edges.append((int(others[ti]), new_id))
+        if t > 0:
+            added_edges.append((n_cur + t - 1, new_id))
+
+    return GraphDelta(
+        num_added_vertices=flash_size,
+        added_edges=np.asarray(added_edges, dtype=np.int64).reshape(-1, 2),
+        deleted_vertices=np.asarray(dead, dtype=np.int64),
+    )
+
+
+def bursty_churn_stream(
+    n: int = 400,
+    steps: int = 12,
+    seed: int = 5,
+    *,
+    attach: int = 3,
+    burst_every: int = 3,
+    flash_size: int = 15,
+    hub_kill: int = 1,
+    grow: int = 3,
+    kill: int = 1,
+    edge_add: int = 3,
+    edge_del: int = 2,
+) -> tuple[CSRGraph, list[GraphDelta]]:
+    """Bursty churn workload: background churn punctuated by hub deletions
+    and flash-crowd insert storms (the ROADMAP's skewed-churn regime).
+
+    Most steps are quiet :func:`social_churn_stream`-style churn; every
+    ``burst_every``-th step is a *burst*: up to ``hub_kill`` of the
+    highest-degree vertices are deleted outright and ``flash_size``
+    newcomers storm the hottest surviving vertex in one delta — the
+    spiky weight/imbalance profile that exercises a
+    :class:`~repro.core.streaming.FlushPolicy` far harder than smooth
+    churn does.  Deltas are chained (``deltas[i]`` is relative to the
+    graph after ``deltas[:i]``) and never disconnect the graph, so the
+    stream feeds directly into a session.
+
+    Returns ``(base_graph, deltas)``.
+    """
+    rng = make_rng(seed)
+    base = _preferential_attachment_base(n, attach, rng)
+
+    deltas: list[GraphDelta] = []
+    cur = base
+    for step in range(steps):
+        if (step + 1) % burst_every == 0:
+            d = _burst_delta(
+                cur, rng, hub_kill=hub_kill, flash_size=flash_size, attach=attach
+            )
+        else:
+            d = _churn_delta(
+                cur,
+                rng,
+                grow=grow,
+                kill=kill,
+                attach=attach,
+                edge_add=edge_add,
+                edge_del=edge_del,
+            )
         deltas.append(d)
         cur = apply_delta(cur, d).graph
     return base, deltas

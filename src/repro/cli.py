@@ -9,9 +9,17 @@ Subcommands:
 * ``repro-igp speedup [--scale S]`` — the CM-5 speedup curve (E5).
 * ``repro-igp partition GRAPH.metis -p P [-o OUT]`` — partition a METIS
   file with RSB and print/save the vector.
-* ``repro-igp stream [--source dataset-a|churn]`` — run a streaming
-  repartition session (batched deltas under a flush policy) and print the
-  per-batch log.
+* ``repro-igp stream [--source dataset-a|churn|bursty]`` — run a
+  streaming repartition session (batched deltas under a flush policy) and
+  print the per-batch log.
+* ``repro-igp backends`` — list registered LP backends with their
+  warm-start capability flags.
+* ``repro-igp session save SNAP [--upto K]`` — open a session over a
+  delta stream, consume the first K deltas, write a durable snapshot.
+* ``repro-igp session load SNAP`` — inspect a snapshot (state, history,
+  carried warm bases).
+* ``repro-igp session resume SNAP`` — reload a snapshot, replay the rest
+  of its recorded stream, repartition, and report.
 """
 
 from __future__ import annotations
@@ -99,49 +107,160 @@ def _cmd_partition(args) -> int:
     return 0
 
 
-def _cmd_stream(args) -> int:
-    from repro.bench.workloads import social_churn_stream
-    from repro.core.streaming import FlushPolicy, StreamingPartitioner
-    from repro.mesh.sequences import dataset_a
-    from repro.spectral.rsb import rsb_partition
+def _make_stream(source: str, scale: float, steps: int, seed: int):
+    """Deterministically (re)generate a delta stream for the CLI flows."""
+    if source == "dataset-a":
+        from repro.mesh.sequences import dataset_a
 
-    if args.source == "dataset-a":
-        seq = dataset_a(scale=args.scale)
-        base, deltas = seq.graphs[0], list(seq.deltas)
-    else:
-        base, deltas = social_churn_stream(
-            n=max(int(round(400 * args.scale)), 32),
-            steps=args.steps,
-            seed=args.seed,
+        seq = dataset_a(scale=scale)
+        return seq.graphs[0], list(seq.deltas)
+    if source == "churn":
+        from repro.bench.workloads import social_churn_stream
+
+        return social_churn_stream(
+            n=max(int(round(400 * scale)), 32), steps=steps, seed=seed
         )
-    part = rsb_partition(base, args.partitions, seed=args.seed)
+    from repro.bench.workloads import bursty_churn_stream
+
+    return bursty_churn_stream(
+        n=max(int(round(400 * scale)), 48), steps=steps, seed=seed
+    )
+
+
+def _stream_policy(args):
+    from repro.core.streaming import FlushPolicy
 
     if args.per_delta:
-        policy = FlushPolicy(
+        return FlushPolicy(
             weight_fraction=None, imbalance_limit=None, max_pending=1
         )
-    else:
-        policy = FlushPolicy(
-            weight_fraction=args.flush_weight,
-            imbalance_limit=args.flush_imbalance,
-            max_pending=args.max_pending,
-        )
-    sp = StreamingPartitioner(
+    return FlushPolicy(
+        weight_fraction=args.flush_weight,
+        imbalance_limit=args.flush_imbalance,
+        max_pending=args.max_pending,
+    )
+
+
+def _cmd_stream(args) -> int:
+    from repro.session import open_session
+
+    base, deltas = _make_stream(args.source, args.scale, args.steps, args.seed)
+    session = open_session(
         base,
-        part,
-        num_partitions=args.partitions,
-        policy=policy,
+        args.partitions,
+        policy=_stream_policy(args),
+        seed=args.seed,
         lp_backend=args.lp_backend,
     )
-    sp.extend(deltas)
-    sp.flush()
-    print(sp.describe())
-    fallbacks = sum(1 for r in sp.history if r.fallback)
+    session.extend(deltas)
+    session.flush()
+    print(session.describe())
+    fallbacks = sum(1 for r in session.history() if r.fallback)
     print(
-        f"{len(deltas)} deltas -> {len(sp.history)} repartition batches "
+        f"{len(deltas)} deltas -> {session.num_batches} repartition batches "
         f"({fallbacks} chunked fallbacks), "
-        f"repartition wall-time {sp.total_wall_s():.3f}s"
+        f"repartition wall-time {session.total_wall_s():.3f}s"
     )
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.lp.backends import available_backends, get_backend_spec
+
+    names = available_backends()
+    width = max(len(n) for n in names)
+    print(f"{'backend':<{width}}  warm-start  description")
+    for name in names:
+        spec = get_backend_spec(name)
+        warm = "yes" if spec.supports_warm_start else "no"
+        print(f"{name:<{width}}  {warm:<10}  {spec.description}")
+    print(
+        "\nselect with --lp-backend NAME (CLI) or IGPConfig(lp_backend=NAME); "
+        "warm-start backends reuse carried bases across stages, batches and "
+        "restored sessions"
+    )
+    return 0
+
+
+def _session_user_meta(args, num_pushed: int) -> dict:
+    return {
+        "source": args.source,
+        "scale": args.scale,
+        "steps": args.steps,
+        "seed": args.seed,
+        "partitions": args.partitions,
+        "num_stream_deltas_total": None,  # filled by the caller
+        "num_pushed_at_save": num_pushed,
+    }
+
+
+def _cmd_session_save(args) -> int:
+    from repro.session import open_session
+
+    base, deltas = _make_stream(args.source, args.scale, args.steps, args.seed)
+    upto = len(deltas) // 2 if args.upto is None else min(args.upto, len(deltas))
+    session = open_session(
+        base,
+        args.partitions,
+        policy=_stream_policy(args),
+        seed=args.seed,
+        lp_backend=args.lp_backend,
+    )
+    session.extend(deltas[:upto])
+    meta = _session_user_meta(args, session.num_pushed)
+    meta["num_stream_deltas_total"] = len(deltas)
+    session.save(args.snapshot, user_meta=meta)
+    print(session.describe())
+    print(
+        f"snapshot written to {args.snapshot} after {upto}/{len(deltas)} "
+        f"deltas ({session.num_pending} pending, "
+        f"{'warm' if session.warm_bases[0] is not None else 'no'} balance basis)"
+    )
+    return 0
+
+
+def _cmd_session_load(args) -> int:
+    from repro.session import PartitionSession
+
+    session = PartitionSession.load(args.snapshot)
+    print(session.describe())
+    balance, refine = session.warm_bases
+    print(
+        f"carried bases: balance="
+        f"{'none' if balance is None else f'{balance.num_basic} basic'}"
+        f", refine={'none' if refine is None else f'{refine.num_basic} basic'}"
+    )
+    if session.user_meta:
+        print(f"user meta: {session.user_meta}")
+    return 0
+
+
+def _cmd_session_resume(args) -> int:
+    from repro.session import PartitionSession
+
+    session = PartitionSession.load(args.snapshot)
+    meta = session.user_meta
+    if not meta or "source" not in meta:
+        print(
+            "snapshot carries no stream metadata (was it written by "
+            "'session save'?); loaded state only",
+        )
+        print(session.describe())
+        return 1
+    _, deltas = _make_stream(
+        meta["source"], meta["scale"], meta["steps"], meta["seed"]
+    )
+    remaining = deltas[session.num_pushed :]
+    session.extend(remaining)
+    session.repartition()
+    print(session.describe())
+    print(
+        f"resumed {len(remaining)} deltas from {args.snapshot}; "
+        f"final imbalance {session.quality().imbalance:.3f}"
+    )
+    if args.output:
+        session.save(args.output, user_meta=meta)
+        print(f"updated snapshot written to {args.output}")
     return 0
 
 
@@ -171,26 +290,64 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig14", parents=[common]).set_defaults(fn=_cmd_fig14)
     sub.add_parser("speedup", parents=[common]).set_defaults(fn=_cmd_speedup)
 
-    st = sub.add_parser("stream", parents=[common],
+    stream_common = argparse.ArgumentParser(add_help=False)
+    stream_common.add_argument(
+        "--source", choices=("dataset-a", "churn", "bursty"),
+        default="dataset-a",
+        help="delta stream: the dataset-A refinement chain, a social-graph "
+             "churn stream, or the bursty hub-deletion/flash-crowd stream")
+    stream_common.add_argument("--steps", type=int, default=10,
+                               help="churn stream length (ignored for "
+                                    "dataset-a)")
+    stream_common.add_argument("--seed", type=int, default=0)
+    stream_common.add_argument(
+        "--flush-weight", type=float, default=0.5,
+        help="flush when pending churn weight exceeds this fraction of the "
+             "average partition load")
+    stream_common.add_argument(
+        "--flush-imbalance", type=float, default=2.0,
+        help="flush when the estimated imbalance exceeds this")
+    stream_common.add_argument("--max-pending", type=int, default=None,
+                               help="flush after this many pending deltas")
+    stream_common.add_argument(
+        "--per-delta", action="store_true",
+        help="repartition after every delta (paper regime; disables the "
+             "batching policy)")
+
+    st = sub.add_parser("stream", parents=[common, stream_common],
                         help="streaming repartition session (batched deltas)")
-    st.add_argument("--source", choices=("dataset-a", "churn"),
-                    default="dataset-a",
-                    help="delta stream: the dataset-A refinement chain or "
-                         "a social-graph churn stream")
-    st.add_argument("--steps", type=int, default=10,
-                    help="churn stream length (ignored for dataset-a)")
-    st.add_argument("--seed", type=int, default=0)
-    st.add_argument("--flush-weight", type=float, default=0.5,
-                    help="flush when pending churn weight exceeds this "
-                         "fraction of the average partition load")
-    st.add_argument("--flush-imbalance", type=float, default=2.0,
-                    help="flush when the estimated imbalance exceeds this")
-    st.add_argument("--max-pending", type=int, default=None,
-                    help="flush after this many pending deltas")
-    st.add_argument("--per-delta", action="store_true",
-                    help="repartition after every delta (paper regime; "
-                         "disables the batching policy)")
     st.set_defaults(fn=_cmd_stream)
+
+    be = sub.add_parser("backends",
+                        help="list registered LP backends and their "
+                             "warm-start capability")
+    be.set_defaults(fn=_cmd_backends)
+
+    se = sub.add_parser("session",
+                        help="durable partition sessions: save / load / "
+                             "resume snapshots")
+    sesub = se.add_subparsers(dest="session_command", required=True)
+
+    ss = sesub.add_parser("save", parents=[common, stream_common],
+                          help="consume part of a delta stream, then write "
+                               "a durable snapshot")
+    ss.add_argument("snapshot", help="snapshot file to write (e.g. s.igps)")
+    ss.add_argument("--upto", type=int, default=None,
+                    help="number of stream deltas to consume before saving "
+                         "(default: half the stream)")
+    ss.set_defaults(fn=_cmd_session_save)
+
+    sl = sesub.add_parser("load", help="inspect a session snapshot")
+    sl.add_argument("snapshot")
+    sl.set_defaults(fn=_cmd_session_load)
+
+    sr = sesub.add_parser("resume",
+                          help="reload a snapshot, replay the rest of its "
+                               "stream, repartition")
+    sr.add_argument("snapshot")
+    sr.add_argument("-o", "--output", default=None,
+                    help="write the post-resume state to a new snapshot")
+    sr.set_defaults(fn=_cmd_session_resume)
 
     pp = sub.add_parser("partition")
     pp.add_argument("graph", help="METIS-format graph file")

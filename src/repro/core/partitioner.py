@@ -139,6 +139,16 @@ class IncrementalGraphPartitioner:
         self._balance_carrier.reset()
         self._refine_carrier.reset()
 
+    def seed_warm_start(self, bases: tuple) -> None:
+        """Install a ``(balance_basis, refine_basis)`` pair to warm-start
+        the next repartition — the inverse of :attr:`warm_bases`.  Used by
+        restored sessions so a reloaded snapshot pivots exactly like the
+        uninterrupted run; ``(None, None)`` is equivalent to
+        :meth:`reset_warm_start`."""
+        balance, refine = bases
+        self._balance_carrier.basis = balance
+        self._refine_carrier.basis = refine
+
     @property
     def warm_bases(self) -> tuple:
         """Carried ``(balance_basis, refine_basis)`` — pass as

@@ -2,14 +2,22 @@
 
 The paper's incremental model treats one delta at a time, but a production
 system serving continuous change wants to *amortize*: many small deltas
-rarely each deserve an LP solve.  :class:`StreamingPartitioner` is a
-session object that owns the evolving graph and partition vector, folds
-incoming :class:`~repro.graph.incremental.GraphDelta`\\ s into one pending
+rarely each deserve an LP solve.  :class:`StreamingPartitioner` owns the
+evolving graph and partition vector, folds incoming
+:class:`~repro.graph.incremental.GraphDelta`\\ s into one pending
 composed delta (:func:`~repro.graph.incremental.compose_deltas`), and
 repartitions only when a :class:`FlushPolicy` fires — accumulated churn
 weight crossing a fraction of the average partition load λ, the estimated
 imbalance crossing a threshold, a pending-delta cap, or an explicit
 :meth:`~StreamingPartitioner.flush`.
+
+This class is the *engine* of the public session API: callers should
+normally go through :func:`repro.open_session`, which wraps one
+``StreamingPartitioner`` in a :class:`repro.session.PartitionSession`
+(adding initial partitioning, durable :meth:`~repro.session
+.PartitionSession.save` / ``load`` snapshots, and a stable history
+surface).  Instantiate the engine directly only when embedding it in a
+custom driver.
 
 Warm-start LP bases (:attr:`IncrementalGraphPartitioner.warm_bases`) are
 carried across batches automatically because the session reuses one
@@ -34,7 +42,11 @@ from repro.core.partitioner import (
     IncrementalGraphPartitioner,
     RepartitionResult,
 )
-from repro.errors import GraphError, RepartitionInfeasibleError
+from repro.errors import (
+    GraphError,
+    PartitioningError,
+    RepartitionInfeasibleError,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import (
     DeltaComposer,
@@ -73,12 +85,56 @@ class FlushPolicy:
     max_pending: int | None = None
 
     def __post_init__(self):
-        if self.weight_fraction is not None and self.weight_fraction <= 0:
-            raise ValueError("weight_fraction must be positive")
-        if self.imbalance_limit is not None and self.imbalance_limit < 1.0:
-            raise ValueError("imbalance_limit must be >= 1")
-        if self.max_pending is not None and self.max_pending < 1:
-            raise ValueError("max_pending must be >= 1")
+        # Reject bad thresholds at construction: a NaN (or non-positive)
+        # threshold compares False against every pending measurement, so
+        # a mis-built policy would otherwise silently *never* flush.
+        wf = self.weight_fraction
+        if wf is not None and not (np.isfinite(wf) and wf > 0):
+            raise PartitioningError(
+                f"FlushPolicy.weight_fraction must be a positive finite "
+                f"number or None, got {wf!r} (NaN/non-positive thresholds "
+                f"would silently never flush)"
+            )
+        il = self.imbalance_limit
+        if il is not None and not (np.isfinite(il) and il >= 1.0):
+            raise PartitioningError(
+                f"FlushPolicy.imbalance_limit must be a finite number >= 1 "
+                f"or None, got {il!r} (imbalance is >= 1 by definition, and "
+                f"a NaN limit would silently never flush)"
+            )
+        mp = self.max_pending
+        if mp is not None and (not float(mp).is_integer() or mp < 1):
+            raise PartitioningError(
+                f"FlushPolicy.max_pending must be an integer >= 1 or None, "
+                f"got {mp!r} (a zero/negative cap would flush empty batches "
+                f"or never cap at all)"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization (durable session snapshots)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Encode as one float64 triple (NaN marks a disabled trigger)."""
+        return {
+            "policy": np.array(
+                [
+                    np.nan if self.weight_fraction is None else self.weight_fraction,
+                    np.nan if self.imbalance_limit is None else self.imbalance_limit,
+                    np.nan if self.max_pending is None else float(self.max_pending),
+                ],
+                dtype=np.float64,
+            )
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "FlushPolicy":
+        """Rebuild a policy from a :meth:`to_arrays` dict (re-validated)."""
+        wf, il, mp = np.asarray(arrays["policy"], dtype=np.float64)
+        return cls(
+            weight_fraction=None if np.isnan(wf) else float(wf),
+            imbalance_limit=None if np.isnan(il) else float(il),
+            max_pending=None if np.isnan(mp) else int(mp),
+        )
 
 
 @dataclass(frozen=True)
@@ -208,6 +264,10 @@ class StreamingPartitioner:
     def warm_bases(self) -> tuple:
         """Carried LP bases of the underlying partitioner."""
         return self._igp.warm_bases
+
+    def reset_warm_start(self) -> None:
+        """Drop carried LP bases; the next batch solves cold."""
+        self._igp.reset_warm_start()
 
     def pending_churn_weight(self) -> float:
         """Added plus deleted vertex weight of the pending composed delta
@@ -345,6 +405,45 @@ class StreamingPartitioner:
             self._igp.reset_warm_start()
         wall = time.perf_counter() - t0
         self.graph = inc.graph
+        self._composer = None
+        self._record_batch(
+            num_deltas=num_deltas,
+            composed=composed,
+            trigger=trigger,
+            result=result,
+            fallback=fallback,
+            wall=wall,
+        )
+        return result
+
+    def repartition(self, trigger: str = "repartition") -> RepartitionResult:
+        """Repartition *now*: flush the pending batch, or — when nothing
+        is pending — run the LP pipeline on the current graph as-is.
+
+        The empty-batch case is what a restored session uses to prove its
+        warm bases: the pipeline re-balances/refines the carried partition
+        and is recorded as a zero-delta batch.
+        """
+        result = self.flush(trigger=trigger)
+        if result is not None:
+            return result
+        t0 = time.perf_counter()
+        result = self._igp.repartition(self.graph, self.part)
+        self._record_batch(
+            num_deltas=0,
+            composed=GraphDelta(),
+            trigger=trigger,
+            result=result,
+            fallback=False,
+            wall=time.perf_counter() - t0,
+        )
+        return result
+
+    def _record_batch(
+        self, *, num_deltas, composed, trigger, result, fallback, wall
+    ) -> None:
+        """Batch bookkeeping shared by :meth:`flush` and :meth:`repartition`:
+        adopt the new partition, account the batch, trim history."""
         self.part = result.part
         self.num_batches += 1
         self._total_wall_s += wall
@@ -360,9 +459,45 @@ class StreamingPartitioner:
         )
         if self.max_history is not None and len(self.history) > self.max_history:
             del self.history[: len(self.history) - self.max_history]
-        self._composer = None
         self._epoch_loads = None  # new graph/part: recompute lazily
-        return result
+
+    # ------------------------------------------------------------------
+    # Snapshot restore (used by repro.session.PartitionSession.load)
+    # ------------------------------------------------------------------
+    def restore_state(
+        self,
+        *,
+        pending: GraphDelta | None = None,
+        num_pending: int = 0,
+        warm_bases: tuple = (None, None),
+        num_batches: int = 0,
+        total_wall_s: float = 0.0,
+    ) -> None:
+        """Reinstate mid-stream state captured by a session snapshot.
+
+        ``pending`` is the *composed* pending delta relative to
+        :attr:`graph`; it is folded into a fresh composer (composition is
+        associative, so one fold reproduces the accumulated state) and
+        ``num_pending`` restores the original fold count so a
+        ``max_pending`` policy keeps firing on the same schedule.
+        ``warm_bases`` is the ``(balance, refine)`` pair from
+        :attr:`warm_bases`; the counters restore session accounting.
+        """
+        if pending is not None:
+            composer = DeltaComposer(
+                self.graph,
+                strict=self.strict,
+                accumulate_weights=self.accumulate_weights,
+            )
+            composer.fold(pending)
+            composer.num_folded = max(int(num_pending), 1)
+            self._composer = composer
+        else:
+            self._composer = None
+        self._igp.seed_warm_start(warm_bases)
+        self.num_batches = int(num_batches)
+        self._total_wall_s = float(total_wall_s)
+        self._epoch_loads = None
 
     # ------------------------------------------------------------------
     # Session-level accounting

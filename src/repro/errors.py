@@ -78,6 +78,15 @@ class PartitioningError(ReproError):
     """An (incremental) partitioning algorithm could not complete."""
 
 
+class SnapshotError(ReproError):
+    """A session snapshot could not be written or read back.
+
+    Raised by :meth:`repro.session.PartitionSession.save` / ``load`` for
+    corrupted archives, manifests that are not session snapshots, and
+    snapshot format versions newer than this library understands.
+    """
+
+
 class RepartitionInfeasibleError(PartitioningError):
     """Incremental repartitioning cannot restore balance within the gamma cap.
 

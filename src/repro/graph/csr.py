@@ -339,6 +339,51 @@ class CSRGraph:
         )
 
     # ------------------------------------------------------------------
+    # Serialization (durable session snapshots)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat ``{name: array}`` view of the graph, ``np.savez``-ready.
+
+        Keys are ``xadj`` / ``adj`` / ``vweights`` / ``eweights`` and,
+        when coordinates are attached, ``coords``.  The arrays are the
+        graph's own read-only buffers (no copy); round-trips exactly
+        through :meth:`from_arrays`.
+        """
+        arrays = {
+            "xadj": self.xadj,
+            "adj": self.adj,
+            "vweights": self.vweights,
+            "eweights": self.eweights,
+        }
+        if self.coords is not None:
+            arrays["coords"] = self.coords
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], *, validate: bool = True
+    ) -> "CSRGraph":
+        """Rebuild a graph from a :meth:`to_arrays` dict.
+
+        ``validate=True`` (default) re-runs full structural validation, so
+        a snapshot whose arrays were corrupted on disk fails loudly here
+        rather than corrupting a later repartition.
+        """
+        missing = {"xadj", "adj", "vweights", "eweights"} - set(arrays)
+        if missing:
+            raise GraphValidationError(
+                f"graph arrays missing required keys: {sorted(missing)}"
+            )
+        return cls(
+            arrays["xadj"],
+            arrays["adj"],
+            vweights=arrays["vweights"],
+            eweights=arrays["eweights"],
+            coords=arrays.get("coords"),
+            validate=validate,
+        )
+
+    # ------------------------------------------------------------------
     # Convenience constructors
     # ------------------------------------------------------------------
     @staticmethod

@@ -107,6 +107,69 @@ class GraphDelta:
             f"-{len(self.deleted_vertices)}v, -{len(self.deleted_edges)}e)"
         )
 
+    # ------------------------------------------------------------------
+    # Serialization (durable session snapshots)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat ``{name: array}`` view, ``np.savez``-ready.
+
+        ``num_added_vertices`` is stored as a 0-d int64 array; the
+        optional weight/coordinate attributes are simply absent when
+        unset.  Round-trips exactly through :meth:`from_arrays`.
+        """
+        arrays = {
+            "num_added_vertices": np.int64(self.num_added_vertices),
+            "added_edges": self.added_edges,
+            "deleted_vertices": self.deleted_vertices,
+            "deleted_edges": self.deleted_edges,
+        }
+        for key in ("added_vweights", "added_eweights", "added_coords"):
+            value = getattr(self, key)
+            if value is not None:
+                arrays[key] = np.asarray(value)
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "GraphDelta":
+        """Rebuild a delta from a :meth:`to_arrays` dict (re-validated)."""
+        missing = {
+            "num_added_vertices",
+            "added_edges",
+            "deleted_vertices",
+            "deleted_edges",
+        } - set(arrays)
+        if missing:
+            raise GraphError(
+                f"delta arrays missing required keys: {sorted(missing)}"
+            )
+        return cls(
+            num_added_vertices=int(arrays["num_added_vertices"]),
+            added_edges=arrays["added_edges"],
+            deleted_vertices=arrays["deleted_vertices"],
+            deleted_edges=arrays["deleted_edges"],
+            added_vweights=arrays.get("added_vweights"),
+            added_eweights=arrays.get("added_eweights"),
+            added_coords=arrays.get("added_coords"),
+        )
+
+    def equals(self, other: "GraphDelta") -> bool:
+        """Exact field-wise equality (ids, weights, coordinates)."""
+
+        def same_opt(a, b) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True)
+
+        return (
+            self.num_added_vertices == other.num_added_vertices
+            and np.array_equal(self.added_edges, other.added_edges)
+            and np.array_equal(self.deleted_vertices, other.deleted_vertices)
+            and np.array_equal(self.deleted_edges, other.deleted_edges)
+            and same_opt(self.added_vweights, other.added_vweights)
+            and same_opt(self.added_eweights, other.added_eweights)
+            and same_opt(self.added_coords, other.added_coords)
+        )
+
 
 @dataclass(frozen=True)
 class IncrementalResult:

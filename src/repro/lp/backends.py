@@ -52,6 +52,7 @@ class BackendSpec:
     name: str
     solve: Backend
     solve_warm: WarmBackend | None = None
+    description: str = ""
 
     @property
     def supports_warm_start(self) -> bool:
@@ -63,14 +64,21 @@ _REGISTRY: dict[str, BackendSpec] = {}
 
 
 def register_backend(
-    name: str, fn: Backend, *, solve_warm: WarmBackend | None = None
+    name: str,
+    fn: Backend,
+    *,
+    solve_warm: WarmBackend | None = None,
+    description: str = "",
 ) -> None:
     """Register a callable ``LinearProgram -> LPResult`` under ``name``.
 
     ``solve_warm`` (``(LinearProgram, Basis | None) -> LPResult``) marks
-    the backend as warm-start capable.
+    the backend as warm-start capable; ``description`` is the one-liner
+    the ``repro-igp backends`` CLI prints.
     """
-    _REGISTRY[name] = BackendSpec(name=name, solve=fn, solve_warm=solve_warm)
+    _REGISTRY[name] = BackendSpec(
+        name=name, solve=fn, solve_warm=solve_warm, description=description
+    )
 
 
 def available_backends() -> list[str]:
@@ -107,11 +115,35 @@ def solve_with_backend(
     return spec.solve(lp)
 
 
-register_backend("dense_simplex_bland", DenseSimplexSolver(pivot="bland").solve)
-register_backend("scipy", solve_lp_scipy)
-register_backend("revised", solve_lp_revised, solve_warm=solve_lp_revised)
+register_backend(
+    "dense_simplex_bland",
+    DenseSimplexSolver(pivot="bland").solve,
+    description="dense tableau restricted to Bland's rule (termination oracle)",
+)
+register_backend(
+    "scipy",
+    solve_lp_scipy,
+    description="scipy.optimize.linprog / HiGHS, used as a cross-check oracle",
+)
+register_backend(
+    "revised",
+    solve_lp_revised,
+    solve_warm=solve_lp_revised,
+    description=(
+        "revised simplex: bounded variables, LU basis, warm-start basis "
+        "reuse across stages/batches/restored sessions"
+    ),
+)
 # "tableau" is the paper-facing name for the dense Gauss–Jordan solver
 # and the default of IGPConfig/the CLI; "dense_simplex" is the legacy
 # internal name, kept registered so existing configs don't break.
-register_backend("tableau", DenseSimplexSolver().solve)
-register_backend("dense_simplex", DenseSimplexSolver().solve)
+register_backend(
+    "tableau",
+    DenseSimplexSolver().solve,
+    description="the paper's dense Gauss-Jordan two-phase tableau (default)",
+)
+register_backend(
+    "dense_simplex",
+    DenseSimplexSolver().solve,
+    description="legacy alias of 'tableau'",
+)

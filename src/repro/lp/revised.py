@@ -84,6 +84,32 @@ class Basis:
         """Number of basic slots recorded."""
         return sum(1 for _, s in self.statuses if s == "basic")
 
+    # ------------------------------------------------------------------
+    # Serialization (durable session snapshots)
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """``{"names": ..., "states": ...}`` unicode arrays, savez-ready.
+
+        The two arrays are aligned; order is preserved so a reloaded
+        basis maps onto the next LP exactly like the original would.
+        """
+        return {
+            "names": np.array([n for n, _ in self.statuses], dtype=np.str_),
+            "states": np.array([s for _, s in self.statuses], dtype=np.str_),
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "Basis":
+        """Rebuild a basis from a :meth:`to_arrays` dict."""
+        names, states = arrays["names"], arrays["states"]
+        if len(names) != len(states):
+            raise ValueError("basis names/states arrays are not aligned")
+        return cls(
+            statuses=tuple(
+                (str(n), str(s)) for n, s in zip(names, states)
+            )
+        )
+
 
 class BasisCarrier:
     """Mutable holder threading warm-start bases across successive solves.

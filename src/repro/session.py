@@ -1,0 +1,662 @@
+"""Session-first public API: one front door for every partitioning scenario.
+
+The paper's IGP/IGPR is a *stateful, long-lived* computation: incremental
+repartitioning only pays off when one owner holds the evolving graph, the
+carried partition, and the warm LP bases across many deltas.
+:func:`open_session` is that owner's constructor and
+:class:`PartitionSession` its handle — one object covering
+
+* **one-shot** partitioning (open, :meth:`~PartitionSession.quality`),
+* **incremental / streaming** repartitioning
+  (:meth:`~PartitionSession.push` deltas, let the
+  :class:`~repro.core.streaming.FlushPolicy` batch them,
+  :meth:`~PartitionSession.flush` or
+  :meth:`~PartitionSession.repartition` explicitly), and
+* **resumable** service operation — the headline:
+  :meth:`~PartitionSession.save` writes a versioned on-disk snapshot
+  (a zip of ``np.savez`` arrays plus a JSON manifest carrying the format
+  version, config, and RNG state) that round-trips the CSR graph, the
+  current partition, the composed pending delta, the flush policy, the
+  batch history, and the name-keyed warm :class:`~repro.lp.revised.Basis`
+  snapshots.  :meth:`PartitionSession.load` in a *different process*
+  rebuilds the session so its next repartition warm-starts exactly like
+  the uninterrupted one (identical partition labels, identical simplex
+  pivot counts — asserted by ``benchmarks/bench_session_resume.py``).
+
+The initial partition comes from a small registry
+(``"rsb"`` / ``"rcb"`` / ``"inertial"``, extensible via
+:func:`register_initial_partitioner`) or is supplied directly with
+``initial="given"``.  Internally the session drives one
+:class:`~repro.core.streaming.StreamingPartitioner` — the engine — which
+in turn owns one :class:`~repro.core.partitioner
+.IncrementalGraphPartitioner`, so warm bases carry across batches and
+across process restarts alike.
+
+Quick start::
+
+    import repro
+
+    session = repro.open_session(graph, 32, lp_backend="revised")
+    session.push(delta)              # batched under the FlushPolicy
+    session.flush()                  # drain the tail
+    session.save("state.igps")       # ... process dies ...
+
+    session = repro.PartitionSession.load("state.igps")
+    session.repartition()            # warm-starts like the original
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core.partitioner import IGPConfig, RepartitionResult
+from repro.core.quality import PartitionQuality, evaluate_partition
+from repro.core.streaming import BatchRecord, FlushPolicy, StreamingPartitioner
+from repro.errors import GraphError, PartitioningError, SnapshotError
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta
+from repro.lp.revised import Basis
+from repro.rng import make_rng
+
+__all__ = [
+    "BatchSummary",
+    "PartitionSession",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "available_initial_partitioners",
+    "open_session",
+    "register_initial_partitioner",
+]
+
+#: Manifest ``format`` tag identifying a file as a session snapshot.
+SNAPSHOT_FORMAT = "repro.partition-session"
+#: Highest snapshot format version this library writes and understands.
+SNAPSHOT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+_ARRAYS_NAME = "arrays.npz"
+
+
+# ----------------------------------------------------------------------
+# Initial-partitioner registry
+# ----------------------------------------------------------------------
+InitialPartitioner = Callable[[CSRGraph, int, np.random.Generator], np.ndarray]
+
+_INITIAL_REGISTRY: dict[str, InitialPartitioner] = {}
+
+
+def register_initial_partitioner(name: str, fn: InitialPartitioner) -> None:
+    """Register ``fn(graph, k, rng) -> part`` under ``name`` for
+    :func:`open_session`'s ``initial=`` argument."""
+    _INITIAL_REGISTRY[name] = fn
+
+
+def available_initial_partitioners() -> list[str]:
+    """Names accepted by ``open_session(..., initial=...)``.
+
+    Includes the pseudo-entry ``"given"`` (caller supplies ``part=``).
+    """
+    return sorted(set(_INITIAL_REGISTRY) | {"given"})
+
+
+def _initial_rsb(graph: CSRGraph, k: int, rng: np.random.Generator) -> np.ndarray:
+    from repro.spectral.rsb import rsb_partition
+
+    return rsb_partition(graph, k, seed=rng)
+
+
+def _initial_rcb(graph: CSRGraph, k: int, rng: np.random.Generator) -> np.ndarray:
+    from repro.spectral.rcb import rcb_partition
+
+    return rcb_partition(graph, k)
+
+
+def _initial_inertial(graph: CSRGraph, k: int, rng: np.random.Generator) -> np.ndarray:
+    from repro.spectral.inertial import inertial_partition
+
+    return inertial_partition(graph, k)
+
+
+register_initial_partitioner("rsb", _initial_rsb)
+register_initial_partitioner("rcb", _initial_rcb)
+register_initial_partitioner("inertial", _initial_inertial)
+
+
+# ----------------------------------------------------------------------
+# History surface
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchSummary:
+    """One repartition batch as the session's durable history records it.
+
+    Unlike the engine's :class:`~repro.core.streaming.BatchRecord` (which
+    retains the composed delta and the full
+    :class:`~repro.core.partitioner.RepartitionResult`), a summary is a
+    flat, JSON-serializable row — it survives :meth:`PartitionSession
+    .save` / ``load`` and never grows with the graph.
+    """
+
+    num_deltas: int
+    trigger: str
+    fallback: bool
+    wall_s: float
+    cut_total: float
+    imbalance: float
+    num_stages: int
+    lp_pivots: int
+
+    @classmethod
+    def from_record(cls, rec: BatchRecord) -> "BatchSummary":
+        """Condense an engine batch record."""
+        q = rec.result.quality_final
+        return cls(
+            num_deltas=rec.num_deltas,
+            trigger=rec.trigger,
+            fallback=rec.fallback,
+            wall_s=float(rec.wall_s),
+            cut_total=float(q.cut_total),
+            imbalance=float(q.imbalance),
+            num_stages=rec.result.num_stages,
+            lp_pivots=int(sum(s.lp_iterations for s in rec.result.stages)),
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-liner for logs."""
+        return (
+            f"batch[{self.num_deltas} deltas, {self.trigger}] "
+            f"cut={self.cut_total:.0f} imbal={self.imbalance:.3f} "
+            f"stages={self.num_stages} pivots={self.lp_pivots}"
+            f"{' (chunked fallback)' if self.fallback else ''}"
+        )
+
+
+# ----------------------------------------------------------------------
+# The session facade
+# ----------------------------------------------------------------------
+class PartitionSession:
+    """A durable partitioning session (construct via :func:`open_session`
+    or :meth:`load`).
+
+    The session owns a :class:`~repro.core.streaming.StreamingPartitioner`
+    engine and adds the service-shaped surface: initial partitioning, a
+    stable :meth:`history` that survives restarts, and
+    :meth:`save` / :meth:`load` snapshots.
+    """
+
+    def __init__(
+        self,
+        engine: StreamingPartitioner,
+        *,
+        initial: str = "given",
+        rng: np.random.Generator | None = None,
+        _history: list[BatchSummary] | None = None,
+        _num_pushed: int = 0,
+    ):
+        self._sp = engine
+        self.initial = initial
+        self.rng = rng if rng is not None else make_rng()
+        self.user_meta: dict = {}
+        self._summaries: list[BatchSummary] = list(_history or [])
+        self._synced_batches = engine.num_batches
+        self._num_pushed = int(_num_pushed)
+
+    # -- state views ----------------------------------------------------
+    @property
+    def graph(self) -> CSRGraph:
+        """The current (post-flush) graph."""
+        return self._sp.graph
+
+    @property
+    def part(self) -> np.ndarray:
+        """The current partition vector."""
+        return self._sp.part
+
+    @property
+    def k(self) -> int:
+        """Number of partitions."""
+        return self._sp.config.num_partitions
+
+    @property
+    def config(self) -> IGPConfig:
+        """The engine's :class:`~repro.core.partitioner.IGPConfig`."""
+        return self._sp.config
+
+    @property
+    def policy(self) -> FlushPolicy:
+        """The active flush policy."""
+        return self._sp.policy
+
+    @property
+    def num_pending(self) -> int:
+        """Deltas accumulated since the last flush."""
+        return self._sp.num_pending
+
+    @property
+    def pending_delta(self) -> GraphDelta | None:
+        """The composed pending delta (``None`` when nothing is pending)."""
+        return self._sp.pending_delta
+
+    @property
+    def warm_bases(self) -> tuple:
+        """Carried ``(balance_basis, refine_basis)`` LP bases."""
+        return self._sp.warm_bases
+
+    def reset_warm_start(self) -> None:
+        """Drop carried LP bases; the next repartition solves cold."""
+        self._sp.reset_warm_start()
+
+    @property
+    def num_batches(self) -> int:
+        """Repartition batches flushed over the session's whole life."""
+        return self._sp.num_batches
+
+    @property
+    def num_pushed(self) -> int:
+        """Deltas pushed over the session's whole life (across restarts)."""
+        return self._num_pushed
+
+    def total_wall_s(self) -> float:
+        """Wall-clock spent repartitioning (running total)."""
+        return self._sp.total_wall_s()
+
+    # -- stream consumption ---------------------------------------------
+    def _sync_history(self) -> None:
+        new = self._sp.num_batches - self._synced_batches
+        if new > 0:
+            self._summaries.extend(
+                BatchSummary.from_record(r) for r in self._sp.history[-new:]
+            )
+            self._synced_batches = self._sp.num_batches
+
+    def push(self, delta: GraphDelta) -> RepartitionResult | None:
+        """Fold one delta into the pending batch; flush if the policy
+        fires.  Returns the batch result on flush, else ``None``."""
+        result = self._sp.push(delta)
+        self._num_pushed += 1
+        self._sync_history()
+        return result
+
+    def extend(self, deltas) -> list[RepartitionResult]:
+        """Push many deltas; returns the results of the flushes that fired."""
+        results = []
+        for d in deltas:
+            res = self.push(d)
+            if res is not None:
+                results.append(res)
+        return results
+
+    def flush(self) -> RepartitionResult | None:
+        """Apply the pending composed delta and repartition; ``None`` when
+        nothing is pending."""
+        result = self._sp.flush()
+        self._sync_history()
+        return result
+
+    def repartition(self) -> RepartitionResult:
+        """Repartition *now*: flush the pending batch, or re-run the LP
+        pipeline on the current graph when nothing is pending."""
+        result = self._sp.repartition()
+        self._sync_history()
+        return result
+
+    # -- inspection -----------------------------------------------------
+    def quality(self) -> PartitionQuality:
+        """Cut/balance metrics of the current partition."""
+        return evaluate_partition(self.graph, self.part, self.k)
+
+    def history(self) -> list[BatchSummary]:
+        """All batch summaries, oldest first (survives save/load)."""
+        return list(self._summaries)
+
+    def describe(self) -> str:
+        """Multi-line session log: state line, quality, one line per batch."""
+        q = self.quality()
+        lines = [
+            f"PartitionSession: |V|={self.graph.num_vertices} "
+            f"|E|={self.graph.num_edges} k={self.k} initial={self.initial} "
+            f"batches={self.num_batches} pending={self.num_pending} "
+            f"pushed={self.num_pushed}",
+            f"  quality: {q}",
+        ]
+        lines.extend(f"  {s.summary()}" for s in self._summaries)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionSession(|V|={self.graph.num_vertices}, k={self.k}, "
+            f"batches={self.num_batches}, pending={self.num_pending})"
+        )
+
+    # -- snapshots ------------------------------------------------------
+    def save(self, path, *, user_meta: dict | None = None) -> Path:
+        """Write a durable snapshot of the whole session to ``path``.
+
+        The file is a zip archive holding ``arrays.npz`` (graph, partition
+        vector, composed pending delta, warm bases, flush policy) and
+        ``manifest.json`` (format version, :class:`IGPConfig`, RNG state,
+        batch history, counters).  ``user_meta`` is an arbitrary
+        JSON-serializable dict stored verbatim for the caller — the CLI
+        uses it to remember which delta stream the session was consuming.
+
+        Returns the path written.  Load with :meth:`load` — from any
+        process; the restored session's next repartition warm-starts
+        exactly like this one's would have.
+        """
+        path = Path(path)
+        sp = self._sp
+        arrays: dict[str, np.ndarray] = {"part": sp.part}
+        for key, value in sp.graph.to_arrays().items():
+            arrays[f"graph.{key}"] = value
+        for key, value in sp.policy.to_arrays().items():
+            arrays[f"policy.{key}"] = value
+        pending = sp.pending_delta
+        if pending is not None:
+            for key, value in pending.to_arrays().items():
+                arrays[f"pending.{key}"] = value
+        balance_basis, refine_basis = sp.warm_bases
+        if balance_basis is not None:
+            for key, value in balance_basis.to_arrays().items():
+                arrays[f"basis.balance.{key}"] = value
+        if refine_basis is not None:
+            for key, value in refine_basis.to_arrays().items():
+                arrays[f"basis.refine.{key}"] = value
+
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "repro_version": __version__,
+            "config": asdict(sp.config),
+            "engine": {
+                "strict": sp.strict,
+                "accumulate_weights": sp.accumulate_weights,
+                "chunk_fraction": sp.chunk_fraction,
+                "max_history": sp.max_history,
+                "num_batches": sp.num_batches,
+                "total_wall_s": sp.total_wall_s(),
+                "num_pending": sp.num_pending,
+            },
+            "session": {
+                "initial": self.initial,
+                "num_pushed": self._num_pushed,
+            },
+            "rng_state": self.rng.bit_generator.state,
+            "history": [asdict(s) for s in self._summaries],
+            "has": {
+                "pending": pending is not None,
+                "balance_basis": balance_basis is not None,
+                "refine_basis": refine_basis is not None,
+            },
+            "user_meta": dict(user_meta if user_meta is not None else self.user_meta),
+        }
+
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        # Write-then-rename so a crash mid-save can never destroy the
+        # previous good snapshot (save() is routinely pointed at the
+        # same path again and again by long-lived services).
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with zipfile.ZipFile(tmp, "w", zipfile.ZIP_DEFLATED) as zf:
+                zf.writestr(
+                    _MANIFEST_NAME,
+                    json.dumps(manifest, indent=2, default=_json_safe),
+                )
+                zf.writestr(_ARRAYS_NAME, buf.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path) -> "PartitionSession":
+        """Rebuild a session from a :meth:`save` snapshot.
+
+        Raises :class:`~repro.errors.SnapshotError` for files that are not
+        session snapshots, corrupted archives/manifests, and format
+        versions newer than :data:`SNAPSHOT_VERSION`.  The graph arrays
+        are re-validated structurally, so bit-rot fails here rather than
+        corrupting a later repartition.
+        """
+        path = Path(path)
+        try:
+            with zipfile.ZipFile(path) as zf:
+                names = set(zf.namelist())
+                if _MANIFEST_NAME not in names or _ARRAYS_NAME not in names:
+                    raise SnapshotError(
+                        f"{path} is not a session snapshot (missing "
+                        f"{_MANIFEST_NAME} or {_ARRAYS_NAME})"
+                    )
+                manifest = json.loads(zf.read(_MANIFEST_NAME).decode("utf-8"))
+                npz_bytes = zf.read(_ARRAYS_NAME)
+        except SnapshotError:
+            raise
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"cannot read session snapshot {path}: {exc}"
+            ) from exc
+
+        if not isinstance(manifest, dict) or manifest.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"{path} is not a session snapshot (manifest format "
+                f"{manifest.get('format')!r} != {SNAPSHOT_FORMAT!r})"
+                if isinstance(manifest, dict)
+                else f"{path} manifest is not a JSON object"
+            )
+        version = manifest.get("version")
+        if not isinstance(version, int) or version < 1:
+            raise SnapshotError(f"{path} manifest carries no valid format version")
+        if version > SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path} uses snapshot format version {version}, but this "
+                f"build of repro only understands <= {SNAPSHOT_VERSION}; "
+                f"upgrade repro to load it"
+            )
+
+        try:
+            npz = np.load(io.BytesIO(npz_bytes))
+            arrays = {name: npz[name] for name in npz.files}
+
+            def sub(prefix: str) -> dict[str, np.ndarray]:
+                plen = len(prefix)
+                return {
+                    name[plen:]: value
+                    for name, value in arrays.items()
+                    if name.startswith(prefix)
+                }
+
+            graph = CSRGraph.from_arrays(sub("graph."), validate=True)
+            part = np.asarray(arrays["part"], dtype=np.int64)
+            config_dict = dict(manifest["config"])
+            config_dict["gamma_schedule"] = tuple(config_dict["gamma_schedule"])
+            config = IGPConfig(**config_dict)
+            policy = FlushPolicy.from_arrays(sub("policy."))
+            eng = manifest["engine"]
+            engine = StreamingPartitioner(
+                graph,
+                part,
+                config,
+                policy=policy,
+                strict=bool(eng["strict"]),
+                accumulate_weights=bool(eng["accumulate_weights"]),
+                chunk_fraction=float(eng["chunk_fraction"]),
+                max_history=eng["max_history"],
+            )
+            has = manifest.get("has", {})
+            pending = (
+                GraphDelta.from_arrays(sub("pending.")) if has.get("pending") else None
+            )
+            balance_basis = (
+                Basis.from_arrays(sub("basis.balance."))
+                if has.get("balance_basis")
+                else None
+            )
+            refine_basis = (
+                Basis.from_arrays(sub("basis.refine."))
+                if has.get("refine_basis")
+                else None
+            )
+            engine.restore_state(
+                pending=pending,
+                num_pending=int(eng["num_pending"]),
+                warm_bases=(balance_basis, refine_basis),
+                num_batches=int(eng["num_batches"]),
+                total_wall_s=float(eng["total_wall_s"]),
+            )
+            rng = make_rng(0)
+            rng.bit_generator.state = manifest["rng_state"]
+            session = cls(
+                engine,
+                initial=str(manifest["session"]["initial"]),
+                rng=rng,
+                _history=[BatchSummary(**row) for row in manifest["history"]],
+                _num_pushed=int(manifest["session"]["num_pushed"]),
+            )
+            session.user_meta = dict(manifest.get("user_meta") or {})
+            return session
+        except (
+            KeyError,
+            TypeError,
+            ValueError,
+            GraphError,
+            PartitioningError,
+            zipfile.BadZipFile,  # bit-rotted inner npz member
+        ) as exc:
+            raise SnapshotError(
+                f"session snapshot {path} is corrupted or incomplete: {exc}"
+            ) from exc
+
+
+def _json_safe(obj):
+    """JSON encoder fallback: numpy scalars -> python scalars."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
+def open_session(
+    graph_or_mesh,
+    k: int,
+    *,
+    config: IGPConfig | None = None,
+    initial: str = "rsb",
+    part: np.ndarray | None = None,
+    policy: FlushPolicy | None = None,
+    seed: int | np.random.Generator | None = None,
+    strict: bool = True,
+    accumulate_weights: bool = False,
+    chunk_fraction: float = 0.5,
+    max_history: int | None = None,
+    **kwargs,
+) -> PartitionSession:
+    """Open a :class:`PartitionSession` over ``graph_or_mesh`` with ``k``
+    partitions — the public entry point for every scenario.
+
+    Parameters
+    ----------
+    graph_or_mesh:
+        a :class:`~repro.graph.csr.CSRGraph`, or a
+        :class:`~repro.mesh.triangulation.TriangularMesh` (converted via
+        :func:`~repro.mesh.dual.node_graph`).
+    k:
+        number of partitions.  When a ``config`` is passed its
+        ``num_partitions`` must agree.
+    config / ``**kwargs``:
+        an :class:`~repro.core.partitioner.IGPConfig`, or keyword
+        overrides for one (e.g. ``lp_backend="revised"``,
+        ``refine=True``) — exactly one of the two forms.
+    initial:
+        initial-partitioner name from the registry (``"rsb"`` default,
+        ``"rcb"``, ``"inertial"``; extensible via
+        :func:`register_initial_partitioner`) or ``"given"`` to use the
+        supplied ``part``.
+    part:
+        the starting partition vector; required (and only accepted) with
+        ``initial="given"``.  ``-1`` entries are resolved at the first
+        flush.
+    policy:
+        the :class:`~repro.core.streaming.FlushPolicy` batching pushed
+        deltas (defaults to the weight/imbalance triggers).
+    seed:
+        RNG seed for the initial partitioner; the generator's state is
+        carried in snapshots.
+    strict / accumulate_weights / chunk_fraction / max_history:
+        forwarded to the :class:`~repro.core.streaming
+        .StreamingPartitioner` engine (see there).
+    """
+    graph = _coerce_graph(graph_or_mesh)
+    if config is not None:
+        if kwargs:
+            raise TypeError("pass either a config object or keyword overrides")
+        if config.num_partitions != k:
+            raise PartitioningError(
+                f"open_session(k={k}) conflicts with "
+                f"config.num_partitions={config.num_partitions}"
+            )
+    else:
+        if "num_partitions" in kwargs:
+            raise TypeError("pass k positionally, not num_partitions=")
+        config = IGPConfig(num_partitions=k, **kwargs)
+
+    rng = make_rng(seed)
+    if initial == "given":
+        if part is None:
+            raise PartitioningError(
+                'initial="given" requires the part= starting vector'
+            )
+        part = np.asarray(part, dtype=np.int64)
+    else:
+        if part is not None:
+            raise PartitioningError(
+                'part= is only accepted together with initial="given"'
+            )
+        try:
+            partitioner = _INITIAL_REGISTRY[initial]
+        except KeyError:
+            raise PartitioningError(
+                f"unknown initial partitioner {initial!r}; available: "
+                f"{available_initial_partitioners()}"
+            ) from None
+        part = partitioner(graph, k, rng)
+
+    engine = StreamingPartitioner(
+        graph,
+        part,
+        config,
+        policy=policy,
+        strict=strict,
+        accumulate_weights=accumulate_weights,
+        chunk_fraction=chunk_fraction,
+        max_history=max_history,
+    )
+    return PartitionSession(engine, initial=initial, rng=rng)
+
+
+def _coerce_graph(graph_or_mesh) -> CSRGraph:
+    """Accept a CSRGraph directly or convert a triangular mesh."""
+    if isinstance(graph_or_mesh, CSRGraph):
+        return graph_or_mesh
+    if hasattr(graph_or_mesh, "points") and hasattr(graph_or_mesh, "triangles"):
+        from repro.mesh.dual import node_graph
+
+        return node_graph(graph_or_mesh)
+    raise PartitioningError(
+        f"open_session expects a CSRGraph or a TriangularMesh, got "
+        f"{type(graph_or_mesh).__name__}"
+    )

@@ -140,7 +140,7 @@ class TestCLI:
         rc = main(["stream", "--scale", "0.2", "-p", "4"])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "StreamingPartitioner" in out and "repartition batches" in out
+        assert "PartitionSession" in out and "repartition batches" in out
 
     def test_stream_command_churn_per_delta(self, capsys):
         rc = main(
@@ -151,6 +151,47 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "3 deltas -> 3 repartition batches" in out
 
+    def test_stream_command_bursty(self, capsys):
+        rc = main(
+            ["stream", "--source", "bursty", "--scale", "0.3", "-p", "4",
+             "--steps", "3"]
+        )
+        assert rc == 0
+        assert "repartition batches" in capsys.readouterr().out
+
     def test_default_lp_backend_is_tableau(self):
         args = build_parser().parse_args(["fig11"])
         assert args.lp_backend == "tableau"
+
+    def test_backends_command_lists_warm_flags(self, capsys):
+        rc = main(["backends"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "revised" in out and "tableau" in out
+        revised_line = next(l for l in out.splitlines() if l.startswith("revised"))
+        assert "yes" in revised_line
+        tableau_line = next(l for l in out.splitlines() if l.startswith("tableau"))
+        assert "no" in tableau_line
+
+    def test_session_save_load_resume_flow(self, tmp_path, capsys):
+        snap = tmp_path / "cli.igps"
+        rc = main(
+            ["session", "save", str(snap), "--scale", "0.2", "-p", "4",
+             "--per-delta", "--upto", "2", "--lp-backend", "revised"]
+        )
+        assert rc == 0
+        assert snap.exists()
+        out = capsys.readouterr().out
+        assert "snapshot written" in out and "2/4 deltas" in out
+
+        rc = main(["session", "load", str(snap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PartitionSession" in out and "carried bases" in out
+
+        out_snap = tmp_path / "resumed.igps"
+        rc = main(["session", "resume", str(snap), "-o", str(out_snap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed 2 deltas" in out
+        assert out_snap.exists()

@@ -10,7 +10,11 @@ from repro.core import (
     IncrementalGraphPartitioner,
     StreamingPartitioner,
 )
-from repro.errors import GraphError, RepartitionInfeasibleError
+from repro.errors import (
+    GraphError,
+    PartitioningError,
+    RepartitionInfeasibleError,
+)
 from repro.graph import GraphDelta, apply_delta, grid_graph
 from repro.graph.incremental import carry_partition
 from repro.mesh.sequences import dataset_a
@@ -27,12 +31,36 @@ def strip_partition(g, p):
 
 class TestFlushPolicy:
     def test_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(PartitioningError):
             FlushPolicy(weight_fraction=0.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(PartitioningError):
             FlushPolicy(imbalance_limit=0.5)
-        with pytest.raises(ValueError):
+        with pytest.raises(PartitioningError):
             FlushPolicy(max_pending=0)
+
+    def test_validation_rejects_nan_and_negatives(self):
+        # A NaN threshold compares False forever -> the policy would
+        # silently never flush; rejected at construction instead.
+        with pytest.raises(PartitioningError, match="weight_fraction"):
+            FlushPolicy(weight_fraction=float("nan"))
+        with pytest.raises(PartitioningError, match="weight_fraction"):
+            FlushPolicy(weight_fraction=-0.5)
+        with pytest.raises(PartitioningError, match="imbalance_limit"):
+            FlushPolicy(imbalance_limit=float("nan"))
+        with pytest.raises(PartitioningError, match="imbalance_limit"):
+            FlushPolicy(imbalance_limit=-2.0)
+        with pytest.raises(PartitioningError, match="max_pending"):
+            FlushPolicy(max_pending=-1)
+        with pytest.raises(PartitioningError, match="max_pending"):
+            FlushPolicy(max_pending=2.5)
+
+    def test_serialization_round_trip(self):
+        for policy in (
+            FlushPolicy(),
+            FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=3),
+            FlushPolicy(weight_fraction=0.25, imbalance_limit=1.5, max_pending=None),
+        ):
+            assert FlushPolicy.from_arrays(policy.to_arrays()) == policy
 
     def test_max_pending_trigger(self, seq_a):
         g = seq_a.graphs[0]
@@ -255,3 +283,52 @@ class TestChurnWorkload:
             assert np.array_equal(a.added_edges, b.added_edges)
             assert np.array_equal(a.deleted_vertices, b.deleted_vertices)
             assert np.array_equal(a.deleted_edges, b.deleted_edges)
+
+
+class TestBurstyChurnWorkload:
+    def test_stream_is_chained_connected_and_bursty(self):
+        from repro.bench.workloads import bursty_churn_stream
+        from repro.graph.operations import is_connected
+
+        base, deltas = bursty_churn_stream(
+            n=120, steps=6, seed=5, burst_every=3, flash_size=12
+        )
+        assert is_connected(base)
+        bursts = quiet = 0
+        cur = base
+        for d in deltas:
+            if d.num_added_vertices >= 12:
+                bursts += 1
+                assert len(d.deleted_vertices) >= 1  # hub went down
+                # the burst kills the hottest vertex of its frame
+                hottest = int(np.argmax(np.diff(cur.xadj)))
+                assert hottest in d.deleted_vertices
+            else:
+                quiet += 1
+            cur = apply_delta(cur, d).graph
+            assert is_connected(cur)
+        assert bursts == 2 and quiet == 4  # every 3rd step bursts
+
+    def test_stream_deterministic(self):
+        from repro.bench.workloads import bursty_churn_stream
+
+        b1, d1 = bursty_churn_stream(n=100, steps=4, seed=11)
+        b2, d2 = bursty_churn_stream(n=100, steps=4, seed=11)
+        assert b1.same_structure(b2)
+        for a, b in zip(d1, d2):
+            assert np.array_equal(a.added_edges, b.added_edges)
+            assert np.array_equal(a.deleted_vertices, b.deleted_vertices)
+
+    def test_session_survives_bursty_stream(self):
+        from repro.bench.workloads import bursty_churn_stream
+        from repro.session import open_session
+
+        base, deltas = bursty_churn_stream(n=120, steps=6, seed=5)
+        s = open_session(
+            base, 4, seed=0,
+            policy=FlushPolicy(weight_fraction=0.3, imbalance_limit=1.5),
+        )
+        s.extend(deltas)
+        s.flush()
+        assert s.num_batches >= 1
+        assert s.quality().imbalance <= 1.3

@@ -16,6 +16,7 @@ from repro.errors import (
     PartitioningError,
     RepartitionInfeasibleError,
     ReproError,
+    SnapshotError,
 )
 from repro.rng import DEFAULT_SEED, make_rng, spawn
 
@@ -33,6 +34,7 @@ class TestErrorHierarchy:
             CommunicatorError,
             PartitioningError,
             RepartitionInfeasibleError,
+            SnapshotError,
         ):
             assert issubclass(exc, ReproError)
 
@@ -76,8 +78,13 @@ class TestPackageSurface:
         assert repro.__version__.count(".") == 2
 
     def test_public_api_importable(self):
+        import warnings
+
         for name in repro.__all__:
-            assert getattr(repro, name) is not None
+            with warnings.catch_warnings():
+                # the legacy top-level spellings warn by design
+                warnings.simplefilter("ignore", DeprecationWarning)
+                assert getattr(repro, name) is not None
 
     def test_backends_registry(self):
         from repro.lp import available_backends, get_backend
