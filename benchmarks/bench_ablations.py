@@ -11,7 +11,6 @@
   vs the naive smallest-label one (both "arbitrary" per the paper).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -22,7 +21,7 @@ from repro.core import (
 )
 from repro.core.assign import assign_new_vertices
 from repro.core.multistage import chunked_insertion_repartition
-from repro.core.quality import edge_cut, partition_weights
+from repro.core.quality import partition_weights
 from repro.graph.incremental import apply_delta, carry_partition
 from repro.lp.backends import get_backend
 from repro.spectral import rsb_partition

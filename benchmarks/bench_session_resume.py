@@ -38,6 +38,7 @@ import tempfile
 import numpy as np
 
 import repro
+from repro.bench.recorder import write_bench_json
 from repro.core.streaming import FlushPolicy
 from repro.mesh.sequences import dataset_a
 
@@ -84,6 +85,8 @@ def main(argv=None) -> int:
                     help="reduced scale for CI (seconds, not minutes)")
     ap.add_argument("--lp-backend", default="revised", dest="lp_backend",
                     help="warm-capable backend (default: revised)")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="write a repro.bench-record/1 JSON record here")
     args = ap.parse_args(argv)
 
     scale, p = (0.25, 4) if args.smoke else (1.0, 32)
@@ -153,6 +156,40 @@ def main(argv=None) -> int:
         )
     if len(warm_hist) != len(full_hist):
         failures.append("restored history is misaligned with the uninterrupted run")
+
+    if args.json:
+        q_full, q_warm, q_cold = full.quality(), warm.quality(), cold.quality()
+        write_bench_json(
+            args.json,
+            "session_resume",
+            scale={"smoke": args.smoke, "dataset_a_scale": scale,
+                   "partitions": p, "num_deltas": num_deltas,
+                   "snapshot_after": upto},
+            metrics={
+                "post_resume_pivots": {
+                    "uninterrupted": int(sum(full_pivots)),
+                    "warm_restore": int(sum(warm_pivots)),
+                    "cold_restore": int(sum(cold_pivots)),
+                },
+                "wall_s": {
+                    "uninterrupted": full.total_wall_s(),
+                    "warm_restore": warm.total_wall_s(),
+                    "cold_restore": cold.total_wall_s(),
+                },
+                "quality": {
+                    "uninterrupted": {"cut": q_full.cut_total,
+                                      "imbalance": q_full.imbalance},
+                    "warm_restore": {"cut": q_warm.cut_total,
+                                     "imbalance": q_warm.imbalance},
+                    "cold_restore": {"cut": q_cold.cut_total,
+                                     "imbalance": q_cold.imbalance},
+                },
+                "warm_matches_uninterrupted": not failures,
+                "failures": failures,
+            },
+        )
+        print(f"bench record written to {args.json}")
+
     if failures:
         print("\nFAIL: " + "; ".join(failures))
         return 1

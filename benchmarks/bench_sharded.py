@@ -1,0 +1,210 @@
+"""Sharded sessions: larger-than-resident graphs, monolith-equal results.
+
+The scale claim behind :class:`repro.graph.sharded.ShardedCSRGraph`: a
+streaming session can own a graph stored as per-shard npz blocks on disk
+(:class:`~repro.graph.sharded.DirectoryShardStore`) with an LRU budget of
+resident shards far below the shard count — here the graph is built at
+>= 4x the resident-shard budget — while producing *identical* partition
+labels, quality and simplex pivot counts to the monolithic
+:class:`~repro.graph.csr.CSRGraph` run.  On top, snapshot format v2 is
+append-only: a ``save()`` after a small localized batch rewrites only the
+shard blocks that batch touched (asserted via file mtimes and sizes).
+
+Fails (exit 1) if labels/quality diverge, if the resident cap is not
+actually below the shard count, or if a localized batch rewrites shards
+it did not touch.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py           # full scale
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_sharded.py --smoke --json BENCH_sharded.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.bench.recorder import write_bench_json
+from repro.bench.workloads import social_churn_stream
+from repro.core.streaming import FlushPolicy, StreamingPartitioner
+from repro.graph import DirectoryShardStore, GraphDelta, ShardedCSRGraph
+from repro.spectral.rsb import rsb_partition
+
+
+def run_stream(graph, part, deltas, p, policy, lp_backend):
+    """One streaming session over ``graph``; returns (engine, metrics)."""
+    sp = StreamingPartitioner(
+        graph, part.copy(), num_partitions=p, policy=policy,
+        lp_backend=lp_backend,
+    )
+    t0 = time.perf_counter()
+    sp.extend(deltas)
+    sp.flush()
+    wall = time.perf_counter() - t0
+    q = sp.history[-1].result.quality_final
+    return sp, {
+        "wall_s": wall,
+        "repartition_wall_s": sp.total_wall_s(),
+        "batches": len(sp.history),
+        "lp_pivots": int(
+            sum(s.lp_iterations for r in sp.history for s in r.result.stages)
+        ),
+        "cut": float(q.cut_total),
+        "imbalance": float(q.imbalance),
+    }
+
+
+def snapshot_churn_check(base, part, p, num_shards, lp_backend, verbose=True):
+    """Snapshot-v2 append-only check: a localized batch's save() must
+    rewrite only the touched shard blocks.  Returns (rewritten, total)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "session.igps"
+        sharded = ShardedCSRGraph.from_csr(base, num_shards)
+        session = repro.open_session(
+            sharded, p, initial="given", part=part.copy(),
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None,
+                               max_pending=1),
+            lp_backend=lp_backend,
+        )
+        session.repartition()
+        session.save(snap)
+
+        def snapshot_stat():
+            return {
+                f.name: (f.stat().st_mtime_ns, f.stat().st_size)
+                for f in (snap / "shards").glob("shard_*.npz")
+            }
+
+        before = snapshot_stat()
+        # One new vertex hanging off vertex 0: touches only vertex 0's
+        # shard (plus the shard the newcomer is routed to — the same one).
+        n = session.graph.num_vertices
+        session.push(GraphDelta(num_added_vertices=1, added_edges=[(0, n)]))
+        session.save(snap)
+        after = snapshot_stat()
+        unchanged = [k for k in after if k in before and before[k] == after[k]]
+        rewritten = len(after) - len(unchanged)
+        if verbose:
+            print(
+                f"snapshot-v2 append-only: localized batch rewrote "
+                f"{rewritten}/{len(after)} shard blocks "
+                f"({len(unchanged)} byte-identical by mtime+size)"
+            )
+        return rewritten, len(after)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="reduced scale for CI (seconds, not minutes)")
+    ap.add_argument("--lp-backend", default="revised", dest="lp_backend")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="write a repro.bench-record/1 JSON record here")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        churn_n, churn_steps, p = 150, 6, 6
+        num_shards, resident = 8, 2
+    else:
+        churn_n, churn_steps, p = 1200, 16, 16
+        num_shards, resident = 16, 4
+
+    base, deltas = social_churn_stream(n=churn_n, steps=churn_steps, seed=7)
+    part = rsb_partition(base, p, seed=0)
+    policy = FlushPolicy(weight_fraction=0.3, imbalance_limit=2.0)
+
+    print(
+        f"== sharded churn: |V|={base.num_vertices}, {len(deltas)} deltas, "
+        f"P={p}, {num_shards} shards, resident cap {resident} "
+        f"({num_shards // resident}x over budget) =="
+    )
+    mono_sp, mono = run_stream(
+        base, part, deltas, p, policy, args.lp_backend
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = DirectoryShardStore(tmp, max_resident=resident)
+        sharded_graph = ShardedCSRGraph.from_csr(base, num_shards, store=store)
+        shard_sp, shard = run_stream(
+            sharded_graph, part, deltas, p, policy, args.lp_backend
+        )
+        shard["store_loads"] = store.load_count
+        shard["resident_peak"] = store.resident_count
+
+    hdr = (f"{'regime':>10}{'batches':>9}{'wall_s':>10}"
+           f"{'lp_pivots':>11}{'cut':>8}{'imbal':>8}")
+    print(hdr)
+    for label, m in (("monolith", mono), ("sharded", shard)):
+        print(
+            f"{label:>10}{m['batches']:>9}{m['wall_s']:>10.4f}"
+            f"{m['lp_pivots']:>11}{m['cut']:>8.0f}{m['imbalance']:>8.3f}"
+        )
+    print(
+        f"shard store: {shard['store_loads']} block loads, "
+        f"<= {resident} resident at any time"
+    )
+
+    failures = []
+    if resident >= num_shards:
+        failures.append("resident-shard cap is not below the shard count")
+    if not np.array_equal(mono_sp.part, shard_sp.part):
+        failures.append("sharded partition labels differ from monolithic")
+    if mono["cut"] != shard["cut"] or mono["imbalance"] != shard["imbalance"]:
+        failures.append("sharded quality differs from monolithic")
+    if mono["lp_pivots"] != shard["lp_pivots"]:
+        failures.append("sharded pivot counts differ from monolithic")
+
+    rewritten, total = snapshot_churn_check(
+        base, part, p, num_shards, args.lp_backend
+    )
+    if rewritten >= total:
+        failures.append(
+            f"snapshot-v2 save() rewrote every shard ({rewritten}/{total}) "
+            f"after a localized batch"
+        )
+
+    if args.json:
+        write_bench_json(
+            args.json,
+            "sharded",
+            scale={
+                "smoke": args.smoke,
+                "churn_n": churn_n,
+                "churn_steps": churn_steps,
+                "partitions": p,
+                "num_shards": num_shards,
+                "resident": resident,
+            },
+            metrics={
+                "monolith": mono,
+                "sharded": shard,
+                "labels_equal": bool(np.array_equal(mono_sp.part, shard_sp.part)),
+                "snapshot_rewritten_shards": rewritten,
+                "snapshot_total_shards": total,
+                "failures": failures,
+            },
+        )
+        print(f"bench record written to {args.json}")
+
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(
+        f"\nOK: sharded run ({num_shards} shards, {resident} resident) is "
+        f"bit-identical to the monolith ({shard['lp_pivots']} pivots, "
+        f"cut {shard['cut']:.0f}); localized save rewrote "
+        f"{rewritten}/{total} blocks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

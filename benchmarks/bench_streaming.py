@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.bench.recorder import write_bench_json
 from repro.bench.workloads import bursty_churn_stream, social_churn_stream
 from repro.core.streaming import FlushPolicy, StreamingPartitioner
 from repro.mesh.sequences import dataset_a
@@ -80,6 +81,13 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="reduced scale for CI (seconds, not minutes)")
     ap.add_argument("--lp-backend", default="tableau", dest="lp_backend")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="write a repro.bench-record/1 JSON record here")
+    ap.add_argument("--min-pivot-speedup", type=float, default=None,
+                    help="fail unless batched beats per-delta by at least "
+                         "this factor in total simplex pivots on the "
+                         "dataset-A chain (the CI regression gate; pivots "
+                         "are deterministic, unlike CI wall-clock)")
     args = ap.parse_args(argv)
 
     if args.smoke:
@@ -95,10 +103,12 @@ def main(argv=None) -> int:
     )
 
     base, deltas = social_churn_stream(n=churn_n, steps=churn_steps, seed=7)
-    compare("social churn", base, deltas, p, args.lp_backend)
+    per_c, bat_c = compare("social churn", base, deltas, p, args.lp_backend)
 
     base, deltas = bursty_churn_stream(n=churn_n, steps=churn_steps, seed=5)
-    compare("bursty churn", base, deltas, p, args.lp_backend)
+    per_b, bat_b = compare("bursty churn", base, deltas, p, args.lp_backend)
+
+    pivot_speedup = per_a["lp_iters"] / max(bat_a["lp_iters"], 1)
 
     # Gate on the deterministic work counters (batches and simplex
     # pivots) so a preempted CI runner cannot flip the verdict; the
@@ -111,6 +121,30 @@ def main(argv=None) -> int:
         failures.append("batched did not reduce total simplex pivots")
     if not args.smoke and bat_a["wall_s"] >= per_a["wall_s"]:
         failures.append("batched did not beat per-delta wall-time")
+    if args.min_pivot_speedup is not None and pivot_speedup < args.min_pivot_speedup:
+        failures.append(
+            f"batched-vs-per-delta pivot speedup regressed to "
+            f"{pivot_speedup:.2f}x (< {args.min_pivot_speedup:.2f}x gate)"
+        )
+
+    if args.json:
+        write_bench_json(
+            args.json,
+            "streaming",
+            scale={"smoke": args.smoke, "dataset_a_scale": scale,
+                   "partitions": p, "churn_n": churn_n,
+                   "churn_steps": churn_steps},
+            metrics={
+                "dataset_a": {"per_delta": per_a, "batched": bat_a},
+                "social_churn": {"per_delta": per_c, "batched": bat_c},
+                "bursty_churn": {"per_delta": per_b, "batched": bat_b},
+                "pivot_speedup": pivot_speedup,
+                "wall_speedup": per_a["wall_s"] / max(bat_a["wall_s"], 1e-12),
+                "failures": failures,
+            },
+        )
+        print(f"bench record written to {args.json}")
+
     if failures:
         print("\nFAIL (dataset-A chain): " + "; ".join(failures))
         return 1

@@ -61,7 +61,15 @@ from repro.errors import (
     ReproError,
     SnapshotError,
 )
-from repro.graph import CSRGraph, GraphDelta, apply_delta, compose_deltas
+from repro.graph import (
+    CSRGraph,
+    DirectoryShardStore,
+    GraphDelta,
+    InMemoryShardStore,
+    ShardedCSRGraph,
+    apply_delta,
+    compose_deltas,
+)
 from repro.core import (
     FlushPolicy,
     IGPConfig,
@@ -80,10 +88,12 @@ from repro.spectral import rsb_partition
 __all__ = [
     "BatchSummary",
     "CSRGraph",
+    "DirectoryShardStore",
     "FlushPolicy",
     "GraphDelta",
     "GraphError",
     "IGPConfig",
+    "InMemoryShardStore",
     "LPError",
     "MeshError",
     "ParallelError",
@@ -92,6 +102,7 @@ __all__ = [
     "PartitioningError",
     "RepartitionInfeasibleError",
     "ReproError",
+    "ShardedCSRGraph",
     "SnapshotError",
     "__version__",
     "apply_delta",

@@ -1,17 +1,78 @@
-"""Paper-vs-measured bookkeeping for EXPERIMENTS.md.
+"""Paper-vs-measured bookkeeping for EXPERIMENTS.md, plus CI perf records.
 
 The benchmark modules push their measured rows here together with the
 paper's published values; ``to_markdown`` renders the comparison tables
 that EXPERIMENTS.md embeds.  A process-global recorder instance lets the
 pytest-benchmark modules accumulate into one report when run together.
+
+:func:`write_bench_json` is the CI perf-trajectory hook: every benchmark
+script's ``--json PATH`` flag writes one record with a stable schema
+(``repro.bench-record/1``: commit, UTC date, scale, and a benchmark-
+specific ``metrics`` dict carrying wall-times, pivot counts and quality),
+so the ``bench-record`` CI job can archive ``BENCH_*.json`` artifacts and
+diff them across commits.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 
-__all__ = ["ExperimentRecorder", "global_recorder"]
+__all__ = [
+    "BENCH_RECORD_SCHEMA",
+    "ExperimentRecorder",
+    "bench_record",
+    "global_recorder",
+    "write_bench_json",
+]
+
+#: Schema tag stamped into every ``--json`` benchmark record.
+BENCH_RECORD_SCHEMA = "repro.bench-record/1"
+
+
+def _current_commit() -> str:
+    """Commit hash for the record: CI env var first, then git, else unknown."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        # covers missing git and TimeoutExpired — a perf record without
+        # a commit hash beats crashing after the benchmark already ran
+        pass
+    return "unknown"
+
+
+def bench_record(bench: str, *, scale, metrics: dict) -> dict:
+    """Assemble one perf-trajectory record (see module docstring)."""
+    return {
+        "schema": BENCH_RECORD_SCHEMA,
+        "bench": bench,
+        "commit": _current_commit(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale,
+        "metrics": metrics,
+    }
+
+
+def write_bench_json(path, bench: str, *, scale, metrics: dict) -> dict:
+    """Write a :func:`bench_record` to ``path`` (pretty-printed JSON);
+    returns the payload."""
+    payload = bench_record(bench, scale=scale, metrics=metrics)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
 
 
 @dataclass

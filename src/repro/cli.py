@@ -9,9 +9,14 @@ Subcommands:
 * ``repro-igp speedup [--scale S]`` — the CM-5 speedup curve (E5).
 * ``repro-igp partition GRAPH.metis -p P [-o OUT]`` — partition a METIS
   file with RSB and print/save the vector.
-* ``repro-igp stream [--source dataset-a|churn|bursty]`` — run a
-  streaming repartition session (batched deltas under a flush policy) and
-  print the per-batch log.
+* ``repro-igp stream [--source dataset-a|churn|bursty] [--shards N]`` —
+  run a streaming repartition session (batched deltas under a flush
+  policy) and print the per-batch log; ``--shards N`` runs it over a
+  sharded graph (optionally on disk via ``--shard-dir``/``--resident``).
+* ``repro-igp shard split (GRAPH.metis | --source ...) -o DIR --shards N``
+  — split a graph into per-shard npz blocks under ``DIR``.
+* ``repro-igp shard inspect DIR`` — per-shard table (sizes, halo,
+  revisions) plus cross-shard validation.
 * ``repro-igp backends`` — list registered LP backends with their
   warm-start capability flags.
 * ``repro-igp session save SNAP [--upto K]`` — open a session over a
@@ -141,12 +146,29 @@ def _stream_policy(args):
     )
 
 
+def _session_graph(base, args):
+    """Wrap the stream's base graph in shards when ``--shards`` asks."""
+    if not getattr(args, "shards", 0):
+        if getattr(args, "shard_dir", None) or getattr(args, "resident", None):
+            raise SystemExit(
+                "--shard-dir/--resident only apply to sharded runs; "
+                "pass --shards N as well"
+            )
+        return base
+    from repro.graph import DirectoryShardStore, ShardedCSRGraph
+
+    store = None
+    if args.shard_dir:
+        store = DirectoryShardStore(args.shard_dir, max_resident=args.resident)
+    return ShardedCSRGraph.from_csr(base, args.shards, store=store)
+
+
 def _cmd_stream(args) -> int:
     from repro.session import open_session
 
     base, deltas = _make_stream(args.source, args.scale, args.steps, args.seed)
     session = open_session(
-        base,
+        _session_graph(base, args),
         args.partitions,
         policy=_stream_policy(args),
         seed=args.seed,
@@ -200,7 +222,7 @@ def _cmd_session_save(args) -> int:
     base, deltas = _make_stream(args.source, args.scale, args.steps, args.seed)
     upto = len(deltas) // 2 if args.upto is None else min(args.upto, len(deltas))
     session = open_session(
-        base,
+        _session_graph(base, args),
         args.partitions,
         policy=_stream_policy(args),
         seed=args.seed,
@@ -264,6 +286,33 @@ def _cmd_session_resume(args) -> int:
     return 0
 
 
+def _cmd_shard_split(args) -> int:
+    from repro.graph import DirectoryShardStore, ShardedCSRGraph
+
+    if args.graph:
+        from repro.graph.io import read_metis
+
+        graph = read_metis(args.graph)
+    else:
+        graph, _ = _make_stream(args.source, args.scale, args.steps, args.seed)
+    store = DirectoryShardStore(args.output, max_resident=args.resident)
+    sharded = ShardedCSRGraph.from_csr(graph, args.shards, store=store)
+    sharded.save_meta()
+    print(sharded.describe())
+    print(f"sharded graph ({args.shards} shards) written to {args.output}")
+    return 0
+
+
+def _cmd_shard_inspect(args) -> int:
+    from repro.graph import ShardedCSRGraph
+
+    sharded = ShardedCSRGraph.open_dir(args.directory, max_resident=args.resident)
+    print(sharded.describe())
+    sharded.validate()
+    print("cross-shard validation OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     ap = argparse.ArgumentParser(
@@ -313,10 +362,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--per-delta", action="store_true",
         help="repartition after every delta (paper regime; disables the "
              "batching policy)")
+    stream_common.add_argument(
+        "--shards", type=int, default=0,
+        help="run over a sharded graph with this many shards (0 = "
+             "monolithic); session snapshots become format-v2 "
+             "directories")
+    stream_common.add_argument(
+        "--shard-dir", default=None,
+        help="store shard blocks on disk under this directory instead of "
+             "in memory (requires --shards)")
+    stream_common.add_argument(
+        "--resident", type=int, default=None,
+        help="LRU budget: max shard blocks decoded in memory at once "
+             "(with --shard-dir)")
 
     st = sub.add_parser("stream", parents=[common, stream_common],
                         help="streaming repartition session (batched deltas)")
     st.set_defaults(fn=_cmd_stream)
+
+    sh = sub.add_parser("shard",
+                        help="sharded graph storage: split a graph into "
+                             "per-shard npz blocks, inspect a shard dir")
+    shsub = sh.add_subparsers(dest="shard_command", required=True)
+    sp_split = shsub.add_parser(
+        "split",
+        help="split a graph into per-shard blocks under a directory")
+    sp_split.add_argument("graph", nargs="?", default=None,
+                          help="METIS-format graph file (omit to use "
+                               "--source/--scale like `stream`)")
+    sp_split.add_argument("-o", "--output", required=True,
+                          help="directory to write shard blocks into")
+    sp_split.add_argument("--shards", type=int, default=4,
+                          help="number of shards (default 4)")
+    sp_split.add_argument("--source",
+                          choices=("dataset-a", "churn", "bursty"),
+                          default="churn")
+    sp_split.add_argument("--scale", type=float, default=1.0)
+    sp_split.add_argument("--steps", type=int, default=10)
+    sp_split.add_argument("--seed", type=int, default=0)
+    sp_split.add_argument("--resident", type=int, default=None,
+                          help="LRU budget while writing")
+    sp_split.set_defaults(fn=_cmd_shard_split)
+    sp_ins = shsub.add_parser("inspect",
+                              help="describe and validate a shard directory")
+    sp_ins.add_argument("directory")
+    sp_ins.add_argument("--resident", type=int, default=None)
+    sp_ins.set_defaults(fn=_cmd_shard_inspect)
 
     be = sub.add_parser("backends",
                         help="list registered LP backends and their "

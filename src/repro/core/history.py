@@ -23,7 +23,7 @@ from repro.core.partitioner import (
 )
 from repro.core.quality import PartitionQuality, evaluate_partition
 from repro.graph.csr import CSRGraph
-from repro.graph.incremental import GraphDelta, apply_delta, carry_partition
+from repro.graph.incremental import apply_delta, carry_partition
 
 __all__ = ["SequenceStep", "SequenceRunner"]
 

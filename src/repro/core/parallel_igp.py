@@ -37,7 +37,6 @@ from repro.core.balance import (
 )
 from repro.core.mover import select_movers
 from repro.core.partitioner import IGPConfig
-from repro.core.quality import edge_cut
 from repro.core.refine import refinement_pools
 from repro.errors import RepartitionInfeasibleError
 from repro.graph.csr import CSRGraph

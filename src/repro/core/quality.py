@@ -11,6 +11,13 @@ The tables in Figures 11 and 14 report, per partitioner:
 
 Load metrics implement eq. (1): ``W(q)`` is the vertex-weight sum of
 partition ``q``; imbalance is ``max W / mean W``.
+
+Every metric also accepts a :class:`~repro.graph.sharded.ShardedCSRGraph`
+(duck-typed on ``iter_shards``): cut metrics then stream one shard block
+at a time instead of materialising global arc arrays, so evaluating a
+partition never needs more than one resident shard of edge data — the
+vertex-indexed vectors (``part``, ``vweights``) are O(|V|) and assumed to
+fit, as in semi-external graph processing.
 """
 
 from __future__ import annotations
@@ -31,6 +38,11 @@ __all__ = [
     "evaluate_partition",
     "validate_partition_vector",
 ]
+
+
+def _is_sharded(graph) -> bool:
+    """Shard-streaming graphs expose ``iter_shards`` (see module doc)."""
+    return hasattr(graph, "iter_shards")
 
 
 def validate_partition_vector(
@@ -63,6 +75,14 @@ def partition_sizes(graph: CSRGraph, part: np.ndarray, num_partitions: int) -> n
 def edge_cut(graph: CSRGraph, part: np.ndarray) -> float:
     """Total weight of cross edges, each counted once (``Cutset Total``)."""
     part = np.asarray(part, dtype=np.int64)
+    if _is_sharded(graph):
+        total = 0.0
+        for _, block in graph.iter_shards():
+            src = graph.current_ids(block.arc_sources())
+            dst = graph.current_ids(block.adj)
+            cross = part[src] != part[dst]
+            total += float(block.eweights[cross].sum())
+        return total / 2.0
     src = graph.arc_sources()
     cross = part[src] != part[graph.adj]
     return float(graph.eweights[cross].sum() / 2.0)
@@ -73,6 +93,18 @@ def cut_metrics(
 ) -> tuple[float, np.ndarray]:
     """``(total, C)`` where ``C[q]`` is eq. (2)'s outgoing-edge cost of q."""
     part = validate_partition_vector(graph, part, num_partitions)
+    if _is_sharded(graph):
+        per_part = np.zeros(num_partitions, dtype=np.float64)
+        for _, block in graph.iter_shards():
+            src = graph.current_ids(block.arc_sources())
+            dst = graph.current_ids(block.adj)
+            cross = part[src] != part[dst]
+            per_part += np.bincount(
+                part[src[cross]],
+                weights=block.eweights[cross],
+                minlength=num_partitions,
+            )
+        return float(per_part.sum() / 2.0), per_part
     src = graph.arc_sources()
     cross = part[src] != part[graph.adj]
     per_part = np.bincount(

@@ -29,7 +29,7 @@ Two deliberate deviations, both documented in DESIGN.md:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -181,7 +181,18 @@ class StreamingPartitioner:
     ----------
     graph / part:
         the current graph and its partition vector (``-1`` entries are
-        allowed and resolved at the first flush).
+        allowed and resolved at the first flush).  ``graph`` may be a
+        :class:`~repro.graph.csr.CSRGraph` or a
+        :class:`~repro.graph.sharded.ShardedCSRGraph`; with a sharded
+        graph each flush routes the composed delta through
+        :meth:`~repro.graph.sharded.ShardedCSRGraph.apply_delta` (only
+        touched shards are rewritten) and the LP pipeline runs on a
+        transient monolithic assembly.  Superseded shard revisions are
+        garbage-collected at each flush, except revisions pinned via
+        :attr:`pinned_revs` because an on-disk snapshot manifest still
+        references them (``PartitionSession`` pins on save/load), so an
+        on-disk snapshot can never dangle and storage stays bounded at
+        two revisions per shard.
     config / ``**kwargs``:
         :class:`IGPConfig` or keyword overrides for one, exactly like
         :class:`IncrementalGraphPartitioner`.
@@ -241,6 +252,12 @@ class StreamingPartitioner:
         self._composer: DeltaComposer | None = None
         self._epoch_loads: np.ndarray | None = None
         self._epoch_unassigned = 0.0
+        #: Sharded graphs only: per-shard block revisions that must
+        #: survive gc because an on-disk snapshot manifest references
+        #: them (set by PartitionSession on save/load).  Superseded
+        #: revisions other than these are deleted at each flush, so a
+        #: long-running session holds at most two revisions per shard.
+        self.pinned_revs: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Pending-state inspection
@@ -382,29 +399,51 @@ class StreamingPartitioner:
         composed = self._composer.to_delta()
         num_deltas = self._composer.num_folded
         t0 = time.perf_counter()
-        inc = apply_delta(
-            self.graph,
-            composed,
-            strict=self.strict,
-            accumulate_weights=self.accumulate_weights,
-        )
-        carried = carry_partition(self.part, inc)
-        fallback = False
-        try:
-            result = self._igp.repartition(inc.graph, carried)
-        except RepartitionInfeasibleError:
-            fallback = True
-            result = chunked_insertion_repartition(
-                inc.graph,
-                carried,
-                self.config,
-                chunk_fraction=self.chunk_fraction,
+        sharded = hasattr(self.graph, "iter_shards")
+        if sharded:
+            inc = self.graph.apply_delta(
+                composed,
+                strict=self.strict,
+                accumulate_weights=self.accumulate_weights,
             )
-            # The chunked driver ran its own partitioner; carried bases
-            # describe a trajectory that no longer exists.
-            self._igp.reset_warm_start()
+        else:
+            inc = apply_delta(
+                self.graph,
+                composed,
+                strict=self.strict,
+                accumulate_weights=self.accumulate_weights,
+            )
+        fallback = False
+        # Everything after apply_delta — including the transient dense
+        # assembly — sits inside the rollback scope: a failure anywhere
+        # must not leak the block revisions the delta just wrote.
+        try:
+            dense = inc.graph.to_csr() if sharded else inc.graph
+            carried = carry_partition(self.part, inc)
+            try:
+                result = self._igp.repartition(dense, carried)
+            except RepartitionInfeasibleError:
+                fallback = True
+                result = chunked_insertion_repartition(
+                    dense,
+                    carried,
+                    self.config,
+                    chunk_fraction=self.chunk_fraction,
+                )
+                # The chunked driver ran its own partitioner; carried bases
+                # describe a trajectory that no longer exists.
+                self._igp.reset_warm_start()
+        except BaseException:
+            if sharded:
+                # Roll back the shard revisions the failed batch wrote;
+                # self.graph (the pre-delta handle) stays authoritative.
+                inc.graph.drop_blocks_not_in(self.graph)
+            raise
         wall = time.perf_counter() - t0
+        old_graph = self.graph
         self.graph = inc.graph
+        if sharded:
+            self._gc_superseded(old_graph)
         self._composer = None
         self._record_batch(
             num_deltas=num_deltas,
@@ -428,7 +467,12 @@ class StreamingPartitioner:
         if result is not None:
             return result
         t0 = time.perf_counter()
-        result = self._igp.repartition(self.graph, self.part)
+        dense = (
+            self.graph.to_csr()
+            if hasattr(self.graph, "iter_shards")
+            else self.graph
+        )
+        result = self._igp.repartition(dense, self.part)
         self._record_batch(
             num_deltas=0,
             composed=GraphDelta(),
@@ -438,6 +482,22 @@ class StreamingPartitioner:
             wall=time.perf_counter() - t0,
         )
         return result
+
+    def _gc_superseded(self, old_graph) -> None:
+        """Drop the pre-flush block revisions that no snapshot manifest
+        pins (see :attr:`pinned_revs`); the freshly adopted
+        :attr:`graph` keeps its own revisions."""
+        from repro.graph.sharded import shard_key
+
+        pinned = self.pinned_revs
+        new_revs = self.graph.revs
+        for sid in range(old_graph.num_shards):
+            old_rev = int(old_graph.revs[sid])
+            if old_rev == int(new_revs[sid]):
+                continue
+            if pinned is not None and int(pinned[sid]) == old_rev:
+                continue
+            old_graph.store.delete(shard_key(sid, old_rev))
 
     def _record_batch(
         self, *, num_deltas, composed, trigger, result, fallback, wall

@@ -21,6 +21,13 @@ from repro.graph.incremental import (
     carry_partition,
     compose_deltas,
 )
+from repro.graph.sharded import (
+    DirectoryShardStore,
+    InMemoryShardStore,
+    ShardBlock,
+    ShardedCSRGraph,
+    ShardedIncrementalResult,
+)
 from repro.graph.operations import (
     bfs_distances,
     bfs_tree,
@@ -45,9 +52,14 @@ from repro.graph.generators import (
 __all__ = [
     "CSRGraph",
     "DeltaComposer",
+    "DirectoryShardStore",
     "GraphBuilder",
     "GraphDelta",
+    "InMemoryShardStore",
     "IncrementalResult",
+    "ShardBlock",
+    "ShardedCSRGraph",
+    "ShardedIncrementalResult",
     "apply_delta",
     "bfs_distances",
     "bfs_tree",

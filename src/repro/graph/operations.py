@@ -246,9 +246,23 @@ def induced_subgraph(
 def boundary_vertices(graph: CSRGraph, part: np.ndarray) -> np.ndarray:
     """Vertices with at least one neighbour in a different partition.
 
-    ``part`` is the mapping :math:`M : V \\to P` as an int vector.
+    ``part`` is the mapping :math:`M : V \\to P` as an int vector.  Also
+    accepts a :class:`~repro.graph.sharded.ShardedCSRGraph`, in which
+    case cross edges are detected one shard block at a time (no global
+    arc materialisation).
     """
     part = np.asarray(part, dtype=np.int64)
+    if hasattr(graph, "iter_shards"):
+        found = []
+        for _, block in graph.iter_shards():
+            src = graph.current_ids(block.arc_sources())
+            dst = graph.current_ids(block.adj)
+            cross = part[src] != part[dst]
+            if cross.any():
+                found.append(np.unique(src[cross]))
+        if not found:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(found))
     src = graph.arc_sources()
     cross = part[src] != part[graph.adj]
     return np.unique(src[cross])

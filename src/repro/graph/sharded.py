@@ -1,0 +1,1252 @@
+"""Sharded CSR graphs: per-shard adjacency blocks behind the CSRGraph read API.
+
+A :class:`~repro.graph.csr.CSRGraph` is a single in-memory monolith, which
+caps a partitioning session at one address space.  :class:`ShardedCSRGraph`
+stores the same graph as ``num_shards`` per-shard CSR blocks behind a
+pluggable :class:`ShardStore` — :class:`InMemoryShardStore` for tests and
+small sessions, :class:`DirectoryShardStore` for graphs larger than RAM
+(each shard is one ``.npz`` file, ``np.load``-ed on demand with an LRU of
+resident shards).
+
+Design notes
+------------
+* **Birth ids.**  Every vertex gets a *birth id* when it enters the graph,
+  and birth ids are never reused or renumbered.  Shard blocks reference
+  vertices exclusively by birth id, so a delta that deletes vertices only
+  rewrites the shards it touches — every other block stays byte-identical,
+  which is what makes snapshot format v2 append-only (and ``save()`` cost
+  proportional to churn, not graph size).  The *current* (dense) vertex
+  ids of the monolithic frame are recovered from the ``births`` vector:
+  survivors keep their relative order and additions are appended with
+  fresh (larger) birth ids, so current order always equals increasing
+  birth order and the two id spaces stay in bijection.
+* **Halo entries.**  Each shard block stores the full adjacency rows of
+  its owned vertices; a cut edge therefore appears in both endpoint
+  shards, and the foreign endpoints form the shard's *halo* (ghost set,
+  :meth:`ShardBlock.halo_births`).  This mirrors how distributed
+  partitioners (ParMETIS / KaHIP-style) materialise boundary structure.
+* **Revisioned blocks.**  A shard's block is stored under an immutable
+  ``(shard, revision)`` key; :meth:`ShardedCSRGraph.apply_delta` writes
+  *new* revisions for the touched shards and leaves the old ones in
+  place, so the pre-delta handle stays valid until the caller garbage
+  collects it (:meth:`drop_blocks_not_in`).  Crash-safety for on-disk
+  sessions falls out: a saved manifest keeps referencing block files that
+  still exist.
+
+The monolithic equivalence contract (tested property): splitting a graph,
+routing a delta through :meth:`ShardedCSRGraph.apply_delta` and
+re-assembling with :meth:`to_csr` yields exactly the graph (ids, weights,
+coordinates) that :func:`repro.graph.incremental.apply_delta` produces on
+the monolith, together with the same ``old_to_new`` index mapping.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError, GraphValidationError
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta
+
+__all__ = [
+    "DirectoryShardStore",
+    "InMemoryShardStore",
+    "ShardBlock",
+    "ShardedCSRGraph",
+    "ShardedIncrementalResult",
+    "shard_key",
+]
+
+_META_KEY = "meta"
+
+
+def shard_key(sid: int, rev: int) -> str:
+    """Store key of shard ``sid`` at revision ``rev`` (immutable blocks)."""
+    return f"shard_{sid:05d}_r{rev}"
+
+
+# ----------------------------------------------------------------------
+# Shard stores
+# ----------------------------------------------------------------------
+class InMemoryShardStore:
+    """Dict-backed shard store (the default for tests and small graphs)."""
+
+    #: In-memory blocks vanish with the process; flushes may gc eagerly.
+    persistent = False
+
+    def __init__(self):
+        self._blocks: dict[str, dict[str, np.ndarray]] = {}
+
+    def put(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Store ``arrays`` under ``key`` (overwrites)."""
+        self._blocks[key] = dict(arrays)
+
+    def get(self, key: str) -> dict[str, np.ndarray]:
+        """Fetch the arrays stored under ``key``."""
+        try:
+            return self._blocks[key]
+        except KeyError:
+            raise GraphError(f"shard store has no block {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        """Drop ``key`` (missing keys are ignored)."""
+        self._blocks.pop(key, None)
+
+    def keys(self) -> list[str]:
+        """All stored keys, sorted."""
+        return sorted(self._blocks)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blocks
+
+
+class DirectoryShardStore:
+    """On-disk shard store: one ``.npz`` file per block, LRU-resident.
+
+    Blocks are written atomically (write-then-rename) and ``np.load``-ed
+    on demand; at most ``max_resident`` blocks are kept decoded in memory
+    (``None`` = unbounded), so a graph can be far larger than RAM as long
+    as individual shards fit.  :attr:`load_count` counts cache misses
+    (actual file loads) — benchmarks use it to prove the LRU works.
+    """
+
+    persistent = True
+
+    def __init__(self, directory, *, max_resident: int | None = None):
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be >= 1 (or None)")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_resident = max_resident
+        self.load_count = 0
+        self._cache: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+
+    @property
+    def resident_count(self) -> int:
+        """Blocks currently decoded in memory."""
+        return len(self._cache)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def _admit(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        self._cache[key] = arrays
+        self._cache.move_to_end(key)
+        if self.max_resident is not None:
+            while len(self._cache) > self.max_resident:
+                self._cache.popitem(last=False)
+
+    def put(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Write ``arrays`` to ``key``'s file atomically and admit to LRU."""
+        path = self._path(key)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self._admit(key, dict(arrays))
+
+    def get(self, key: str) -> dict[str, np.ndarray]:
+        """Fetch ``key``'s arrays, loading from disk on an LRU miss."""
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        path = self._path(key)
+        if not path.exists():
+            raise GraphError(f"shard store has no block {key!r} ({path})")
+        with np.load(path) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+        self.load_count += 1
+        self._admit(key, arrays)
+        return arrays
+
+    def delete(self, key: str) -> None:
+        """Remove ``key``'s file and cache entry (missing keys ignored)."""
+        self._cache.pop(key, None)
+        self._path(key).unlink(missing_ok=True)
+
+    def keys(self) -> list[str]:
+        """All stored keys (from the directory listing), sorted."""
+        return sorted(p.stem for p in self.directory.glob("*.npz"))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cache or self._path(key).exists()
+
+
+# ----------------------------------------------------------------------
+# Shard blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardBlock:
+    """One shard's CSR block, keyed by birth ids.
+
+    ``births`` lists the owned vertices (strictly increasing);
+    ``xadj``/``adj`` are their full adjacency rows with *birth-id*
+    targets (owned or halo), each row sorted by target; ``eweights``
+    aligns with ``adj``; ``vweights`` (and optional ``coords``) align
+    with ``births``.
+    """
+
+    births: np.ndarray
+    xadj: np.ndarray
+    adj: np.ndarray
+    eweights: np.ndarray
+    vweights: np.ndarray
+    coords: np.ndarray | None = None
+
+    @property
+    def num_vertices(self) -> int:
+        """Owned vertices in this shard."""
+        return len(self.births)
+
+    @property
+    def num_arcs(self) -> int:
+        """Stored arcs (each undirected edge contributes one arc per
+        endpoint, so a cut edge is mirrored across two shards)."""
+        return len(self.adj)
+
+    def halo_births(self) -> np.ndarray:
+        """Birth ids referenced by this shard but owned elsewhere."""
+        return np.setdiff1d(self.adj, self.births)
+
+    def arc_sources(self) -> np.ndarray:
+        """Birth id of each arc's source (aligned with :attr:`adj`)."""
+        return np.repeat(self.births, np.diff(self.xadj))
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat ``{name: array}`` view, ``np.savez``-ready; round-trips
+        exactly through :meth:`from_arrays`."""
+        arrays = {
+            "births": self.births,
+            "xadj": self.xadj,
+            "adj": self.adj,
+            "eweights": self.eweights,
+            "vweights": self.vweights,
+        }
+        if self.coords is not None:
+            arrays["coords"] = self.coords
+        return arrays
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "ShardBlock":
+        """Rebuild a block from a :meth:`to_arrays` dict."""
+        missing = {"births", "xadj", "adj", "eweights", "vweights"} - set(arrays)
+        if missing:
+            raise GraphError(
+                f"shard block arrays missing required keys: {sorted(missing)}"
+            )
+        return cls(
+            births=np.asarray(arrays["births"], dtype=np.int64),
+            xadj=np.asarray(arrays["xadj"], dtype=np.int64),
+            adj=np.asarray(arrays["adj"], dtype=np.int64),
+            eweights=np.asarray(arrays["eweights"], dtype=np.float64),
+            vweights=np.asarray(arrays["vweights"], dtype=np.float64),
+            coords=(
+                np.asarray(arrays["coords"], dtype=np.float64)
+                if "coords" in arrays
+                else None
+            ),
+        )
+
+    def validate(self) -> None:
+        """Check the block's local structural invariants."""
+        nv = len(self.births)
+        if len(self.xadj) != nv + 1 or (nv and self.xadj[0] != 0):
+            raise GraphValidationError("shard xadj malformed")
+        if len(self.xadj) and self.xadj[-1] != len(self.adj):
+            raise GraphValidationError("shard xadj[-1] != len(adj)")
+        if np.any(np.diff(self.xadj) < 0):
+            raise GraphValidationError("shard xadj must be non-decreasing")
+        if nv > 1 and np.any(np.diff(self.births) <= 0):
+            raise GraphValidationError("shard births must be strictly increasing")
+        if len(self.vweights) != nv:
+            raise GraphValidationError("shard vweights length mismatch")
+        if len(self.eweights) != len(self.adj):
+            raise GraphValidationError("shard eweights length mismatch")
+        if self.coords is not None and len(self.coords) != nv:
+            raise GraphValidationError("shard coords length mismatch")
+        src = self.arc_sources()
+        if np.any(src == self.adj):
+            raise GraphValidationError("self-loops are not allowed")
+        for i in range(nv):
+            row = self.adj[self.xadj[i] : self.xadj[i + 1]]
+            if len(row) > 1 and np.any(np.diff(row) <= 0):
+                raise GraphValidationError(
+                    f"adjacency of shard vertex {int(self.births[i])} is not "
+                    f"strictly sorted"
+                )
+
+
+# ----------------------------------------------------------------------
+# Incremental result (mirrors repro.graph.incremental.IncrementalResult)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedIncrementalResult:
+    """Output of :meth:`ShardedCSRGraph.apply_delta`.
+
+    Field-compatible with
+    :class:`~repro.graph.incremental.IncrementalResult` (``graph`` /
+    ``old_to_new`` / ``new_vertex_ids`` / ``is_new``), so
+    :func:`~repro.graph.incremental.carry_partition` accepts it
+    unchanged; additionally reports which shards were rewritten and
+    where each new vertex was routed.
+    """
+
+    graph: "ShardedCSRGraph"
+    old_to_new: np.ndarray
+    new_vertex_ids: np.ndarray
+    is_new: np.ndarray
+    touched_shards: frozenset = field(default_factory=frozenset)
+    new_vertex_shards: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, np.int64)
+    )
+
+
+def _row_gather(xadj: np.ndarray, vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flat indices selecting the adjacency rows of ``vertices``; also
+    returns the per-vertex row lengths."""
+    starts = xadj[vertices]
+    counts = xadj[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), counts
+    idx = np.repeat(starts, counts) + (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(np.cumsum(counts) - counts, counts)
+    )
+    return idx, counts
+
+
+def _ramp(counts: np.ndarray) -> np.ndarray:
+    """``[0..c0-1, 0..c1-1, ...]`` for the given segment lengths."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+
+
+def _canon_keys(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Orientation-independent packed edge keys ``min * modulus + max``."""
+    return np.minimum(a, b) * np.int64(modulus) + np.maximum(a, b)
+
+
+# ----------------------------------------------------------------------
+# The sharded graph
+# ----------------------------------------------------------------------
+class ShardedCSRGraph:
+    """A CSR graph stored as per-shard blocks behind a :class:`ShardStore`.
+
+    Construct with :meth:`from_csr` (split a monolith), :meth:`open_dir`
+    (attach to an on-disk store written by :meth:`save_meta`), or receive
+    one from :meth:`apply_delta`.  The instance is an immutable *handle*:
+    methods never mutate it, and :meth:`apply_delta` returns a new handle
+    sharing the store (touched shards get new block revisions; see the
+    module docstring for the gc contract).
+
+    The read API mirrors :class:`~repro.graph.csr.CSRGraph` — the
+    properties (``num_vertices`` / ``num_edges`` / ``num_arcs`` /
+    ``total_vertex_weight``), point queries (:meth:`neighbors`,
+    :meth:`incident_weights`, :meth:`degree`, :meth:`has_edge`,
+    :meth:`edge_weight`) and the materialising accessors (``vweights`` /
+    ``coords`` / :meth:`degrees`) — so delta composition and quality
+    evaluation run unchanged on a sharded graph.  Vertex-indexed arrays
+    (O(|V|)) are materialised lazily and cached; per-*arc* data (the bulk
+    of a large graph) is only ever resident shard-by-shard, except in
+    :meth:`to_csr`, which deliberately assembles the transient monolith
+    the LP pipeline consumes.
+    """
+
+    def __init__(
+        self,
+        store,
+        num_shards: int,
+        births: np.ndarray,
+        shard_of_birth: np.ndarray,
+        revs: np.ndarray,
+        *,
+        next_birth: int,
+        coords_dim: int | None,
+        shard_nv: np.ndarray,
+        shard_narcs: np.ndarray,
+        shard_vw: np.ndarray,
+    ):
+        self.store = store
+        self.num_shards = int(num_shards)
+        self.births = np.ascontiguousarray(births, dtype=np.int64)
+        self.shard_of_birth = np.ascontiguousarray(shard_of_birth, dtype=np.int64)
+        self.revs = np.ascontiguousarray(revs, dtype=np.int64)
+        self.next_birth = int(next_birth)
+        self.coords_dim = coords_dim
+        self._shard_nv = np.ascontiguousarray(shard_nv, dtype=np.int64)
+        self._shard_narcs = np.ascontiguousarray(shard_narcs, dtype=np.int64)
+        self._shard_vw = np.ascontiguousarray(shard_vw, dtype=np.float64)
+        self._cur_cache: np.ndarray | None = None
+        self._vweights: np.ndarray | None = None
+        self._coords: np.ndarray | None = None
+        self._degrees: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        graph: CSRGraph,
+        num_shards: int,
+        *,
+        store=None,
+        assignment: np.ndarray | None = None,
+    ) -> "ShardedCSRGraph":
+        """Split a monolithic :class:`CSRGraph` into ``num_shards`` blocks.
+
+        ``assignment`` maps each vertex to a shard in ``[0, num_shards)``;
+        by default vertices are split into contiguous balanced chunks
+        (id-locality, the natural choice for mesh-ordered graphs).  Pass a
+        partition vector to make shards coincide with partitions.
+        """
+        if num_shards < 1:
+            raise GraphError("num_shards must be >= 1")
+        n = graph.num_vertices
+        if assignment is None:
+            assignment = np.zeros(n, dtype=np.int64)
+            for sid, chunk in enumerate(
+                np.array_split(np.arange(n, dtype=np.int64), num_shards)
+            ):
+                assignment[chunk] = sid
+        else:
+            assignment = np.asarray(assignment, dtype=np.int64)
+            if len(assignment) != n:
+                raise GraphError("shard assignment length != num_vertices")
+            if len(assignment) and (
+                assignment.min() < 0 or assignment.max() >= num_shards
+            ):
+                raise GraphError("shard assignment out of range")
+        if store is None:
+            store = InMemoryShardStore()
+
+        shard_nv = np.zeros(num_shards, dtype=np.int64)
+        shard_narcs = np.zeros(num_shards, dtype=np.int64)
+        shard_vw = np.zeros(num_shards, dtype=np.float64)
+        for sid in range(num_shards):
+            owned = np.flatnonzero(assignment == sid)
+            idx, counts = _row_gather(graph.xadj, owned)
+            xadj_s = np.zeros(len(owned) + 1, dtype=np.int64)
+            np.cumsum(counts, out=xadj_s[1:])
+            block = ShardBlock(
+                births=owned,
+                xadj=xadj_s,
+                adj=graph.adj[idx].copy(),
+                eweights=graph.eweights[idx].copy(),
+                vweights=graph.vweights[owned].copy(),
+                coords=(
+                    graph.coords[owned].copy()
+                    if graph.coords is not None
+                    else None
+                ),
+            )
+            store.put(shard_key(sid, 0), block.to_arrays())
+            shard_nv[sid] = len(owned)
+            shard_narcs[sid] = len(block.adj)
+            shard_vw[sid] = float(block.vweights.sum())
+
+        return cls(
+            store,
+            num_shards,
+            births=np.arange(n, dtype=np.int64),
+            shard_of_birth=assignment.copy(),
+            revs=np.zeros(num_shards, dtype=np.int64),
+            next_birth=n,
+            coords_dim=(
+                graph.coords.shape[1] if graph.coords is not None else None
+            ),
+            shard_nv=shard_nv,
+            shard_narcs=shard_narcs,
+            shard_vw=shard_vw,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties (CSRGraph-compatible)
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n = |V|``."""
+        return len(self.births)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (each arc is stored once per
+        endpoint, possibly in different shards)."""
+        return int(self._shard_narcs.sum()) // 2
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs across all shards."""
+        return int(self._shard_narcs.sum())
+
+    @property
+    def total_vertex_weight(self) -> float:
+        """Sum of all vertex weights (maintained per shard, O(S))."""
+        return float(self._shard_vw.sum())
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCSRGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"shards={self.num_shards}, "
+            f"store={type(self.store).__name__})"
+        )
+
+    # ------------------------------------------------------------------
+    # Id translation
+    # ------------------------------------------------------------------
+    def _cur_of_birth(self) -> np.ndarray:
+        """Map birth id -> current id (``-1`` for dead births); cached."""
+        if self._cur_cache is None:
+            cur = np.full(self.next_birth, -1, dtype=np.int64)
+            cur[self.births] = np.arange(len(self.births), dtype=np.int64)
+            self._cur_cache = cur
+        return self._cur_cache
+
+    def current_ids(self, births: np.ndarray) -> np.ndarray:
+        """Translate birth ids (e.g. a shard block's ``adj``) to current
+        ids (``-1`` for dead births)."""
+        return self._cur_of_birth()[births]
+
+    def shard_of(self, v: int) -> int:
+        """Shard owning (current) vertex ``v``."""
+        return int(self.shard_of_birth[self.births[v]])
+
+    def shard_sizes(self) -> np.ndarray:
+        """Owned-vertex count per shard (O(S), no loads)."""
+        return self._shard_nv.copy()
+
+    # ------------------------------------------------------------------
+    # Block access
+    # ------------------------------------------------------------------
+    def shard_block(self, sid: int) -> ShardBlock:
+        """Load shard ``sid``'s current block (through the store's LRU)."""
+        if not (0 <= sid < self.num_shards):
+            raise GraphError(f"shard id {sid} out of range")
+        return ShardBlock.from_arrays(
+            self.store.get(shard_key(sid, int(self.revs[sid])))
+        )
+
+    def iter_shards(self):
+        """Yield ``(sid, ShardBlock)`` for every shard, one resident at a
+        time (the shard-streaming idiom quality metrics use)."""
+        for sid in range(self.num_shards):
+            yield sid, self.shard_block(sid)
+
+    def shard_subgraph(self, sid: int) -> tuple[CSRGraph, np.ndarray]:
+        """Materialise shard ``sid`` plus its halo as a standalone
+        :class:`CSRGraph`.
+
+        Returns ``(sub, current_ids)``: the subgraph's first
+        ``block.num_vertices`` vertices are the owned ones, the rest the
+        halo; ``current_ids[i]`` is subgraph vertex ``i``'s id in the full
+        graph.  Halo-halo edges are absent (the shard does not know them)
+        — the subgraph is the owned rows plus their mirrored cut edges.
+        """
+        block = self.shard_block(sid)
+        halo = block.halo_births()
+        local_births = np.concatenate([block.births, halo])
+        order = np.argsort(local_births, kind="stable")
+        # local id lookup via sorted search: order[k] is the local id of
+        # the k-th smallest birth
+        sorted_births = local_births[order]
+
+        def to_local(b: np.ndarray) -> np.ndarray:
+            return order[np.searchsorted(sorted_births, b)]
+
+        src_local = to_local(block.arc_sources())
+        dst_local = to_local(block.adj)
+        # Keep each owned-owned edge once, every owned-halo arc once.
+        n_owned = block.num_vertices
+        keep = (dst_local >= n_owned) | (src_local < dst_local)
+        edges = np.column_stack([src_local[keep], dst_local[keep]])
+        ew = block.eweights[keep]
+        vweights = np.concatenate(
+            [block.vweights, np.ones(len(halo), dtype=np.float64)]
+        )
+        sub = CSRGraph.from_edges(
+            len(local_births), edges, eweights=ew, vweights=vweights
+        )
+        cur = self._cur_of_birth()[local_births]
+        return sub, cur
+
+    # ------------------------------------------------------------------
+    # Point queries (CSRGraph-compatible)
+    # ------------------------------------------------------------------
+    def _row(self, v: int) -> tuple[ShardBlock, int]:
+        b = int(self.births[v])
+        block = self.shard_block(int(self.shard_of_birth[b]))
+        i = int(np.searchsorted(block.births, b))
+        return block, i
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Current ids of ``v``'s neighbours (sorted ascending)."""
+        block, i = self._row(v)
+        row = block.adj[block.xadj[i] : block.xadj[i + 1]]
+        return self._cur_of_birth()[row]
+
+    def incident_weights(self, v: int) -> np.ndarray:
+        """Edge weights aligned with :meth:`neighbors` of ``v``."""
+        block, i = self._row(v)
+        return block.eweights[block.xadj[i] : block.xadj[i + 1]]
+
+    def degree(self, v: int) -> int:
+        """Number of neighbours of ``v``."""
+        block, i = self._row(v)
+        return int(block.xadj[i + 1] - block.xadj[i])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees (assembled shard-by-shard, cached)."""
+        if self._degrees is None:
+            deg = np.zeros(self.num_vertices, dtype=np.int64)
+            cur = self._cur_of_birth()
+            for _, block in self.iter_shards():
+                deg[cur[block.births]] = np.diff(block.xadj)
+            deg.setflags(write=False)
+            self._degrees = deg
+        return self._degrees
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """``True`` iff the undirected edge ``{u, v}`` exists."""
+        block, i = self._row(u)
+        row = block.adj[block.xadj[i] : block.xadj[i + 1]]
+        bv = self.births[v]
+        j = np.searchsorted(row, bv)
+        return bool(j < len(row) and row[j] == bv)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises ``KeyError`` if absent."""
+        block, i = self._row(u)
+        row = block.adj[block.xadj[i] : block.xadj[i + 1]]
+        bv = self.births[v]
+        j = np.searchsorted(row, bv)
+        if j >= len(row) or row[j] != bv:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        return float(block.eweights[block.xadj[i] + j])
+
+    def vertex_weight(self, v: int) -> float:
+        """Weight of (current) vertex ``v`` (single-shard lookup)."""
+        block, i = self._row(v)
+        return float(block.vweights[i])
+
+    # ------------------------------------------------------------------
+    # Materialising vertex-indexed accessors (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def vweights(self) -> np.ndarray:
+        """All vertex weights in current-id order (O(|V|), cached)."""
+        if self._vweights is None:
+            vw = np.empty(self.num_vertices, dtype=np.float64)
+            cur = self._cur_of_birth()
+            for _, block in self.iter_shards():
+                vw[cur[block.births]] = block.vweights
+            vw.setflags(write=False)
+            self._vweights = vw
+        return self._vweights
+
+    @property
+    def coords(self) -> np.ndarray | None:
+        """Vertex coordinates in current-id order, or ``None``."""
+        if self.coords_dim is None:
+            return None
+        if self._coords is None:
+            xy = np.empty((self.num_vertices, self.coords_dim), dtype=np.float64)
+            cur = self._cur_of_birth()
+            for _, block in self.iter_shards():
+                xy[cur[block.births]] = block.coords
+            xy.setflags(write=False)
+            self._coords = xy
+        return self._coords
+
+    # ------------------------------------------------------------------
+    # Monolith assembly
+    # ------------------------------------------------------------------
+    def to_csr(self, *, validate: bool = False) -> CSRGraph:
+        """Assemble the monolithic :class:`CSRGraph` (transiently O(|E|)).
+
+        Shards stream through the store's LRU one at a time, so the peak
+        *store* residency honours ``max_resident`` — but the assembled
+        result is of course the full graph.  This is the bridge the LP
+        pipeline uses; keep it off hot paths for truly huge graphs.
+        """
+        n = self.num_vertices
+        cur = self._cur_of_birth()
+        deg = np.zeros(n, dtype=np.int64)
+        for _, block in self.iter_shards():
+            deg[cur[block.births]] = np.diff(block.xadj)
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=xadj[1:])
+        adj = np.empty(int(xadj[-1]), dtype=np.int64)
+        ew = np.empty(int(xadj[-1]), dtype=np.float64)
+        vw = np.empty(n, dtype=np.float64)
+        coords = (
+            np.empty((n, self.coords_dim), dtype=np.float64)
+            if self.coords_dim is not None
+            else None
+        )
+        for _, block in self.iter_shards():
+            cur_owned = cur[block.births]
+            counts = np.diff(block.xadj)
+            out = np.repeat(xadj[cur_owned], counts) + _ramp(counts)
+            adj[out] = cur[block.adj]
+            ew[out] = block.eweights
+            vw[cur_owned] = block.vweights
+            if coords is not None:
+                coords[cur_owned] = block.coords
+        return CSRGraph(xadj, adj, vweights=vw, eweights=ew, coords=coords,
+                        validate=validate)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check cross-shard invariants (each block's local ones too)."""
+        if len(self.births) > 1 and np.any(np.diff(self.births) <= 0):
+            raise GraphValidationError("births must be strictly increasing")
+        if len(self.births) and self.births[-1] >= self.next_birth:
+            raise GraphValidationError("birth id >= next_birth")
+        seen = np.zeros(self.next_birth, dtype=bool)
+        all_keys: list[np.ndarray] = []
+        for sid, block in self.iter_shards():
+            block.validate()
+            if int(self._shard_nv[sid]) != block.num_vertices:
+                raise GraphValidationError(f"shard {sid} vertex count drifted")
+            if int(self._shard_narcs[sid]) != block.num_arcs:
+                raise GraphValidationError(f"shard {sid} arc count drifted")
+            if np.any(self.shard_of_birth[block.births] != sid):
+                raise GraphValidationError(
+                    f"shard {sid} owns births mapped to another shard"
+                )
+            if np.any(seen[block.births]):
+                raise GraphValidationError("birth owned by multiple shards")
+            seen[block.births] = True
+            all_keys.append(
+                block.arc_sources() * np.int64(self.next_birth) + block.adj
+            )
+        if not np.array_equal(np.flatnonzero(seen), self.births):
+            raise GraphValidationError("shard membership != births vector")
+        # Cross-shard symmetry: every arc u->v has a mirror v->u somewhere.
+        if all_keys:
+            fwd = np.sort(np.concatenate(all_keys))
+            src = fwd // np.int64(self.next_birth)
+            dst = fwd % np.int64(self.next_birth)
+            bwd = np.sort(dst * np.int64(self.next_birth) + src)
+            if not np.array_equal(fwd, bwd):
+                raise GraphValidationError(
+                    "sharded adjacency is not symmetric across shards"
+                )
+
+    # ------------------------------------------------------------------
+    # Delta routing
+    # ------------------------------------------------------------------
+    def route_new_vertices(self, delta: GraphDelta) -> np.ndarray:
+        """Deterministically assign each added vertex to a shard.
+
+        Majority vote over the shards owning the new vertex's *old*
+        neighbours (ties toward the smallest shard id); a new vertex with
+        only new neighbours inherits the earliest-routed one's shard; an
+        isolated new vertex goes to the currently smallest shard.
+        """
+        n = self.num_vertices
+        n_add = delta.num_added_vertices
+        routed = np.full(n_add, -1, dtype=np.int64)
+        votes: list[dict[int, int]] = [dict() for _ in range(n_add)]
+        new_links: list[list[int]] = [[] for _ in range(n_add)]
+        for u, v in delta.added_edges:
+            u, v = int(u), int(v)
+            for a, b in ((u, v), (v, u)):
+                if a >= n:
+                    j = a - n
+                    if b < n:
+                        sid = int(self.shard_of_birth[self.births[b]])
+                        votes[j][sid] = votes[j].get(sid, 0) + 1
+                    else:
+                        new_links[j].append(b - n)
+        sizes = self._shard_nv.astype(np.int64).copy()
+        for j in range(n_add):
+            if votes[j]:
+                best = max(
+                    votes[j].items(), key=lambda kv: (kv[1], -kv[0])
+                )[0]
+                routed[j] = best
+                sizes[best] += 1
+        for j in range(n_add):
+            if routed[j] >= 0:
+                continue
+            linked = [k for k in new_links[j] if routed[k] >= 0]
+            if linked:
+                routed[j] = routed[min(linked)]
+            else:
+                routed[j] = int(np.argmin(sizes))
+            sizes[routed[j]] += 1
+        return routed
+
+    def _delta_frames(self, delta: GraphDelta):
+        """Shared delta decoding: birth-frame views of a delta plus the
+        routing of its new vertices.
+
+        Returns ``(dead_births, del_edge_births, add_edge_births, routed,
+        shard_of_birth_ext)`` where the extended owner map also covers the
+        not-yet-born vertices at ``next_birth + j``.
+        """
+        n = self.num_vertices
+        n_add = delta.num_added_vertices
+        new_births = np.arange(
+            self.next_birth, self.next_birth + n_add, dtype=np.int64
+        )
+        dead_births = self.births[delta.deleted_vertices]
+
+        def birth_of_endpoint(e: np.ndarray) -> np.ndarray:
+            e = np.asarray(e, dtype=np.int64)
+            out = np.empty(len(e), dtype=np.int64)
+            old = e < n
+            out[old] = self.births[e[old]]
+            out[~old] = new_births[e[~old] - n]
+            return out
+
+        def edge_births(arr: np.ndarray) -> np.ndarray:
+            if not len(arr):
+                return np.zeros((0, 2), dtype=np.int64)
+            return np.column_stack(
+                [birth_of_endpoint(arr[:, 0]), birth_of_endpoint(arr[:, 1])]
+            )
+
+        routed = self.route_new_vertices(delta)
+        shard_of_birth_ext = np.concatenate(
+            [self.shard_of_birth, np.zeros(n_add, dtype=np.int64)]
+        )
+        if n_add:
+            shard_of_birth_ext[new_births] = routed
+        return (
+            dead_births,
+            edge_births(delta.deleted_edges),
+            edge_births(delta.added_edges),
+            routed,
+            shard_of_birth_ext,
+        )
+
+    def _touched_for(
+        self,
+        dead_births: np.ndarray,
+        del_edge_births: np.ndarray,
+        add_edge_births: np.ndarray,
+        routed: np.ndarray,
+        shard_of_birth_ext: np.ndarray,
+    ) -> set[int]:
+        """The shards a decoded delta rewrites (see :meth:`touched_shards`)."""
+        touched: set[int] = set()
+        if len(dead_births):
+            owners = self.shard_of_birth[dead_births]
+            touched.update(int(s) for s in np.unique(owners))
+            # Mirror arcs of a deleted vertex live in its neighbours'
+            # shards, so those blocks must be rewritten too.
+            for sid in np.unique(owners):
+                block = self.shard_block(int(sid))
+                local = np.searchsorted(block.births, dead_births[owners == sid])
+                idx, _ = _row_gather(block.xadj, local)
+                touched.update(
+                    int(s)
+                    for s in np.unique(self.shard_of_birth[block.adj[idx]])
+                )
+        if len(del_edge_births):
+            touched.update(
+                int(s)
+                for s in np.unique(self.shard_of_birth[del_edge_births.ravel()])
+            )
+        if len(add_edge_births):
+            touched.update(
+                int(s)
+                for s in np.unique(shard_of_birth_ext[add_edge_births.ravel()])
+            )
+        if len(routed):
+            touched.update(int(s) for s in np.unique(routed))
+        return touched
+
+    def touched_shards(self, delta: GraphDelta) -> set[int]:
+        """Shards a delta would rewrite: owners of deleted vertices *and
+        their neighbours* (mirror arcs), both endpoints of deleted edges,
+        old endpoints of added edges, and the shards receiving new
+        vertices.  This is exactly the set :meth:`apply_delta` rewrites
+        (both run the same gather)."""
+        return self._touched_for(*self._delta_frames(delta))
+
+    # ------------------------------------------------------------------
+    # Delta application
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        delta: GraphDelta,
+        *,
+        strict: bool = True,
+        accumulate_weights: bool = False,
+    ) -> ShardedIncrementalResult:
+        """Apply a delta shard-locally; only touched shards are rewritten.
+
+        Semantics (validation, ``strict`` missing-deletion errors,
+        ``accumulate_weights`` duplicate handling, the resulting id
+        mapping) match :func:`repro.graph.incremental.apply_delta` on the
+        assembled monolith exactly — the equivalence is property-tested.
+        New blocks are written under fresh revisions; ``self`` remains a
+        valid handle on the pre-delta graph until
+        :meth:`drop_blocks_not_in` garbage-collects one side.
+        """
+        n = self.num_vertices
+        n_add = delta.num_added_vertices
+
+        # --- validate delta references (mirrors monolithic apply_delta) --
+        if len(delta.deleted_vertices) and (
+            delta.deleted_vertices[0] < 0 or delta.deleted_vertices[-1] >= n
+        ):
+            raise GraphError("deleted vertex id out of range")
+        limit = n + n_add
+        if len(delta.added_edges) and (
+            delta.added_edges.min() < 0 or delta.added_edges.max() >= limit
+        ):
+            raise GraphError("added edge endpoint out of range")
+        if len(delta.deleted_edges) and (
+            delta.deleted_edges.min() < 0 or delta.deleted_edges.max() >= n
+        ):
+            raise GraphError("deleted edge endpoint out of range")
+        deleted_mask = np.zeros(n, dtype=bool)
+        deleted_mask[delta.deleted_vertices] = True
+        if len(delta.added_edges):
+            old_endpoints = delta.added_edges[delta.added_edges < n]
+            if np.any(deleted_mask[old_endpoints]):
+                raise GraphError("added edge references a deleted vertex")
+
+        # --- current-frame renumbering (identical to the monolith) -------
+        survivors = np.flatnonzero(~deleted_mask)
+        old_to_new = np.full(n, -1, dtype=np.int64)
+        old_to_new[survivors] = np.arange(len(survivors), dtype=np.int64)
+        n_new = len(survivors) + n_add
+        new_vertex_ids = np.arange(len(survivors), n_new, dtype=np.int64)
+        is_new = np.zeros(n_new, dtype=bool)
+        is_new[new_vertex_ids] = True
+
+        # --- birth bookkeeping & touched-shard gather --------------------
+        new_births = np.arange(
+            self.next_birth, self.next_birth + n_add, dtype=np.int64
+        )
+        births_after = np.concatenate([self.births[survivors], new_births])
+        (
+            dead_births,
+            del_edge_births,
+            add_edge_births,
+            routed,
+            shard_of_birth,
+        ) = self._delta_frames(delta)
+        touched = self._touched_for(
+            dead_births, del_edge_births, add_edge_births, routed,
+            shard_of_birth,
+        )
+
+        modulus = self.next_birth + n_add
+        del_keys = (
+            _canon_keys(del_edge_births[:, 0], del_edge_births[:, 1], modulus)
+            if len(del_edge_births)
+            else np.zeros(0, dtype=np.int64)
+        )
+        uniq_del_keys = np.unique(del_keys)
+        add_keys = (
+            _canon_keys(add_edge_births[:, 0], add_edge_births[:, 1], modulus)
+            if len(add_edge_births)
+            else np.zeros(0, dtype=np.int64)
+        )
+        if len(add_edge_births) and np.any(
+            add_edge_births[:, 0] == add_edge_births[:, 1]
+        ):
+            raise GraphError("self-loops are not allowed")
+        if len(add_keys) and not accumulate_weights:
+            order = np.argsort(add_keys, kind="stable")
+            dup = add_keys[order[1:]] == add_keys[order[:-1]]
+            if np.any(dup):
+                offending = delta.added_edges[order[1:][dup]][:5]
+                raise GraphError(
+                    f"added_edges duplicate existing or other added edges: "
+                    f"{[tuple(int(x) for x in row) for row in offending]}"
+                    f"{'...' if dup.sum() > 5 else ''} (pass "
+                    f"accumulate_weights=True to sum the weights instead)"
+                )
+        add_w = (
+            np.ones(len(add_edge_births), dtype=np.float64)
+            if delta.added_eweights is None
+            else np.asarray(delta.added_eweights, dtype=np.float64)
+        )
+        add_vw = (
+            np.ones(n_add, dtype=np.float64)
+            if delta.added_vweights is None
+            else np.asarray(delta.added_vweights, dtype=np.float64)
+        )
+        add_coords = None
+        if self.coords_dim is not None:
+            add_coords = (
+                np.full((n_add, self.coords_dim), np.nan)
+                if delta.added_coords is None
+                else np.asarray(delta.added_coords, dtype=np.float64).reshape(
+                    n_add, self.coords_dim
+                )
+            )
+
+        # --- rebuild touched shards --------------------------------------
+        revs = self.revs.copy()
+        shard_nv = self._shard_nv.copy()
+        shard_narcs = self._shard_narcs.copy()
+        shard_vw = self._shard_vw.copy()
+        matched_del = np.zeros(len(uniq_del_keys), dtype=bool)
+        clash_mask = np.zeros(len(add_keys), dtype=bool)
+        pending_puts: list[tuple[int, ShardBlock]] = []
+
+        for sid in sorted(touched):
+            block = self.shard_block(sid)
+            src = block.arc_sources()
+            dst = block.adj
+            w = block.eweights
+            arc_keys = _canon_keys(src, dst, modulus)
+            if len(uniq_del_keys):
+                # Record which deletion keys exist anywhere pre-delta
+                # (each undirected edge is visible from both endpoint
+                # shards; seeing it in either one is enough).
+                matched_del |= np.isin(uniq_del_keys, arc_keys)
+            keep = np.ones(len(src), dtype=bool)
+            if len(dead_births):
+                keep &= ~np.isin(src, dead_births)
+                keep &= ~np.isin(dst, dead_births)
+            if len(uniq_del_keys):
+                keep &= ~np.isin(arc_keys, uniq_del_keys)
+            kept_src, kept_dst, kept_w = src[keep], dst[keep], w[keep]
+            kept_keys = arc_keys[keep]
+            # Which added arcs land in this shard (as source)?
+            if len(add_edge_births):
+                fwd = shard_of_birth[add_edge_births[:, 0]] == sid
+                bwd = shard_of_birth[add_edge_births[:, 1]] == sid
+                if not accumulate_weights and (fwd.any() or bwd.any()):
+                    local = fwd | bwd
+                    clash_mask[local] |= np.isin(
+                        add_keys[local], kept_keys
+                    )
+                new_src = np.concatenate(
+                    [add_edge_births[fwd, 0], add_edge_births[bwd, 1]]
+                )
+                new_dst = np.concatenate(
+                    [add_edge_births[fwd, 1], add_edge_births[bwd, 0]]
+                )
+                new_arc_w = np.concatenate([add_w[fwd], add_w[bwd]])
+            else:
+                new_src = np.zeros(0, dtype=np.int64)
+                new_dst = np.zeros(0, dtype=np.int64)
+                new_arc_w = np.zeros(0, dtype=np.float64)
+
+            # Owned vertex set after the delta.
+            owned_mask = np.ones(block.num_vertices, dtype=bool)
+            if len(dead_births):
+                owned_mask &= ~np.isin(block.births, dead_births)
+            mine_new = routed == sid if n_add else np.zeros(0, dtype=bool)
+            births_s = np.concatenate(
+                [block.births[owned_mask], new_births[mine_new]]
+            )
+            vweights_s = np.concatenate(
+                [block.vweights[owned_mask], add_vw[mine_new]]
+            )
+            coords_s = None
+            if self.coords_dim is not None:
+                coords_s = np.vstack(
+                    [
+                        block.coords[owned_mask].reshape(-1, self.coords_dim),
+                        add_coords[mine_new].reshape(-1, self.coords_dim),
+                    ]
+                )
+
+            all_src = np.concatenate([kept_src, new_src])
+            all_dst = np.concatenate([kept_dst, new_dst])
+            all_w = np.concatenate([kept_w, new_arc_w])
+            pos = np.searchsorted(births_s, all_src)
+            order = np.lexsort((all_dst, pos))
+            pos, all_dst, all_w = pos[order], all_dst[order], all_w[order]
+            # Merge duplicate arcs (accumulate_weights sums; without it
+            # duplicates have already raised above).
+            if len(pos) > 1:
+                same = (pos[1:] == pos[:-1]) & (all_dst[1:] == all_dst[:-1])
+                if np.any(same):
+                    group = np.concatenate([[0], np.cumsum(~same)])
+                    first = np.concatenate([[True], ~same])
+                    merged_w = np.bincount(group, weights=all_w)
+                    pos, all_dst = pos[first], all_dst[first]
+                    all_w = merged_w
+            xadj_s = np.zeros(len(births_s) + 1, dtype=np.int64)
+            np.add.at(xadj_s, pos + 1, 1)
+            np.cumsum(xadj_s, out=xadj_s)
+            new_block = ShardBlock(
+                births=births_s,
+                xadj=xadj_s,
+                adj=all_dst,
+                eweights=all_w,
+                vweights=vweights_s,
+                coords=coords_s,
+            )
+            pending_puts.append((sid, new_block))
+            revs[sid] += 1
+            shard_nv[sid] = new_block.num_vertices
+            shard_narcs[sid] = new_block.num_arcs
+            shard_vw[sid] = float(new_block.vweights.sum())
+
+        # --- strict / duplicate error checks (post-scan, pre-commit) -----
+        if strict and len(uniq_del_keys) and not matched_del.all():
+            missing_keys = uniq_del_keys[~matched_del]
+            bad = np.isin(del_keys, missing_keys)
+            missing = delta.deleted_edges[bad][:5]
+            raise GraphError(
+                f"deleted_edges entries do not exist in the graph: "
+                f"{[tuple(int(x) for x in row) for row in missing]}"
+                f"{'...' if bad.sum() > 5 else ''} "
+                f"(pass strict=False to skip missing deletions)"
+            )
+        if not accumulate_weights and clash_mask.any():
+            offending = delta.added_edges[clash_mask][:5]
+            raise GraphError(
+                f"added_edges duplicate existing or other added edges: "
+                f"{[tuple(int(x) for x in row) for row in offending]}"
+                f"{'...' if clash_mask.sum() > 5 else ''} (pass "
+                f"accumulate_weights=True to sum the weights instead)"
+            )
+        for sid, new_block in pending_puts:
+            self.store.put(shard_key(sid, int(revs[sid])), new_block.to_arrays())
+
+        new_graph = ShardedCSRGraph(
+            self.store,
+            self.num_shards,
+            births=births_after,
+            shard_of_birth=shard_of_birth,
+            revs=revs,
+            next_birth=self.next_birth + n_add,
+            coords_dim=self.coords_dim,
+            shard_nv=shard_nv,
+            shard_narcs=shard_narcs,
+            shard_vw=shard_vw,
+        )
+        return ShardedIncrementalResult(
+            graph=new_graph,
+            old_to_new=old_to_new,
+            new_vertex_ids=new_vertex_ids,
+            is_new=is_new,
+            touched_shards=frozenset(touched),
+            new_vertex_shards=routed,
+        )
+
+    # ------------------------------------------------------------------
+    # Revision garbage collection
+    # ------------------------------------------------------------------
+    def drop_blocks_not_in(self, other: "ShardedCSRGraph") -> int:
+        """Delete this handle's block revisions that ``other`` does not
+        reference (both handles must share the store).  Returns the
+        number of blocks dropped.  Call on the *stale* handle after a
+        delta is committed, or on the *new* handle to roll one back."""
+        if other.store is not self.store:
+            raise GraphError("handles do not share a shard store")
+        dropped = 0
+        for sid in range(self.num_shards):
+            if int(self.revs[sid]) != int(other.revs[sid]):
+                self.store.delete(shard_key(sid, int(self.revs[sid])))
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Standalone durability (CLI `shard split` / `shard inspect`)
+    # ------------------------------------------------------------------
+    def meta_arrays(self) -> dict[str, np.ndarray]:
+        """The graph-level metadata arrays (everything except the blocks)."""
+        return {
+            "births": self.births,
+            "shard_of_birth": self.shard_of_birth,
+            "revs": self.revs,
+            "scalars": np.array(
+                [
+                    self.num_shards,
+                    self.next_birth,
+                    -1 if self.coords_dim is None else self.coords_dim,
+                ],
+                dtype=np.int64,
+            ),
+            "shard_nv": self._shard_nv,
+            "shard_narcs": self._shard_narcs,
+            "shard_vw": self._shard_vw,
+        }
+
+    @classmethod
+    def from_meta_arrays(
+        cls, store, arrays: dict[str, np.ndarray]
+    ) -> "ShardedCSRGraph":
+        """Rebuild a handle from :meth:`meta_arrays` plus its store."""
+        missing = {
+            "births", "shard_of_birth", "revs", "scalars",
+            "shard_nv", "shard_narcs", "shard_vw",
+        } - set(arrays)
+        if missing:
+            raise GraphError(
+                f"sharded metadata missing required keys: {sorted(missing)}"
+            )
+        num_shards, next_birth, cdim = (
+            int(x) for x in np.asarray(arrays["scalars"], dtype=np.int64)
+        )
+        return cls(
+            store,
+            num_shards,
+            births=arrays["births"],
+            shard_of_birth=arrays["shard_of_birth"],
+            revs=arrays["revs"],
+            next_birth=next_birth,
+            coords_dim=None if cdim < 0 else cdim,
+            shard_nv=arrays["shard_nv"],
+            shard_narcs=arrays["shard_narcs"],
+            shard_vw=arrays["shard_vw"],
+        )
+
+    def save_meta(self) -> None:
+        """Persist the metadata into the store (key ``meta``) so
+        :meth:`open_dir` can re-attach.  Only meaningful for persistent
+        stores; the blocks themselves are already in the store."""
+        self.store.put(_META_KEY, self.meta_arrays())
+
+    @classmethod
+    def open_dir(
+        cls, directory, *, max_resident: int | None = None
+    ) -> "ShardedCSRGraph":
+        """Attach to an on-disk sharded graph written by :meth:`save_meta`
+        over a :class:`DirectoryShardStore` (e.g. by ``repro-igp shard
+        split``)."""
+        store = DirectoryShardStore(directory, max_resident=max_resident)
+        if _META_KEY not in store:
+            raise GraphError(
+                f"{directory} is not a sharded graph directory (no "
+                f"{_META_KEY}.npz)"
+            )
+        return cls.from_meta_arrays(store, store.get(_META_KEY))
+
+    def describe(self) -> str:
+        """Multi-line shard table (sizes, arcs, halo sizes, revisions)."""
+        lines = [
+            f"ShardedCSRGraph: |V|={self.num_vertices} |E|={self.num_edges} "
+            f"shards={self.num_shards} store={type(self.store).__name__}"
+        ]
+        for sid, block in self.iter_shards():
+            lines.append(
+                f"  shard {sid}: {block.num_vertices} vertices, "
+                f"{block.num_arcs} arcs, {len(block.halo_births())} halo, "
+                f"rev {int(self.revs[sid])}"
+            )
+        return "\n".join(lines)

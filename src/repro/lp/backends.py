@@ -28,7 +28,7 @@ from typing import Callable
 
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
-from repro.lp.revised import Basis, RevisedSimplexSolver, solve_lp_revised
+from repro.lp.revised import Basis, solve_lp_revised
 from repro.lp.scipy_backend import solve_lp_scipy
 from repro.lp.simplex import DenseSimplexSolver
 

@@ -64,6 +64,7 @@ from repro.core.streaming import BatchRecord, FlushPolicy, StreamingPartitioner
 from repro.errors import GraphError, PartitioningError, SnapshotError
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
+from repro.graph.sharded import DirectoryShardStore, ShardedCSRGraph, shard_key
 from repro.lp.revised import Basis
 from repro.rng import make_rng
 
@@ -80,10 +81,16 @@ __all__ = [
 #: Manifest ``format`` tag identifying a file as a session snapshot.
 SNAPSHOT_FORMAT = "repro.partition-session"
 #: Highest snapshot format version this library writes and understands.
-SNAPSHOT_VERSION = 1
+#: v1 is a single zip (monolithic graphs); v2 is a *directory* holding
+#: ``manifest.json``, a sequence-numbered session-arrays npz and one npz
+#: per shard — untouched shards are never rewritten, so ``save()`` cost
+#: scales with churn, and the manifest is the sole commit point.
+SNAPSHOT_VERSION = 2
 
 _MANIFEST_NAME = "manifest.json"
 _ARRAYS_NAME = "arrays.npz"
+_SESSION_ARRAYS_NAME = "session.npz"
+_SHARDS_DIR = "shards"
 
 
 # ----------------------------------------------------------------------
@@ -337,25 +344,11 @@ class PartitionSession:
         )
 
     # -- snapshots ------------------------------------------------------
-    def save(self, path, *, user_meta: dict | None = None) -> Path:
-        """Write a durable snapshot of the whole session to ``path``.
-
-        The file is a zip archive holding ``arrays.npz`` (graph, partition
-        vector, composed pending delta, warm bases, flush policy) and
-        ``manifest.json`` (format version, :class:`IGPConfig`, RNG state,
-        batch history, counters).  ``user_meta`` is an arbitrary
-        JSON-serializable dict stored verbatim for the caller — the CLI
-        uses it to remember which delta stream the session was consuming.
-
-        Returns the path written.  Load with :meth:`load` — from any
-        process; the restored session's next repartition warm-starts
-        exactly like this one's would have.
-        """
-        path = Path(path)
+    def _state_arrays(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Non-graph session state as savez-ready arrays plus the
+        ``has`` manifest flags (shared by the v1 and v2 writers)."""
         sp = self._sp
         arrays: dict[str, np.ndarray] = {"part": sp.part}
-        for key, value in sp.graph.to_arrays().items():
-            arrays[f"graph.{key}"] = value
         for key, value in sp.policy.to_arrays().items():
             arrays[f"policy.{key}"] = value
         pending = sp.pending_delta
@@ -369,10 +362,18 @@ class PartitionSession:
         if refine_basis is not None:
             for key, value in refine_basis.to_arrays().items():
                 arrays[f"basis.refine.{key}"] = value
+        has = {
+            "pending": pending is not None,
+            "balance_basis": balance_basis is not None,
+            "refine_basis": refine_basis is not None,
+        }
+        return arrays, has
 
-        manifest = {
+    def _manifest(self, version: int, has: dict, user_meta: dict | None) -> dict:
+        sp = self._sp
+        return {
             "format": SNAPSHOT_FORMAT,
-            "version": SNAPSHOT_VERSION,
+            "version": version,
             "repro_version": __version__,
             "config": asdict(sp.config),
             "engine": {
@@ -390,13 +391,39 @@ class PartitionSession:
             },
             "rng_state": self.rng.bit_generator.state,
             "history": [asdict(s) for s in self._summaries],
-            "has": {
-                "pending": pending is not None,
-                "balance_basis": balance_basis is not None,
-                "refine_basis": refine_basis is not None,
-            },
+            "has": has,
             "user_meta": dict(user_meta if user_meta is not None else self.user_meta),
         }
+
+    def save(self, path, *, user_meta: dict | None = None) -> Path:
+        """Write a durable snapshot of the whole session to ``path``.
+
+        For a monolithic graph this is a single zip archive (format v1):
+        ``arrays.npz`` (graph, partition vector, composed pending delta,
+        warm bases, flush policy) plus ``manifest.json`` (format version,
+        :class:`IGPConfig`, RNG state, batch history, counters).  For a
+        :class:`~repro.graph.sharded.ShardedCSRGraph` the snapshot is a
+        *directory* (format v2): ``manifest.json``, a sequence-numbered
+        session-arrays npz and one npz per shard under ``shards/`` —
+        block files are immutable per revision, so a re-``save()`` after
+        a batch only writes the shards that batch touched (plus the
+        small metadata files), and ``save()`` cost scales with churn
+        rather than graph size.
+
+        ``user_meta`` is an arbitrary JSON-serializable dict stored
+        verbatim for the caller — the CLI uses it to remember which delta
+        stream the session was consuming.  Returns the path written.
+        Load with :meth:`load` — from any process; the restored session's
+        next repartition warm-starts exactly like this one's would have.
+        """
+        path = Path(path)
+        if isinstance(self.graph, ShardedCSRGraph):
+            return self._save_v2_dir(path, user_meta)
+        sp = self._sp
+        arrays, has = self._state_arrays()
+        for key, value in sp.graph.to_arrays().items():
+            arrays[f"graph.{key}"] = value
+        manifest = self._manifest(1, has, user_meta)
 
         buf = io.BytesIO()
         np.savez(buf, **arrays)
@@ -417,34 +444,79 @@ class PartitionSession:
             raise
         return path
 
-    @classmethod
-    def load(cls, path) -> "PartitionSession":
-        """Rebuild a session from a :meth:`save` snapshot.
+    def _save_v2_dir(self, path: Path, user_meta: dict | None) -> Path:
+        """Sharded (format v2) snapshot: a directory with per-shard npz
+        blocks, written append-only for untouched shards.
 
-        Raises :class:`~repro.errors.SnapshotError` for files that are not
-        session snapshots, corrupted archives/manifests, and format
-        versions newer than :data:`SNAPSHOT_VERSION`.  The graph arrays
-        are re-validated structurally, so bit-rot fails here rather than
-        corrupting a later repartition.
+        The manifest is the *only* commit point: the session arrays go
+        to a fresh sequence-numbered file and block revisions are
+        immutable, so until the new ``manifest.json`` lands atomically
+        the previous manifest still references a complete, consistent
+        set of files — a crash anywhere mid-save leaves the old
+        snapshot loadable.
         """
-        path = Path(path)
-        try:
-            with zipfile.ZipFile(path) as zf:
-                names = set(zf.namelist())
-                if _MANIFEST_NAME not in names or _ARRAYS_NAME not in names:
-                    raise SnapshotError(
-                        f"{path} is not a session snapshot (missing "
-                        f"{_MANIFEST_NAME} or {_ARRAYS_NAME})"
-                    )
-                manifest = json.loads(zf.read(_MANIFEST_NAME).decode("utf-8"))
-                npz_bytes = zf.read(_ARRAYS_NAME)
-        except SnapshotError:
-            raise
-        except (zipfile.BadZipFile, OSError, ValueError) as exc:
-            raise SnapshotError(
-                f"cannot read session snapshot {path}: {exc}"
-            ) from exc
+        graph: ShardedCSRGraph = self.graph
+        shards_dir = path / _SHARDS_DIR
+        shards_dir.mkdir(parents=True, exist_ok=True)
 
+        arrays, has = self._state_arrays()
+        for key, value in graph.meta_arrays().items():
+            arrays[f"sharded.{key}"] = value
+        existing_seq = [
+            int(p.stem.split("_")[1])
+            for p in path.glob("session_*.npz")
+            if p.stem.split("_")[1].isdigit()
+        ]
+        arrays_name = f"session_{max(existing_seq, default=0) + 1:06d}.npz"
+        _atomic_savez(path / arrays_name, arrays)
+
+        # Copy the referenced block revisions that are not already on
+        # disk.  When the session's store *is* this snapshot directory
+        # (the in-place durable layout `load` sets up), every referenced
+        # block already exists and nothing is copied at all.
+        store = graph.store
+        in_place = (
+            isinstance(store, DirectoryShardStore)
+            and Path(store.directory).resolve() == shards_dir.resolve()
+        )
+        referenced = set()
+        for sid in range(graph.num_shards):
+            key = shard_key(sid, int(graph.revs[sid]))
+            referenced.add(key)
+            target = shards_dir / f"{key}.npz"
+            if in_place or target.exists():
+                continue
+            _atomic_savez(target, store.get(key))
+
+        manifest = self._manifest(2, has, user_meta)
+        manifest["sharded"] = {
+            "num_shards": graph.num_shards,
+            "max_resident": getattr(store, "max_resident", None),
+            "arrays_file": arrays_name,
+        }
+        _atomic_write_text(
+            path / _MANIFEST_NAME,
+            json.dumps(manifest, indent=2, default=_json_safe),
+        )
+        # Only after the manifest atomically points at the new arrays
+        # file and block revisions is it safe to prune the superseded
+        # ones.
+        for stale in path.glob("session_*.npz"):
+            if stale.name != arrays_name:
+                stale.unlink()
+        for stale in shards_dir.glob("shard_*.npz"):
+            if stale.stem not in referenced:
+                if in_place:
+                    store.delete(stale.stem)  # keeps the LRU cache in sync
+                else:
+                    stale.unlink()
+        # The manifest now pins exactly the current revisions; the
+        # engine must not gc them out from under it at future flushes.
+        self._sp.pinned_revs = np.asarray(graph.revs, dtype=np.int64).copy()
+        return path
+
+    @staticmethod
+    def _check_manifest(manifest, path) -> None:
         if not isinstance(manifest, dict) or manifest.get("format") != SNAPSHOT_FORMAT:
             raise SnapshotError(
                 f"{path} is not a session snapshot (manifest format "
@@ -462,6 +534,47 @@ class PartitionSession:
                 f"upgrade repro to load it"
             )
 
+    @classmethod
+    def load(cls, path, *, max_resident: int | None = None) -> "PartitionSession":
+        """Rebuild a session from a :meth:`save` snapshot.
+
+        ``path`` may be a v1 zip file or a v2 snapshot *directory* (the
+        sharded layout); for v2, ``max_resident`` caps how many shard
+        blocks the re-attached :class:`~repro.graph.sharded
+        .DirectoryShardStore` keeps decoded in memory (default: the
+        value recorded at save time).  A v2-loaded session keeps using
+        the snapshot directory as its live shard store, so subsequent
+        flushes write block revisions there and ``save()`` back to the
+        same path only rewrites metadata plus touched shards.
+
+        Raises :class:`~repro.errors.SnapshotError` for files that are not
+        session snapshots, corrupted archives/manifests, and format
+        versions newer than :data:`SNAPSHOT_VERSION`.  The graph arrays
+        are re-validated structurally, so bit-rot fails here rather than
+        corrupting a later repartition.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls._load_v2_dir(path, max_resident)
+        try:
+            with zipfile.ZipFile(path) as zf:
+                names = set(zf.namelist())
+                if _MANIFEST_NAME not in names or _ARRAYS_NAME not in names:
+                    raise SnapshotError(
+                        f"{path} is not a session snapshot (missing "
+                        f"{_MANIFEST_NAME} or {_ARRAYS_NAME})"
+                    )
+                manifest = json.loads(zf.read(_MANIFEST_NAME).decode("utf-8"))
+                npz_bytes = zf.read(_ARRAYS_NAME)
+        except SnapshotError:
+            raise
+        except (zipfile.BadZipFile, OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"cannot read session snapshot {path}: {exc}"
+            ) from exc
+
+        cls._check_manifest(manifest, path)
+
         try:
             npz = np.load(io.BytesIO(npz_bytes))
             arrays = {name: npz[name] for name in npz.files}
@@ -475,54 +588,7 @@ class PartitionSession:
                 }
 
             graph = CSRGraph.from_arrays(sub("graph."), validate=True)
-            part = np.asarray(arrays["part"], dtype=np.int64)
-            config_dict = dict(manifest["config"])
-            config_dict["gamma_schedule"] = tuple(config_dict["gamma_schedule"])
-            config = IGPConfig(**config_dict)
-            policy = FlushPolicy.from_arrays(sub("policy."))
-            eng = manifest["engine"]
-            engine = StreamingPartitioner(
-                graph,
-                part,
-                config,
-                policy=policy,
-                strict=bool(eng["strict"]),
-                accumulate_weights=bool(eng["accumulate_weights"]),
-                chunk_fraction=float(eng["chunk_fraction"]),
-                max_history=eng["max_history"],
-            )
-            has = manifest.get("has", {})
-            pending = (
-                GraphDelta.from_arrays(sub("pending.")) if has.get("pending") else None
-            )
-            balance_basis = (
-                Basis.from_arrays(sub("basis.balance."))
-                if has.get("balance_basis")
-                else None
-            )
-            refine_basis = (
-                Basis.from_arrays(sub("basis.refine."))
-                if has.get("refine_basis")
-                else None
-            )
-            engine.restore_state(
-                pending=pending,
-                num_pending=int(eng["num_pending"]),
-                warm_bases=(balance_basis, refine_basis),
-                num_batches=int(eng["num_batches"]),
-                total_wall_s=float(eng["total_wall_s"]),
-            )
-            rng = make_rng(0)
-            rng.bit_generator.state = manifest["rng_state"]
-            session = cls(
-                engine,
-                initial=str(manifest["session"]["initial"]),
-                rng=rng,
-                _history=[BatchSummary(**row) for row in manifest["history"]],
-                _num_pushed=int(manifest["session"]["num_pushed"]),
-            )
-            session.user_meta = dict(manifest.get("user_meta") or {})
-            return session
+            return cls._rebuild_session(manifest, arrays, graph)
         except (
             KeyError,
             TypeError,
@@ -534,6 +600,162 @@ class PartitionSession:
             raise SnapshotError(
                 f"session snapshot {path} is corrupted or incomplete: {exc}"
             ) from exc
+
+    @classmethod
+    def _load_v2_dir(
+        cls, path: Path, max_resident: int | None
+    ) -> "PartitionSession":
+        """Load a sharded (format v2) snapshot directory."""
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise SnapshotError(
+                f"{path} is not a session snapshot directory (missing "
+                f"{_MANIFEST_NAME})"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(
+                f"cannot read session snapshot {path}: {exc}"
+            ) from exc
+        cls._check_manifest(manifest, path)
+        arrays_path = path / str(
+            (manifest.get("sharded") or {}).get(
+                "arrays_file", _SESSION_ARRAYS_NAME
+            )
+        )
+        if not arrays_path.is_file():
+            raise SnapshotError(
+                f"session snapshot {path} is missing its arrays file "
+                f"{arrays_path.name}"
+            )
+        try:
+            with np.load(arrays_path) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+            if max_resident is None:
+                max_resident = (manifest.get("sharded") or {}).get("max_resident")
+            store = DirectoryShardStore(
+                path / _SHARDS_DIR, max_resident=max_resident
+            )
+            graph = ShardedCSRGraph.from_meta_arrays(
+                store,
+                {
+                    name[len("sharded."):]: value
+                    for name, value in arrays.items()
+                    if name.startswith("sharded.")
+                },
+            )
+            for sid in range(graph.num_shards):
+                if shard_key(sid, int(graph.revs[sid])) not in store:
+                    raise SnapshotError(
+                        f"session snapshot {path} is missing the block for "
+                        f"shard {sid} (revision {int(graph.revs[sid])})"
+                    )
+            return cls._rebuild_session(manifest, arrays, graph)
+        except SnapshotError:
+            raise
+        except (
+            KeyError,
+            TypeError,
+            ValueError,
+            GraphError,
+            PartitioningError,
+            zipfile.BadZipFile,
+        ) as exc:
+            raise SnapshotError(
+                f"session snapshot {path} is corrupted or incomplete: {exc}"
+            ) from exc
+
+    @classmethod
+    def _rebuild_session(
+        cls, manifest: dict, arrays: dict, graph
+    ) -> "PartitionSession":
+        """Common v1/v2 reconstruction from manifest + state arrays +
+        an already-rebuilt graph."""
+
+        def sub(prefix: str) -> dict[str, np.ndarray]:
+            plen = len(prefix)
+            return {
+                name[plen:]: value
+                for name, value in arrays.items()
+                if name.startswith(prefix)
+            }
+
+        part = np.asarray(arrays["part"], dtype=np.int64)
+        config_dict = dict(manifest["config"])
+        config_dict["gamma_schedule"] = tuple(config_dict["gamma_schedule"])
+        config = IGPConfig(**config_dict)
+        policy = FlushPolicy.from_arrays(sub("policy."))
+        eng = manifest["engine"]
+        engine = StreamingPartitioner(
+            graph,
+            part,
+            config,
+            policy=policy,
+            strict=bool(eng["strict"]),
+            accumulate_weights=bool(eng["accumulate_weights"]),
+            chunk_fraction=float(eng["chunk_fraction"]),
+            max_history=eng["max_history"],
+        )
+        has = manifest.get("has", {})
+        pending = (
+            GraphDelta.from_arrays(sub("pending.")) if has.get("pending") else None
+        )
+        balance_basis = (
+            Basis.from_arrays(sub("basis.balance."))
+            if has.get("balance_basis")
+            else None
+        )
+        refine_basis = (
+            Basis.from_arrays(sub("basis.refine."))
+            if has.get("refine_basis")
+            else None
+        )
+        engine.restore_state(
+            pending=pending,
+            num_pending=int(eng["num_pending"]),
+            warm_bases=(balance_basis, refine_basis),
+            num_batches=int(eng["num_batches"]),
+            total_wall_s=float(eng["total_wall_s"]),
+        )
+        if isinstance(graph, ShardedCSRGraph):
+            # The snapshot's manifest references exactly these block
+            # revisions; pin them so post-load flushes cannot gc them.
+            engine.pinned_revs = np.asarray(graph.revs, dtype=np.int64).copy()
+        rng = make_rng(0)
+        rng.bit_generator.state = manifest["rng_state"]
+        session = cls(
+            engine,
+            initial=str(manifest["session"]["initial"]),
+            rng=rng,
+            _history=[BatchSummary(**row) for row in manifest["history"]],
+            _num_pushed=int(manifest["session"]["num_pushed"]),
+        )
+        session.user_meta = dict(manifest.get("user_meta") or {})
+        return session
+
+
+def _atomic_savez(path: Path, arrays: dict[str, np.ndarray]) -> None:
+    """``np.savez`` via write-then-rename (crash leaves the old file)."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Text write via write-then-rename (crash leaves the old file)."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _json_safe(obj):
@@ -571,7 +793,10 @@ def open_session(
     Parameters
     ----------
     graph_or_mesh:
-        a :class:`~repro.graph.csr.CSRGraph`, or a
+        a :class:`~repro.graph.csr.CSRGraph`, a
+        :class:`~repro.graph.sharded.ShardedCSRGraph` (the session then
+        routes deltas shard-locally and writes format-v2 directory
+        snapshots), or a
         :class:`~repro.mesh.triangulation.TriangularMesh` (converted via
         :func:`~repro.mesh.dual.node_graph`).
     k:
@@ -633,7 +858,12 @@ def open_session(
                 f"unknown initial partitioner {initial!r}; available: "
                 f"{available_initial_partitioners()}"
             ) from None
-        part = partitioner(graph, k, rng)
+        # Registry partitioners expect a monolithic graph; sharded
+        # inputs are assembled transiently for the one initial solve.
+        initial_graph = (
+            graph.to_csr() if isinstance(graph, ShardedCSRGraph) else graph
+        )
+        part = partitioner(initial_graph, k, rng)
 
     engine = StreamingPartitioner(
         graph,
@@ -648,15 +878,15 @@ def open_session(
     return PartitionSession(engine, initial=initial, rng=rng)
 
 
-def _coerce_graph(graph_or_mesh) -> CSRGraph:
-    """Accept a CSRGraph directly or convert a triangular mesh."""
-    if isinstance(graph_or_mesh, CSRGraph):
+def _coerce_graph(graph_or_mesh):
+    """Accept a (sharded) CSR graph directly or convert a triangular mesh."""
+    if isinstance(graph_or_mesh, (CSRGraph, ShardedCSRGraph)):
         return graph_or_mesh
     if hasattr(graph_or_mesh, "points") and hasattr(graph_or_mesh, "triangles"):
         from repro.mesh.dual import node_graph
 
         return node_graph(graph_or_mesh)
     raise PartitioningError(
-        f"open_session expects a CSRGraph or a TriangularMesh, got "
-        f"{type(graph_or_mesh).__name__}"
+        f"open_session expects a CSRGraph, a ShardedCSRGraph or a "
+        f"TriangularMesh, got {type(graph_or_mesh).__name__}"
     )

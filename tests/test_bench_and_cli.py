@@ -15,7 +15,6 @@ from repro.bench.harness import estimate_rsb_cm5_time
 from repro.bench.workloads import geometric_hotspot_delta, small_dataset_a, small_dataset_b
 from repro.cli import build_parser, main
 from repro.graph.incremental import apply_delta, carry_partition
-from repro.mesh.sequences import dataset_a
 from repro.spectral import rsb_partition
 
 

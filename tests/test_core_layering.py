@@ -1,7 +1,6 @@
 """Tests for Step 2: the Figure 3 layering algorithm."""
 
 import numpy as np
-import pytest
 
 from repro.core import layer_partitions
 from repro.graph import CSRGraph, grid_graph, path_graph

@@ -1,7 +1,6 @@
 """Tests for chunked insertion and the sequence runner."""
 
 import numpy as np
-import pytest
 
 from repro.core import IGPConfig
 from repro.core.history import SequenceRunner

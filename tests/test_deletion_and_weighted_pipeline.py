@@ -10,7 +10,7 @@ mixed add+delete deltas, and edge-weighted refinement decisions.
 import numpy as np
 import pytest
 
-from repro.core import IGPConfig, IncrementalGraphPartitioner, refine_partition
+from repro.core import IncrementalGraphPartitioner, refine_partition
 from repro.core.quality import edge_cut, partition_sizes, partition_weights
 from repro.graph import CSRGraph, random_geometric_graph
 from repro.graph.incremental import GraphDelta, apply_delta, carry_partition

@@ -14,7 +14,7 @@ import numpy as np
 import networkx as nx
 from hypothesis import given, settings, strategies as st
 
-from repro.graph import CSRGraph, GraphDelta, apply_delta, from_edge_list
+from repro.graph import GraphDelta, apply_delta, from_edge_list
 from repro.graph.operations import connected_components, induced_subgraph
 
 

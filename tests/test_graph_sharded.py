@@ -1,0 +1,366 @@
+"""Sharded CSR graphs: split/round-trip properties, monolith equivalence,
+shard stores, and the shard-streaming metric paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.workloads import social_churn_stream
+from repro.core.quality import cut_metrics, edge_cut, evaluate_partition
+from repro.errors import GraphError, GraphValidationError
+from repro.graph import (
+    CSRGraph,
+    DirectoryShardStore,
+    GraphDelta,
+    InMemoryShardStore,
+    ShardBlock,
+    ShardedCSRGraph,
+    apply_delta,
+    boundary_vertices,
+    carry_partition,
+    grid_graph,
+)
+from repro.mesh.sequences import dataset_a
+
+
+@pytest.fixture
+def grid() -> CSRGraph:
+    return grid_graph(8, 8)
+
+
+def assert_graphs_equal(dense: CSRGraph, mono: CSRGraph):
+    assert dense.same_structure(mono)
+    assert (dense.coords is None) == (mono.coords is None)
+    if mono.coords is not None:
+        assert np.array_equal(dense.coords, mono.coords, equal_nan=True)
+
+
+# ----------------------------------------------------------------------
+# Split / reassemble round-trips
+# ----------------------------------------------------------------------
+class TestSplitRoundTrip:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8, 64, 100])
+    def test_to_csr_reassembles_exactly(self, grid, num_shards):
+        sharded = ShardedCSRGraph.from_csr(grid, num_shards)
+        sharded.validate()
+        assert_graphs_equal(sharded.to_csr(validate=True), grid)
+        assert sharded.num_vertices == grid.num_vertices
+        assert sharded.num_edges == grid.num_edges
+        assert sharded.num_arcs == grid.num_arcs
+        assert sharded.total_vertex_weight == grid.total_vertex_weight
+
+    def test_per_shard_block_arrays_roundtrip(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        for _, block in sharded.iter_shards():
+            clone = ShardBlock.from_arrays(block.to_arrays())
+            assert np.array_equal(clone.births, block.births)
+            assert np.array_equal(clone.xadj, block.xadj)
+            assert np.array_equal(clone.adj, block.adj)
+            assert np.array_equal(clone.eweights, block.eweights)
+            assert np.array_equal(clone.vweights, block.vweights)
+            clone.validate()
+
+    def test_block_arrays_reject_missing_keys(self):
+        with pytest.raises(GraphError, match="missing required keys"):
+            ShardBlock.from_arrays({"births": np.zeros(0, np.int64)})
+
+    def test_custom_assignment_and_halo_mirroring(self, grid):
+        assignment = (np.arange(64) % 3).astype(np.int64)
+        sharded = ShardedCSRGraph.from_csr(grid, 3, assignment=assignment)
+        sharded.validate()
+        assert_graphs_equal(sharded.to_csr(validate=True), grid)
+        # A cut edge must be visible from both endpoint shards (halo).
+        b0 = sharded.shard_block(0)
+        assert len(b0.halo_births()) > 0
+        for u, v in [(0, 1), (0, 8)]:
+            su, sv = sharded.shard_of(u), sharded.shard_of(v)
+            assert su != sv  # mod-3 striping cuts both grid edges of 0
+            assert sharded.has_edge(u, v) and sharded.has_edge(v, u)
+
+    def test_bad_assignment_rejected(self, grid):
+        with pytest.raises(GraphError):
+            ShardedCSRGraph.from_csr(grid, 2, assignment=np.zeros(3, np.int64))
+        with pytest.raises(GraphError):
+            ShardedCSRGraph.from_csr(
+                grid, 2, assignment=np.full(64, 5, np.int64)
+            )
+        with pytest.raises(GraphError):
+            ShardedCSRGraph.from_csr(grid, 0)
+
+    def test_read_api_matches_monolith(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 5)
+        for v in range(grid.num_vertices):
+            assert np.array_equal(sharded.neighbors(v), grid.neighbors(v))
+            assert np.array_equal(
+                sharded.incident_weights(v), grid.incident_weights(v)
+            )
+            assert sharded.degree(v) == grid.degree(v)
+            assert sharded.vertex_weight(v) == grid.vweights[v]
+        assert np.array_equal(sharded.degrees(), grid.degrees())
+        assert np.array_equal(sharded.vweights, grid.vweights)
+        assert len(sharded) == len(grid)
+        assert not sharded.has_edge(0, 2)
+        with pytest.raises(KeyError):
+            sharded.edge_weight(0, 2)
+        assert sharded.edge_weight(0, 1) == grid.edge_weight(0, 1)
+
+    def test_shard_subgraph_contains_owned_rows(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        subgraph, cur = sharded.shard_subgraph(1)
+        block = sharded.shard_block(1)
+        assert subgraph.num_vertices == block.num_vertices + len(
+            block.halo_births()
+        )
+        # every owned vertex keeps its full degree in the subgraph
+        for i in range(block.num_vertices):
+            assert subgraph.degree(i) == int(
+                block.xadj[i + 1] - block.xadj[i]
+            )
+        assert np.array_equal(
+            np.sort(cur[: block.num_vertices]),
+            sharded.current_ids(block.births),
+        )
+
+
+# ----------------------------------------------------------------------
+# Monolith equivalence along delta chains
+# ----------------------------------------------------------------------
+def run_chain_equivalence(mono, deltas, num_shards, part=None, **kwargs):
+    sharded = ShardedCSRGraph.from_csr(mono, num_shards)
+    carried_m = carried_s = (
+        None if part is None else np.asarray(part, dtype=np.int64)
+    )
+    for i, delta in enumerate(deltas):
+        inc_m = apply_delta(mono, delta, **kwargs)
+        inc_s = sharded.apply_delta(delta, **kwargs)
+        assert np.array_equal(inc_m.old_to_new, inc_s.old_to_new), i
+        assert np.array_equal(inc_m.new_vertex_ids, inc_s.new_vertex_ids), i
+        assert np.array_equal(inc_m.is_new, inc_s.is_new), i
+        assert_graphs_equal(inc_s.graph.to_csr(validate=True), inc_m.graph)
+        if carried_m is not None:
+            carried_m = carry_partition(carried_m, inc_m)
+            carried_s = carry_partition(carried_s, inc_s)
+            assert np.array_equal(carried_m, carried_s), i
+        sharded.drop_blocks_not_in(inc_s.graph)
+        mono, sharded = inc_m.graph, inc_s.graph
+        sharded.validate()
+    return mono, sharded
+
+
+class TestDeltaEquivalence:
+    def test_dataset_a_chain(self):
+        seq = dataset_a(scale=0.25)
+        part = np.arange(seq.graphs[0].num_vertices) % 4
+        run_chain_equivalence(seq.graphs[0], list(seq.deltas), 6, part=part)
+
+    def test_social_churn_chain(self):
+        base, deltas = social_churn_stream(n=120, steps=6, seed=11)
+        part = np.arange(base.num_vertices) % 3
+        run_chain_equivalence(base, deltas, 5, part=part)
+
+    def test_single_shard_degenerate(self):
+        base, deltas = social_churn_stream(n=60, steps=3, seed=2)
+        run_chain_equivalence(base, deltas, 1)
+
+    def test_more_shards_than_touched(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 8)
+        delta = GraphDelta(num_added_vertices=1, added_edges=[(0, 64)])
+        inc = sharded.apply_delta(delta)
+        assert inc.touched_shards == frozenset({0})
+        assert inc.new_vertex_shards.tolist() == [0]
+        # untouched shards kept their revision (and their stored bytes)
+        assert int(inc.graph.revs[0]) == 1
+        assert np.all(np.asarray(inc.graph.revs[1:]) == 0)
+
+    def test_touched_shards_preview_matches_apply(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 8)
+        delta = GraphDelta(
+            num_added_vertices=2,
+            added_edges=[(0, 64), (63, 65)],
+            deleted_vertices=[27],
+        )
+        preview = sharded.touched_shards(delta)
+        inc = sharded.apply_delta(delta)
+        assert frozenset(preview) == inc.touched_shards
+
+    def test_strict_missing_deletion_raises_like_monolith(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        delta = GraphDelta(deleted_edges=[(0, 9)])  # not a grid edge
+        with pytest.raises(GraphError, match="do not exist"):
+            apply_delta(grid, delta)
+        with pytest.raises(GraphError, match="do not exist"):
+            sharded.apply_delta(delta)
+        inc_m = apply_delta(grid, delta, strict=False)
+        inc_s = sharded.apply_delta(delta, strict=False)
+        assert_graphs_equal(inc_s.graph.to_csr(validate=True), inc_m.graph)
+
+    def test_duplicate_added_edge_raises_like_monolith(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        delta = GraphDelta(added_edges=[(0, 1)])
+        with pytest.raises(GraphError, match="duplicate"):
+            apply_delta(grid, delta)
+        with pytest.raises(GraphError, match="duplicate"):
+            sharded.apply_delta(delta)
+        inc_m = apply_delta(grid, delta, accumulate_weights=True)
+        inc_s = sharded.apply_delta(delta, accumulate_weights=True)
+        assert inc_s.graph.edge_weight(0, 1) == 2.0
+        assert_graphs_equal(inc_s.graph.to_csr(validate=True), inc_m.graph)
+
+    def test_added_edge_to_deleted_vertex_raises(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        delta = GraphDelta(added_edges=[(0, 27)], deleted_vertices=[27])
+        with pytest.raises(GraphError, match="deleted vertex"):
+            sharded.apply_delta(delta)
+
+    def test_self_loop_rejected(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        with pytest.raises(GraphError, match="[Ss]elf-loop"):
+            sharded.apply_delta(GraphDelta(added_edges=[(3, 3)]))
+
+
+@st.composite
+def random_delta_chain(draw):
+    """A small random graph plus a chain of random valid deltas."""
+    n = draw(st.integers(6, 14))
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=12,
+        )
+    )
+    edges = {(i, i + 1) for i in range(n - 1)}  # path keeps it connected
+    edges |= {(min(u, v), max(u, v)) for u, v in extra if u != v}
+    graph = CSRGraph.from_edges(n, sorted(edges))
+    num_steps = draw(st.integers(1, 3))
+    deltas = []
+    cur = graph
+    for _ in range(num_steps):
+        m = cur.num_vertices
+        n_add = draw(st.integers(0, 3))
+        add_edges = [(draw(st.integers(0, m - 1)), m + j) for j in range(n_add)]
+        # maybe delete one high-id vertex that is not an endpoint above
+        dels = []
+        victim = draw(st.integers(0, m - 1))
+        if victim not in {e[0] for e in add_edges} and draw(st.booleans()):
+            dels = [victim]
+        delta = GraphDelta(
+            num_added_vertices=n_add,
+            added_edges=np.array(add_edges, dtype=np.int64).reshape(-1, 2),
+            deleted_vertices=np.array(dels, dtype=np.int64),
+        )
+        cur = apply_delta(cur, delta).graph
+        deltas.append(delta)
+    return graph, deltas
+
+
+class TestPropertyEquivalence:
+    @given(random_delta_chain(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_random_chain_matches_monolith(self, chain, num_shards):
+        graph, deltas = chain
+        run_chain_equivalence(graph, deltas, num_shards)
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+class TestStores:
+    def test_in_memory_store_miss_raises(self):
+        store = InMemoryShardStore()
+        with pytest.raises(GraphError, match="no block"):
+            store.get("shard_00000_r0")
+
+    def test_directory_store_roundtrip_and_lru(self, grid, tmp_path):
+        store = DirectoryShardStore(tmp_path, max_resident=2)
+        sharded = ShardedCSRGraph.from_csr(grid, 6, store=store)
+        assert store.resident_count <= 2
+        assert_graphs_equal(sharded.to_csr(validate=True), grid)
+        assert store.resident_count <= 2
+        loads_before = store.load_count
+        sharded.to_csr()  # second sweep must hit disk again (LRU evicted)
+        assert store.load_count > loads_before
+
+    def test_directory_store_persistence_and_meta(self, grid, tmp_path):
+        store = DirectoryShardStore(tmp_path)
+        sharded = ShardedCSRGraph.from_csr(grid, 4, store=store)
+        sharded.save_meta()
+        reopened = ShardedCSRGraph.open_dir(tmp_path, max_resident=2)
+        assert_graphs_equal(reopened.to_csr(validate=True), grid)
+        reopened.validate()
+
+    def test_open_dir_rejects_non_shard_dir(self, tmp_path):
+        with pytest.raises(GraphError, match="not a sharded graph"):
+            ShardedCSRGraph.open_dir(tmp_path / "empty")
+
+    def test_directory_store_delete_and_contains(self, tmp_path):
+        store = DirectoryShardStore(tmp_path)
+        store.put("shard_00000_r0", {"x": np.arange(3)})
+        assert "shard_00000_r0" in store
+        store.delete("shard_00000_r0")
+        assert "shard_00000_r0" not in store
+        with pytest.raises(GraphError, match="no block"):
+            store.get("shard_00000_r0")
+
+    def test_max_resident_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            DirectoryShardStore(tmp_path, max_resident=0)
+
+    def test_revision_gc(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        inc = sharded.apply_delta(
+            GraphDelta(num_added_vertices=1, added_edges=[(0, 64)])
+        )
+        keys_before = set(sharded.store.keys())
+        dropped = sharded.drop_blocks_not_in(inc.graph)
+        assert dropped == len(inc.touched_shards)
+        assert set(sharded.store.keys()) < keys_before
+        # the new handle still reads fine
+        inc.graph.validate()
+
+    def test_gc_requires_shared_store(self, grid):
+        a = ShardedCSRGraph.from_csr(grid, 2)
+        b = ShardedCSRGraph.from_csr(grid, 2)
+        with pytest.raises(GraphError, match="share"):
+            a.drop_blocks_not_in(b)
+
+
+# ----------------------------------------------------------------------
+# Shard-streaming metric paths (quality.py / operations.py)
+# ----------------------------------------------------------------------
+class TestShardedMetrics:
+    def test_quality_matches_monolith(self):
+        base, deltas = social_churn_stream(n=100, steps=4, seed=3)
+        sharded = ShardedCSRGraph.from_csr(base, 5)
+        part = (np.arange(base.num_vertices) % 4).astype(np.int64)
+        q_mono = evaluate_partition(base, part, 4)
+        q_shard = evaluate_partition(sharded, part, 4)
+        assert q_mono.cut_total == q_shard.cut_total
+        assert q_mono.cut_max == q_shard.cut_max
+        assert np.array_equal(q_mono.weights, q_shard.weights)
+        assert q_mono.imbalance == q_shard.imbalance
+        assert edge_cut(base, part) == edge_cut(sharded, part)
+        total_m, per_m = cut_metrics(base, part, 4)
+        total_s, per_s = cut_metrics(sharded, part, 4)
+        assert total_m == total_s and np.array_equal(per_m, per_s)
+
+    def test_boundary_vertices_matches_monolith(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 4)
+        part = (np.arange(64) // 16).astype(np.int64)
+        assert np.array_equal(
+            boundary_vertices(grid, part), boundary_vertices(sharded, part)
+        )
+        uniform = np.zeros(64, dtype=np.int64)
+        assert len(boundary_vertices(sharded, uniform)) == 0
+
+    def test_block_validate_catches_corruption(self, grid):
+        sharded = ShardedCSRGraph.from_csr(grid, 2)
+        block = sharded.shard_block(0)
+        bad = ShardBlock(
+            births=block.births,
+            xadj=block.xadj,
+            adj=block.adj[::-1].copy(),  # unsorted rows
+            eweights=block.eweights,
+            vweights=block.vweights,
+        )
+        with pytest.raises(GraphValidationError):
+            bad.validate()

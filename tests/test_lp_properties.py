@@ -8,7 +8,7 @@ solutions — total unimodularity in action.
 """
 
 import numpy as np
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.lp import DenseSimplexSolver, LinearProgram, LPStatus, solve_lp_scipy
 from repro.lp.netflow import solve_transportation

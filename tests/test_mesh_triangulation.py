@@ -73,7 +73,6 @@ class TestGeometricQueries:
 
 class TestValidation:
     def test_rejects_bad_node_index(self):
-        pts = np.zeros((3, 2))
         with pytest.raises(MeshError):
             TriangularMesh(np.array([[0.0, 0], [1, 0], [0, 1]]), np.array([[0, 1, 5]]))
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import CommunicatorError, ParallelError
+from repro.errors import ParallelError
 from repro.parallel import CM5, VirtualMachine, ZERO_COST
 
 
@@ -91,7 +91,7 @@ class TestSimulatedClocks:
     def test_deterministic_across_runs(self):
         def prog(comm):
             comm.compute(1000 * (comm.rank + 1))
-            v = comm.allreduce(np.ones(100))
+            comm.allreduce(np.ones(100))
             comm.barrier()
             return comm.time()
 

@@ -8,7 +8,6 @@ never undo balance or worsen the cut.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import IGPConfig, IncrementalGraphPartitioner

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import evaluate_partition
 from repro.core.multilevel import coarsen_heavy_edge, multilevel_bisection_partition
 from repro.core.quality import edge_cut, partition_sizes
 from repro.errors import GraphError
