@@ -6,9 +6,13 @@ than repartitioning after every delta, at comparable quality.  This
 benchmark measures both regimes on
 
 * the dataset-A refinement chain (the paper's incremental workload),
-* a social-graph churn stream (deletion-heavy, non-mesh), and
+* a social-graph churn stream (deletion-heavy, non-mesh),
 * a bursty churn stream (hub deletions + flash-crowd insert storms —
-  the spiky regime that stresses the flush policy hardest),
+  the spiky regime that stresses the flush policy hardest), and
+* an adversarial imbalance stream (heavy newcomers piled onto one
+  partition while the others drain — the workload that exercises the
+  flush policy's *imbalance* trigger rather than its churn-weight
+  trigger),
 
 and fails (exit 1) if batching does not beat per-delta total
 repartitioning wall-time on the dataset-A chain.
@@ -25,7 +29,11 @@ import argparse
 import sys
 
 from repro.bench.recorder import write_bench_json
-from repro.bench.workloads import bursty_churn_stream, social_churn_stream
+from repro.bench.workloads import (
+    adversarial_imbalance_stream,
+    bursty_churn_stream,
+    social_churn_stream,
+)
 from repro.core.streaming import FlushPolicy, StreamingPartitioner
 from repro.mesh.sequences import dataset_a
 from repro.spectral.rsb import rsb_partition
@@ -34,8 +42,16 @@ PER_DELTA = FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=
 BATCH_ALL = FlushPolicy(weight_fraction=None, imbalance_limit=None, max_pending=None)
 
 
-def run_session(base, part, deltas, p, policy, lp_backend):
-    """One streaming session; returns summary metrics."""
+def run_session(base, part, deltas, p, policy, lp_backend,
+                tolerate_infeasible=False):
+    """One streaming session; returns summary metrics.
+
+    With ``tolerate_infeasible`` the run survives a stream that defeats
+    even the chunked fallback (the adversarial workload can do that by
+    design) and reports how many deltas it absorbed before giving up.
+    """
+    from repro.errors import RepartitionInfeasibleError
+
     sp = StreamingPartitioner(
         base,
         part.copy(),
@@ -43,9 +59,15 @@ def run_session(base, part, deltas, p, policy, lp_backend):
         policy=policy,
         lp_backend=lp_backend,
     )
-    sp.extend(deltas)
-    sp.flush()
-    final = sp.history[-1].result.quality_final
+    infeasible_after = None
+    try:
+        sp.extend(deltas)
+        sp.flush()
+    except RepartitionInfeasibleError:
+        if not tolerate_infeasible:
+            raise
+        infeasible_after = len(sp.history)
+    final = sp.history[-1].result.quality_final if sp.history else None
     return {
         "batches": len(sp.history),
         "wall_s": sp.total_wall_s(),
@@ -53,16 +75,22 @@ def run_session(base, part, deltas, p, policy, lp_backend):
         "lp_iters": sum(
             s.lp_iterations for r in sp.history for s in r.result.stages
         ),
-        "cut": final.cut_total,
-        "imbal": final.imbalance,
+        "cut": final.cut_total if final else float("nan"),
+        "imbal": final.imbalance if final else float("nan"),
         "fallbacks": sum(1 for r in sp.history if r.fallback),
+        "imbalance_triggers": sum(
+            1 for r in sp.history if r.trigger == "imbalance"
+        ),
+        "infeasible_after": infeasible_after,
     }
 
 
-def compare(name, base, deltas, p, lp_backend):
+def compare(name, base, deltas, p, lp_backend, tolerate_infeasible=False):
     part = rsb_partition(base, p, seed=0)
-    per = run_session(base, part, deltas, p, PER_DELTA, lp_backend)
-    bat = run_session(base, part, deltas, p, BATCH_ALL, lp_backend)
+    per = run_session(base, part, deltas, p, PER_DELTA, lp_backend,
+                      tolerate_infeasible)
+    bat = run_session(base, part, deltas, p, BATCH_ALL, lp_backend,
+                      tolerate_infeasible)
     print(f"\n== {name}: |V|={base.num_vertices}, {len(deltas)} deltas, P={p} ==")
     hdr = f"{'regime':>10}{'batches':>9}{'wall_s':>10}{'stages':>8}{'lp_iters':>10}{'cut':>8}{'imbal':>8}"
     print(hdr)
@@ -70,6 +98,8 @@ def compare(name, base, deltas, p, lp_backend):
         print(
             f"{label:>10}{m['batches']:>9}{m['wall_s']:>10.4f}{m['stages']:>8}"
             f"{m['lp_iters']:>10}{m['cut']:>8.0f}{m['imbal']:>8.3f}"
+            + (f"  (infeasible after {m['infeasible_after']} batches)"
+               if m["infeasible_after"] is not None else "")
         )
     speedup = per["wall_s"] / max(bat["wall_s"], 1e-12)
     print(f"batched speedup over per-delta: {speedup:.2f}x")
@@ -108,6 +138,17 @@ def main(argv=None) -> int:
     base, deltas = bursty_churn_stream(n=churn_n, steps=churn_steps, seed=5)
     per_b, bat_b = compare("bursty churn", base, deltas, p, args.lp_backend)
 
+    # The adversarial stream is *allowed* to defeat the partitioner —
+    # that is what makes it adversarial; the comparison reports how far
+    # each regime got instead of failing the benchmark.
+    base, deltas = adversarial_imbalance_stream(
+        n=churn_n, steps=churn_steps, seed=9
+    )
+    per_v, bat_v = compare(
+        "adversarial imbalance", base, deltas, p, args.lp_backend,
+        tolerate_infeasible=True,
+    )
+
     pivot_speedup = per_a["lp_iters"] / max(bat_a["lp_iters"], 1)
 
     # Gate on the deterministic work counters (batches and simplex
@@ -138,6 +179,7 @@ def main(argv=None) -> int:
                 "dataset_a": {"per_delta": per_a, "batched": bat_a},
                 "social_churn": {"per_delta": per_c, "batched": bat_c},
                 "bursty_churn": {"per_delta": per_b, "batched": bat_b},
+                "adversarial_imbalance": {"per_delta": per_v, "batched": bat_v},
                 "pivot_speedup": pivot_speedup,
                 "wall_speedup": per_a["wall_s"] / max(bat_a["wall_s"], 1e-12),
                 "failures": failures,

@@ -38,6 +38,7 @@ Package map (see DESIGN.md for the full inventory):
 
 =================  ====================================================
 ``repro.session``  the public session facade: open/push/flush/save/load
+``repro.service``  the network service: TCP server, WAL, session manager
 ``repro.graph``    CSR graphs, builders, generators, incremental deltas
 ``repro.mesh``     DIME-style triangulations, refinement, datasets A/B
 ``repro.lp``       dense two-phase simplex, netflow, parallel simplex
@@ -59,6 +60,7 @@ from repro.errors import (
     PartitioningError,
     RepartitionInfeasibleError,
     ReproError,
+    ServiceError,
     SnapshotError,
 )
 from repro.graph import (
@@ -102,6 +104,7 @@ __all__ = [
     "PartitioningError",
     "RepartitionInfeasibleError",
     "ReproError",
+    "ServiceError",
     "ShardedCSRGraph",
     "SnapshotError",
     "__version__",

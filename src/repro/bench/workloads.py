@@ -24,7 +24,46 @@ __all__ = [
     "geometric_hotspot_delta",
     "social_churn_stream",
     "bursty_churn_stream",
+    "adversarial_imbalance_stream",
+    "STREAM_SOURCES",
+    "make_stream",
 ]
+
+#: Named delta-stream sources accepted by :func:`make_stream` (and by the
+#: ``--source`` flag of the ``stream`` / ``session`` / ``serve``-side CLI
+#: flows and the service's workload-backed ``create``).
+STREAM_SOURCES = ("dataset-a", "churn", "bursty", "adversarial")
+
+
+def make_stream(
+    source: str, scale: float = 1.0, steps: int = 10, seed: int = 0
+):
+    """Deterministically (re)generate a named delta stream.
+
+    One spelling shared by the CLI flows, the service layer (a session
+    ``create`` with a workload spec must rebuild the *same* base graph on
+    crash recovery) and the benchmarks.  Returns ``(base_graph, deltas)``.
+    """
+    if source == "dataset-a":
+        from repro.mesh.sequences import dataset_a
+
+        seq = dataset_a(scale=scale)
+        return seq.graphs[0], list(seq.deltas)
+    if source == "churn":
+        return social_churn_stream(
+            n=max(int(round(400 * scale)), 32), steps=steps, seed=seed
+        )
+    if source == "bursty":
+        return bursty_churn_stream(
+            n=max(int(round(400 * scale)), 48), steps=steps, seed=seed
+        )
+    if source == "adversarial":
+        return adversarial_imbalance_stream(
+            n=max(int(round(400 * scale)), 48), steps=steps, seed=seed
+        )
+    raise ValueError(
+        f"unknown stream source {source!r}; available: {', '.join(STREAM_SOURCES)}"
+    )
 
 
 def paper_dataset_a() -> MeshSequence:
@@ -272,6 +311,127 @@ def social_churn_stream(
             attach=attach,
             edge_add=edge_add,
             edge_del=edge_del,
+        )
+        deltas.append(d)
+        cur = apply_delta(cur, d).graph
+    return base, deltas
+
+
+def _bfs_depths(adj: dict[int, set[int]], start: int, live: set[int]) -> dict[int, int]:
+    """BFS depth of every ``live`` vertex from ``start``."""
+    depth = {start: 0}
+    frontier = [start]
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for u in frontier:
+            for v in adj[u]:
+                if v in live and v not in depth:
+                    depth[v] = d
+                    nxt.append(v)
+        frontier = nxt
+    return depth
+
+
+def _adversarial_delta(
+    cur: CSRGraph, rng, *, grow: int, kill: int, heavy_weight: float
+) -> GraphDelta:
+    """One adversarial step against ``cur``: heavy newcomers storm the
+    hottest vertex while far-away vertices drain out.
+
+    The anchor is recomputed as the current maximum-degree vertex
+    (lowest id on ties — deterministic, and stable across the id
+    renumbering deletions cause), so every step piles weight onto the
+    same locality no matter how the partitioner responded to the last
+    one.
+    """
+    n_cur = cur.num_vertices
+    adj = {u: set(int(v) for v in cur.neighbors(u)) for u in range(n_cur)}
+    live = set(range(n_cur))
+    anchor = min(range(n_cur), key=lambda u: (-len(adj[u]), u))
+
+    # Drain weight from everywhere else: delete far-from-anchor,
+    # low-degree vertices (connectivity preserved, anchor untouchable).
+    depths = _bfs_depths(adj, anchor, live)
+    dead: list[int] = []
+    order = sorted(
+        (u for u in range(n_cur) if u != anchor),
+        key=lambda u: (-depths.get(u, 0), len(adj[u]), rng.random()),
+    )
+    for u in order:
+        if len(dead) >= kill:
+            break
+        trial = live - {u}
+        if len(trial) >= 2 and _is_connected_over(adj, trial):
+            dead.append(u)
+            live = trial
+
+    # Pile heavy newcomers onto the anchor: everyone wires to it, plus a
+    # chain between consecutive newcomers so the mass is one tight blob.
+    added_edges: list[tuple[int, int]] = []
+    for t in range(grow):
+        new_id = n_cur + t
+        added_edges.append((anchor, new_id))
+        if t > 0:
+            added_edges.append((n_cur + t - 1, new_id))
+
+    return GraphDelta(
+        num_added_vertices=grow,
+        added_edges=np.asarray(added_edges, dtype=np.int64).reshape(-1, 2),
+        added_vweights=np.full(grow, float(heavy_weight)),
+        deleted_vertices=np.asarray(dead, dtype=np.int64),
+    )
+
+
+def adversarial_imbalance_stream(
+    n: int = 400,
+    steps: int = 10,
+    seed: int = 9,
+    *,
+    attach: int = 3,
+    grow: int = 4,
+    kill: int = 2,
+    heavy_weight: float = 2.0,
+) -> tuple[CSRGraph, list[GraphDelta]]:
+    """Adversarial imbalance workload: every delta is engineered to pile
+    vertex weight onto *one* partition (the ROADMAP's "adversarial
+    imbalance streams" regime).
+
+    Each step adds ``grow`` newcomers of weight ``heavy_weight`` wired to
+    the current maximum-degree vertex (so all new mass lands in one
+    locality — and, after the partitioner carries the partition, in one
+    partition) while deleting ``kill`` light vertices *far* from that
+    anchor (draining the other partitions).  Unlike the churn streams,
+    whose mixed add/delete traffic mostly cancels, this stream
+    monotonically skews the weight distribution — it is the workload
+    that exercises a :class:`~repro.core.streaming.FlushPolicy`'s
+    *imbalance* trigger (``imbalance_limit``) rather than its churn-
+    weight trigger, and the one a service operator should benchmark
+    before trusting an imbalance threshold.
+
+    Deltas are chained (``deltas[i]`` is relative to the graph after
+    ``deltas[:i]``), never disconnect the graph, and are deterministic
+    for a given ``seed``.  Returns ``(base_graph, deltas)``.
+
+    Fair warning, by design: crank ``heavy_weight``/``grow`` (or shrink
+    the graph) far enough and the skew exceeds what any γ-relaxed
+    balance flow can repair with indivisible vertices — the stream then
+    legitimately drives sessions into
+    :class:`~repro.errors.RepartitionInfeasibleError` even after the
+    §2.3 chunked fallback.  The defaults stay inside the repairable
+    regime at the benchmark scales; drivers consuming hotter settings
+    must be prepared to catch infeasibility (see
+    ``benchmarks/bench_streaming.py``).
+    """
+    rng = make_rng(seed)
+    base = _preferential_attachment_base(n, attach, rng)
+
+    deltas: list[GraphDelta] = []
+    cur = base
+    for _ in range(steps):
+        d = _adversarial_delta(
+            cur, rng, grow=grow, kill=kill, heavy_weight=heavy_weight
         )
         deltas.append(d)
         cur = apply_delta(cur, d).graph

@@ -25,6 +25,11 @@ Subcommands:
   carried warm bases).
 * ``repro-igp session resume SNAP`` — reload a snapshot, replay the rest
   of its recorded stream, repartition, and report.
+* ``repro-igp serve --root DIR [--port P] [--resident N]`` — run the
+  partition service: many named sessions over TCP, WAL durability,
+  LRU eviction, background checkpoints.
+* ``repro-igp client [--port P] create|feed|flush|repartition|quality|
+  query|save|close|stats|shutdown ...`` — drive a running service.
 """
 
 from __future__ import annotations
@@ -114,22 +119,9 @@ def _cmd_partition(args) -> int:
 
 def _make_stream(source: str, scale: float, steps: int, seed: int):
     """Deterministically (re)generate a delta stream for the CLI flows."""
-    if source == "dataset-a":
-        from repro.mesh.sequences import dataset_a
+    from repro.bench.workloads import make_stream
 
-        seq = dataset_a(scale=scale)
-        return seq.graphs[0], list(seq.deltas)
-    if source == "churn":
-        from repro.bench.workloads import social_churn_stream
-
-        return social_churn_stream(
-            n=max(int(round(400 * scale)), 32), steps=steps, seed=seed
-        )
-    from repro.bench.workloads import bursty_churn_stream
-
-    return bursty_churn_stream(
-        n=max(int(round(400 * scale)), 48), steps=steps, seed=seed
-    )
+    return make_stream(source, scale, steps, seed)
 
 
 def _stream_policy(args):
@@ -286,6 +278,184 @@ def _cmd_session_resume(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.manager import SessionManager
+    from repro.service.server import PartitionServer
+
+    manager = SessionManager(
+        args.root,
+        max_resident=args.resident,
+        checkpoint_interval=args.checkpoint_interval,
+        fsync=not args.no_fsync,
+    )
+    server = PartitionServer(manager, host=args.host, port=args.port)
+
+    def banner(srv):
+        # Printed only after bind, so --port 0 reports the real port.
+        print(
+            f"serving partition sessions from {args.root} on "
+            f"{srv.host}:{srv.port} (resident budget: "
+            f"{args.resident if args.resident is not None else 'unbounded'}, "
+            f"checkpoint every "
+            f"{args.checkpoint_interval if args.checkpoint_interval is not None else '—'}s); "
+            f"stop with SIGTERM/Ctrl-C or `repro-igp client shutdown`",
+            flush=True,
+        )
+
+    server.run(on_ready=banner)
+    print("partition service stopped; all sessions checkpointed")
+    return 0
+
+
+def _client(args):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _client_policy(args):
+    if args.per_delta:
+        return {"weight_fraction": None, "imbalance_limit": None, "max_pending": 1}
+    policy = {
+        "weight_fraction": args.flush_weight,
+        "imbalance_limit": args.flush_imbalance,
+        "max_pending": args.max_pending,
+    }
+    return policy
+
+
+def _cmd_client_create(args) -> int:
+    with _client(args) as svc:
+        info = svc.create(
+            args.name,
+            partitions=args.partitions,
+            source={
+                "source": args.source,
+                "scale": args.scale,
+                "steps": args.steps,
+                "seed": args.seed,
+            },
+            seed=args.seed,
+            policy=_client_policy(args),
+            config={"lp_backend": args.lp_backend},
+        )
+    print(
+        f"created session {args.name!r}: |V|={info['num_vertices']} "
+        f"|E|={info['num_edges']} k={info['k']} (initial={info['initial']})"
+    )
+    return 0
+
+
+def _cmd_client_feed(args) -> int:
+    """Regenerate the session's recorded workload stream and push the
+    next chunk of it — the client-side twin of ``session resume``."""
+    with _client(args) as svc:
+        info = svc.query(args.name)
+        source = info.get("source")
+        if not source:
+            print(
+                f"session {args.name!r} was not created from a named workload "
+                f"source; feed it programmatically via ServiceClient.push",
+                file=sys.stderr,
+            )
+            return 1
+        _, deltas = _make_stream(
+            source["source"], source["scale"], source["steps"], source["seed"]
+        )
+        start = info["num_pushed"] if args.start is None else args.start
+        upto = len(deltas) if args.upto is None else min(args.upto, len(deltas))
+        flushes = 0
+        for delta in deltas[start:upto]:
+            ack = svc.push(args.name, delta)
+            if ack["flushed"]:
+                flushes += 1
+                print(f"  flush: {ack['batch']}")
+        print(
+            f"pushed deltas [{start}:{upto}) of {len(deltas)} to {args.name!r} "
+            f"({flushes} flushes fired)"
+        )
+    return 0
+
+
+def _cmd_client_flush(args) -> int:
+    with _client(args) as svc:
+        out = svc.flush(args.name)
+    print(out["batch"] if out["flushed"] else "nothing pending")
+    return 0
+
+
+def _cmd_client_repartition(args) -> int:
+    with _client(args) as svc:
+        out = svc.repartition(args.name)
+    print(out["batch"])
+    return 0
+
+
+def _cmd_client_quality(args) -> int:
+    with _client(args) as svc:
+        q = svc.quality(args.name)
+    print(
+        f"cut total={q['cut_total']:.0f} max={q['cut_max']:.0f} "
+        f"min={q['cut_min']:.0f} imbalance={q['imbalance']:.3f} "
+        f"(k={q['num_partitions']})"
+    )
+    return 0
+
+
+def _cmd_client_query(args) -> int:
+    with _client(args) as svc:
+        info = svc.query(args.name, labels=args.labels)
+    labels = info.pop("labels", None)
+    for key in ("name", "num_vertices", "num_edges", "k", "initial",
+                "num_pending", "num_batches", "num_pushed", "resident",
+                "wal_seq"):
+        print(f"{key:>14}: {info[key]}")
+    for row in info["history"]:
+        print(
+            f"  batch[{row['num_deltas']} deltas, {row['trigger']}] "
+            f"cut={row['cut_total']:.0f} imbal={row['imbalance']:.3f} "
+            f"pivots={row['lp_pivots']}"
+        )
+    if labels is not None:
+        print(" ".join(map(str, labels.tolist())))
+    return 0
+
+
+def _cmd_client_save(args) -> int:
+    with _client(args) as svc:
+        out = svc.save(args.name)
+    print(f"checkpointed to {out['snapshot']} (wal_seq={out['wal_seq']})")
+    return 0
+
+
+def _cmd_client_close(args) -> int:
+    with _client(args) as svc:
+        svc.close_session(args.name)
+    print(f"session {args.name!r} checkpointed and released")
+    return 0
+
+
+def _cmd_client_stats(args) -> int:
+    with _client(args) as svc:
+        stats = svc.stats()
+    print(
+        f"root={stats['root']} resident={stats['resident']}"
+        f"/{stats['max_resident'] if stats['max_resident'] is not None else '∞'}"
+    )
+    for key, value in sorted(stats["counters"].items()):
+        print(f"{key:>14}: {value}")
+    for name, entry in sorted(stats["sessions"].items()):
+        print(f"  {name}: {entry}")
+    return 0
+
+
+def _cmd_client_shutdown(args) -> int:
+    with _client(args) as svc:
+        svc.shutdown()
+    print("server is shutting down (sessions checkpointed)")
+    return 0
+
+
 def _cmd_shard_split(args) -> int:
     from repro.graph import DirectoryShardStore, ShardedCSRGraph
 
@@ -339,29 +509,37 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig14", parents=[common]).set_defaults(fn=_cmd_fig14)
     sub.add_parser("speedup", parents=[common]).set_defaults(fn=_cmd_speedup)
 
-    stream_common = argparse.ArgumentParser(add_help=False)
-    stream_common.add_argument(
-        "--source", choices=("dataset-a", "churn", "bursty"),
+    from repro.bench.workloads import STREAM_SOURCES
+
+    source_common = argparse.ArgumentParser(add_help=False)
+    source_common.add_argument(
+        "--source", choices=STREAM_SOURCES,
         default="dataset-a",
         help="delta stream: the dataset-A refinement chain, a social-graph "
-             "churn stream, or the bursty hub-deletion/flash-crowd stream")
-    stream_common.add_argument("--steps", type=int, default=10,
+             "churn stream, the bursty hub-deletion/flash-crowd stream, or "
+             "the adversarial one-partition weight-pile-up stream")
+    source_common.add_argument("--steps", type=int, default=10,
                                help="churn stream length (ignored for "
                                     "dataset-a)")
-    stream_common.add_argument("--seed", type=int, default=0)
-    stream_common.add_argument(
+    source_common.add_argument("--seed", type=int, default=0)
+
+    flush_common = argparse.ArgumentParser(add_help=False)
+    flush_common.add_argument(
         "--flush-weight", type=float, default=0.5,
         help="flush when pending churn weight exceeds this fraction of the "
              "average partition load")
-    stream_common.add_argument(
+    flush_common.add_argument(
         "--flush-imbalance", type=float, default=2.0,
         help="flush when the estimated imbalance exceeds this")
-    stream_common.add_argument("--max-pending", type=int, default=None,
-                               help="flush after this many pending deltas")
-    stream_common.add_argument(
+    flush_common.add_argument("--max-pending", type=int, default=None,
+                              help="flush after this many pending deltas")
+    flush_common.add_argument(
         "--per-delta", action="store_true",
         help="repartition after every delta (paper regime; disables the "
              "batching policy)")
+
+    stream_common = argparse.ArgumentParser(
+        add_help=False, parents=[source_common, flush_common])
     stream_common.add_argument(
         "--shards", type=int, default=0,
         help="run over a sharded graph with this many shards (0 = "
@@ -394,8 +572,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory to write shard blocks into")
     sp_split.add_argument("--shards", type=int, default=4,
                           help="number of shards (default 4)")
-    sp_split.add_argument("--source",
-                          choices=("dataset-a", "churn", "bursty"),
+    sp_split.add_argument("--source", choices=STREAM_SOURCES,
                           default="churn")
     sp_split.add_argument("--scale", type=float, default=1.0)
     sp_split.add_argument("--steps", type=int, default=10)
@@ -440,6 +617,80 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the post-resume state to a new snapshot")
     sr.set_defaults(fn=_cmd_session_resume)
 
+    sv = sub.add_parser(
+        "serve",
+        help="run the partition service: host many named sessions over "
+             "TCP with WAL durability and LRU eviction")
+    sv.add_argument("--root", required=True,
+                    help="directory holding the session state "
+                         "(meta/snapshot/WAL per session)")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7421,
+                    help="TCP port (0 = pick a free one; default 7421)")
+    sv.add_argument("--resident", type=int, default=None,
+                    help="LRU budget: max sessions resident in memory at "
+                         "once (idle ones are checkpointed and evicted)")
+    sv.add_argument("--checkpoint-interval", type=float, default=30.0,
+                    help="seconds between background checkpoints of dirty "
+                         "sessions (bounds WAL replay after a crash)")
+    sv.add_argument("--no-fsync", action="store_true",
+                    help="skip per-operation WAL fsync (faster, but an OS "
+                         "crash may lose acknowledged operations)")
+    sv.set_defaults(fn=_cmd_serve)
+
+    cl = sub.add_parser(
+        "client",
+        help="talk to a running partition service "
+             "(create/feed/flush/repartition/quality/query/save/close/"
+             "stats/shutdown)")
+    cl.add_argument("--host", default="127.0.0.1")
+    cl.add_argument("--port", type=int, default=7421)
+    clsub = cl.add_subparsers(dest="client_command", required=True)
+
+    cc = clsub.add_parser("create", parents=[source_common, flush_common],
+                          help="create a named session from a workload "
+                               "source")
+    cc.add_argument("name")
+    cc.add_argument("--scale", type=float, default=1.0)
+    cc.add_argument("-p", "--partitions", type=int, default=8)
+    cc.add_argument("--lp-backend", default="revised", dest="lp_backend")
+    cc.set_defaults(fn=_cmd_client_create)
+
+    cf = clsub.add_parser("feed",
+                          help="push the next chunk of the session's "
+                               "recorded workload stream")
+    cf.add_argument("name")
+    cf.add_argument("--start", type=int, default=None,
+                    help="stream index to start from (default: resume "
+                         "after what the session has already seen)")
+    cf.add_argument("--upto", type=int, default=None,
+                    help="stream index to stop before (default: the end)")
+    cf.set_defaults(fn=_cmd_client_feed)
+
+    for verb, fn, help_text in (
+        ("flush", _cmd_client_flush, "flush the pending composed delta"),
+        ("repartition", _cmd_client_repartition,
+         "flush pending or re-run the LP pipeline now"),
+        ("quality", _cmd_client_quality, "cut/balance of the current "
+                                         "partition"),
+        ("save", _cmd_client_save, "checkpoint (snapshot + WAL truncate)"),
+        ("close", _cmd_client_close, "checkpoint and release residency"),
+    ):
+        cp = clsub.add_parser(verb, help=help_text)
+        cp.add_argument("name")
+        cp.set_defaults(fn=fn)
+
+    cq = clsub.add_parser("query", help="session info, history, labels")
+    cq.add_argument("name")
+    cq.add_argument("--labels", action="store_true",
+                    help="also print the partition vector")
+    cq.set_defaults(fn=_cmd_client_query)
+
+    cs = clsub.add_parser("stats", help="server-wide counters and sessions")
+    cs.set_defaults(fn=_cmd_client_stats)
+    cd = clsub.add_parser("shutdown", help="stop the server cleanly")
+    cd.set_defaults(fn=_cmd_client_shutdown)
+
     pp = sub.add_parser("partition")
     pp.add_argument("graph", help="METIS-format graph file")
     pp.add_argument("-p", "--partitions", type=int, default=32)
@@ -450,9 +701,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library failures (:class:`~repro.errors.ReproError` — corrupted
+    snapshots, invalid graphs, unreachable service...) exit non-zero
+    with a one-line message instead of a traceback; tracebacks are
+    reserved for actual bugs.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        kind = type(exc).__name__
+        print(f"error ({kind}): {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

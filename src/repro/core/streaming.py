@@ -351,6 +351,18 @@ class StreamingPartitioner:
         Returns the batch's :class:`RepartitionResult` when a flush
         happened, ``None`` while the delta is merely accumulated.
         """
+        self.fold_pending(delta)
+        return self.maybe_flush()
+
+    def fold_pending(self, delta: GraphDelta) -> None:
+        """Fold one delta into the pending batch *without* consulting the
+        flush policy.
+
+        This is the externally-driven half of :meth:`push`: a service
+        layer batching N concurrent pushes folds each delta here and then
+        calls :meth:`maybe_flush` once, so the whole batch costs one
+        policy check (and at most one LP solve) instead of N.
+        """
         if self._composer is None:
             self._composer = DeltaComposer(
                 self.graph,
@@ -358,6 +370,10 @@ class StreamingPartitioner:
                 accumulate_weights=self.accumulate_weights,
             )
         self._composer.fold(delta)
+
+    def maybe_flush(self) -> RepartitionResult | None:
+        """Flush now if the :class:`FlushPolicy` fires against the pending
+        state; the policy-check half of :meth:`push`."""
         trigger = self._policy_trigger()
         if trigger is not None:
             return self.flush(trigger=trigger)

@@ -87,6 +87,22 @@ class SnapshotError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """A partition-service request failed.
+
+    Raised by :class:`repro.service.client.ServiceClient` for
+    server-reported failures, malformed wire frames, and connection
+    problems, and by the service layer itself for requests it rejects
+    (unknown session, bad arguments...).  ``code`` carries the wire
+    protocol's typed error code (see :mod:`repro.service.protocol`) so
+    callers can discriminate failure modes without string matching.
+    """
+
+    def __init__(self, message: str, *, code: str = "service"):
+        super().__init__(message)
+        self.code = code
+
+
 class RepartitionInfeasibleError(PartitioningError):
     """Incremental repartitioning cannot restore balance within the gamma cap.
 

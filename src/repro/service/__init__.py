@@ -1,0 +1,34 @@
+"""repro.service — serving partition sessions to many concurrent clients.
+
+The service subsystem turns the durable :class:`~repro.session
+.PartitionSession` into a long-lived network service:
+
+=====================  ==================================================
+``service.protocol``   length-prefixed JSON wire protocol, typed errors
+``service.wal``        fsync'd write-ahead delta log between checkpoints
+``service.manager``    :class:`SessionManager`: many named sessions,
+                       per-session locks, LRU eviction, crash recovery
+``service.server``     asyncio TCP server batching concurrent pushes
+``service.client``     blocking :class:`ServiceClient` (CLI + benchmarks)
+=====================  ==================================================
+
+Start a server with ``repro-igp serve --root DIR --port 7421`` and talk
+to it with ``repro-igp client ...`` or a :class:`ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.manager import ManagedSession, SessionManager
+from repro.service.protocol import PROTOCOL_VERSION, FrameError
+from repro.service.server import PartitionServer
+from repro.service.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "FrameError",
+    "ManagedSession",
+    "PROTOCOL_VERSION",
+    "PartitionServer",
+    "ServiceClient",
+    "SessionManager",
+    "WalRecord",
+    "WriteAheadLog",
+]

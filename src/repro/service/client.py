@@ -1,0 +1,221 @@
+"""Blocking client for the partition service.
+
+:class:`ServiceClient` owns one TCP connection and exposes a typed
+method per wire op.  It is what the ``repro-igp client ...`` CLI verbs
+and ``benchmarks/bench_service.py`` drive; embed it directly for
+programmatic access::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=7421) as svc:
+        svc.create("social", partitions=8,
+                   source={"source": "churn", "steps": 10, "seed": 3},
+                   policy={"weight_fraction": None, "imbalance_limit": None,
+                           "max_pending": 1},
+                   config={"lp_backend": "revised"})
+        for delta in deltas:
+            svc.push("social", delta)
+        svc.repartition("social")
+        print(svc.quality("social"))
+        labels = svc.query("social", labels=True)["labels"]
+
+Each method sends one request frame and blocks for its response; all
+failures surface as :class:`~repro.errors.ServiceError` carrying the
+server's typed error code (connection-level problems use code
+``"connection"``).  A client instance is not thread-safe — give each
+thread its own connection (the server batches concurrent pushes across
+connections server-side).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta
+from repro.service import protocol
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One blocking connection to a :class:`~repro.service.server
+    .PartitionServer` (see module docstring for the tour)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        *,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to partition service at {host}:{port}: {exc}",
+                code="connection",
+            ) from None
+        self._sock.settimeout(timeout)
+        # Request frames are small; Nagle would sit on them waiting for
+        # an ACK and serialize the whole RPC at ~per-packet latency.
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
+
+    @classmethod
+    def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        *,
+        retries: int = 0,
+        delay: float = 0.1,
+        timeout: float = 60.0,
+    ) -> "ServiceClient":
+        """Connect with retry — benchmarks and tests use this to wait for
+        a freshly spawned server to start listening."""
+        last: ServiceError | None = None
+        for attempt in range(retries + 1):
+            try:
+                return cls(host, port, timeout=timeout)
+            except ServiceError as exc:
+                last = exc
+                if attempt < retries:
+                    time.sleep(delay)
+        raise last
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, op: str, session: str | None = None, **args):
+        """Send one request and block for its response; returns the
+        ``result`` dict or raises :class:`ServiceError`."""
+        envelope = protocol.request(
+            op, id=next(self._ids), session=session, args=args or None
+        )
+        try:
+            protocol.write_frame_sock(self._sock, envelope)
+            response = protocol.read_frame_sock(self._sock)
+        except protocol.FrameError:
+            raise
+        except OSError as exc:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} failed: {exc}",
+                code="connection",
+            ) from None
+        if response is None:
+            raise ServiceError(
+                "server closed the connection without responding",
+                code="connection",
+            )
+        return protocol.check_response(response)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Typed ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness check; returns the server's protocol version."""
+        return self.request("ping")
+
+    def create(
+        self,
+        name: str,
+        *,
+        partitions: int,
+        graph: CSRGraph | None = None,
+        source: dict | None = None,
+        initial: str = "rsb",
+        seed: int = 0,
+        policy: dict | None = None,
+        config: dict | None = None,
+        strict: bool = True,
+        accumulate_weights: bool = False,
+    ) -> dict:
+        """Create a named session from an inline graph or a workload
+        ``source`` spec (exactly one of the two)."""
+        args: dict = {
+            "partitions": partitions,
+            "initial": initial,
+            "seed": seed,
+            "strict": strict,
+            "accumulate_weights": accumulate_weights,
+        }
+        if graph is not None:
+            args["graph"] = protocol.graph_to_wire(graph)
+        if source is not None:
+            args["source"] = source
+        if policy is not None:
+            args["policy"] = policy
+        if config is not None:
+            args["config"] = config
+        return self.request("create", name, **args)
+
+    def open(self, name: str) -> dict:
+        """Materialize an existing session (recovering WAL if needed)."""
+        return self.request("open", name)
+
+    def push(self, name: str, delta: GraphDelta) -> dict:
+        """Push one delta; returns the ack (WAL seq, batch size it rode
+        in, whether a flush fired and that batch's summary)."""
+        return self.request("push", name, delta=protocol.delta_to_wire(delta))
+
+    def flush(self, name: str) -> dict:
+        """Flush the pending composed delta now."""
+        return self.request("flush", name)
+
+    def repartition(self, name: str) -> dict:
+        """Flush pending or re-run the LP pipeline on the current graph."""
+        return self.request("repartition", name)
+
+    def quality(self, name: str) -> dict:
+        """Cut/balance metrics of the session's current partition."""
+        return self.request("quality", name)
+
+    def query(self, name: str, *, labels: bool = False) -> dict:
+        """Session info + history (+ decoded ``labels`` array on request)."""
+        result = self.request("query", name, labels=labels)
+        if labels and "labels" in result:
+            result["labels"] = np.asarray(
+                protocol.arrays_from_wire(result["labels"])["part"],
+                dtype=np.int64,
+            )
+        return result
+
+    def save(self, name: str) -> dict:
+        """Checkpoint the session (snapshot + WAL truncate) on the server."""
+        return self.request("save", name)
+
+    def close_session(self, name: str) -> dict:
+        """Checkpoint and release the session's server-side residency."""
+        return self.request("close", name)
+
+    def stats(self) -> dict:
+        """Server-wide counters and per-session residency info."""
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the server to checkpoint everything and exit."""
+        return self.request("shutdown")

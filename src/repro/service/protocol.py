@@ -1,0 +1,379 @@
+"""Wire protocol of the partition service: length-prefixed JSON frames.
+
+Every message on the wire is one *frame*: a 4-byte big-endian unsigned
+length followed by that many bytes of UTF-8 JSON.  Requests and responses
+are versioned envelopes:
+
+Request::
+
+    {"v": 1, "id": 7, "op": "push", "session": "social",
+     "args": {"delta": "<base64 npz>"}}
+
+Response (success / failure)::
+
+    {"v": 1, "id": 7, "ok": true,  "result": {...}}
+    {"v": 1, "id": 7, "ok": false, "error": {"code": "graph",
+                                             "message": "..."}}
+
+``id`` is a caller-chosen correlation token echoed back verbatim; ``op``
+is one of :data:`OPS` (``create`` / ``open`` / ``push`` / ``flush`` /
+``repartition`` / ``query`` / ``quality`` / ``save`` / ``close`` /
+``stats`` plus the housekeeping ``ping`` / ``shutdown``).  Errors carry a
+*typed code* (:data:`ERROR_CODES`) mapping the :mod:`repro.errors`
+hierarchy, so clients discriminate failure modes without string matching.
+
+Numpy payloads (deltas, graphs, partition vectors) ride inside the JSON
+as base64-encoded ``np.savez`` archives — the same array schema the
+session snapshots use (:meth:`GraphDelta.to_arrays`,
+:meth:`CSRGraph.to_arrays`), so anything that snapshots cleanly also
+crosses the wire cleanly.
+
+Framing helpers exist in three flavours: raw bytes (:func:`encode_frame`
+/ :func:`decode_frame`), asyncio (:func:`read_frame_async`) for the
+server, and blocking sockets (:func:`read_frame_sock` /
+:func:`write_frame_sock`) for the client — all enforcing
+:data:`MAX_FRAME_BYTES` so a hostile or corrupted length prefix cannot
+make either side allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import struct
+import zipfile
+
+import numpy as np
+
+from repro.errors import (
+    GraphError,
+    LPError,
+    PartitioningError,
+    RepartitionInfeasibleError,
+    ReproError,
+    ServiceError,
+    SnapshotError,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.incremental import GraphDelta
+
+__all__ = [
+    "ERROR_CODES",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "arrays_from_wire",
+    "arrays_to_wire",
+    "check_response",
+    "decode_frame",
+    "delta_from_wire",
+    "delta_to_wire",
+    "encode_frame",
+    "error_code",
+    "error_response",
+    "graph_from_wire",
+    "graph_to_wire",
+    "ok_response",
+    "parse_request",
+    "read_frame_async",
+    "read_frame_sock",
+    "request",
+    "write_frame_sock",
+]
+
+#: Envelope version this build speaks.  Requests carrying a different
+#: ``v`` are rejected with code ``"version"`` so old clients fail loudly
+#: rather than mis-parse.
+PROTOCOL_VERSION = 1
+
+#: Frames larger than this are rejected before any allocation happens.
+MAX_FRAME_BYTES = 64 << 20
+
+#: Operations a server understands (the service API surface).
+OPS = (
+    "create",
+    "open",
+    "push",
+    "flush",
+    "repartition",
+    "query",
+    "quality",
+    "save",
+    "close",
+    "stats",
+    "ping",
+    "shutdown",
+)
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ServiceError):
+    """A wire frame could not be parsed (bad length, bad JSON, bad
+    envelope).  The connection that produced it is considered poisoned —
+    mid-frame garbage leaves no way to resynchronise — and is closed
+    after the error response."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="protocol")
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one envelope to its on-wire bytes (length + JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_frame(data: bytes) -> dict:
+    """Parse one complete on-wire frame back to its envelope dict."""
+    if len(data) < _HEADER.size:
+        raise FrameError(f"truncated frame header ({len(data)} bytes)")
+    (length,) = _HEADER.unpack(data[: _HEADER.size])
+    body = data[_HEADER.size:]
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    if len(body) != length:
+        raise FrameError(f"frame body is {len(body)} bytes, header said {length}")
+    return _parse_body(body)
+
+
+def _parse_body(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+async def read_frame_async(reader, *, max_bytes: int = MAX_FRAME_BYTES):
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns the envelope dict, or ``None`` on clean EOF (connection
+    closed between frames).  Raises :class:`FrameError` for truncated or
+    oversized frames and undecodable bodies.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError(
+            f"connection closed mid-header ({len(exc.partial)}/4 bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameError(f"frame length {length} exceeds the {max_bytes}-byte cap")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return _parse_body(body)
+
+
+def read_frame_sock(sock, *, max_bytes: int = MAX_FRAME_BYTES):
+    """Blocking-socket twin of :func:`read_frame_async` (client side)."""
+    header = _recv_exactly(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise FrameError(f"frame length {length} exceeds the {max_bytes}-byte cap")
+    body = _recv_exactly(sock, length, eof_ok=False)
+    return _parse_body(body)
+
+
+def write_frame_sock(sock, payload: dict) -> None:
+    """Send one envelope over a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exactly(sock, n: int, *, eof_ok: bool):
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(n - got)
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise FrameError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def request(op: str, *, id: int, session: str | None = None, args: dict | None = None) -> dict:
+    """Build a request envelope."""
+    env = {"v": PROTOCOL_VERSION, "id": id, "op": op}
+    if session is not None:
+        env["session"] = session
+    if args:
+        env["args"] = args
+    return env
+
+
+def ok_response(id, result: dict) -> dict:
+    """Build a success response envelope."""
+    return {"v": PROTOCOL_VERSION, "id": id, "ok": True, "result": result}
+
+
+def error_response(id, code: str, message: str) -> dict:
+    """Build a failure response envelope with a typed error code."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def parse_request(env: dict) -> tuple[str, str | None, dict]:
+    """Validate a request envelope; returns ``(op, session, args)``.
+
+    Raises :class:`ServiceError` with code ``"version"`` for foreign
+    protocol versions and ``"bad-request"`` for structurally invalid
+    envelopes or unknown ops.
+    """
+    version = env.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})",
+            code="version",
+        )
+    op = env.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ServiceError(
+            f"unknown op {op!r}; valid ops: {', '.join(OPS)}", code="bad-request"
+        )
+    session = env.get("session")
+    if session is not None and not isinstance(session, str):
+        raise ServiceError("'session' must be a string", code="bad-request")
+    args = env.get("args", {})
+    if not isinstance(args, dict):
+        raise ServiceError("'args' must be a JSON object", code="bad-request")
+    return op, session, args
+
+
+def check_response(env: dict):
+    """Client-side response validation: returns the ``result`` dict of a
+    success envelope, raises :class:`ServiceError` (with the server's
+    typed code) for failure envelopes and malformed responses."""
+    if not isinstance(env, dict) or env.get("v") != PROTOCOL_VERSION:
+        raise FrameError(f"malformed response envelope: {env!r}")
+    if env.get("ok"):
+        result = env.get("result")
+        return result if isinstance(result, dict) else {}
+    error = env.get("error")
+    if not isinstance(error, dict):
+        raise FrameError(f"failure response without error object: {env!r}")
+    raise ServiceError(
+        str(error.get("message", "request failed")),
+        code=str(error.get("code", "service")),
+    )
+
+
+# ----------------------------------------------------------------------
+# Typed error codes
+# ----------------------------------------------------------------------
+#: ``(exception type, wire code)`` — first match wins, so subclasses
+#: precede their bases.  Anything else maps to ``"internal"``.
+ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (FrameError, "protocol"),
+    (ServiceError, "service"),  # .code attribute consulted first
+    (RepartitionInfeasibleError, "infeasible"),
+    (SnapshotError, "snapshot"),
+    (GraphError, "graph"),
+    (LPError, "lp"),
+    (PartitioningError, "partitioning"),
+    (ReproError, "repro"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code for an exception (see :data:`ERROR_CODES`)."""
+    if isinstance(exc, ServiceError):
+        return exc.code
+    for etype, code in ERROR_CODES:
+        if isinstance(exc, etype):
+            return code
+    return "internal"
+
+
+# ----------------------------------------------------------------------
+# Numpy payloads
+# ----------------------------------------------------------------------
+def arrays_to_wire(arrays: dict[str, np.ndarray]) -> str:
+    """Encode ``{name: array}`` as base64 npz text for a JSON field."""
+    buf = io.BytesIO()
+    np.savez(buf, **arrays)
+    return base64.b64encode(buf.getvalue()).decode("ascii")
+
+
+def arrays_from_wire(text: str) -> dict[str, np.ndarray]:
+    """Decode an :func:`arrays_to_wire` payload back to arrays."""
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+        with np.load(io.BytesIO(raw)) as npz:
+            return {name: npz[name] for name in npz.files}
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile, AttributeError) as exc:
+        raise ServiceError(
+            f"undecodable array payload: {exc}", code="bad-request"
+        ) from None
+
+
+def delta_to_wire(delta: GraphDelta) -> str:
+    """Encode a :class:`GraphDelta` for a JSON field."""
+    return arrays_to_wire(delta.to_arrays())
+
+
+def delta_from_wire(text) -> GraphDelta:
+    """Decode a :func:`delta_to_wire` payload (re-validated)."""
+    if not isinstance(text, str):
+        raise ServiceError(
+            f"delta payload must be a base64 string, got {type(text).__name__}",
+            code="bad-request",
+        )
+    try:
+        return GraphDelta.from_arrays(arrays_from_wire(text))
+    except GraphError as exc:
+        raise ServiceError(f"invalid delta payload: {exc}", code="graph") from None
+
+
+def graph_to_wire(graph: CSRGraph) -> str:
+    """Encode a :class:`CSRGraph` for a JSON field."""
+    return arrays_to_wire(graph.to_arrays())
+
+
+def graph_from_wire(text) -> CSRGraph:
+    """Decode a :func:`graph_to_wire` payload (structurally validated)."""
+    if not isinstance(text, str):
+        raise ServiceError(
+            f"graph payload must be a base64 string, got {type(text).__name__}",
+            code="bad-request",
+        )
+    try:
+        return CSRGraph.from_arrays(arrays_from_wire(text), validate=True)
+    except (GraphError, KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"invalid graph payload: {exc}", code="graph") from None

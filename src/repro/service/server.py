@@ -1,0 +1,313 @@
+"""Asyncio TCP server speaking the partition-service wire protocol.
+
+:class:`PartitionServer` glues three layers together:
+
+* the **framing/envelope layer** (:mod:`repro.service.protocol`) — one
+  length-prefixed JSON frame per request/response, typed error codes;
+* the **session host** (:class:`~repro.service.manager.SessionManager`)
+  — per-session locks, LRU residency, WAL durability;
+* a **push batcher** — the server's throughput lever.
+
+Push batching: the manager's session lock serializes work on one
+session, so N clients pushing concurrently would normally pay N policy
+checks (and, under a per-delta flush policy, N LP solves).  Instead the
+server funnels every ``push`` for a session through a per-session queue:
+while one micro-batch is being applied, newly arriving pushes pile up;
+when the worker loop comes around it drains the *whole* queue into a
+single :meth:`SessionManager.push` call, which folds all deltas through
+the session's :class:`~repro.graph.incremental.DeltaComposer` and
+consults the flush policy once.  Throughput therefore scales with
+batching exactly like the streaming layer's batched-vs-per-delta
+result, and each client still gets its own acknowledgement (same WAL
+sequence number — the batch is one durable record).
+
+Blocking work (LP solves, snapshot IO) runs in a thread pool so the
+event loop keeps accepting and reading frames while a batch computes.
+Only the per-session order is constrained; different sessions proceed
+in parallel up to the pool size.
+
+A malformed frame poisons its connection (there is no way to find the
+next frame boundary after garbage): the server answers with a typed
+``protocol`` error and closes that connection — other connections and
+the server itself stay up, which the protocol-fuzz tests assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import logging
+import os
+from functools import partial
+
+from repro.errors import ServiceError
+from repro.service import protocol
+from repro.service.manager import SessionManager
+
+__all__ = ["PartitionServer"]
+
+logger = logging.getLogger(__name__)
+
+
+class _PushQueue:
+    """Pending pushes for one session: ``(delta, future)`` pairs plus a
+    flag marking whether a drainer task is active."""
+
+    __slots__ = ("items", "draining")
+
+    def __init__(self):
+        self.items = []
+        self.draining = False
+
+
+class PartitionServer:
+    """One TCP endpoint serving many concurrent partition sessions.
+
+    Parameters
+    ----------
+    manager:
+        the :class:`SessionManager` owning the session state.
+    host / port:
+        bind address; ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    max_workers:
+        thread-pool size for blocking session operations (default:
+        ``min(8, cpu_count)``).
+    allow_shutdown:
+        whether the ``shutdown`` op is honoured (the CLI enables it so
+        ``repro-igp client shutdown`` can stop a dev server; embedders
+        can refuse it).
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int | None = None,
+        allow_shutdown: bool = True,
+    ):
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.allow_shutdown = allow_shutdown
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service-op"
+        )
+        self._queues: dict[str, _PushQueue] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections; resolves :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.manager.start_worker()
+        logger.info("partition service listening on %s:%d", self.host, self.port)
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or task cancellation),
+        then checkpoint every session and close."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, self.manager.close_all
+            )
+            self._pool.shutdown(wait=False)
+
+    def run(self, *, on_ready=None) -> None:
+        """Blocking convenience runner: start, serve, shut down cleanly
+        on ``shutdown`` op, SIGTERM or KeyboardInterrupt.
+
+        ``on_ready(server)`` is called once the socket is bound — by
+        then :attr:`port` holds the *actual* port, which matters when
+        the caller asked for ``port=0`` (pick a free one).
+        """
+
+        async def main():
+            import signal
+
+            await self.start()
+            if on_ready is not None:
+                on_ready(self)
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-unix platforms fall back to KeyboardInterrupt
+            await self.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            import socket as _socket
+
+            try:
+                # Response frames are small; don't let Nagle hold them.
+                sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP transports
+                pass
+        try:
+            while True:
+                try:
+                    envelope = await protocol.read_frame_async(reader)
+                except protocol.FrameError as exc:
+                    # Poisoned stream: answer once, then hang up.
+                    await self._send(
+                        writer,
+                        protocol.error_response(None, exc.code, str(exc)),
+                    )
+                    break
+                if envelope is None:
+                    break  # clean EOF
+                response = await self._dispatch(envelope)
+                await self._send(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / server stopping
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("connection handler for %s crashed", peer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    @staticmethod
+    async def _send(writer, payload: dict) -> None:
+        writer.write(protocol.encode_frame(payload))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, envelope: dict) -> dict:
+        req_id = envelope.get("id") if isinstance(envelope, dict) else None
+        try:
+            op, session, args = protocol.parse_request(envelope)
+            result = await self._execute(op, session, args)
+            return protocol.ok_response(req_id, result)
+        except Exception as exc:
+            code = protocol.error_code(exc)
+            if code == "internal":
+                logger.exception("internal error handling %r", envelope)
+            return protocol.error_response(req_id, code, str(exc))
+
+    def _need_session(self, session: str | None) -> str:
+        if session is None:
+            raise ServiceError(
+                "this op requires a 'session' field", code="bad-request"
+            )
+        return session
+
+    async def _execute(self, op: str, session: str | None, args: dict):
+        loop = asyncio.get_running_loop()
+        mgr = self.manager
+
+        def blocking(fn, *a, **kw):
+            return loop.run_in_executor(self._pool, partial(fn, *a, **kw))
+
+        if op == "ping":
+            return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+        if op == "stats":
+            return await blocking(mgr.stats)
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                raise ServiceError(
+                    "this server does not accept remote shutdown", code="forbidden"
+                )
+            self._stop.set()
+            return {"stopping": True}
+        if op == "create":
+            return await blocking(mgr.create, self._need_session(session), args)
+        if op == "open":
+            return await blocking(mgr.open, self._need_session(session))
+        if op == "push":
+            # Decode off the event loop: base64 + np.load of a frame
+            # that may be tens of MB would stall every connection.
+            delta = await blocking(protocol.delta_from_wire, args.get("delta"))
+            return await self._push(self._need_session(session), delta)
+        if op == "flush":
+            return await blocking(mgr.flush, self._need_session(session))
+        if op == "repartition":
+            return await blocking(mgr.repartition, self._need_session(session))
+        if op == "quality":
+            return await blocking(mgr.quality, self._need_session(session))
+        if op == "query":
+            return await blocking(
+                mgr.query,
+                self._need_session(session),
+                labels=bool(args.get("labels", False)),
+            )
+        if op == "save":
+            return await blocking(mgr.save, self._need_session(session))
+        if op == "close":
+            return await blocking(mgr.close, self._need_session(session))
+        raise ServiceError(f"unhandled op {op!r}", code="bad-request")
+
+    # ------------------------------------------------------------------
+    # Push batching
+    # ------------------------------------------------------------------
+    async def _push(self, name: str, delta) -> dict:
+        """Enqueue one push; concurrent pushes to the same session drain
+        as a single composed micro-batch."""
+        loop = asyncio.get_running_loop()
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = _PushQueue()
+        future = loop.create_future()
+        queue.items.append((delta, future))
+        if not queue.draining:
+            queue.draining = True
+            asyncio.ensure_future(self._drain_pushes(name, queue))
+        return await future
+
+    async def _drain_pushes(self, name: str, queue: _PushQueue) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while queue.items:
+                items, queue.items = queue.items, []
+                deltas = [d for d, _ in items]
+                try:
+                    result = await loop.run_in_executor(
+                        self._pool, self.manager.push, name, deltas
+                    )
+                except Exception as exc:
+                    for _, fut in items:
+                        if not fut.done():
+                            fut.set_exception(exc)
+                    # A failed batch fails those clients only; drain on.
+                    continue
+                for _, fut in items:
+                    if not fut.done():
+                        fut.set_result(dict(result))
+        finally:
+            queue.draining = False
+            # Single-threaded loop, no awaits since the emptiness check:
+            # safe to drop the entry, and necessary — sessions come and
+            # go (and hostile names never existed), so queues must not
+            # accumulate for the life of the server.
+            if not queue.items and self._queues.get(name) is queue:
+                del self._queues[name]

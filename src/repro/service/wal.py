@@ -1,0 +1,250 @@
+"""Write-ahead delta log: what happened to a session since its snapshot.
+
+Snapshots (:meth:`repro.session.PartitionSession.save`) are heavyweight —
+they rewrite the graph — so the service checkpoints them lazily and logs
+every state-changing operation in between to an append-only JSONL file.
+Each line is one sequence-numbered record::
+
+    {"seq": 12, "kind": "push", "deltas": ["<base64 npz>", ...]}
+    {"seq": 13, "kind": "flush"}
+    {"seq": 14, "kind": "repartition"}
+
+Delta payloads use the same npz encoding as the wire protocol
+(:func:`repro.service.protocol.delta_to_wire`), so a WAL record is
+byte-for-byte what the client sent.  A ``push`` record holds the *whole
+micro-batch* the server composed — replaying it re-folds the same deltas
+and consults the flush policy once, exactly like the live
+:meth:`~repro.session.PartitionSession.push_batch` did, which is what
+makes replay bit-identical (same flush boundaries, same warm-basis
+trajectory, same simplex pivot counts).
+
+Durability contract: records are appended and fsync'd *before* the
+operation is applied in memory (true write-ahead), and the client is
+acknowledged only after both — so an acknowledged operation survives
+``kill -9``, and the in-memory state can never get ahead of the log.
+(The converse — a logged-but-unapplied record at the crash instant —
+replays as an unacknowledged operation: standard at-least-once WAL
+semantics.)  On crash recovery the
+manager loads the last snapshot (which remembers the highest sequence
+number it covers) and replays every record after it.  A torn final line
+— the signature of a crash mid-append — is detected and ignored; that
+operation was never acknowledged.  :meth:`WriteAheadLog.truncate` empties
+the file at each checkpoint while the in-memory sequence counter keeps
+climbing, so sequence numbers stay globally unique per session.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.graph.incremental import GraphDelta
+from repro.service.protocol import delta_from_wire, delta_to_wire
+
+__all__ = ["WalRecord", "WriteAheadLog"]
+
+logger = logging.getLogger(__name__)
+
+#: Record kinds a log understands (anything else fails replay loudly).
+_KINDS = ("push", "flush", "repartition")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayable operation."""
+
+    seq: int
+    kind: str
+    deltas: tuple[GraphDelta, ...] = ()
+
+
+class WriteAheadLog:
+    """Append-only, fsync'd operation log for one managed session.
+
+    Parameters
+    ----------
+    path:
+        the JSONL file (created on first append).
+    start_seq:
+        floor for the sequence counter — pass the snapshot's covered
+        sequence number when attaching to a freshly truncated log, so
+        records appended after a crash-restart can never collide with
+        numbers the snapshot already covers.
+    fsync:
+        ``False`` skips the per-append ``os.fsync`` (tests, benchmarks
+        measuring pure compute); production keeps the default.
+    """
+
+    def __init__(self, path, *, start_seq: int = 0, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+        _, last = self._scan_seqs()
+        self._last_seq = max(int(start_seq), last)
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever issued (monotonic across
+        truncations and restarts)."""
+        return self._last_seq
+
+    def first_seq(self) -> int | None:
+        """Sequence number of the first durable record (``None`` when the
+        log is empty).  Recovery uses this to decide whether the log
+        still covers the session's whole history (``first_seq() == 1``)."""
+        first, _ = self._scan_seqs()
+        return first
+
+    def _scan_seqs(self) -> tuple[int | None, int]:
+        """(first, last) record seqs by parsing only the JSON ``seq``
+        fields — no delta payloads are decoded, so scanning a long log
+        costs a fraction of a full :meth:`replay`.  Torn final lines are
+        skipped like replay does."""
+        if not self.path.exists():
+            return None, 0
+        raw_lines = self.path.read_bytes().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()
+        first: int | None = None
+        last = 0
+        for i, raw in enumerate(raw_lines):
+            try:
+                seq = int(json.loads(raw.decode("utf-8"))["seq"])
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                if i == len(raw_lines) - 1:  # torn tail, like replay()
+                    break
+                raise ServiceError(
+                    f"WAL {self.path}: undecodable record", code="wal"
+                ) from None
+            if first is None:
+                first = seq
+            last = seq
+        return first, last
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, kind: str, deltas=()) -> int:
+        """Append one record and make it durable; returns its sequence
+        number.  ``deltas`` is the composed micro-batch for ``push``
+        records (ignored otherwise)."""
+        if kind not in _KINDS:
+            raise ServiceError(f"unknown WAL record kind {kind!r}", code="wal")
+        self._last_seq += 1
+        record = {"seq": self._last_seq, "kind": kind}
+        if kind == "push":
+            record["deltas"] = [delta_to_wire(d) for d in deltas]
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            created = not self.path.exists()
+            self._fh = open(self.path, "ab")
+            if created and self.fsync:
+                # Make the new file's directory entry durable too —
+                # fsyncing only the file leaves the name itself at the
+                # mercy of the directory's writeback.
+                fd = os.open(self.path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+        self._fh.write(line.encode("utf-8"))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        return self._last_seq
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, *, after: int = 0) -> list[WalRecord]:
+        """All durable records with ``seq > after``, in append order.
+
+        A malformed *final* line is a torn crash-time append: it is
+        dropped with a warning (the operation was never acknowledged).
+        A malformed line anywhere else, or sequence numbers out of
+        order, mean real corruption and raise :class:`ServiceError`
+        (code ``"wal"``).
+        """
+        if not self.path.exists():
+            return []
+        raw_lines = self.path.read_bytes().split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()
+        records: list[WalRecord] = []
+        prev_seq = 0
+        for i, raw in enumerate(raw_lines):
+            try:
+                rec = self._parse_line(raw)
+            except ServiceError:
+                if i == len(raw_lines) - 1:
+                    logger.warning(
+                        "WAL %s: dropping torn final record (crash mid-append)",
+                        self.path,
+                    )
+                    break
+                raise
+            if rec.seq <= prev_seq:
+                raise ServiceError(
+                    f"WAL {self.path} sequence numbers out of order "
+                    f"({rec.seq} after {prev_seq})",
+                    code="wal",
+                )
+            prev_seq = rec.seq
+            if rec.seq > after:
+                records.append(rec)
+        return records
+
+    def _parse_line(self, raw: bytes) -> WalRecord:
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+            seq = int(obj["seq"])
+            kind = obj["kind"]
+            if kind not in _KINDS:
+                raise ValueError(f"unknown record kind {kind!r}")
+            deltas = tuple(
+                delta_from_wire(text) for text in obj.get("deltas", ())
+            )
+        except ServiceError as exc:
+            raise ServiceError(
+                f"WAL {self.path}: undecodable record: {exc}", code="wal"
+            ) from None
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"WAL {self.path}: undecodable record: {exc}", code="wal"
+            ) from None
+        return WalRecord(seq=seq, kind=kind, deltas=deltas)
+
+    # ------------------------------------------------------------------
+    # Checkpoint truncation
+    # ------------------------------------------------------------------
+    def truncate(self) -> None:
+        """Empty the log (the snapshot just written covers everything).
+
+        The sequence counter is *not* reset — post-checkpoint records
+        keep climbing past the snapshot's covered sequence number.
+        """
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        if self.path.exists():
+            with open(self.path, "wb") as fh:
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        """Release the append handle (the log stays on disk)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

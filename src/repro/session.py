@@ -215,6 +215,12 @@ class PartitionSession:
         self._summaries: list[BatchSummary] = list(_history or [])
         self._synced_batches = engine.num_batches
         self._num_pushed = int(_num_pushed)
+        self._quality_cache: PartitionQuality | None = None
+        #: Optional observer called with each new :class:`BatchSummary`
+        #: right after a batch is flushed (policy-triggered or explicit).
+        #: Service layers use it to learn about flushes that fire *inside*
+        #: a push so they can mark the session dirty for checkpointing.
+        self.on_batch: Callable[[BatchSummary], None] | None = None
 
     # -- state views ----------------------------------------------------
     @property
@@ -279,16 +285,39 @@ class PartitionSession:
     def _sync_history(self) -> None:
         new = self._sp.num_batches - self._synced_batches
         if new > 0:
-            self._summaries.extend(
-                BatchSummary.from_record(r) for r in self._sp.history[-new:]
-            )
+            fresh = [BatchSummary.from_record(r) for r in self._sp.history[-new:]]
+            self._summaries.extend(fresh)
             self._synced_batches = self._sp.num_batches
+            if self.on_batch is not None:
+                for summary in fresh:
+                    self.on_batch(summary)
 
     def push(self, delta: GraphDelta) -> RepartitionResult | None:
         """Fold one delta into the pending batch; flush if the policy
         fires.  Returns the batch result on flush, else ``None``."""
+        self._quality_cache = None
         result = self._sp.push(delta)
         self._num_pushed += 1
+        self._sync_history()
+        return result
+
+    def push_batch(self, deltas) -> RepartitionResult | None:
+        """Fold many deltas as *one* batch: the flush policy is consulted
+        once, after every delta is folded, instead of once per delta.
+
+        This is the service layer's throughput lever — N concurrent
+        client pushes composed into a single batch cost at most one LP
+        solve — but it changes flush granularity: a ``max_pending=1``
+        policy flushes once per *batch* here, not once per delta.
+        Returns the flush result if the policy fired, else ``None``.
+        """
+        self._quality_cache = None
+        count = 0
+        for delta in deltas:
+            self._sp.fold_pending(delta)
+            count += 1
+        self._num_pushed += count
+        result = self._sp.maybe_flush() if count else None
         self._sync_history()
         return result
 
@@ -304,6 +333,7 @@ class PartitionSession:
     def flush(self) -> RepartitionResult | None:
         """Apply the pending composed delta and repartition; ``None`` when
         nothing is pending."""
+        self._quality_cache = None
         result = self._sp.flush()
         self._sync_history()
         return result
@@ -311,14 +341,23 @@ class PartitionSession:
     def repartition(self) -> RepartitionResult:
         """Repartition *now*: flush the pending batch, or re-run the LP
         pipeline on the current graph when nothing is pending."""
+        self._quality_cache = None
         result = self._sp.repartition()
         self._sync_history()
         return result
 
     # -- inspection -----------------------------------------------------
     def quality(self) -> PartitionQuality:
-        """Cut/balance metrics of the current partition."""
-        return evaluate_partition(self.graph, self.part, self.k)
+        """Cut/balance metrics of the current partition.
+
+        Memoized between mutations (any :meth:`push` / :meth:`flush` /
+        :meth:`repartition` invalidates the cache), so service layers
+        answering repeated ``quality`` queries don't re-stream every
+        shard of a large graph per call.
+        """
+        if self._quality_cache is None:
+            self._quality_cache = evaluate_partition(self.graph, self.part, self.k)
+        return self._quality_cache
 
     def history(self) -> list[BatchSummary]:
         """All batch summaries, oldest first (survives save/load)."""

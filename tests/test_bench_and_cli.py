@@ -194,3 +194,60 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "resumed 2 deltas" in out
         assert out_snap.exists()
+
+
+class TestServiceCLI:
+    """The serve/client verbs and the one-line-error exit contract."""
+
+    def test_parser_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--root", "/tmp/x", "--port", "0", "--resident", "2",
+             "--checkpoint-interval", "5", "--no-fsync"]
+        )
+        assert args.root == "/tmp/x" and args.resident == 2 and args.no_fsync
+
+    def test_parser_client_verbs(self):
+        ap = build_parser()
+        args = ap.parse_args(
+            ["client", "--port", "7000", "create", "s", "--source",
+             "adversarial", "-p", "4", "--per-delta"]
+        )
+        assert args.port == 7000 and args.name == "s" and args.per_delta
+        assert args.source == "adversarial"
+        for verb in ("feed", "flush", "repartition", "quality", "query",
+                     "save", "close"):
+            parsed = ap.parse_args(["client", verb, "s"])
+            assert parsed.name == "s"
+        assert ap.parse_args(["client", "stats"]).client_command == "stats"
+        assert ap.parse_args(["client", "shutdown"]).client_command == "shutdown"
+
+    def test_stream_command_adversarial(self, capsys):
+        rc = main(
+            ["stream", "--source", "adversarial", "--scale", "0.3", "-p", "4",
+             "--steps", "3"]
+        )
+        assert rc == 0
+        assert "repartition batches" in capsys.readouterr().out
+
+    def test_corrupted_snapshot_exits_nonzero_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.igps"
+        bad.write_text("this is not a snapshot")
+        rc = main(["session", "load", str(bad)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error (SnapshotError):")
+        assert "Traceback" not in err and err.count("\n") == 1
+
+    def test_missing_graph_file_exits_nonzero_one_line(self, tmp_path, capsys):
+        rc = main(["partition", str(tmp_path / "nope.metis"), "-p", "2"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error (") and "Traceback" not in err
+
+    def test_unreachable_service_exits_nonzero_one_line(self, capsys):
+        # nothing listens on port 1; connection is refused immediately
+        rc = main(["client", "--port", "1", "stats"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error (ServiceError):")
+        assert "Traceback" not in err

@@ -332,3 +332,137 @@ class TestBurstyChurnWorkload:
         s.flush()
         assert s.num_batches >= 1
         assert s.quality().imbalance <= 1.3
+
+
+class TestFoldAndBatchHooks:
+    """The externally-driven flush surface the service layer batches on."""
+
+    def test_fold_then_maybe_flush_equals_push(self, seq_a):
+        g0 = seq_a.graphs[0]
+        part = strip_partition(g0, 4)
+        policy = FlushPolicy(weight_fraction=0.2, imbalance_limit=1.5)
+        a = StreamingPartitioner(g0, part.copy(), num_partitions=4, policy=policy)
+        b = StreamingPartitioner(g0, part.copy(), num_partitions=4, policy=policy)
+        for d in seq_a.deltas:
+            ra = a.push(d)
+            b.fold_pending(d)
+            rb = b.maybe_flush()
+            assert (ra is None) == (rb is None)
+        assert np.array_equal(a.part, b.part)
+        assert a.num_batches == b.num_batches
+
+    def test_fold_pending_never_flushes(self, seq_a):
+        g0 = seq_a.graphs[0]
+        sp = StreamingPartitioner(
+            g0, strip_partition(g0, 4), num_partitions=4,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None,
+                               max_pending=1),
+        )
+        for d in seq_a.deltas:
+            sp.fold_pending(d)  # max_pending=1 would fire on push()
+        assert sp.num_batches == 0
+        assert sp.num_pending == len(seq_a.deltas)
+
+    def test_session_push_batch_flushes_once_per_batch(self, seq_a):
+        """A micro-batch consults the policy once: under max_pending=1,
+        k pushed-together deltas cost one flush, not k."""
+        from repro.session import open_session
+
+        g0 = seq_a.graphs[0]
+        policy = FlushPolicy(weight_fraction=None, imbalance_limit=None,
+                             max_pending=1)
+        batched = open_session(g0, 4, initial="given",
+                               part=strip_partition(g0, 4), policy=policy)
+        res = batched.push_batch(list(seq_a.deltas))
+        assert res is not None
+        assert batched.num_batches == 1
+        assert batched.num_pushed == len(seq_a.deltas)
+        assert batched.history()[0].num_deltas == len(seq_a.deltas)
+
+        per = open_session(g0, 4, initial="given",
+                           part=strip_partition(g0, 4), policy=policy)
+        for d in seq_a.deltas:
+            per.push(d)
+        assert per.num_batches == len(seq_a.deltas)
+
+    def test_push_batch_empty_is_noop(self, seq_a):
+        from repro.session import open_session
+
+        g0 = seq_a.graphs[0]
+        s = open_session(g0, 4, initial="given", part=strip_partition(g0, 4))
+        assert s.push_batch([]) is None
+        assert s.num_pushed == 0 and s.num_pending == 0
+
+    def test_on_batch_observer_sees_every_flush(self, seq_a):
+        from repro.session import open_session
+
+        g0 = seq_a.graphs[0]
+        seen = []
+        s = open_session(
+            g0, 4, initial="given", part=strip_partition(g0, 4),
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=None,
+                               max_pending=2),
+        )
+        s.on_batch = seen.append
+        s.extend(seq_a.deltas)
+        s.flush()
+        assert len(seen) == s.num_batches
+        assert [x.num_deltas for x in seen] == [
+            h.num_deltas for h in s.history()
+        ]
+
+
+class TestAdversarialImbalanceWorkload:
+    def test_stream_is_chained_heavy_and_connected(self):
+        from repro.bench.workloads import adversarial_imbalance_stream
+        from repro.graph.operations import is_connected
+
+        base, deltas = adversarial_imbalance_stream(n=120, steps=5, seed=9)
+        assert is_connected(base)
+        cur = base
+        for d in deltas:
+            assert d.num_added_vertices > 0
+            assert d.added_vweights is not None
+            assert float(d.added_vweights.min()) > 1.0  # heavy by design
+            # every newcomer storms the same anchor: the current
+            # max-degree vertex is an endpoint of its first added edge
+            hottest = int(np.argmax(np.diff(cur.xadj)))
+            assert hottest == int(d.added_edges[0][0])
+            cur = apply_delta(cur, d).graph
+            assert is_connected(cur)
+
+    def test_stream_deterministic(self):
+        from repro.bench.workloads import adversarial_imbalance_stream
+
+        b1, d1 = adversarial_imbalance_stream(n=100, steps=4, seed=13)
+        b2, d2 = adversarial_imbalance_stream(n=100, steps=4, seed=13)
+        assert b1.same_structure(b2)
+        for a, b in zip(d1, d2):
+            assert np.array_equal(a.added_edges, b.added_edges)
+            assert np.array_equal(a.deleted_vertices, b.deleted_vertices)
+            assert np.array_equal(a.added_vweights, b.added_vweights)
+
+    def test_fires_the_imbalance_trigger(self):
+        """The whole point of the workload: with weight/count triggers
+        disabled, the estimated-imbalance trigger fires (the churn
+        streams never manage that — their traffic roughly cancels)."""
+        from repro.bench.workloads import adversarial_imbalance_stream
+        from repro.session import open_session
+
+        base, deltas = adversarial_imbalance_stream(n=150, steps=6, seed=9)
+        s = open_session(
+            base, 8, seed=0,
+            policy=FlushPolicy(weight_fraction=None, imbalance_limit=1.3),
+        )
+        s.extend(deltas)
+        s.flush()
+        assert any(h.trigger == "imbalance" for h in s.history())
+
+    def test_make_stream_dispatch(self):
+        from repro.bench.workloads import STREAM_SOURCES, make_stream
+
+        assert "adversarial" in STREAM_SOURCES
+        base, deltas = make_stream("adversarial", 0.3, 3, 9)
+        assert base.num_vertices >= 48 and len(deltas) == 3
+        with pytest.raises(ValueError, match="unknown stream source"):
+            make_stream("nope")

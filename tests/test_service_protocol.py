@@ -1,0 +1,150 @@
+"""Wire-protocol unit tests: framing, envelopes, typed errors, payloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    GraphError,
+    LPIterationLimit,
+    PartitioningError,
+    RepartitionInfeasibleError,
+    ServiceError,
+    SnapshotError,
+)
+from repro.graph.generators import grid_graph
+from repro.graph.incremental import GraphDelta
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        env = {"v": 1, "id": 7, "op": "ping"}
+        assert protocol.decode_frame(protocol.encode_frame(env)) == env
+
+    def test_length_prefix_is_big_endian_u32(self):
+        raw = protocol.encode_frame({"a": 1})
+        assert int.from_bytes(raw[:4], "big") == len(raw) - 4
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(b"\x00\x00")
+
+    def test_body_length_mismatch_rejected(self):
+        raw = protocol.encode_frame({"a": 1})
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(raw[:-1])
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(b"\xff\xff\xff\xff")
+
+    def test_non_json_body_rejected(self):
+        body = b"\x80garbage"
+        raw = len(body).to_bytes(4, "big") + body
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(raw)
+
+    def test_non_object_body_rejected(self):
+        body = b"[1, 2, 3]"
+        raw = len(body).to_bytes(4, "big") + body
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(raw)
+
+    @pytest.mark.parametrize("junk", [b"", b"\x00", b"xx", b"\x00\x00\x00"])
+    def test_fuzz_short_frames(self, junk):
+        with pytest.raises(protocol.FrameError):
+            protocol.decode_frame(junk)
+
+
+class TestEnvelopes:
+    def test_request_roundtrip_through_parse(self):
+        env = protocol.request("push", id=3, session="s", args={"delta": "xx"})
+        op, session, args = protocol.parse_request(env)
+        assert (op, session, args) == ("push", "s", {"delta": "xx"})
+
+    def test_foreign_version_rejected_with_version_code(self):
+        env = protocol.request("ping", id=1)
+        env["v"] = 99
+        with pytest.raises(ServiceError) as ei:
+            protocol.parse_request(env)
+        assert ei.value.code == "version"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ServiceError) as ei:
+            protocol.parse_request({"v": 1, "id": 1, "op": "explode"})
+        assert ei.value.code == "bad-request"
+
+    def test_non_string_session_rejected(self):
+        with pytest.raises(ServiceError) as ei:
+            protocol.parse_request({"v": 1, "id": 1, "op": "ping", "session": 5})
+        assert ei.value.code == "bad-request"
+
+    def test_check_response_ok(self):
+        assert protocol.check_response(
+            protocol.ok_response(1, {"x": 2})
+        ) == {"x": 2}
+
+    def test_check_response_error_raises_typed(self):
+        with pytest.raises(ServiceError) as ei:
+            protocol.check_response(
+                protocol.error_response(1, "snapshot", "boom")
+            )
+        assert ei.value.code == "snapshot" and "boom" in str(ei.value)
+
+    def test_check_response_malformed(self):
+        with pytest.raises(protocol.FrameError):
+            protocol.check_response({"nonsense": True})
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize(
+        "exc,code",
+        [
+            (GraphError("x"), "graph"),
+            (SnapshotError("x"), "snapshot"),
+            (RepartitionInfeasibleError("x"), "infeasible"),
+            (PartitioningError("x"), "partitioning"),
+            (LPIterationLimit("x"), "lp"),
+            (ServiceError("x", code="unknown-session"), "unknown-session"),
+            (protocol.FrameError("x"), "protocol"),
+            (RuntimeError("x"), "internal"),
+        ],
+    )
+    def test_mapping(self, exc, code):
+        assert protocol.error_code(exc) == code
+
+
+class TestPayloads:
+    def test_delta_roundtrip(self):
+        delta = GraphDelta(
+            num_added_vertices=2,
+            added_edges=[(0, 4), (4, 5)],
+            deleted_vertices=[1],
+            added_vweights=[2.0, 3.0],
+        )
+        back = protocol.delta_from_wire(protocol.delta_to_wire(delta))
+        assert back.equals(delta)
+
+    def test_graph_roundtrip(self):
+        g = grid_graph(5, 4)
+        back = protocol.graph_from_wire(protocol.graph_to_wire(g))
+        assert back.same_structure(g)
+
+    def test_arrays_roundtrip(self):
+        arrays = {"a": np.arange(5), "b": np.eye(3)}
+        back = protocol.arrays_from_wire(protocol.arrays_to_wire(arrays))
+        assert np.array_equal(back["a"], arrays["a"])
+        assert np.array_equal(back["b"], arrays["b"])
+
+    @pytest.mark.parametrize("junk", ["", "@@@not-base64@@@", "AAAA", 17, None])
+    def test_garbage_payloads_rejected_typed(self, junk):
+        with pytest.raises(ServiceError):
+            protocol.delta_from_wire(junk)
+
+    def test_wrong_arrays_for_delta_rejected(self):
+        text = protocol.arrays_to_wire({"something": np.arange(3)})
+        with pytest.raises(ServiceError) as ei:
+            protocol.delta_from_wire(text)
+        assert ei.value.code == "graph"

@@ -506,3 +506,60 @@ class TestDeprecationShims:
             exec("from repro import *", scope)
         assert "open_session" in scope and "PartitionSession" in scope
         assert "StreamingPartitioner" not in scope
+
+
+# ----------------------------------------------------------------------
+# quality() memoization (service layers poll quality between mutations)
+# ----------------------------------------------------------------------
+class TestQualityMemoization:
+    @pytest.fixture
+    def counting_evaluate(self, monkeypatch):
+        import repro.session as session_mod
+
+        calls = {"n": 0}
+        real = session_mod.evaluate_partition
+
+        def counted(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_mod, "evaluate_partition", counted)
+        return calls
+
+    def test_repeated_quality_computes_once(self, seq_a, counting_evaluate):
+        g0 = seq_a.graphs[0]
+        s = open_session(g0, 4, initial="given", part=strip_partition(g0, 4))
+        q1 = s.quality()
+        q2 = s.quality()
+        q3 = s.quality()
+        assert counting_evaluate["n"] == 1
+        assert q1 is q2 is q3
+
+    def test_push_flush_repartition_invalidate(self, seq_a, counting_evaluate):
+        g0 = seq_a.graphs[0]
+        s = open_session(
+            g0, 4, initial="given", part=strip_partition(g0, 4), policy=MANUAL
+        )
+        s.quality()
+        s.push(seq_a.deltas[0])
+        s.quality()  # recomputed: a push may change pending->flushed state
+        assert counting_evaluate["n"] == 2
+        s.flush()
+        s.quality()
+        assert counting_evaluate["n"] == 3
+        s.repartition()
+        q = s.quality()
+        assert counting_evaluate["n"] == 4
+        # and the memoized value is the real current quality
+        assert q.cut_total == s.quality().cut_total
+        assert counting_evaluate["n"] == 4
+
+    def test_push_batch_invalidates(self, seq_a, counting_evaluate):
+        g0 = seq_a.graphs[0]
+        s = open_session(
+            g0, 4, initial="given", part=strip_partition(g0, 4), policy=MANUAL
+        )
+        s.quality()
+        s.push_batch(list(seq_a.deltas[:2]))
+        s.quality()
+        assert counting_evaluate["n"] == 2
