@@ -1,0 +1,147 @@
+"""Checker framework: module context, base class, registry, AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import AnalysisError
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "Checker",
+    "ModuleContext",
+    "all_checkers",
+    "dotted_name",
+    "iter_function_defs",
+    "register_checker",
+]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker needs to inspect one source file.
+
+    ``relpath`` is the posix path *relative to the package parent* (e.g.
+    ``repro/service/manager.py``), so findings and baselines are stable
+    across checkouts; standalone snippets keep whatever label the caller
+    gave them.
+    """
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.suppressions is None:
+            self.suppressions = parse_suppressions(self.source)
+
+    @classmethod
+    def from_source(cls, source: str, relpath: str = "<snippet>") -> "ModuleContext":
+        """Build a context from an in-memory snippet (fixture tests)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise AnalysisError(f"{relpath}: cannot parse: {exc}") from None
+        return cls(path=Path(relpath), relpath=relpath, source=source, tree=tree)
+
+    def finding(
+        self, node: ast.AST, code: str, message: str, *, checker: str = ""
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            checker=checker,
+        )
+
+
+class Checker:
+    """One domain contract, enforced over ASTs and/or the whole project.
+
+    Subclasses set ``name`` and ``codes`` (``{"RPR101": "summary"}``)
+    and override :meth:`check_module`; cross-module contracts (e.g. map
+    totality) override :meth:`check_project` instead, which runs once
+    per analysis of the real package.  Registration order fixes report
+    order, so the registry is itself deterministic.
+    """
+
+    #: Short identifier used in reports and ``Finding.checker``.
+    name: str = ""
+    #: ``code -> one-line description`` for every rule this checker owns.
+    codes: dict[str, str] = {}
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Whether :meth:`check_module` should run on this file."""
+        return True
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        """Yield findings for one parsed source file."""
+        return ()
+
+    def check_project(self, package_root: Path) -> Iterable[Finding]:
+        """Yield findings for whole-project (semantic) contracts."""
+        return ()
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register_checker(checker: Checker) -> Checker:
+    """Add a checker to the global registry (idempotent by name)."""
+    if not checker.name or not checker.codes:
+        raise AnalysisError(
+            f"checker {type(checker).__name__} must define name and codes"
+        )
+    for code in checker.codes:
+        for other in _REGISTRY.values():
+            if other.name != checker.name and code in other.codes:
+                raise AnalysisError(
+                    f"rule code {code} claimed by both "
+                    f"{other.name!r} and {checker.name!r}"
+                )
+    _REGISTRY[checker.name] = checker
+    return checker
+
+
+def all_checkers() -> list[Checker]:
+    """Every registered checker, in registration order."""
+    _load_builtin_checkers()
+    return list(_REGISTRY.values())
+
+
+def _load_builtin_checkers() -> None:
+    # Import for side effect: each module registers its checker(s).
+    from repro.analysis import checkers  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_function_defs(
+    tree: ast.AST,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every (possibly nested) function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

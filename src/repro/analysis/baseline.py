@@ -1,0 +1,128 @@
+"""Committed baseline: freeze pre-existing debt, fail only new findings.
+
+The baseline file is count-based JSON keyed by ``(path, code)``::
+
+    {
+      "version": 1,
+      "entries": {"repro/lp/revised.py": {"RPR501": 1}}
+    }
+
+Counts (not line numbers) make the baseline robust to unrelated edits
+shifting code around: a file may keep up to its baselined number of
+violations per rule; the moment a new one appears, *all* findings of
+that ``(path, code)`` group are reported so the author either fixes the
+newcomer or consciously regenerates the baseline (``repro-igp lint
+--write-baseline``).  Entries whose debt has been paid off are reported
+as *stale* so the baseline only ever shrinks silently, never grows.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Count-based allowance of known findings per ``(path, code)``."""
+
+    def __init__(self, entries: dict[str, dict[str, int]] | None = None):
+        self.entries: dict[str, dict[str, int]] = {
+            path: dict(codes) for path, codes in (entries or {}).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        """Read a baseline file; raises :class:`AnalysisError` for
+        missing/corrupt files (a silent empty baseline would un-freeze
+        every debt at once)."""
+        p = Path(path)
+        try:
+            obj = json.loads(p.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {p}: {exc}") from None
+        except ValueError as exc:
+            raise AnalysisError(
+                f"baseline {p} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(obj, dict) or obj.get("version") != _VERSION:
+            raise AnalysisError(
+                f"baseline {p} has unsupported format "
+                f"(want version {_VERSION}, got {obj.get('version')!r})"
+            )
+        entries = obj.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(codes, dict)
+            and all(isinstance(n, int) and n > 0 for n in codes.values())
+            for codes in entries.values()
+        ):
+            raise AnalysisError(
+                f"baseline {p}: 'entries' must map path -> code -> positive count"
+            )
+        return cls(entries)
+
+    def dump(self, path) -> None:
+        """Write the baseline (sorted keys, so diffs are reviewable)."""
+        payload = {
+            "version": _VERSION,
+            "entries": {
+                path_: dict(sorted(codes.items()))
+                for path_, codes in sorted(self.entries.items())
+                if codes
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Freeze the given findings as the new allowance."""
+        entries: dict[str, dict[str, int]] = {}
+        counts = Counter((f.path, f.code) for f in findings)
+        for (path, code), n in sorted(counts.items()):
+            entries.setdefault(path, {})[code] = n
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], int, list[tuple[str, str, int]]]:
+        """Split findings into (new, num_waived, stale_entries).
+
+        A ``(path, code)`` group within its baselined count is waived
+        entirely; a group that *exceeds* it is reported in full (see
+        module docstring).  ``stale_entries`` lists ``(path, code,
+        unused_allowance)`` for debt that no longer exists.
+        """
+        groups: dict[tuple[str, str], list[Finding]] = {}
+        for f in findings:
+            groups.setdefault((f.path, f.code), []).append(f)
+        new: list[Finding] = []
+        waived = 0
+        for (path, code), group in sorted(groups.items()):
+            allowed = self.entries.get(path, {}).get(code, 0)
+            if len(group) <= allowed:
+                waived += len(group)
+            else:
+                new.extend(group)
+        stale = []
+        for path, codes in sorted(self.entries.items()):
+            for code, allowed in sorted(codes.items()):
+                actual = len(groups.get((path, code), ()))
+                if actual < allowed:
+                    stale.append((path, code, allowed - actual))
+        return sorted(new), waived, stale

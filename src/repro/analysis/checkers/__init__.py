@@ -1,0 +1,16 @@
+"""Built-in domain checkers — importing this package registers them all.
+
+Registration order below fixes report ordering; new checkers ship one
+module per invariant and one ``RPRx0x`` code block per domain (1xx
+determinism, 2xx error taxonomy, 3xx lock discipline, 4xx async
+hygiene, 5xx broad excepts, 6xx deprecation).
+"""
+
+from repro.analysis.checkers import (  # noqa: F401
+    determinism,
+    error_taxonomy,
+    lock_discipline,
+    async_hygiene,
+    broad_except,
+    deprecation,
+)

@@ -1,0 +1,137 @@
+"""RPR4xx — async hygiene: the event loop must never block.
+
+The partition server (``repro/service/server.py``) keeps accepting and
+framing requests while LP solves and snapshot IO run in a thread pool.
+One blocking call written directly into an ``async def`` body stalls
+*every* connection — and shows up in no functional test, only in tail
+latency under load.
+
+``RPR401`` flags, inside ``async def`` bodies (but not inside nested
+synchronous ``def``\\ s, which run in executors), calls to known
+blocking operations: ``open()``, ``os.fsync``, ``time.sleep``,
+``np.load`` / ``np.savez``, ``subprocess.run`` and friends,
+path read/write helpers (``.read_text`` / ``.write_bytes`` ...),
+socket ``recv`` / ``sendall`` / ``accept``, and the session-engine
+entry points (``.push_batch`` / ``.repartition`` / ``.solve`` /
+``.solve_with_stats``).  Route them through
+``loop.run_in_executor(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleContext, dotted_name, register_checker
+
+#: Fully dotted call chains that block the calling thread.
+BLOCKING_DOTTED = frozenset(
+    {
+        "os.fsync",
+        "os.replace",
+        "time.sleep",
+        "np.load",
+        "numpy.load",
+        "np.savez",
+        "numpy.savez",
+        "np.savez_compressed",
+        "numpy.savez_compressed",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "shutil.copy",
+        "shutil.copytree",
+        "shutil.rmtree",
+    }
+)
+
+#: Method names that block regardless of receiver (IO handles, LP/session
+#: engines).  Deliberately excludes ambiguous names like ``flush`` (file
+#: *and* asyncio-writer semantics); the engine entry points cover the
+#: expensive path.
+BLOCKING_METHODS = frozenset(
+    {
+        "read_text",
+        "read_bytes",
+        "write_text",
+        "write_bytes",
+        "sendall",
+        "recv",
+        "accept",
+        "push_batch",
+        "repartition",
+        "solve",
+        "solve_with_stats",
+        "fsync",
+    }
+)
+
+#: Bare-name calls that block.
+BLOCKING_NAMES = frozenset({"open"})
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    def __init__(self, checker, ctx: ModuleContext):
+        self.checker = checker
+        self.ctx = ctx
+        self.findings = []
+        self._async_depth = 0
+
+    def visit_AsyncFunctionDef(self, node):
+        self._async_depth += 1
+        self.generic_visit(node)
+        self._async_depth -= 1
+
+    def visit_FunctionDef(self, node):
+        # Sync defs nested in async bodies run elsewhere (executors,
+        # callbacks) — suspend the rule inside them.
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_Lambda(self, node):
+        saved, self._async_depth = self._async_depth, 0
+        self.generic_visit(node)
+        self._async_depth = saved
+
+    def visit_Call(self, node):
+        if self._async_depth > 0:
+            blocked = None
+            chain = dotted_name(node.func)
+            if chain in BLOCKING_DOTTED:
+                blocked = chain
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in BLOCKING_NAMES
+            ):
+                blocked = node.func.id
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in BLOCKING_METHODS
+            ):
+                blocked = f".{node.func.attr}"
+            if blocked is not None:
+                self.findings.append(
+                    self.ctx.finding(
+                        node,
+                        "RPR401",
+                        f"blocking call {blocked}() directly in an async "
+                        f"def stalls the event loop; use "
+                        f"loop.run_in_executor(...)",
+                        checker=self.checker.name,
+                    )
+                )
+        self.generic_visit(node)
+
+
+class AsyncHygieneChecker(Checker):
+    name = "async-hygiene"
+    codes = {"RPR401": "blocking call inside an async def body"}
+
+    def check_module(self, ctx: ModuleContext):
+        visitor = _AsyncBodyVisitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+register_checker(AsyncHygieneChecker())

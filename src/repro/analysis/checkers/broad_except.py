@@ -1,0 +1,70 @@
+"""RPR5xx — broad excepts must re-raise or justify themselves.
+
+``except Exception`` in a durability or replay path can silently eat
+the very failure the WAL contract exists to surface.  Sometimes the
+swallow *is* the contract (replay must mirror the live server's
+error-handling exactly) — but then the rationale belongs next to the
+code where a reviewer sees it.
+
+``RPR501`` flags ``except Exception`` / ``except BaseException`` /
+bare ``except:`` handlers (including tuple forms naming either) unless
+the handler *unconditionally re-raises* (a bare ``raise`` as a direct
+statement of the handler body — the cleanup-and-propagate idiom).
+Intentional swallows carry an inline suppression naming why::
+
+    # repro: ignore[RPR501] - replay mirrors the live error-swallow
+    except Exception as exc:
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+
+_BROAD = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> str | None:
+    """The broad type name this handler catches, or None."""
+    t = handler.type
+    if t is None:
+        return "<bare except>"
+    exprs = t.elts if isinstance(t, ast.Tuple) else [t]
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            return expr.id
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a direct bare ``raise``?"""
+    return any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None
+        for stmt in handler.body
+    )
+
+
+class BroadExceptChecker(Checker):
+    name = "broad-except"
+    codes = {"RPR501": "broad except that swallows without a rationale"}
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _is_broad(node)
+            if caught is None or _reraises(node):
+                continue
+            yield ctx.finding(
+                node,
+                "RPR501",
+                f"except {caught} swallows errors; re-raise, narrow the "
+                f"type, or add '# repro: ignore[RPR501] - <why>' naming "
+                f"the rationale",
+                checker=self.name,
+            )
+
+
+register_checker(BroadExceptChecker())

@@ -1,0 +1,80 @@
+"""RPR6xx — internal code never touches the deprecated shims.
+
+PR 3 left ``repro.StreamingPartitioner`` / ``repro.
+IncrementalGraphPartitioner`` as warning shims for external callers;
+the canonical spellings live under :mod:`repro.core`.  Until now only
+the CI flag ``-W error::DeprecationWarning:repro`` caught internal use
+— at runtime, and only on executed paths.  ``RPR601`` catches it at
+parse time on every path: ``from repro import <shim>`` and
+``repro.<shim>`` attribute access are flagged anywhere under
+``src/repro/``.
+
+The shim list is read from ``repro._DEPRECATED_TOP_LEVEL`` so a future
+PR that deprecates another top-level name gets its static enforcement
+for free.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+
+
+def _shim_names() -> frozenset[str]:
+    try:
+        from repro import _DEPRECATED_TOP_LEVEL
+
+        return frozenset(_DEPRECATED_TOP_LEVEL)
+    except ImportError:  # pragma: no cover - mid-refactor safety net
+        return frozenset(
+            {"IncrementalGraphPartitioner", "StreamingPartitioner"}
+        )
+
+
+class DeprecationChecker(Checker):
+    name = "deprecation"
+    codes = {"RPR601": "internal import of a deprecated top-level shim"}
+
+    def __init__(self):
+        self._shims: frozenset[str] | None = None
+
+    @property
+    def shims(self) -> frozenset[str]:
+        if self._shims is None:
+            self._shims = _shim_names()
+        return self._shims
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # The package façade defines the shims; everything else is
+        # internal code that must use the canonical repro.core spellings.
+        return ctx.relpath != "repro/__init__.py"
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "repro":
+                for alias in node.names:
+                    if alias.name in self.shims:
+                        yield ctx.finding(
+                            node,
+                            "RPR601",
+                            f"from repro import {alias.name} hits the "
+                            f"deprecation shim; import it from repro.core",
+                            checker=self.name,
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "repro"
+                and node.attr in self.shims
+            ):
+                yield ctx.finding(
+                    node,
+                    "RPR601",
+                    f"repro.{node.attr} hits the deprecation shim; use "
+                    f"repro.core.{node.attr}",
+                    checker=self.name,
+                )
+
+
+register_checker(DeprecationChecker())

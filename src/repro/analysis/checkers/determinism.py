@@ -1,0 +1,182 @@
+"""RPR1xx — determinism: reproducibility is a property of the source.
+
+The paper-contract this repo gates on (serial == parallel SPMD output,
+bit-identical crash replay) only holds if no label-affecting code draws
+entropy outside :mod:`repro.rng` or depends on unordered-container
+iteration order.
+
+``RPR101`` flags calls to wall-clock/global-RNG sources —
+``time.time``, ``datetime.now``, the ``random`` module,
+``np.random.default_rng`` / legacy ``np.random.*`` draws, ``uuid`` —
+anywhere except :mod:`repro.rng` (the one sanctioned construction
+site) and ``repro/bench/`` (timing harnesses measure wall-clock by
+design; their *workloads* live under the checked modules).
+
+``RPR102`` flags iteration directly over a syntactic set expression
+(set literal, set comprehension, ``set(...)`` / ``frozenset(...)``
+call) in a ``for`` loop, comprehension, or order-preserving
+constructor (``list`` / ``tuple`` / ``enumerate``) — set order is
+hash-dependent, so anything it feeds is not reproducible across
+interpreters.  Wrap in ``sorted(...)`` to fix.  Order-insensitive
+reducers (``len`` / ``sum`` / ``min`` / ``max`` / ``sorted`` /
+``any`` / ``all``) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleContext, dotted_name, register_checker
+
+#: Dotted call chains that inject wall-clock time or global RNG state.
+NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.seed",
+        "numpy.random.seed",
+        "np.random.rand",
+        "numpy.random.rand",
+        "np.random.randn",
+        "numpy.random.randn",
+        "np.random.randint",
+        "numpy.random.randint",
+        "np.random.choice",
+        "numpy.random.choice",
+        "np.random.permutation",
+        "numpy.random.permutation",
+        "np.random.shuffle",
+        "numpy.random.shuffle",
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.seed",
+        "random.uniform",
+        "random.gauss",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Modules whose *import* alone marks entropy use (stdlib ``random``).
+NONDETERMINISTIC_IMPORTS = frozenset({"random", "secrets"})
+
+#: Callables whose argument order is preserved into output.
+_ORDER_PRESERVING = frozenset({"list", "tuple", "enumerate", "iter"})
+
+#: Files allowed to construct RNGs / read wall-clock time.
+_EXEMPT_PREFIXES = ("repro/bench/",)
+_EXEMPT_FILES = ("repro/rng.py",)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Is ``node`` syntactically an unordered set value?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set-algebra results are sets iff an operand visibly is one.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    codes = {
+        "RPR101": "entropy source called outside repro.rng",
+        "RPR102": "iteration over an unordered set expression",
+    }
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if ctx.relpath in _EXEMPT_FILES:
+            return False
+        return not ctx.relpath.startswith(_EXEMPT_PREFIXES)
+
+    def check_module(self, ctx: ModuleContext):
+        for node in ast.walk(ctx.tree):
+            yield from self._check_entropy(ctx, node)
+            yield from self._check_set_iteration(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_entropy(self, ctx: ModuleContext, node: ast.AST):
+        if isinstance(node, ast.Call):
+            chain = dotted_name(node.func)
+            if chain in NONDETERMINISTIC_CALLS:
+                yield ctx.finding(
+                    node,
+                    "RPR101",
+                    f"call to {chain}() injects nondeterminism; draw from "
+                    f"repro.rng.make_rng(seed) instead",
+                    checker=self.name,
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in NONDETERMINISTIC_IMPORTS:
+                    yield ctx.finding(
+                        node,
+                        "RPR101",
+                        f"import of {alias.name!r} (global entropy source); "
+                        f"use repro.rng",
+                        checker=self.name,
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in NONDETERMINISTIC_IMPORTS:
+                yield ctx.finding(
+                    node,
+                    "RPR101",
+                    f"import from {node.module!r} (global entropy source); "
+                    f"use repro.rng",
+                    checker=self.name,
+                )
+            elif node.module in ("numpy.random", "np.random"):
+                yield ctx.finding(
+                    node,
+                    "RPR101",
+                    "import from numpy.random bypasses repro.rng seeding",
+                    checker=self.name,
+                )
+
+    # ------------------------------------------------------------------
+    def _check_set_iteration(self, ctx: ModuleContext, node: ast.AST):
+        iter_sites: list[ast.AST] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            iter_sites.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter):
+                    iter_sites.append(gen.iter)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_PRESERVING
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            iter_sites.append(node.args[0])
+        for site in iter_sites:
+            yield ctx.finding(
+                site,
+                "RPR102",
+                "iterating an unordered set feeds hash-order into the "
+                "output; wrap in sorted(...) to fix the order",
+                checker=self.name,
+            )
+
+
+register_checker(DeterminismChecker())

@@ -1,0 +1,199 @@
+"""RPR2xx — error taxonomy: every failure is typed, every type has a code.
+
+The service maps exceptions to typed wire codes via
+``repro.service.protocol.ERROR_CODES``; a bare stdlib ``raise`` deep in
+``graph/`` or ``lp/`` surfaces to clients as an opaque ``"internal"``
+failure.  Two rules close that hole:
+
+``RPR201`` — every ``raise`` of a *named* exception in library code
+uses a :class:`repro.errors.ReproError` subclass.  Recognised as typed:
+names imported from :mod:`repro.errors`, any name matching
+``*Error``/``*Warning`` that is **not** a known stdlib builtin
+exception, re-raises (bare ``raise``), and protocol-mandated raises
+(``AttributeError`` inside ``__getattr__``-family methods,
+``SystemExit``, ``StopAsyncIteration``).  The typed hierarchy
+dual-inherits the stdlib types it replaced
+(:class:`~repro.errors.ValidationError` *is a* ``ValueError``), so
+migrating a raise never breaks ``except ValueError`` callers.
+
+``RPR202`` — project-level: every *direct* subclass of ``ReproError``
+defined in :mod:`repro.errors` must map to a wire code more specific
+than the ``"repro"`` fallback in ``ERROR_CODES`` (totality of the
+code↔exception map; a new error family must ship its code in the same
+PR).
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from pathlib import Path
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.findings import Finding
+
+#: Stdlib exceptions library code must not raise directly (their typed
+#: dual-inheriting replacements live in repro.errors).
+STDLIB_EXCEPTIONS = frozenset(
+    {
+        # AssertionError is deliberately absent: `raise AssertionError`
+        # is an invariant check like `assert`, not an API error report.
+        "ArithmeticError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "IndexError",
+        "InterruptedError",
+        "IsADirectoryError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "NameError",
+        "NotADirectoryError",
+        "NotImplementedError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "ReferenceError",
+        "RuntimeError",
+        "StopIteration",
+        "TimeoutError",
+        "TypeError",
+        "UnboundLocalError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+#: Exceptions whose raise is part of a Python protocol, not an error report.
+_PROTOCOL_EXCEPTIONS = frozenset(
+    {"SystemExit", "KeyboardInterrupt", "StopAsyncIteration", "GeneratorExit"}
+)
+
+#: Functions in which raising AttributeError IS the protocol.
+_GETATTR_METHODS = frozenset(
+    {"__getattr__", "__getattribute__", "__get__", "__delattr__"}
+)
+
+
+def _exception_name(node: ast.expr) -> str | None:
+    """The raised exception's bare name (``raise X`` / ``raise X(...)``)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _RaiseVisitor(ast.NodeVisitor):
+    """Collect raises with the name of their enclosing function."""
+
+    def __init__(self):
+        self.raises: list[tuple[ast.Raise, str | None]] = []
+        self._func_stack: list[str] = []
+
+    def visit_FunctionDef(self, node):
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Raise(self, node):
+        enclosing = self._func_stack[-1] if self._func_stack else None
+        self.raises.append((node, enclosing))
+        self.generic_visit(node)
+
+
+class ErrorTaxonomyChecker(Checker):
+    name = "error-taxonomy"
+    codes = {
+        "RPR201": "raise of an untyped stdlib exception",
+        "RPR202": "wire error-code map not total over repro.errors",
+    }
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # errors.py may do anything; it *defines* the taxonomy.
+        return ctx.relpath != "repro/errors.py"
+
+    def check_module(self, ctx: ModuleContext):
+        visitor = _RaiseVisitor()
+        visitor.visit(ctx.tree)
+        for node, enclosing in visitor.raises:
+            if node.exc is None:
+                continue  # bare re-raise
+            name = _exception_name(node.exc)
+            if name is None or name in _PROTOCOL_EXCEPTIONS:
+                continue
+            if name == "AttributeError" and enclosing in _GETATTR_METHODS:
+                continue  # attribute protocol demands AttributeError
+            if name in STDLIB_EXCEPTIONS:
+                yield ctx.finding(
+                    node,
+                    "RPR201",
+                    f"raise {name} is invisible to the typed wire protocol; "
+                    f"use a repro.errors subclass (they dual-inherit the "
+                    f"stdlib type where callers rely on it)",
+                    checker=self.name,
+                )
+
+    # ------------------------------------------------------------------
+    def check_project(self, package_root: Path):
+        try:
+            errors_mod = importlib.import_module("repro.errors")
+            protocol_mod = importlib.import_module("repro.service.protocol")
+        # repro: ignore[RPR501] - checker must degrade, not crash, mid-refactor
+        except Exception:
+            return
+        yield from check_error_code_totality(
+            errors_mod, protocol_mod.ERROR_CODES, checker=self.name
+        )
+
+
+def check_error_code_totality(
+    errors_mod, error_codes, *, checker: str = "error-taxonomy"
+) -> list[Finding]:
+    """``RPR202``: every direct ``ReproError`` subclass in ``errors_mod``
+    maps (itself or via a non-root ancestor) to a specific wire code."""
+    root = errors_mod.ReproError
+    mapped = {etype for etype, _ in error_codes}
+    findings: list[Finding] = []
+    for name in sorted(vars(errors_mod)):
+        obj = vars(errors_mod)[name]
+        if not (inspect.isclass(obj) and issubclass(obj, root)) or obj is root:
+            continue
+        if root not in obj.__bases__:
+            continue  # not a direct subclass; covered via its family root
+        covered = any(
+            etype is not root and issubclass(obj, etype) for etype in mapped
+        )
+        if not covered:
+            findings.append(
+                Finding(
+                    path="repro/service/protocol.py",
+                    line=1,
+                    col=1,
+                    code="RPR202",
+                    message=(
+                        f"ERROR_CODES has no specific wire code for "
+                        f"{obj.__name__} (it would degrade to the "
+                        f"'repro' fallback); add an entry"
+                    ),
+                    checker=checker,
+                )
+            )
+    return findings
+
+
+register_checker(ErrorTaxonomyChecker())

@@ -1,0 +1,235 @@
+"""RPR3xx — lock discipline in the concurrent session host.
+
+``SessionManager`` (``repro/service/manager.py``) runs every operation
+on a session under that session's ``RLock`` and guards its registry
+with a manager-wide lock.  A single unlocked mutation is a data race
+that no amount of runtime testing reliably catches — so the discipline
+is enforced lexically:
+
+``RPR301`` — a call to a helper whose name ends in ``_locked`` (the
+codebase's "caller must hold the lock" convention) must occur inside a
+*locked scope*.
+
+``RPR302`` — mutations of managed-session state (assignments to
+``.session`` / ``.wal`` / ``.dirty`` / ``.last_used`` attributes) and
+of the registry (``self._registry[...]`` assignment/deletion, or
+``self._registry.pop/clear/setdefault/update`` calls) must occur
+inside a locked scope.  This rule is scoped to
+``repro/service/manager.py``; RPR301 applies package-wide.
+
+A statement counts as inside a *locked scope* when any of:
+
+* it is lexically inside a ``with`` whose context expression mentions a
+  lock — an attribute named ``lock`` / ``_lock``, or a call to a
+  ``*_locked*`` helper (e.g. ``with self._locked_session(name) as ...``);
+* its enclosing function's name ends in ``_locked`` (it inherits the
+  caller's obligation);
+* its enclosing function explicitly calls ``<x>.lock.acquire(...)`` or
+  ``<x>._lock.acquire(...)`` (try/finally acquire-release patterns; the
+  release side is the author's responsibility);
+* its enclosing function is ``__init__`` / ``__post_init__`` (no
+  concurrent aliases exist during construction).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+
+#: ManagedSession fields whose mutation requires the session lock.
+GUARDED_ATTRS = frozenset({"session", "wal", "dirty", "last_used"})
+
+#: Attribute name of the registry guarded by the manager-wide lock.
+REGISTRY_ATTR = "_registry"
+
+_MUTATING_DICT_METHODS = frozenset({"pop", "clear", "setdefault", "update"})
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+_MANAGER_FILE = "repro/service/manager.py"
+
+
+def _mentions_lock(node: ast.AST) -> bool:
+    """Does a with-item context expression visibly involve a lock?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and (
+            sub.attr in ("lock", "_lock") or "_locked" in sub.attr
+        ):
+            return True
+        if isinstance(sub, ast.Name) and (
+            sub.id in ("lock", "_lock") or "_locked" in sub.id
+        ):
+            return True
+    return False
+
+
+def _is_lock_acquire(node: ast.Call) -> bool:
+    """``<...>.lock.acquire(...)`` / ``<...>._lock.acquire(...)``?"""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "acquire"
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr in ("lock", "_lock")
+    )
+
+
+class _ScopeVisitor(ast.NodeVisitor):
+    """Track, per node, whether it sits in a locked scope."""
+
+    def __init__(self, checker, ctx: ModuleContext, check_mutations: bool):
+        self.checker = checker
+        self.ctx = ctx
+        self.check_mutations = check_mutations
+        self.findings = []
+        # Stack of (function_name, function_acquires_lock) for the
+        # lexically enclosing function chain; with-lock nesting depth.
+        self._funcs: list[tuple[str, bool]] = []
+        self._with_lock_depth = 0
+
+    # ----- locked-scope determination ---------------------------------
+    def _in_locked_scope(self) -> bool:
+        if self._with_lock_depth > 0:
+            return True
+        if self._funcs:
+            name, acquires = self._funcs[-1]
+            if name.endswith("_locked") or name in _CONSTRUCTORS or acquires:
+                return True
+        return False
+
+    # ----- structure visitors -----------------------------------------
+    def visit_FunctionDef(self, node):
+        acquires = any(
+            isinstance(sub, ast.Call) and _is_lock_acquire(sub)
+            for sub in ast.walk(node)
+        )
+        self._funcs.append((node.name, acquires))
+        # A nested function does not inherit an enclosing `with lock:` —
+        # it may be called later, lock long released.
+        saved_depth, self._with_lock_depth = self._with_lock_depth, 0
+        self.generic_visit(node)
+        self._with_lock_depth = saved_depth
+        self._funcs.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_With(self, node):
+        locked = any(_mentions_lock(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if locked:
+            self._with_lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self._with_lock_depth -= 1
+
+    visit_AsyncWith = visit_With
+
+    # ----- rule sites --------------------------------------------------
+    def visit_Call(self, node):
+        callee = None
+        if isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            callee = node.func.id
+        if (
+            callee
+            and callee.endswith("_locked")
+            and not self._in_locked_scope()
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    node,
+                    "RPR301",
+                    f"{callee}() requires the caller to hold the lock, but "
+                    f"no enclosing with-lock / acquire / *_locked scope is "
+                    f"visible",
+                    checker=self.checker.name,
+                )
+            )
+        if self.check_mutations and isinstance(node.func, ast.Attribute):
+            func = node.func
+            if (
+                func.attr in _MUTATING_DICT_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == REGISTRY_ATTR
+                and not self._in_locked_scope()
+            ):
+                self.findings.append(
+                    self.ctx.finding(
+                        node,
+                        "RPR302",
+                        f"mutation of {REGISTRY_ATTR} via .{func.attr}() "
+                        f"outside a locked scope",
+                        checker=self.checker.name,
+                    )
+                )
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.AST, verb: str):
+        if not self.check_mutations or self._in_locked_scope():
+            return
+        if isinstance(target, ast.Attribute) and target.attr in GUARDED_ATTRS:
+            # Only managed-session-shaped receivers: ms.x / ctx.ms.x /
+            # self.<slot>.x — any attribute/name chain qualifies.
+            self.findings.append(
+                self.ctx.finding(
+                    target,
+                    "RPR302",
+                    f"{verb} of guarded session attribute .{target.attr} "
+                    f"outside a locked scope",
+                    checker=self.checker.name,
+                )
+            )
+        elif (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == REGISTRY_ATTR
+        ):
+            self.findings.append(
+                self.ctx.finding(
+                    target,
+                    "RPR302",
+                    f"{verb} of {REGISTRY_ATTR}[...] outside a locked scope",
+                    checker=self.checker.name,
+                )
+            )
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._check_target(target, "assignment")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._check_target(node.target, "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._check_target(node.target, "assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node):
+        for target in node.targets:
+            self._check_target(target, "deletion")
+        self.generic_visit(node)
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    codes = {
+        "RPR301": "*_locked helper called outside a locked scope",
+        "RPR302": "guarded session/registry state mutated outside a lock",
+    }
+
+    def check_module(self, ctx: ModuleContext):
+        check_mutations = ctx.relpath == _MANAGER_FILE or ctx.relpath.endswith(
+            "manager.py"
+        )
+        visitor = _ScopeVisitor(self, ctx, check_mutations)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+register_checker(LockDisciplineChecker())

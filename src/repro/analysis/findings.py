@@ -1,0 +1,30 @@
+"""The unit of static-analysis output: one :class:`Finding` per violation."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, col, code)`` so reports are stable across
+    runs and dict/set iteration orders — the analyzer holds itself to
+    the same determinism contract it checks.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    checker: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (schema: the dataclass fields)."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line human-readable report form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

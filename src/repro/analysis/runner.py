@@ -1,0 +1,240 @@
+"""Drive the checker suite over files, apply suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import AnalysisError
+from repro.analysis.base import Checker, ModuleContext, all_checkers
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_paths",
+    "analyze_source",
+    "default_package_root",
+]
+
+#: JSON report schema tag (bump on breaking output changes).
+REPORT_SCHEMA = "repro.analysis-report/1"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run, pre- and post-baseline."""
+
+    findings: list[Finding]
+    num_files: int
+    num_suppressed: int = 0
+    baseline_waived: int = 0
+    baseline_stale: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no non-baselined, non-suppressed findings."""
+        return not self.findings
+
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "schema": REPORT_SCHEMA,
+            "ok": self.ok,
+            "num_files": self.num_files,
+            "num_suppressed": self.num_suppressed,
+            "baseline": {
+                "waived": self.baseline_waived,
+                "stale": [
+                    {"path": p, "code": c, "unused": n}
+                    for p, c, n in self.baseline_stale
+                ],
+            },
+            "counts": self.counts_by_code(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+        return json.dumps(payload, indent=2)
+
+    def to_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.num_files} file(s)"
+            f" ({self.num_suppressed} suppressed inline"
+            + (
+                f", {self.baseline_waived} baselined"
+                if self.baseline_waived
+                else ""
+            )
+            + ")"
+        )
+        if self.findings:
+            per_code = ", ".join(
+                f"{code}×{n}" for code, n in self.counts_by_code().items()
+            )
+            summary += f": {per_code}"
+        lines.append(summary)
+        for path, code, unused in self.baseline_stale:
+            lines.append(
+                f"stale baseline entry: {path} {code} "
+                f"({unused} unused allowance — regenerate with "
+                f"--write-baseline)"
+            )
+        return "\n".join(lines)
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _iter_py_files(paths: list[Path]):
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise AnalysisError(f"not a python file or directory: {path}")
+
+
+def _relpath_for(file: Path) -> str:
+    """Stable report path: ``repro/...`` when the file sits inside a
+    ``repro`` package dir, else the file name."""
+    parts = file.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return file.name
+
+
+def _select_codes(checkers: list[Checker], select: str | None):
+    if not select:
+        return None
+    wanted = {tok.strip() for tok in select.split(",") if tok.strip()}
+    known = {code for ch in checkers for code in ch.codes}
+    selected = {
+        code
+        for code in known
+        if any(code == w or code.startswith(w) for w in wanted)
+    }
+    unknown = {
+        w
+        for w in wanted
+        if not any(code == w or code.startswith(w) for code in known)
+    }
+    if unknown:
+        raise AnalysisError(
+            f"--select matched no known rule: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return selected
+
+
+def analyze_paths(
+    paths=None,
+    *,
+    checkers: list[Checker] | None = None,
+    select: str | None = None,
+    baseline: Baseline | None = None,
+    project_checks: bool = True,
+) -> AnalysisReport:
+    """Run the suite over ``paths`` (default: the installed package).
+
+    Findings suppressed inline never reach the report; the baseline then
+    waives its frozen allowance per ``(path, code)`` group.  Pass
+    ``select="RPR5"`` (prefix) or ``"RPR501,RPR201"`` to narrow rules.
+    """
+    if checkers is None:
+        checkers = all_checkers()
+    roots = (
+        [Path(p) for p in paths] if paths else [default_package_root()]
+    )
+    selected = _select_codes(checkers, select)
+
+    findings: list[Finding] = []
+    num_suppressed = 0
+    num_files = 0
+    for file in _iter_py_files(roots):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {file}: {exc}") from None
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{file}: cannot parse: {exc}") from None
+        ctx = ModuleContext(
+            path=file,
+            relpath=_relpath_for(file),
+            source=source,
+            tree=tree,
+        )
+        num_files += 1
+        for checker in checkers:
+            if not checker.applies_to(ctx):
+                continue
+            for finding in checker.check_module(ctx):
+                if selected is not None and finding.code not in selected:
+                    continue
+                if ctx.suppressions.is_suppressed(finding.line, finding.code):
+                    num_suppressed += 1
+                else:
+                    findings.append(finding)
+
+    if project_checks:
+        for checker in checkers:
+            for finding in checker.check_project(roots[0]):
+                if selected is None or finding.code in selected:
+                    findings.append(finding)
+
+    findings.sort()
+    report = AnalysisReport(
+        findings=findings,
+        num_files=num_files,
+        num_suppressed=num_suppressed,
+    )
+    if baseline is not None:
+        new, waived, stale = baseline.apply(findings)
+        report.findings = new
+        report.baseline_waived = waived
+        report.baseline_stale = stale
+    return report
+
+
+def analyze_source(
+    source: str,
+    relpath: str = "<snippet>",
+    *,
+    checkers: list[Checker] | None = None,
+    select: str | None = None,
+) -> list[Finding]:
+    """Analyze one in-memory snippet (fixture tests, editor tooling).
+
+    Module-level checks only — project checks need a real package.
+    """
+    if checkers is None:
+        checkers = all_checkers()
+    selected = _select_codes(checkers, select)
+    ctx = ModuleContext.from_source(source, relpath)
+    findings: list[Finding] = []
+    for checker in checkers:
+        if not checker.applies_to(ctx):
+            continue
+        for finding in checker.check_module(ctx):
+            if selected is not None and finding.code not in selected:
+                continue
+            if not ctx.suppressions.is_suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return sorted(findings)

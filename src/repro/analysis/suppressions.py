@@ -1,0 +1,67 @@
+"""Inline suppression comments: ``# repro: ignore[CODE, ...] - reason``.
+
+A suppression silences the named rule codes on its own physical line.
+A *comment-only* line additionally covers the next non-blank source
+line, so long statements can carry their waiver above them::
+
+    # repro: ignore[RPR501] - replay must mirror the live error-swallow
+    except Exception as exc:
+
+``ignore[*]`` silences every rule on that line (reserved for generated
+code; prefer naming the codes).  The free-text reason after ``-`` is not
+parsed but is the point: a suppression without a rationale is a smell
+reviewers can see.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_*,\s]+)\]"
+)
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+class Suppressions:
+    """Per-line suppressed rule codes for one source file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]):
+        self._by_line = by_line
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Is ``code`` waived on (1-based) ``line``?"""
+        codes = self._by_line.get(line)
+        if not codes:
+            return False
+        return "*" in codes or code in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan ``source`` for suppression comments (see module docstring)."""
+    by_line: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        codes = {
+            c.strip() for c in match.group(1).split(",") if c.strip()
+        }
+        if not codes:
+            continue
+        by_line.setdefault(lineno, set()).update(codes)
+        if _COMMENT_ONLY.match(text):
+            # Attach a standalone comment to the next non-blank line.
+            for nxt in range(lineno + 1, len(lines) + 1):
+                if nxt > len(lines) or lines[nxt - 1].strip():
+                    by_line.setdefault(nxt, set()).update(codes)
+                    break
+    return Suppressions(
+        {line: frozenset(codes) for line, codes in by_line.items()}
+    )

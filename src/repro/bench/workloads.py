@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta, apply_delta
 from repro.graph.generators import random_geometric_graph
@@ -61,7 +62,7 @@ def make_stream(
         return adversarial_imbalance_stream(
             n=max(int(round(400 * scale)), 48), steps=steps, seed=seed
         )
-    raise ValueError(
+    raise ValidationError(
         f"unknown stream source {source!r}; available: {', '.join(STREAM_SOURCES)}"
     )
 
@@ -168,7 +169,7 @@ def _preferential_attachment_base(
 ) -> CSRGraph:
     """Preferential-attachment base graph shared by the churn workloads."""
     if n < attach + 2:
-        raise ValueError("need at least attach + 2 vertices")
+        raise ValidationError("need at least attach + 2 vertices")
     core = attach + 1
     edges = [(i, j) for i in range(core) for j in range(i + 1, core)]
     deg = np.zeros(n, dtype=np.float64)

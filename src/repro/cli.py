@@ -30,6 +30,10 @@ Subcommands:
   LRU eviction, background checkpoints.
 * ``repro-igp client [--port P] create|feed|flush|repartition|quality|
   query|save|close|stats|shutdown ...`` — drive a running service.
+* ``repro-igp lint [PATHS...] [--baseline F] [--format text|json]`` —
+  run the repro.analysis checker suite (determinism, error taxonomy,
+  lock discipline, async hygiene, broad-except, deprecation) over the
+  package.  Exit 0 clean, 1 findings, 2 usage/internal error.
 """
 
 from __future__ import annotations
@@ -483,6 +487,39 @@ def _cmd_shard_inspect(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import Baseline, analyze_paths
+    from repro.errors import AnalysisError
+
+    try:
+        baseline = None
+        if args.baseline and not args.write_baseline:
+            baseline = Baseline.load(args.baseline)
+        report = analyze_paths(
+            args.paths or None,
+            select=args.select,
+            baseline=baseline,
+        )
+        if args.write_baseline:
+            if not args.baseline:
+                print(
+                    "--write-baseline requires --baseline FILE",
+                    file=sys.stderr,
+                )
+                return 2
+            Baseline.from_findings(report.findings).dump(args.baseline)
+            print(
+                f"baseline with {len(report.findings)} finding(s) written "
+                f"to {args.baseline}"
+            )
+            return 0
+    except AnalysisError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.format == "json" else report.to_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     ap = argparse.ArgumentParser(
@@ -690,6 +727,26 @@ def build_parser() -> argparse.ArgumentParser:
     cs.set_defaults(fn=_cmd_client_stats)
     cd = clsub.add_parser("shutdown", help="stop the server cleanly")
     cd.set_defaults(fn=_cmd_client_shutdown)
+
+    ln = sub.add_parser(
+        "lint",
+        help="run the repro.analysis static-contract checkers "
+             "(RPR1xx–RPR6xx) over the package source")
+    ln.add_argument("paths", nargs="*",
+                    help="files or directories to analyze (default: the "
+                         "installed repro package)")
+    ln.add_argument("--baseline", default=None,
+                    help="baseline JSON file: known findings waived by "
+                         "(path, code) count")
+    ln.add_argument("--write-baseline", action="store_true",
+                    help="write the current findings to --baseline FILE "
+                         "instead of reporting them")
+    ln.add_argument("--select", default=None,
+                    help="comma-separated code list or prefixes "
+                         "(e.g. RPR5 or RPR501,RPR201)")
+    ln.add_argument("--format", choices=("text", "json"), default="text",
+                    help="report format (default text)")
+    ln.set_defaults(fn=_cmd_lint)
 
     pp = sub.add_parser("partition")
     pp.add_argument("graph", help="METIS-format graph file")

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.lp.backends import solve_with_backend
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
@@ -153,9 +154,9 @@ def build_balance_lp(
     loads = np.asarray(loads, dtype=np.float64)
     p = len(loads)
     if delta.shape != (p, p):
-        raise ValueError(f"delta shape {delta.shape} != ({p}, {p})")
+        raise ValidationError(f"delta shape {delta.shape} != ({p}, {p})")
     if gamma < 1.0:
-        raise ValueError("gamma must be >= 1")
+        raise ValidationError("gamma must be >= 1")
 
     pairs = [(int(i), int(j)) for i, j in zip(*np.nonzero(delta > 0))]
     v = len(pairs)
@@ -208,7 +209,7 @@ def build_relaxed_balance_lp(
     loads = np.asarray(loads, dtype=np.float64)
     p = len(loads)
     if delta.shape != (p, p):
-        raise ValueError(f"delta shape {delta.shape} != ({p}, {p})")
+        raise ValidationError(f"delta shape {delta.shape} != ({p}, {p})")
     pairs = [(int(i), int(j)) for i, j in zip(*np.nonzero(delta > 0))]
     v = len(pairs)
 

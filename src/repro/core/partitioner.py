@@ -34,7 +34,11 @@ from repro.core.layering import layer_partitions
 from repro.core.mover import apply_moves, select_movers
 from repro.core.quality import PartitionQuality, evaluate_partition, partition_weights
 from repro.core.refine import RefineStats, refine_partition
-from repro.errors import RepartitionInfeasibleError
+from repro.errors import (
+    APIUsageError,
+    RepartitionInfeasibleError,
+    ValidationError,
+)
 from repro.graph.csr import CSRGraph
 from repro.lp.revised import BasisCarrier
 
@@ -64,9 +68,9 @@ class IGPConfig:
 
     def __post_init__(self):
         if self.num_partitions < 1:
-            raise ValueError("need at least one partition")
+            raise ValidationError("need at least one partition")
         if any(g < 1.0 for g in self.gamma_schedule):
-            raise ValueError("gamma values must be >= 1")
+            raise ValidationError("gamma values must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -124,7 +128,9 @@ class IncrementalGraphPartitioner:
         if config is None:
             config = IGPConfig(**kwargs)
         elif kwargs:
-            raise TypeError("pass either a config object or keyword overrides")
+            raise APIUsageError(
+                "pass either a config object or keyword overrides"
+            )
         self.config = config
         # Warm-start state: under a warm-capable backend ("revised") the
         # balance stages and refinement rounds deposit their final bases

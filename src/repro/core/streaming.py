@@ -43,7 +43,9 @@ from repro.core.partitioner import (
     RepartitionResult,
 )
 from repro.errors import (
+    APIUsageError,
     GraphError,
+    ValidationError,
     PartitioningError,
     RepartitionInfeasibleError,
 )
@@ -229,11 +231,13 @@ class StreamingPartitioner:
         **kwargs,
     ):
         if max_history is not None and max_history < 1:
-            raise ValueError("max_history must be >= 1 (or None)")
+            raise ValidationError("max_history must be >= 1 (or None)")
         if config is None:
             config = IGPConfig(**kwargs)
         elif kwargs:
-            raise TypeError("pass either a config object or keyword overrides")
+            raise APIUsageError(
+                "pass either a config object or keyword overrides"
+            )
         part = np.asarray(part, dtype=np.int64).copy()
         if len(part) != graph.num_vertices:
             raise GraphError("partition vector does not match the graph")

@@ -25,8 +25,38 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument carried an invalid *value* (bad shape, out-of-range
+    threshold, unknown registry name...).
+
+    Dual-inherits :class:`ValueError` so call sites that predate the
+    typed taxonomy — and external callers using idiomatic
+    ``except ValueError`` — keep working, while the service wire
+    protocol can map the failure to a typed code instead of
+    ``"internal"``.
+    """
+
+
+class APIUsageError(ReproError, TypeError):
+    """An API was called with a structurally wrong argument pattern
+    (e.g. both a config object *and* keyword overrides).
+
+    Dual-inherits :class:`TypeError` for backward compatibility, like
+    :class:`ValidationError` does for :class:`ValueError`.
+    """
+
+
 class GraphError(ReproError):
     """Invalid graph construction or an operation on an unsuitable graph."""
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge lookup (``edge_weight``) named an edge that is absent.
+
+    Dual-inherits :class:`KeyError` — the mapping-style lookup protocol
+    the graph containers document — so ``except KeyError`` callers keep
+    working.
+    """
 
 
 class GraphValidationError(GraphError):
@@ -66,12 +96,31 @@ class LPIterationLimit(LPError):
     """The simplex method exceeded its iteration budget."""
 
 
+class UnknownBackendError(LPError, KeyError):
+    """An LP backend name was not found in the registry.
+
+    Dual-inherits :class:`KeyError` (registry lookup protocol).
+    """
+
+
 class ParallelError(ReproError):
     """Misuse of the virtual parallel machine (bad rank, dead runtime...)."""
 
 
 class CommunicatorError(ParallelError):
     """Invalid point-to-point or collective communication request."""
+
+
+class RankIndexError(ParallelError, IndexError):
+    """A global index fell outside a block distribution's range.
+
+    Dual-inherits :class:`IndexError` (sequence-style indexing protocol).
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis tooling could not run (unreadable baseline,
+    unknown checker/rule selection, unparsable target...)."""
 
 
 class PartitioningError(ReproError):

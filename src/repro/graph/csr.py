@@ -26,7 +26,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.errors import GraphValidationError
+from repro.errors import EdgeNotFoundError, GraphValidationError
 
 __all__ = ["CSRGraph"]
 
@@ -177,7 +177,7 @@ class CSRGraph:
         nbrs = self.neighbors(u)
         idx = np.searchsorted(nbrs, v)
         if idx >= len(nbrs) or nbrs[idx] != v:
-            raise KeyError(f"edge ({u}, {v}) not in graph")
+            raise EdgeNotFoundError(f"edge ({u}, {v}) not in graph")
         return float(self.incident_weights(u)[idx])
 
     # ------------------------------------------------------------------

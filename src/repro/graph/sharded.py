@@ -49,7 +49,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import GraphError, GraphValidationError
+from repro.errors import (
+    EdgeNotFoundError,
+    GraphError,
+    GraphValidationError,
+    ValidationError,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
 
@@ -119,7 +124,7 @@ class DirectoryShardStore:
 
     def __init__(self, directory, *, max_resident: int | None = None):
         if max_resident is not None and max_resident < 1:
-            raise ValueError("max_resident must be >= 1 (or None)")
+            raise ValidationError("max_resident must be >= 1 (or None)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_resident = max_resident
@@ -637,7 +642,7 @@ class ShardedCSRGraph:
         bv = self.births[v]
         j = np.searchsorted(row, bv)
         if j >= len(row) or row[j] != bv:
-            raise KeyError(f"edge ({u}, {v}) not in graph")
+            raise EdgeNotFoundError(f"edge ({u}, {v}) not in graph")
         return float(block.eweights[block.xadj[i] + j])
 
     def vertex_weight(self, v: int) -> float:

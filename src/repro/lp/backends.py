@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import UnknownBackendError
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
 from repro.lp.revised import Basis, solve_lp_revised
@@ -91,7 +92,7 @@ def get_backend_spec(name: str) -> BackendSpec:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise KeyError(
+        raise UnknownBackendError(
             f"unknown LP backend {name!r}; available: {available_backends()}"
         ) from None
 

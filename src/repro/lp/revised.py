@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 
@@ -103,7 +104,9 @@ class Basis:
         """Rebuild a basis from a :meth:`to_arrays` dict."""
         names, states = arrays["names"], arrays["states"]
         if len(names) != len(states):
-            raise ValueError("basis names/states arrays are not aligned")
+            raise ValidationError(
+                "basis names/states arrays are not aligned"
+            )
         return cls(
             statuses=tuple(
                 (str(n), str(s)) for n, s in zip(names, states)
@@ -179,7 +182,7 @@ class RevisedSimplexSolver:
         bland_trigger: int = 40,
     ):
         if refactor_every < 1:
-            raise ValueError("refactor_every must be >= 1")
+            raise ValidationError("refactor_every must be >= 1")
         self.tol = tol
         self.max_iter = max_iter
         self.refactor_every = refactor_every
@@ -294,6 +297,7 @@ class RevisedSimplexSolver:
                         inv = lu_solve((lu, piv), np.eye(m), check_finite=False)
                     else:  # pragma: no cover - scipy is always present
                         inv = np.linalg.inv(B)
+                # repro: ignore[RPR501] - any breakdown means "basis unusable"
                 except Exception:
                     return None
             if not np.all(np.isfinite(inv)) or np.abs(inv).max() > 1e12:

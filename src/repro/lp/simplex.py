@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.standard_form import StandardFormLP, to_standard_form
@@ -76,7 +77,7 @@ class DenseSimplexSolver:
         bland_trigger: int = 40,
     ):
         if pivot not in ("dantzig", "bland"):
-            raise ValueError(f"unknown pivot rule {pivot!r}")
+            raise ValidationError(f"unknown pivot rule {pivot!r}")
         self.pivot = pivot
         self.tol = tol
         self.max_iter = max_iter

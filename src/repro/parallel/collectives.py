@@ -25,6 +25,8 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable
 
+from repro.errors import CommunicatorError
+
 __all__ = [
     "bcast",
     "reduce",
@@ -148,7 +150,9 @@ def scatter(comm, values: list[Any] | None, root: int, tag: int) -> Any:
     mask = 1
     if rel == 0:
         if values is None or len(values) != size:
-            raise ValueError("scatter root needs exactly one value per rank")
+            raise CommunicatorError(
+                "scatter root needs exactly one value per rank"
+            )
         bundle = {i: values[_abs(i, root, size)] for i in range(size)}
         while mask < size:
             mask <<= 1
@@ -174,7 +178,7 @@ def alltoall(comm, values: list[Any], tag: int) -> list[Any]:
     """Pairwise-exchange personalised all-to-all (P−1 rounds)."""
     size, rank = comm.size, comm.rank
     if len(values) != size:
-        raise ValueError("alltoall needs exactly one value per rank")
+        raise CommunicatorError("alltoall needs exactly one value per rank")
     out: list[Any] = [None] * size
     out[rank] = values[rank]
     for round_ in range(1, size):

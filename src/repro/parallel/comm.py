@@ -63,6 +63,7 @@ def payload_nbytes(obj: Any) -> int:
         )
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    # repro: ignore[RPR501] - size estimate only; any object must get one
     except Exception:  # pragma: no cover - unpicklable exotic object
         return 64
 

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import RankIndexError
+
 __all__ = ["block_counts", "block_range", "block_owner", "BlockDistribution"]
 
 
@@ -66,7 +68,7 @@ class BlockDistribution:
     def owner_of(self, index: int) -> int:
         """Owning rank of a global index."""
         if not (0 <= index < self.n):
-            raise IndexError(index)
+            raise RankIndexError(index)
         return block_owner(self.n, self.p, index)
 
     def local_indices(self, rank: int) -> np.ndarray:

@@ -156,6 +156,7 @@ class VirtualMachine:
         def worker(rank: int) -> None:
             try:
                 results[rank] = program(comms[rank], *args, **kwargs)
+            # repro: ignore[RPR501] - captured and re-raised by the VM driver
             except BaseException as exc:  # noqa: BLE001 - must propagate
                 errors.append((rank, exc, traceback.format_exc()))
                 self._poison(rank, exc)

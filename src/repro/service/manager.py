@@ -277,7 +277,7 @@ class SessionManager:
             self._registry[name] = ms
             return ms
 
-    def _materialize(self, ms: ManagedSession) -> PartitionSession:
+    def _materialize_locked(self, ms: ManagedSession) -> PartitionSession:
         """Ensure ``ms`` holds a live session (caller holds ``ms.lock``).
 
         Recovery path: prefer the snapshot; fall back to a deterministic
@@ -357,6 +357,7 @@ class SessionManager:
                     session.flush()
                 else:  # "repartition"
                     session.repartition()
+            # repro: ignore[RPR501] - replay mirrors the live swallow-and-log
             except Exception as exc:
                 logger.warning(
                     "session %s: WAL record %d (%s) failed on replay as it "
@@ -371,14 +372,14 @@ class SessionManager:
             self._count("wal_replayed", replayed)
             ms.dirty = True
 
-        def _mark_dirty(_summary):
+        def _mark_dirty_locked(_summary):
             ms.dirty = True
 
-        session.on_batch = _mark_dirty
+        session.on_batch = _mark_dirty_locked
         ms.session = session
         return session
 
-    def _touch(self, ms: ManagedSession) -> None:
+    def _touch_locked(self, ms: ManagedSession) -> None:
         ms.last_used = next(self._touch_counter)
 
     def _locked_session(self, name: str):
@@ -393,10 +394,10 @@ class SessionManager:
                 ctx.ms.lock.acquire()
                 try:
                     was_resident = ctx.ms.resident
-                    session = manager._materialize(ctx.ms)
+                    session = manager._materialize_locked(ctx.ms)
                     if not was_resident:
                         manager._count("reloads")
-                    manager._touch(ctx.ms)
+                    manager._touch_locked(ctx.ms)
                 except BaseException:
                     ctx.ms.lock.release()
                     raise
@@ -450,7 +451,7 @@ class SessionManager:
     # ------------------------------------------------------------------
     def _checkpoint_locked(self, ms: ManagedSession) -> Path:
         """Snapshot + WAL truncate (caller holds ``ms.lock``)."""
-        session = self._materialize(ms)
+        session = self._materialize_locked(ms)
         wal_seq = ms.wal.last_seq if ms.wal is not None else 0
         meta = {
             "service": {
@@ -506,6 +507,7 @@ class SessionManager:
             while not self._stop.wait(self.checkpoint_interval):
                 try:
                     self.checkpoint_dirty()
+                # repro: ignore[RPR501] - sweep must outlive one bad session
                 except Exception:  # pragma: no cover - best-effort sweep
                     logger.exception("background checkpoint sweep failed")
 
@@ -564,9 +566,9 @@ class SessionManager:
             self._registry[name] = ms
         try:
             with ms.lock:
-                session = self._materialize(ms)
+                session = self._materialize_locked(ms)
                 self._checkpoint_locked(ms)
-                self._touch(ms)
+                self._touch_locked(ms)
                 info = self._info(ms, session)
         except BaseException:
             # A failed build must not wedge the name: un-register and

@@ -47,13 +47,18 @@ import zipfile
 import numpy as np
 
 from repro.errors import (
+    AnalysisError,
+    APIUsageError,
     GraphError,
     LPError,
+    MeshError,
+    ParallelError,
     PartitioningError,
     RepartitionInfeasibleError,
     ReproError,
     ServiceError,
     SnapshotError,
+    ValidationError,
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
@@ -299,6 +304,12 @@ def check_response(env: dict):
 # ----------------------------------------------------------------------
 #: ``(exception type, wire code)`` — first match wins, so subclasses
 #: precede their bases.  Anything else maps to ``"internal"``.
+#:
+#: Totality contract (enforced statically by the ``RPR202`` checker and
+#: by ``tests/test_analysis.py``): every *direct* subclass of
+#: :class:`ReproError` defined in :mod:`repro.errors` must map to a code
+#: more specific than the ``"repro"`` fallback, so no typed library
+#: failure ever degrades to a generic wire error.
 ERROR_CODES: tuple[tuple[type, str], ...] = (
     (FrameError, "protocol"),
     (ServiceError, "service"),  # .code attribute consulted first
@@ -306,7 +317,12 @@ ERROR_CODES: tuple[tuple[type, str], ...] = (
     (SnapshotError, "snapshot"),
     (GraphError, "graph"),
     (LPError, "lp"),
+    (MeshError, "mesh"),
+    (ParallelError, "parallel"),
     (PartitioningError, "partitioning"),
+    (ValidationError, "validation"),
+    (APIUsageError, "usage"),
+    (AnalysisError, "analysis"),
     (ReproError, "repro"),
 )
 

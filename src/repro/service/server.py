@@ -186,6 +186,7 @@ class PartitionServer:
                 await self._send(writer, response)
         except (ConnectionError, asyncio.CancelledError):
             pass  # client went away / server stopping
+        # repro: ignore[RPR501] - one bad connection must not kill the server
         except Exception:  # pragma: no cover - defensive
             logger.exception("connection handler for %s crashed", peer)
         finally:
@@ -209,6 +210,7 @@ class PartitionServer:
             op, session, args = protocol.parse_request(envelope)
             result = await self._execute(op, session, args)
             return protocol.ok_response(req_id, result)
+        # repro: ignore[RPR501] - boundary: every failure becomes a wire error
         except Exception as exc:
             code = protocol.error_code(exc)
             if code == "internal":
@@ -294,6 +296,7 @@ class PartitionServer:
                     result = await loop.run_in_executor(
                         self._pool, self.manager.push, name, deltas
                     )
+                # repro: ignore[RPR501] - failure is routed to the waiting futures
                 except Exception as exc:
                     for _, fut in items:
                         if not fut.done():

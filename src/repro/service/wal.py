@@ -205,7 +205,9 @@ class WriteAheadLog:
             seq = int(obj["seq"])
             kind = obj["kind"]
             if kind not in _KINDS:
-                raise ValueError(f"unknown record kind {kind!r}")
+                raise ServiceError(
+                    f"unknown record kind {kind!r}", code="wal"
+                )
             deltas = tuple(
                 delta_from_wire(text) for text in obj.get("deltas", ())
             )

@@ -61,7 +61,12 @@ from repro._version import __version__
 from repro.core.partitioner import IGPConfig, RepartitionResult
 from repro.core.quality import PartitionQuality, evaluate_partition
 from repro.core.streaming import BatchRecord, FlushPolicy, StreamingPartitioner
-from repro.errors import GraphError, PartitioningError, SnapshotError
+from repro.errors import (
+    APIUsageError,
+    GraphError,
+    PartitioningError,
+    SnapshotError,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
 from repro.graph.sharded import DirectoryShardStore, ShardedCSRGraph, shard_key
@@ -805,6 +810,7 @@ def _json_safe(obj):
         return float(obj)
     if isinstance(obj, np.bool_):
         return bool(obj)
+    # repro: ignore[RPR201] - json.dumps default= protocol requires TypeError
     raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
 
 
@@ -867,7 +873,9 @@ def open_session(
     graph = _coerce_graph(graph_or_mesh)
     if config is not None:
         if kwargs:
-            raise TypeError("pass either a config object or keyword overrides")
+            raise APIUsageError(
+                "pass either a config object or keyword overrides"
+            )
         if config.num_partitions != k:
             raise PartitioningError(
                 f"open_session(k={k}) conflicts with "
@@ -875,7 +883,7 @@ def open_session(
             )
     else:
         if "num_partitions" in kwargs:
-            raise TypeError("pass k positionally, not num_partitions=")
+            raise APIUsageError("pass k positionally, not num_partitions=")
         config = IGPConfig(num_partitions=k, **kwargs)
 
     rng = make_rng(seed)

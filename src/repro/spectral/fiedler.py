@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import GraphError
+from repro.errors import GraphError, ValidationError
 from repro.graph.csr import CSRGraph
 from repro.graph.laplacian import adjacency_sparse, laplacian_dense
 
@@ -54,4 +54,4 @@ def fiedler_vector(
             matvec, n, tol=tol, seed=seed
         )
         return vec
-    raise ValueError(f"unknown Fiedler method {method!r}")
+    raise ValidationError(f"unknown Fiedler method {method!r}")

@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.rng import make_rng
 
 __all__ = ["lanczos_smallest_nontrivial"]
@@ -59,7 +60,7 @@ def lanczos_smallest_nontrivial(
         the Fiedler pair when ``matvec`` is a connected graph Laplacian.
     """
     if n < 2:
-        raise ValueError("operator dimension must be >= 2")
+        raise ValidationError("operator dimension must be >= 2")
     rng = make_rng(seed)
     ones = np.full(n, 1.0 / np.sqrt(n))
     m = num_steps or min(n - 1, 40)
