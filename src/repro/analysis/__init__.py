@@ -11,7 +11,13 @@ AST-walking framework (stdlib :mod:`ast`, no third-party deps):
 * inline suppressions — ``# repro: ignore[RPR501] - reason`` on (or
   immediately above) the offending line;
 * a committed baseline file freezing pre-existing debt so *new*
-  violations fail CI while old ones are burned down deliberately.
+  violations fail CI while old ones are burned down deliberately;
+* a project tier: one pass builds a
+  :class:`~repro.analysis.project.ProjectGraph` (imports, classes, a
+  conservative call graph with per-function summaries) over which
+  :class:`~repro.analysis.base.ProjectChecker` rules run
+  interprocedural dataflow checks, accelerated by a content-hash
+  incremental cache and a ``--jobs`` parallel parse stage.
 
 Shipped checkers (one module each under ``checkers/``):
 
@@ -31,37 +37,56 @@ Shipped checkers (one module each under ``checkers/``):
            a suppression naming why swallowing is intentional
 ``RPR6xx`` deprecation: internal code never imports the deprecated
            top-level shims
+``RPR7xx`` interprocedural dataflow: transitive async blocking
+           (RPR701), lock-order cycles (RPR702), wire error-code
+           totality vs reachable raises (RPR703), determinism taint
+           closure (RPR704)
 =========  ==========================================================
 
 Run it as ``repro-igp lint`` (see the README's "Static analysis"
 section) or programmatically via :func:`analyze_paths` /
-:func:`analyze_source`.
+:func:`analyze_source` / :func:`analyze_project_sources`.
 """
 
 from repro.analysis.base import (
     Checker,
     ModuleContext,
+    ProjectChecker,
     all_checkers,
+    all_project_checkers,
     register_checker,
+    register_project_checker,
+    rule_index,
 )
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectGraph, build_project_graph
 from repro.analysis.runner import (
     AnalysisReport,
     analyze_paths,
+    analyze_project_sources,
     analyze_source,
     default_package_root,
 )
 
 __all__ = [
+    "AnalysisCache",
     "AnalysisReport",
     "Baseline",
     "Checker",
     "Finding",
     "ModuleContext",
+    "ProjectChecker",
+    "ProjectGraph",
     "all_checkers",
+    "all_project_checkers",
     "analyze_paths",
+    "analyze_project_sources",
     "analyze_source",
+    "build_project_graph",
     "default_package_root",
     "register_checker",
+    "register_project_checker",
+    "rule_index",
 ]

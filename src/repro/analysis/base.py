@@ -1,23 +1,42 @@
-"""Checker framework: module context, base class, registry, AST helpers."""
+"""Checker framework: module context, base classes, registries, AST helpers.
+
+Two checker tiers share one rule-code namespace:
+
+* :class:`Checker` — per-module (and legacy whole-package) contracts,
+  run once per parsed source file;
+* :class:`ProjectChecker` — interprocedural contracts over the
+  :class:`~repro.analysis.project.ProjectGraph` (call graph, lock-order
+  graph, exception flow), run once per analysis.
+
+Registration order fixes report order for both tiers, so the registries
+are themselves deterministic.
+"""
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.errors import AnalysisError
 from repro.analysis.findings import Finding
 from repro.analysis.suppressions import Suppressions, parse_suppressions
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.project import ProjectGraph
+
 __all__ = [
     "Checker",
     "ModuleContext",
+    "ProjectChecker",
     "all_checkers",
+    "all_project_checkers",
     "dotted_name",
     "iter_function_defs",
     "register_checker",
+    "register_project_checker",
+    "rule_index",
 ]
 
 
@@ -35,9 +54,9 @@ class ModuleContext:
     relpath: str
     source: str
     tree: ast.Module
-    suppressions: Suppressions = field(default=None)  # type: ignore[assignment]
+    suppressions: Suppressions | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.suppressions is None:
             self.suppressions = parse_suppressions(self.source)
 
@@ -49,6 +68,11 @@ class ModuleContext:
         except SyntaxError as exc:
             raise AnalysisError(f"{relpath}: cannot parse: {exc}") from None
         return cls(path=Path(relpath), relpath=relpath, source=source, tree=tree)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Is ``code`` waived on ``line`` by an inline suppression?"""
+        assert self.suppressions is not None  # normalized in __post_init__
+        return self.suppressions.is_suppressed(line, code)
 
     def finding(
         self, node: ast.AST, code: str, message: str, *, checker: str = ""
@@ -68,10 +92,11 @@ class Checker:
     """One domain contract, enforced over ASTs and/or the whole project.
 
     Subclasses set ``name`` and ``codes`` (``{"RPR101": "summary"}``)
-    and override :meth:`check_module`; cross-module contracts (e.g. map
-    totality) override :meth:`check_project` instead, which runs once
-    per analysis of the real package.  Registration order fixes report
-    order, so the registry is itself deterministic.
+    and override :meth:`check_module`; cross-module contracts that need
+    *imported* modules (e.g. map totality) override :meth:`check_project`
+    instead, which runs once per analysis of the real package.  Purely
+    source-level cross-module contracts belong in a
+    :class:`ProjectChecker`.
     """
 
     #: Short identifier used in reports and ``Finding.checker``.
@@ -92,30 +117,91 @@ class Checker:
         return ()
 
 
+class ProjectChecker:
+    """One interprocedural contract over the project call graph.
+
+    Subclasses set ``name`` and ``codes`` like :class:`Checker` and
+    override :meth:`check_graph`, which receives the
+    :class:`~repro.analysis.project.ProjectGraph` built from every
+    analyzed module in one pass.  Findings anchor at real source
+    locations, so inline suppressions apply exactly as they do for
+    per-module rules.
+    """
+
+    #: Short identifier used in reports and ``Finding.checker``.
+    name: str = ""
+    #: ``code -> one-line description`` for every rule this checker owns.
+    codes: dict[str, str] = {}
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterable[Finding]:
+        """Yield findings for the whole project graph."""
+        return ()
+
+
 _REGISTRY: dict[str, Checker] = {}
+_PROJECT_REGISTRY: dict[str, ProjectChecker] = {}
 
 
-def register_checker(checker: Checker) -> Checker:
-    """Add a checker to the global registry (idempotent by name)."""
+def _claimed_codes() -> dict[str, str]:
+    """``code -> checker name`` over both registries."""
+    claimed: dict[str, str] = {}
+    for checker in list(_REGISTRY.values()) + list(_PROJECT_REGISTRY.values()):
+        for code in checker.codes:
+            claimed[code] = checker.name
+    return claimed
+
+
+def _check_registration(checker: Checker | ProjectChecker) -> None:
     if not checker.name or not checker.codes:
         raise AnalysisError(
             f"checker {type(checker).__name__} must define name and codes"
         )
+    claimed = _claimed_codes()
     for code in checker.codes:
-        for other in _REGISTRY.values():
-            if other.name != checker.name and code in other.codes:
-                raise AnalysisError(
-                    f"rule code {code} claimed by both "
-                    f"{other.name!r} and {checker.name!r}"
-                )
+        owner = claimed.get(code)
+        if owner is not None and owner != checker.name:
+            raise AnalysisError(
+                f"rule code {code} claimed by both "
+                f"{owner!r} and {checker.name!r}"
+            )
+
+
+def register_checker(checker: Checker) -> Checker:
+    """Add a per-module checker to the registry (idempotent by name)."""
+    _check_registration(checker)
     _REGISTRY[checker.name] = checker
     return checker
 
 
+def register_project_checker(checker: ProjectChecker) -> ProjectChecker:
+    """Add a project checker to the registry (idempotent by name)."""
+    _check_registration(checker)
+    _PROJECT_REGISTRY[checker.name] = checker
+    return checker
+
+
 def all_checkers() -> list[Checker]:
-    """Every registered checker, in registration order."""
+    """Every registered per-module checker, in registration order."""
     _load_builtin_checkers()
     return list(_REGISTRY.values())
+
+
+def all_project_checkers() -> list[ProjectChecker]:
+    """Every registered project checker, in registration order."""
+    _load_builtin_checkers()
+    return list(_PROJECT_REGISTRY.values())
+
+
+def rule_index() -> dict[str, tuple[str, str]]:
+    """``code -> (checker name, description)`` over both tiers,
+    sorted by code (used by ``--select`` validation and SARIF rule
+    metadata)."""
+    _load_builtin_checkers()
+    index: dict[str, tuple[str, str]] = {}
+    for checker in list(_REGISTRY.values()) + list(_PROJECT_REGISTRY.values()):
+        for code, description in checker.codes.items():
+            index[code] = (checker.name, description)
+    return dict(sorted(index.items()))
 
 
 def _load_builtin_checkers() -> None:

@@ -33,7 +33,9 @@ _VERSION = 1
 class Baseline:
     """Count-based allowance of known findings per ``(path, code)``."""
 
-    def __init__(self, entries: dict[str, dict[str, int]] | None = None):
+    def __init__(
+        self, entries: dict[str, dict[str, int]] | None = None
+    ) -> None:
         self.entries: dict[str, dict[str, int]] = {
             path: dict(codes) for path, codes in (entries or {}).items()
         }
@@ -42,7 +44,7 @@ class Baseline:
     # Persistence
     # ------------------------------------------------------------------
     @classmethod
-    def load(cls, path) -> "Baseline":
+    def load(cls, path: str | Path) -> "Baseline":
         """Read a baseline file; raises :class:`AnalysisError` for
         missing/corrupt files (a silent empty baseline would un-freeze
         every debt at once)."""
@@ -71,7 +73,7 @@ class Baseline:
             )
         return cls(entries)
 
-    def dump(self, path) -> None:
+    def dump(self, path: str | Path) -> None:
         """Write the baseline (sorted keys, so diffs are reviewable)."""
         payload = {
             "version": _VERSION,

@@ -1,0 +1,148 @@
+"""Content-hash incremental cache for per-module analysis results.
+
+Whole-program analysis re-reads every module on every run, but the
+expensive per-module work (parse, checker walks, summarization) only
+depends on that module's *source text* and the registered checker set.
+The cache keys each module's results by a SHA-256 digest of its source
+plus a fingerprint of the checker registry, so a warm ``repro-igp
+lint`` re-analyzes only modules whose bytes changed — edits, new rules,
+or a schema bump invalidate exactly what they must.
+
+The cache is a single JSON file under ``.repro-analysis-cache/`` (the
+directory is gitignored).  It is strictly an accelerator: any load
+problem (corrupt JSON, stale schema, foreign fingerprint) silently
+drops to an empty cache, and a failed save is reported as a warning
+only by callers that care.  ``hits`` / ``misses`` counters expose the
+behavior to tests and to ``--no-cache`` comparisons.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import AnalysisError
+
+__all__ = ["AnalysisCache", "registry_fingerprint", "source_digest"]
+
+#: Bump when the cached entry layout changes.
+CACHE_SCHEMA = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+
+def source_digest(source: str) -> str:
+    """Stable digest of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def registry_fingerprint() -> str:
+    """Digest of the registered checker set (names + codes + schema).
+
+    Cached per-module findings are only valid for the rule set that
+    produced them; registering, removing, or renaming a rule changes
+    the fingerprint and invalidates every entry at once.
+    """
+    from repro.analysis.base import rule_index
+
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA, "rules": rule_index()}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """Per-module analysis results keyed by source digest.
+
+    Entries map ``relpath -> {digest, findings, suppressed, summary}``
+    where ``findings`` are post-suppression, pre-selection
+    :class:`~repro.analysis.findings.Finding` dicts, ``suppressed``
+    holds the codes of inline-suppressed findings, and ``summary`` is a
+    serialized :class:`~repro.analysis.project.ModuleSummary`.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike[str] = DEFAULT_CACHE_DIR
+    ) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "modules.json"
+        self.hits = 0
+        self.misses = 0
+        self._fingerprint = registry_fingerprint()
+        self._entries: dict[str, dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+            data = json.loads(raw)
+        except (OSError, ValueError):
+            return  # missing or corrupt: start cold, never fail the run
+        if not isinstance(data, dict):
+            return
+        if data.get("schema") != CACHE_SCHEMA:
+            return
+        if data.get("fingerprint") != self._fingerprint:
+            return  # rule set changed: every entry is stale
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(k): v for k, v in entries.items() if isinstance(v, dict)
+            }
+
+    def save(self) -> None:
+        """Atomically persist the cache; raises :class:`AnalysisError`
+        only for filesystem failures (callers may downgrade to a
+        warning)."""
+        if not self._dirty:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": self._fingerprint,
+            "entries": dict(sorted(self._entries.items())),
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise AnalysisError(f"cannot write analysis cache: {exc}") from None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    def lookup(self, relpath: str, digest: str) -> dict[str, Any] | None:
+        """The cached entry for ``relpath`` when its digest matches,
+        counting a hit or miss either way."""
+        entry = self._entries.get(relpath)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        relpath: str,
+        digest: str,
+        *,
+        findings: list[dict[str, Any]],
+        suppressed: list[str],
+        summary: dict[str, Any],
+    ) -> None:
+        """Record one module's fresh analysis results."""
+        self._entries[relpath] = {
+            "digest": digest,
+            "findings": findings,
+            "suppressed": suppressed,
+            "summary": summary,
+        }
+        self._dirty = True

@@ -20,8 +20,10 @@ entry points (``.push_batch`` / ``.repartition`` / ``.solve`` /
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.base import Checker, ModuleContext, dotted_name, register_checker
+from repro.analysis.findings import Finding
 
 #: Fully dotted call chains that block the calling thread.
 BLOCKING_DOTTED = frozenset(
@@ -71,32 +73,32 @@ BLOCKING_NAMES = frozenset({"open"})
 
 
 class _AsyncBodyVisitor(ast.NodeVisitor):
-    def __init__(self, checker, ctx: ModuleContext):
+    def __init__(self, checker: Checker, ctx: ModuleContext) -> None:
         self.checker = checker
         self.ctx = ctx
-        self.findings = []
+        self.findings: list[Finding] = []
         self._async_depth = 0
 
-    def visit_AsyncFunctionDef(self, node):
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._async_depth += 1
         self.generic_visit(node)
         self._async_depth -= 1
 
-    def visit_FunctionDef(self, node):
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         # Sync defs nested in async bodies run elsewhere (executors,
         # callbacks) — suspend the rule inside them.
         saved, self._async_depth = self._async_depth, 0
         self.generic_visit(node)
         self._async_depth = saved
 
-    def visit_Lambda(self, node):
+    def visit_Lambda(self, node: ast.Lambda) -> None:
         saved, self._async_depth = self._async_depth, 0
         self.generic_visit(node)
         self._async_depth = saved
 
-    def visit_Call(self, node):
+    def visit_Call(self, node: ast.Call) -> None:
         if self._async_depth > 0:
-            blocked = None
+            blocked: str | None = None
             chain = dotted_name(node.func)
             if chain in BLOCKING_DOTTED:
                 blocked = chain
@@ -128,7 +130,7 @@ class AsyncHygieneChecker(Checker):
     name = "async-hygiene"
     codes = {"RPR401": "blocking call inside an async def body"}
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         visitor = _AsyncBodyVisitor(self, ctx)
         visitor.visit(ctx.tree)
         yield from visitor.findings

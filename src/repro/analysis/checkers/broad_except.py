@@ -20,8 +20,10 @@ Intentional swallows carry an inline suppression naming why::
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.findings import Finding
 
 _BROAD = ("Exception", "BaseException")
 
@@ -50,7 +52,7 @@ class BroadExceptChecker(Checker):
     name = "broad-except"
     codes = {"RPR501": "broad except that swallows without a rationale"}
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue

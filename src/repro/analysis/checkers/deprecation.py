@@ -17,8 +17,10 @@ for free.
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.findings import Finding
 
 
 def _shim_names() -> frozenset[str]:
@@ -36,7 +38,7 @@ class DeprecationChecker(Checker):
     name = "deprecation"
     codes = {"RPR601": "internal import of a deprecated top-level shim"}
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._shims: frozenset[str] | None = None
 
     @property
@@ -50,7 +52,7 @@ class DeprecationChecker(Checker):
         # internal code that must use the canonical repro.core spellings.
         return ctx.relpath != "repro/__init__.py"
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom) and node.module == "repro":
                 for alias in node.names:

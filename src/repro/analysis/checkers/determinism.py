@@ -25,8 +25,10 @@ reducers (``len`` / ``sum`` / ``min`` / ``max`` / ``sorted`` /
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.base import Checker, ModuleContext, dotted_name, register_checker
+from repro.analysis.findings import Finding
 
 #: Dotted call chains that inject wall-clock time or global RNG state.
 NONDETERMINISTIC_CALLS = frozenset(
@@ -105,13 +107,15 @@ class DeterminismChecker(Checker):
             return False
         return not ctx.relpath.startswith(_EXEMPT_PREFIXES)
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             yield from self._check_entropy(ctx, node)
             yield from self._check_set_iteration(ctx, node)
 
     # ------------------------------------------------------------------
-    def _check_entropy(self, ctx: ModuleContext, node: ast.AST):
+    def _check_entropy(
+        self, ctx: ModuleContext, node: ast.AST
+    ) -> Iterator[Finding]:
         if isinstance(node, ast.Call):
             chain = dotted_name(node.func)
             if chain in NONDETERMINISTIC_CALLS:
@@ -151,7 +155,9 @@ class DeterminismChecker(Checker):
                 )
 
     # ------------------------------------------------------------------
-    def _check_set_iteration(self, ctx: ModuleContext, node: ast.AST):
+    def _check_set_iteration(
+        self, ctx: ModuleContext, node: ast.AST
+    ) -> Iterator[Finding]:
         iter_sites: list[ast.AST] = []
         if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
             iter_sites.append(node.iter)

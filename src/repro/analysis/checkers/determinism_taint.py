@@ -1,0 +1,142 @@
+"""RPR704 — determinism taint: transitive closure of RPR101 sources.
+
+RPR101 flags the function that *calls* ``time.time()``; every caller of
+that function inherits the nondeterminism unflagged.  This rule
+propagates entropy taint backwards over **resolved** call edges: a
+function whose resolved call tree reaches an RPR101 source — in any
+module — is flagged at the call site that leads toward it, with the
+shortest chain in the message.
+
+The sanctioned constructions stay silent: functions in the RPR101
+exemption set (``repro/rng.py``, ``repro/bench/``) are neither sources
+nor taintable, so calling ``make_rng(seed)`` is a barrier, and bench
+harnesses may time things without tainting their callers.  Direct
+sources are RPR101's finding, not ours — only transitive callers are
+reported here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import ProjectChecker, register_project_checker
+from repro.analysis.checkers.determinism import _EXEMPT_FILES, _EXEMPT_PREFIXES
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import ProjectGraph
+
+#: Cap on rendered chain length.
+_MAX_CHAIN_SHOWN = 6
+
+
+def _is_exempt(relpath: str) -> bool:
+    return relpath in _EXEMPT_FILES or relpath.startswith(_EXEMPT_PREFIXES)
+
+
+class DeterminismTaintChecker(ProjectChecker):
+    name = "determinism-taint"
+    codes = {
+        "RPR704": "call chain reaches an entropy source in another scope",
+    }
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterable[Finding]:
+        edges: dict[str, list[tuple[int, int, str]]] = {}
+        reverse: dict[str, set[str]] = {}
+        sources: set[str] = set()
+        for fn in graph.sorted_functions():
+            if _is_exempt(fn.relpath):
+                continue
+            if fn.entropy:
+                sources.add(fn.qualname)
+            out: list[tuple[int, int, str]] = []
+            for site in fn.calls:
+                target = graph.resolve_call(fn, site)
+                if target is None:
+                    continue
+                if _is_exempt(graph.functions[target].relpath):
+                    continue  # barrier: repro.rng / bench harnesses
+                out.append((site.line, site.col, target))
+                reverse.setdefault(target, set()).add(fn.qualname)
+            edges[fn.qualname] = out
+
+        tainted = self._propagate(sources, reverse, graph)
+        for qual in sorted(tainted - sources):
+            yield self._taint_finding(graph, qual, edges, sources, tainted)
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self,
+        sources: set[str],
+        reverse: dict[str, set[str]],
+        graph: "ProjectGraph",
+    ) -> set[str]:
+        tainted = set(sources)
+        queue: deque[str] = deque(sorted(sources))
+        while queue:
+            current = queue.popleft()
+            for caller in sorted(reverse.get(current, set())):
+                if caller in tainted:
+                    continue
+                if _is_exempt(graph.functions[caller].relpath):
+                    continue
+                tainted.add(caller)
+                queue.append(caller)
+        return tainted
+
+    def _taint_finding(
+        self,
+        graph: "ProjectGraph",
+        qual: str,
+        edges: dict[str, list[tuple[int, int, str]]],
+        sources: set[str],
+        tainted: set[str],
+    ) -> Finding:
+        path = self._shortest_chain(qual, edges, sources, tainted)
+        fn = graph.functions[qual]
+        line, col = fn.lineno, 1
+        for site_line, site_col, target in edges.get(qual, []):
+            if len(path) > 1 and target == path[1]:
+                line, col = site_line, site_col
+                break
+        source_fn = graph.functions[path[-1]]
+        label, src_line = source_fn.entropy[0]
+        shown = [graph.display_name(q) for q in path[:_MAX_CHAIN_SHOWN]]
+        if len(path) > _MAX_CHAIN_SHOWN:
+            shown.append("...")
+        return Finding(
+            path=fn.relpath,
+            line=line,
+            col=col,
+            code="RPR704",
+            message=(
+                f"call chain {' -> '.join(shown)} reaches entropy source "
+                f"{label}() ({source_fn.relpath}:{src_line}); thread a "
+                f"repro.rng generator through instead"
+            ),
+            checker=self.name,
+        )
+
+    @staticmethod
+    def _shortest_chain(
+        start: str,
+        edges: dict[str, list[tuple[int, int, str]]],
+        sources: set[str],
+        tainted: set[str],
+    ) -> list[str]:
+        queue: deque[tuple[str, tuple[str, ...]]] = deque([(start, (start,))])
+        seen = {start}
+        while queue:
+            qual, path = queue.popleft()
+            if qual in sources:
+                return list(path)
+            for _, _, target in edges.get(qual, []):
+                if target in seen or target not in tainted:
+                    continue
+                seen.add(target)
+                queue.append((target, path + (target,)))
+        return [start]
+
+
+register_project_checker(DeterminismTaintChecker())

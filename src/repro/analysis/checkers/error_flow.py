@@ -1,0 +1,177 @@
+"""RPR703 — exception-flow totality for the wire protocol.
+
+The service maps exceptions to wire codes through ``ERROR_CODES`` in
+``protocol.py`` — a linear scan whose final entry is the catch-all
+family root.  Two drift modes are invisible per-module: a handler's
+call tree grows a new error family that only the catch-all covers
+(clients lose the typed code), or an ``ERROR_CODES`` entry outlives
+every raise that could produce it (dead wire surface).
+
+This rule finds the module defining ``ERROR_CODES``, takes the wire op
+handlers — functions named after ``OPS`` entries in ``manager.py`` /
+``server.py``, plus every ``async def`` in ``server.py`` (the framing
+path) — and computes the raise-reachable set of each over resolved
+**and** loose call edges (over-approximation is the safe direction for
+reachability).  Each reachable raise of a taxonomy-root subclass must
+be covered by a specific (non-catch-all) entry; each specific entry
+must be producible by some reachable raise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import ProjectChecker, register_project_checker
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import FunctionSummary, ModuleSummary, ProjectGraph
+
+#: Files whose functions can be wire op handlers.
+_HANDLER_FILES = ("manager.py", "server.py")
+#: File whose async functions are handler roots regardless of name.
+_ASYNC_HANDLER_FILE = "server.py"
+
+
+class ErrorFlowChecker(ProjectChecker):
+    name = "error-flow"
+    codes = {
+        "RPR703": "wire op error families out of sync with ERROR_CODES",
+    }
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterable[Finding]:
+        for module in sorted(graph.modules):
+            ms = graph.modules[module]
+            if ms.error_codes:
+                yield from self._check_protocol(graph, ms)
+
+    # ------------------------------------------------------------------
+    def _check_protocol(
+        self, graph: "ProjectGraph", proto: "ModuleSummary"
+    ) -> Iterator[Finding]:
+        entries: list[tuple[str, str, int]] = []  # (class qual, code, line)
+        for raw, code, line in proto.error_codes:
+            cls = graph.resolve_class_in_module(proto.module, raw)
+            if cls is not None:
+                entries.append((cls, code, line))
+        if not entries:
+            return
+        # The last entry is the catch-all taxonomy root by construction
+        # (error_code() scans linearly); it is exempt from both checks.
+        root_cls, root_code, _ = entries[-1]
+        specific = entries[:-1]
+
+        ops = proto.ops or sorted(
+            {op for m in graph.modules.values() for op in m.ops}
+        )
+        handlers = self._handler_roots(graph, ops)
+
+        produced: set[str] = set()  # raised class quals over all handlers
+        for handler in handlers:
+            reachable = self._reachable_from(graph, handler)
+            raised = self._raised_families(graph, reachable, root_cls)
+            produced |= set(raised)
+            for cls in sorted(raised):
+                if cls == root_cls:
+                    continue  # the root maps exactly to the catch-all
+                ancestors = set(graph.class_ancestors(cls))
+                if any(e_cls in ancestors for e_cls, _, _ in specific):
+                    continue
+                rel, line = raised[cls]
+                yield Finding(
+                    path=handler.relpath,
+                    line=handler.lineno,
+                    col=1,
+                    code="RPR703",
+                    message=(
+                        f"wire op handler {handler.name!r} can raise "
+                        f"{cls.rsplit('.', 1)[-1]} ({rel}:{line}) which only "
+                        f"the {root_code!r} catch-all maps; add a specific "
+                        f"ERROR_CODES entry for its family"
+                    ),
+                    checker=self.name,
+                )
+
+        produced_ancestors: set[str] = set()
+        for cls in sorted(produced):
+            produced_ancestors.update(graph.class_ancestors(cls))
+        for e_cls, code, line in specific:
+            if e_cls in produced_ancestors:
+                continue
+            yield Finding(
+                path=proto.relpath,
+                line=line,
+                col=1,
+                code="RPR703",
+                message=(
+                    f"ERROR_CODES entry {code!r} "
+                    f"({e_cls.rsplit('.', 1)[-1]}): no raise reachable from "
+                    f"any wire op handler produces this family; dead wire "
+                    f"code or missing handler coverage"
+                ),
+                checker=self.name,
+            )
+
+    # ------------------------------------------------------------------
+    def _handler_roots(
+        self, graph: "ProjectGraph", ops: list[str]
+    ) -> list["FunctionSummary"]:
+        op_names = set(ops)
+        roots: list["FunctionSummary"] = []
+        for fn in graph.sorted_functions():
+            if fn.is_nested:
+                continue
+            basename = fn.relpath.rsplit("/", 1)[-1]
+            if basename not in _HANDLER_FILES:
+                continue
+            if fn.name in op_names or (
+                fn.is_async and basename == _ASYNC_HANDLER_FILE
+            ):
+                roots.append(fn)
+        return roots
+
+    def _reachable_from(
+        self, graph: "ProjectGraph", root: "FunctionSummary"
+    ) -> list["FunctionSummary"]:
+        """Closure over resolved + loose edges (over-approximate)."""
+        seen = {root.qualname}
+        queue: deque[str] = deque([root.qualname])
+        while queue:
+            fn = graph.functions[queue.popleft()]
+            for site in fn.calls:
+                targets: list[str] = []
+                resolved = graph.resolve_call(fn, site)
+                if resolved is not None:
+                    targets.append(resolved)
+                else:
+                    targets.extend(graph.loose_targets(site))
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        return [graph.functions[q] for q in sorted(seen)]
+
+    def _raised_families(
+        self,
+        graph: "ProjectGraph",
+        reachable: list["FunctionSummary"],
+        root_cls: str,
+    ) -> dict[str, tuple[str, int]]:
+        """Taxonomy-subclass raises in the reachable set:
+        ``class qual -> first (relpath, line) witness``."""
+        raised: dict[str, tuple[str, int]] = {}
+        for fn in reachable:
+            for name, line in fn.raises:
+                cls = graph.resolve_class_in_module(fn.module, name)
+                if cls is None:
+                    continue
+                if root_cls not in graph.class_ancestors(cls):
+                    continue
+                witness = (fn.relpath, line)
+                if cls not in raised or witness < raised[cls]:
+                    raised[cls] = witness
+        return raised
+
+
+register_project_checker(ErrorFlowChecker())

@@ -28,7 +28,9 @@ from __future__ import annotations
 import ast
 import importlib
 import inspect
+from collections.abc import Iterator
 from pathlib import Path
+from types import ModuleType
 
 from repro.analysis.base import Checker, ModuleContext, register_checker
 from repro.analysis.findings import Finding
@@ -99,18 +101,20 @@ def _exception_name(node: ast.expr) -> str | None:
 class _RaiseVisitor(ast.NodeVisitor):
     """Collect raises with the name of their enclosing function."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.raises: list[tuple[ast.Raise, str | None]] = []
         self._func_stack: list[str] = []
 
-    def visit_FunctionDef(self, node):
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
         self._func_stack.append(node.name)
         self.generic_visit(node)
         self._func_stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
 
-    def visit_Raise(self, node):
+    def visit_Raise(self, node: ast.Raise) -> None:
         enclosing = self._func_stack[-1] if self._func_stack else None
         self.raises.append((node, enclosing))
         self.generic_visit(node)
@@ -127,7 +131,7 @@ class ErrorTaxonomyChecker(Checker):
         # errors.py may do anything; it *defines* the taxonomy.
         return ctx.relpath != "repro/errors.py"
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         visitor = _RaiseVisitor()
         visitor.visit(ctx.tree)
         for node, enclosing in visitor.raises:
@@ -149,7 +153,7 @@ class ErrorTaxonomyChecker(Checker):
                 )
 
     # ------------------------------------------------------------------
-    def check_project(self, package_root: Path):
+    def check_project(self, package_root: Path) -> Iterator[Finding]:
         try:
             errors_mod = importlib.import_module("repro.errors")
             protocol_mod = importlib.import_module("repro.service.protocol")
@@ -162,7 +166,10 @@ class ErrorTaxonomyChecker(Checker):
 
 
 def check_error_code_totality(
-    errors_mod, error_codes, *, checker: str = "error-taxonomy"
+    errors_mod: ModuleType,
+    error_codes: tuple[tuple[type[BaseException], str], ...],
+    *,
+    checker: str = "error-taxonomy",
 ) -> list[Finding]:
     """``RPR202``: every direct ``ReproError`` subclass in ``errors_mod``
     maps (itself or via a non-root ancestor) to a specific wire code."""

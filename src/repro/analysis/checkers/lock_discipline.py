@@ -34,8 +34,10 @@ A statement counts as inside a *locked scope* when any of:
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.findings import Finding
 
 #: ManagedSession fields whose mutation requires the session lock.
 GUARDED_ATTRS = frozenset({"session", "wal", "dirty", "last_used"})
@@ -77,11 +79,13 @@ def _is_lock_acquire(node: ast.Call) -> bool:
 class _ScopeVisitor(ast.NodeVisitor):
     """Track, per node, whether it sits in a locked scope."""
 
-    def __init__(self, checker, ctx: ModuleContext, check_mutations: bool):
+    def __init__(
+        self, checker: Checker, ctx: ModuleContext, check_mutations: bool
+    ) -> None:
         self.checker = checker
         self.ctx = ctx
         self.check_mutations = check_mutations
-        self.findings = []
+        self.findings: list[Finding] = []
         # Stack of (function_name, function_acquires_lock) for the
         # lexically enclosing function chain; with-lock nesting depth.
         self._funcs: list[tuple[str, bool]] = []
@@ -98,7 +102,9 @@ class _ScopeVisitor(ast.NodeVisitor):
         return False
 
     # ----- structure visitors -----------------------------------------
-    def visit_FunctionDef(self, node):
+    def visit_FunctionDef(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
         acquires = any(
             isinstance(sub, ast.Call) and _is_lock_acquire(sub)
             for sub in ast.walk(node)
@@ -113,7 +119,7 @@ class _ScopeVisitor(ast.NodeVisitor):
 
     visit_AsyncFunctionDef = visit_FunctionDef
 
-    def visit_With(self, node):
+    def visit_With(self, node: ast.With | ast.AsyncWith) -> None:
         locked = any(_mentions_lock(item.context_expr) for item in node.items)
         for item in node.items:
             self.visit(item)
@@ -127,7 +133,7 @@ class _ScopeVisitor(ast.NodeVisitor):
     visit_AsyncWith = visit_With
 
     # ----- rule sites --------------------------------------------------
-    def visit_Call(self, node):
+    def visit_Call(self, node: ast.Call) -> None:
         callee = None
         if isinstance(node.func, ast.Attribute):
             callee = node.func.attr
@@ -167,7 +173,7 @@ class _ScopeVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
-    def _check_target(self, target: ast.AST, verb: str):
+    def _check_target(self, target: ast.AST, verb: str) -> None:
         if not self.check_mutations or self._in_locked_scope():
             return
         if isinstance(target, ast.Attribute) and target.attr in GUARDED_ATTRS:
@@ -196,21 +202,21 @@ class _ScopeVisitor(ast.NodeVisitor):
                 )
             )
 
-    def visit_Assign(self, node):
+    def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._check_target(target, "assignment")
         self.generic_visit(node)
 
-    def visit_AugAssign(self, node):
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_target(node.target, "augmented assignment")
         self.generic_visit(node)
 
-    def visit_AnnAssign(self, node):
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._check_target(node.target, "assignment")
         self.generic_visit(node)
 
-    def visit_Delete(self, node):
+    def visit_Delete(self, node: ast.Delete) -> None:
         for target in node.targets:
             self._check_target(target, "deletion")
         self.generic_visit(node)
@@ -223,7 +229,7 @@ class LockDisciplineChecker(Checker):
         "RPR302": "guarded session/registry state mutated outside a lock",
     }
 
-    def check_module(self, ctx: ModuleContext):
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         check_mutations = ctx.relpath == _MANAGER_FILE or ctx.relpath.endswith(
             "manager.py"
         )

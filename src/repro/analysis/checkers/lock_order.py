@@ -1,0 +1,191 @@
+"""RPR702 — lock-order cycles across the project's RLock-guarded scopes.
+
+Deadlock between ``SessionManager._lock`` and a per-session ``ms.lock``
+cannot be seen one file at a time: one function takes A then calls a
+helper that takes B, another takes B then calls back into A.  This rule
+builds the **acquired-while-held** graph: an edge ``A -> B`` means some
+execution path acquires ``B`` while ``A`` is held — directly (a nested
+``with``/``.acquire()``) or transitively (a call made under ``A`` whose
+resolved callee closure acquires ``B``).  Any strongly connected
+component of two or more locks is an ordering cycle and is flagged once,
+with every witnessing edge in the message.
+
+Lock identity is canonical-by-spelling (``self._lock`` in
+``SessionManager`` -> ``SessionManager._lock``; ``ctx.ms.lock`` ->
+``ms.lock``), and only **resolved** call edges propagate acquisitions —
+both choices lose edges rather than invent them, so a reported cycle is
+backed by real acquisition sites.  Re-entrant self-acquisition
+(``RLock``) is not an edge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.base import ProjectChecker, register_project_checker
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import ProjectGraph
+
+#: Witness for one order edge: (caller relpath, line, via-callee or "").
+_Witness = tuple[str, int, str]
+
+
+class LockOrderChecker(ProjectChecker):
+    name = "lock-order"
+    codes = {
+        "RPR702": "lock acquisition order forms a cycle",
+    }
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterable[Finding]:
+        transitive = self._transitive_acquires(graph)
+        edges = self._order_edges(graph, transitive)
+        adjacency: dict[str, list[str]] = {}
+        nodes: set[str] = set()
+        for a, b in edges:
+            adjacency.setdefault(a, []).append(b)
+            nodes.add(a)
+            nodes.add(b)
+        for scc in _tarjan_sccs(sorted(nodes), adjacency):
+            if len(scc) < 2:
+                continue
+            yield self._cycle_finding(scc, edges)
+
+    # ------------------------------------------------------------------
+    def _transitive_acquires(self, graph: "ProjectGraph") -> dict[str, set[str]]:
+        """Fixpoint: lock keys each function may acquire, directly or
+        through any resolved callee."""
+        acquired: dict[str, set[str]] = {}
+        callees: dict[str, list[str]] = {}
+        for fn in graph.sorted_functions():
+            acquired[fn.qualname] = {key for key, _ in fn.acquires}
+            out: list[str] = []
+            for site in fn.calls:
+                target = graph.resolve_call(fn, site)
+                if target is not None:
+                    out.append(target)
+            callees[fn.qualname] = out
+        changed = True
+        while changed:
+            changed = False
+            for qual in sorted(acquired):
+                bucket = acquired[qual]
+                before = len(bucket)
+                for callee in callees[qual]:
+                    bucket |= acquired.get(callee, set())
+                if len(bucket) != before:
+                    changed = True
+        return acquired
+
+    def _order_edges(
+        self, graph: "ProjectGraph", transitive: dict[str, set[str]]
+    ) -> dict[tuple[str, str], _Witness]:
+        """``(held, acquired) -> best witness`` over the whole project."""
+        edges: dict[tuple[str, str], _Witness] = {}
+
+        def record(a: str, b: str, witness: _Witness) -> None:
+            if a == b:
+                return  # re-entrant RLock: not an ordering edge
+            prior = edges.get((a, b))
+            if prior is None or witness < prior:
+                edges[(a, b)] = witness
+
+        for fn in graph.sorted_functions():
+            for held, acq, line in fn.lock_edges:
+                record(held, acq, (fn.relpath, line, ""))
+            for held_keys, site in fn.calls_under_locks:
+                target = graph.resolve_call(fn, site)
+                if target is None:
+                    continue
+                for acq in sorted(transitive.get(target, set())):
+                    for held in held_keys:
+                        record(
+                            held,
+                            acq,
+                            (fn.relpath, site.line, graph.display_name(target)),
+                        )
+        return edges
+
+    def _cycle_finding(
+        self, scc: list[str], edges: dict[tuple[str, str], _Witness]
+    ) -> Finding:
+        members = sorted(scc)
+        member_set = set(members)
+        shown: list[str] = []
+        witnesses: list[_Witness] = []
+        for (a, b), witness in sorted(edges.items()):
+            if a in member_set and b in member_set:
+                relpath, line, via = witness
+                hop = f" via {via}" if via else ""
+                shown.append(f"{a} -> {b} ({relpath}:{line}{hop})")
+                witnesses.append(witness)
+        anchor = min(witnesses)
+        return Finding(
+            path=anchor[0],
+            line=anchor[1],
+            col=1,
+            code="RPR702",
+            message=(
+                f"lock-order cycle among {{{', '.join(members)}}}: "
+                f"{'; '.join(shown)}; acquire these locks in one global "
+                f"order to rule out deadlock"
+            ),
+            checker=self.name,
+        )
+
+
+def _tarjan_sccs(
+    nodes: list[str], adjacency: dict[str, list[str]]
+) -> list[list[str]]:
+    """Strongly connected components, iterative Tarjan (deterministic
+    given sorted inputs)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work[-1]
+            if child_i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = sorted(adjacency.get(node, []))
+            advanced = False
+            while child_i < len(children):
+                child = children[child_i]
+                child_i += 1
+                if child not in index:
+                    work[-1] = (node, child_i)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    popped = stack.pop()
+                    on_stack.discard(popped)
+                    scc.append(popped)
+                    if popped == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+register_project_checker(LockOrderChecker())

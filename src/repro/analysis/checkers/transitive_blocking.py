@@ -1,0 +1,118 @@
+"""RPR701 — transitive async blocking: event-loop stalls hidden by a call.
+
+RPR401 catches ``os.fsync`` written directly into an ``async def``; it
+cannot see the same call two frames down a synchronous helper.  This
+rule walks the project call graph: from each ``async def`` body, every
+**resolved** sync call chain is followed until it hits a blocking
+primitive (the RPR401 set) or an executor boundary — a nested sync
+``def`` (the ``run_in_executor`` wrapper idiom), a call routed through
+``run_in_executor``/``to_thread``, or another ``async def`` (audited as
+its own root).  A chain that reaches a primitive is flagged at the call
+site in the async body, with the full chain in the message.
+
+Only resolved edges are traversed: a loose name match (``.append`` on
+an unknown receiver matching ``WriteAheadLog.append``) must not
+manufacture a blocking chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import ProjectChecker, register_project_checker
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.project import CallSite, FunctionSummary, ProjectGraph
+
+#: Call names that move work off the event loop; chains passing through
+#: them are not blocking the loop.
+EXECUTOR_CALLS = frozenset(
+    {"run_in_executor", "to_thread", "run_coroutine_threadsafe"}
+)
+
+#: Cap on rendered chain length (analysis still explores further).
+_MAX_CHAIN_SHOWN = 6
+
+
+class TransitiveBlockingChecker(ProjectChecker):
+    name = "transitive-blocking"
+    codes = {
+        "RPR701": "async call chain reaches a blocking primitive",
+    }
+
+    def check_graph(self, graph: "ProjectGraph") -> Iterable[Finding]:
+        for fn in graph.sorted_functions():
+            if not fn.is_async:
+                continue
+            yield from self._check_async_root(graph, fn)
+
+    # ------------------------------------------------------------------
+    def _check_async_root(
+        self, graph: "ProjectGraph", root: "FunctionSummary"
+    ) -> Iterator[Finding]:
+        reported: set[str] = set()
+        for site in root.calls:
+            if site.attr in EXECUTOR_CALLS:
+                continue
+            target = graph.resolve_call(root, site)
+            if target is None or target in reported:
+                continue
+            callee = graph.functions[target]
+            if callee.is_async or callee.is_nested:
+                # Async callees are audited as their own roots; nested
+                # sync defs are executor boundaries (RPR401 convention).
+                continue
+            chain = self._find_blocking_chain(graph, target)
+            if chain is None:
+                continue
+            reported.add(target)
+            path, primitive, prim_line = chain
+            shown = [graph.display_name(q) for q in path[:_MAX_CHAIN_SHOWN]]
+            if len(path) > _MAX_CHAIN_SHOWN:
+                shown.append("...")
+            last = graph.functions[path[-1]]
+            yield Finding(
+                path=root.relpath,
+                line=site.line,
+                col=site.col,
+                code="RPR701",
+                message=(
+                    f"async {graph.display_name(root.qualname)} reaches "
+                    f"blocking {primitive}() via "
+                    f"{' -> '.join(shown)} "
+                    f"({last.relpath}:{prim_line}); route the chain through "
+                    f"loop.run_in_executor(...) or asyncio.to_thread(...)"
+                ),
+                checker=self.name,
+            )
+
+    def _find_blocking_chain(
+        self, graph: "ProjectGraph", start: str
+    ) -> tuple[list[str], str, int] | None:
+        """Shortest resolved sync chain from ``start`` to a blocking
+        primitive: ``(qualname path, primitive label, line)``."""
+        queue: deque[tuple[str, tuple[str, ...]]] = deque([(start, (start,))])
+        seen = {start}
+        while queue:
+            qual, path = queue.popleft()
+            fn = graph.functions[qual]
+            if fn.blocking:
+                label, line = fn.blocking[0]
+                return list(path), label, line
+            for site in fn.calls:
+                if site.attr in EXECUTOR_CALLS:
+                    continue
+                nxt = graph.resolve_call(fn, site)
+                if nxt is None or nxt in seen:
+                    continue
+                callee = graph.functions[nxt]
+                if callee.is_async or callee.is_nested:
+                    continue
+                seen.add(nxt)
+                queue.append((nxt, path + (nxt,)))
+        return None
+
+
+register_project_checker(TransitiveBlockingChecker())

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Any
 
 
 @dataclass(frozen=True, order=True)
@@ -21,9 +22,21 @@ class Finding:
     message: str
     checker: str = ""
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (schema: the dataclass fields)."""
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (incremental-cache round-trip)."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            code=str(data["code"]),
+            message=str(data["message"]),
+            checker=str(data.get("checker", "")),
+        )
 
     def render(self) -> str:
         """One-line human-readable report form."""

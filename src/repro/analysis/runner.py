@@ -1,20 +1,43 @@
-"""Drive the checker suite over files, apply suppressions + baseline."""
+"""Drive the checker suite over files, apply suppressions + baseline.
+
+Per-module work (parse, checker walks, summarization) is independent per
+file, so it can be served from the incremental cache (``cache=``) or
+fanned out to worker processes (``jobs=``); both paths produce the same
+bytes as a cold serial run.  Project-level checkers then run in-process
+over the assembled :class:`~repro.analysis.project.ProjectGraph`.
+"""
 
 from __future__ import annotations
 
 import ast
-import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+import json
 from pathlib import Path
+from typing import Any, Iterator
 
 from repro.errors import AnalysisError
-from repro.analysis.base import Checker, ModuleContext, all_checkers
+from repro.analysis.base import (
+    Checker,
+    ModuleContext,
+    ProjectChecker,
+    all_checkers,
+    all_project_checkers,
+)
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import AnalysisCache, source_digest
 from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ModuleSummary,
+    build_project_graph,
+    summarize_module,
+)
+from repro.analysis.suppressions import Suppressions, parse_suppressions
 
 __all__ = [
     "AnalysisReport",
     "analyze_paths",
+    "analyze_project_sources",
     "analyze_source",
     "default_package_root",
 ]
@@ -99,31 +122,43 @@ def default_package_root() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
-def _iter_py_files(paths: list[Path]):
+def _iter_py_files(paths: list[Path]) -> Iterator[tuple[Path, Path]]:
+    """``(file, root)`` pairs in deterministic order."""
     for path in paths:
         if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        elif path.suffix == ".py" and path.is_file():
+            yield path, path
         else:
             raise AnalysisError(f"not a python file or directory: {path}")
 
 
-def _relpath_for(file: Path) -> str:
-    """Stable report path: ``repro/...`` when the file sits inside a
-    ``repro`` package dir, else the file name."""
+def _relpath_for(file: Path, root: Path) -> str:
+    """Stable report path.
+
+    Files inside a ``repro`` package dir report as ``repro/...`` (so
+    baselines survive checkout moves); other directory targets report
+    relative to the directory argument including its name
+    (``tests/test_x.py``); single-file targets report their name.
+    """
     parts = file.resolve().parts
     for i in range(len(parts) - 1, -1, -1):
         if parts[i] == "repro":
             return "/".join(parts[i:])
+    if root.is_dir():
+        try:
+            inner = file.resolve().relative_to(root.resolve())
+        except ValueError:
+            return file.name
+        return "/".join((root.name,) + inner.parts)
     return file.name
 
 
-def _select_codes(checkers: list[Checker], select: str | None):
+def _select_codes(known: set[str], select: str | None) -> set[str] | None:
     if not select:
         return None
     wanted = {tok.strip() for tok in select.split(",") if tok.strip()}
-    known = {code for ch in checkers for code in ch.codes}
     selected = {
         code
         for code in known
@@ -142,67 +177,201 @@ def _select_codes(checkers: list[Checker], select: str | None):
     return selected
 
 
+# ----------------------------------------------------------------------
+# Per-module analysis (cacheable, parallelizable)
+# ----------------------------------------------------------------------
+def _analyze_module_data(
+    relpath: str,
+    source: str,
+    filename: str,
+    checkers: list[Checker],
+) -> dict[str, Any]:
+    """Parse + run module checkers + summarize one file.
+
+    Returns plain data (JSON-shaped) so results round-trip through the
+    incremental cache and process boundaries identically: ``findings``
+    are post-suppression/pre-selection, ``suppressed`` holds the codes
+    of inline-suppressed findings (selection-aware counting happens in
+    the parent), ``summary`` feeds the project graph.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{filename}: cannot parse: {exc}") from None
+    ctx = ModuleContext(
+        path=Path(filename), relpath=relpath, source=source, tree=tree
+    )
+    findings: list[Finding] = []
+    suppressed: list[str] = []
+    for checker in checkers:
+        if not checker.applies_to(ctx):
+            continue
+        for finding in checker.check_module(ctx):
+            if ctx.is_suppressed(finding.line, finding.code):
+                suppressed.append(finding.code)
+            else:
+                findings.append(finding)
+    summary = summarize_module(relpath, tree)
+    return {
+        "findings": [f.to_dict() for f in sorted(findings)],
+        "suppressed": sorted(suppressed),
+        "summary": summary.to_dict(),
+    }
+
+
+def _pool_worker(args: tuple[str, str, str]) -> dict[str, Any]:
+    """Top-level (picklable) worker: registry checkers only."""
+    relpath, source, filename = args
+    return _analyze_module_data(relpath, source, filename, all_checkers())
+
+
+@dataclass
+class _ModuleRecord:
+    relpath: str
+    findings: list[Finding]
+    suppressed: list[str]
+    summary: ModuleSummary
+    suppressions: Suppressions
+
+
+def _read_source(file: Path) -> str:
+    try:
+        return file.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {file}: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise AnalysisError(f"{file}: not valid UTF-8 source: {exc}") from None
+
+
 def analyze_paths(
-    paths=None,
+    paths: list[str | Path] | None = None,
     *,
     checkers: list[Checker] | None = None,
+    project_checkers: list[ProjectChecker] | None = None,
     select: str | None = None,
     baseline: Baseline | None = None,
     project_checks: bool = True,
+    cache: AnalysisCache | None = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run the suite over ``paths`` (default: the installed package).
 
     Findings suppressed inline never reach the report; the baseline then
     waives its frozen allowance per ``(path, code)`` group.  Pass
     ``select="RPR5"`` (prefix) or ``"RPR501,RPR201"`` to narrow rules.
-    """
-    if checkers is None:
-        checkers = all_checkers()
-    roots = (
-        [Path(p) for p in paths] if paths else [default_package_root()]
-    )
-    selected = _select_codes(checkers, select)
 
+    ``cache`` serves per-module results keyed by source digest (only
+    with the default registry checkers — custom checker lists are not
+    fingerprinted).  ``jobs > 1`` fans per-module analysis out to
+    worker processes; output is byte-identical to serial.
+    """
+    use_registry = checkers is None
+    module_checkers = all_checkers() if checkers is None else checkers
+    if project_checkers is None:
+        # A custom module-checker list narrows the run deliberately;
+        # don't surprise it with the full project registry.
+        project_checkers = all_project_checkers() if use_registry else []
+    roots = [Path(p) for p in paths] if paths else [default_package_root()]
+    known = {code for ch in module_checkers for code in ch.codes} | {
+        code for ch in project_checkers for code in ch.codes
+    }
+    selected = _select_codes(known, select)
+    if not use_registry:
+        cache = None  # results would not be keyed by these checkers
+
+    files: list[tuple[Path, Path]] = []
+    seen_files: set[Path] = set()
+    for file, root in _iter_py_files(roots):
+        resolved = file.resolve()
+        if resolved not in seen_files:
+            seen_files.add(resolved)
+            files.append((file, root))
+
+    records: dict[int, _ModuleRecord] = {}
+    pending: list[tuple[int, str, str, str, str]] = []
+    for index, (file, root) in enumerate(files):
+        source = _read_source(file)
+        relpath = _relpath_for(file, root)
+        suppressions = parse_suppressions(source)
+        digest = source_digest(source)
+        entry = cache.lookup(relpath, digest) if cache is not None else None
+        if entry is not None:
+            records[index] = _ModuleRecord(
+                relpath=relpath,
+                findings=[Finding.from_dict(f) for f in entry["findings"]],
+                suppressed=[str(c) for c in entry["suppressed"]],
+                summary=ModuleSummary.from_dict(entry["summary"]),
+                suppressions=suppressions,
+            )
+        else:
+            pending.append((index, relpath, source, str(file), digest))
+
+    if jobs > 1 and use_registry and len(pending) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(
+                pool.map(
+                    _pool_worker,
+                    [(rel, src, fname) for _, rel, src, fname, _ in pending],
+                )
+            )
+    else:
+        results = [
+            _analyze_module_data(rel, src, fname, module_checkers)
+            for _, rel, src, fname, _ in pending
+        ]
+    for (index, relpath, source, _fname, digest), data in zip(pending, results):
+        records[index] = _ModuleRecord(
+            relpath=relpath,
+            findings=[Finding.from_dict(f) for f in data["findings"]],
+            suppressed=[str(c) for c in data["suppressed"]],
+            summary=ModuleSummary.from_dict(data["summary"]),
+            suppressions=parse_suppressions(source),
+        )
+        if cache is not None:
+            cache.store(
+                relpath,
+                digest,
+                findings=data["findings"],
+                suppressed=data["suppressed"],
+                summary=data["summary"],
+            )
+    if cache is not None:
+        cache.save()
+
+    ordered = [records[i] for i in range(len(files))]
     findings: list[Finding] = []
     num_suppressed = 0
-    num_files = 0
-    for file in _iter_py_files(roots):
-        try:
-            source = file.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise AnalysisError(f"cannot read {file}: {exc}") from None
-        try:
-            tree = ast.parse(source, filename=str(file))
-        except SyntaxError as exc:
-            raise AnalysisError(f"{file}: cannot parse: {exc}") from None
-        ctx = ModuleContext(
-            path=file,
-            relpath=_relpath_for(file),
-            source=source,
-            tree=tree,
+    for record in ordered:
+        findings.extend(record.findings)
+        num_suppressed += sum(
+            1
+            for code in record.suppressed
+            if selected is None or code in selected
         )
-        num_files += 1
-        for checker in checkers:
-            if not checker.applies_to(ctx):
-                continue
-            for finding in checker.check_module(ctx):
-                if selected is not None and finding.code not in selected:
-                    continue
-                if ctx.suppressions.is_suppressed(finding.line, finding.code):
-                    num_suppressed += 1
-                else:
-                    findings.append(finding)
 
     if project_checks:
-        for checker in checkers:
-            for finding in checker.check_project(roots[0]):
-                if selected is None or finding.code in selected:
-                    findings.append(finding)
+        suppressions_by_path = {r.relpath: r.suppressions for r in ordered}
+        if project_checkers:
+            graph = build_project_graph(r.summary for r in ordered)
+            for pchecker in project_checkers:
+                for finding in pchecker.check_graph(graph):
+                    suppr = suppressions_by_path.get(finding.path)
+                    if suppr is not None and suppr.is_suppressed(
+                        finding.line, finding.code
+                    ):
+                        if selected is None or finding.code in selected:
+                            num_suppressed += 1
+                    else:
+                        findings.append(finding)
+        for checker in module_checkers:
+            findings.extend(checker.check_project(roots[0]))
 
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
     findings.sort()
     report = AnalysisReport(
         findings=findings,
-        num_files=num_files,
+        num_files=len(ordered),
         num_suppressed=num_suppressed,
     )
     if baseline is not None:
@@ -222,11 +391,13 @@ def analyze_source(
 ) -> list[Finding]:
     """Analyze one in-memory snippet (fixture tests, editor tooling).
 
-    Module-level checks only — project checks need a real package.
+    Module-level checks only — project checks need a set of modules
+    (see :func:`analyze_project_sources`).
     """
     if checkers is None:
         checkers = all_checkers()
-    selected = _select_codes(checkers, select)
+    known = {code for ch in checkers for code in ch.codes}
+    selected = _select_codes(known, select)
     ctx = ModuleContext.from_source(source, relpath)
     findings: list[Finding] = []
     for checker in checkers:
@@ -235,6 +406,52 @@ def analyze_source(
         for finding in checker.check_module(ctx):
             if selected is not None and finding.code not in selected:
                 continue
-            if not ctx.suppressions.is_suppressed(finding.line, finding.code):
+            if not ctx.is_suppressed(finding.line, finding.code):
                 findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_project_sources(
+    sources: dict[str, str],
+    *,
+    select: str | None = None,
+    project_checkers: list[ProjectChecker] | None = None,
+) -> list[Finding]:
+    """Run module *and* project checkers over in-memory sources.
+
+    ``sources`` maps relpaths (``"repro/service/manager.py"``) to source
+    text — the fixture entry point for RPR7xx tests: multi-module call
+    chains, seeded lock inversions, handler/ERROR_CODES mini-projects.
+    Inline suppressions and ``select`` behave exactly as on disk.
+    """
+    if project_checkers is None:
+        project_checkers = all_project_checkers()
+    module_checkers = all_checkers()
+    known = {code for ch in module_checkers for code in ch.codes} | {
+        code for ch in project_checkers for code in ch.codes
+    }
+    selected = _select_codes(known, select)
+    findings: list[Finding] = []
+    summaries: list[ModuleSummary] = []
+    suppressions_by_path: dict[str, Suppressions] = {}
+    for relpath, source in sources.items():
+        ctx = ModuleContext.from_source(source, relpath)
+        suppressions_by_path[relpath] = parse_suppressions(source)
+        for checker in module_checkers:
+            if not checker.applies_to(ctx):
+                continue
+            for finding in checker.check_module(ctx):
+                if not ctx.is_suppressed(finding.line, finding.code):
+                    findings.append(finding)
+        summaries.append(summarize_module(relpath, ctx.tree))
+    graph = build_project_graph(summaries)
+    for pchecker in project_checkers:
+        for finding in pchecker.check_graph(graph):
+            suppr = suppressions_by_path.get(finding.path)
+            if suppr is None or not suppr.is_suppressed(
+                finding.line, finding.code
+            ):
+                findings.append(finding)
+    if selected is not None:
+        findings = [f for f in findings if f.code in selected]
     return sorted(findings)

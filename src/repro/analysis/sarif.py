@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 rendering for analysis reports.
+
+One run, one tool (``repro-igp lint``), one rule entry per registered
+RPR code (both checker tiers), one result per finding.  URIs are
+repo-relative: report paths like ``repro/service/manager.py`` map to
+``src/repro/...`` when that prefix exists on disk, so code-scanning
+annotations land on the right lines in the repository view.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.base import rule_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import AnalysisReport
+
+__all__ = ["report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Reported name/version of the driver.
+_TOOL_NAME = "repro-igp-lint"
+
+
+def _artifact_uri(path: str, repo_root: Path) -> str:
+    """Repo-relative URI for a report path."""
+    if (repo_root / "src" / path).is_file():
+        return f"src/{path}"
+    return path
+
+
+def report_to_sarif(
+    report: "AnalysisReport", *, repo_root: str | Path | None = None
+) -> str:
+    """Serialize a report as a SARIF 2.1.0 log (one run)."""
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    rules: list[dict[str, Any]] = []
+    rule_order: dict[str, int] = {}
+    for code, (checker, description) in rule_index().items():
+        rule_order[code] = len(rules)
+        rules.append(
+            {
+                "id": code,
+                "name": checker,
+                "shortDescription": {"text": description},
+                "defaultConfiguration": {"level": "error"},
+                "properties": {"checker": checker},
+            }
+        )
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path, root),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in rule_order:
+            result["ruleIndex"] = rule_order[finding.code]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

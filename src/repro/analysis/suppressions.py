@@ -28,7 +28,7 @@ _COMMENT_ONLY = re.compile(r"^\s*#")
 class Suppressions:
     """Per-line suppressed rule codes for one source file."""
 
-    def __init__(self, by_line: dict[int, frozenset[str]]):
+    def __init__(self, by_line: dict[int, frozenset[str]]) -> None:
         self._by_line = by_line
 
     def is_suppressed(self, line: int, code: str) -> bool:

@@ -488,17 +488,20 @@ def _cmd_shard_inspect(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis import Baseline, analyze_paths
+    from repro.analysis import AnalysisCache, Baseline, analyze_paths
     from repro.errors import AnalysisError
 
     try:
         baseline = None
         if args.baseline and not args.write_baseline:
             baseline = Baseline.load(args.baseline)
+        cache = None if args.no_cache else AnalysisCache(args.cache_dir)
         report = analyze_paths(
             args.paths or None,
             select=args.select,
             baseline=baseline,
+            cache=cache,
+            jobs=args.jobs,
         )
         if args.write_baseline:
             if not args.baseline:
@@ -516,7 +519,14 @@ def _cmd_lint(args) -> int:
     except AnalysisError as exc:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
-    print(report.to_json() if args.format == "json" else report.to_text())
+    if args.format == "sarif":
+        from repro.analysis.sarif import report_to_sarif
+
+        print(report_to_sarif(report))
+    elif args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
     return 0 if report.ok else 1
 
 
@@ -731,7 +741,8 @@ def build_parser() -> argparse.ArgumentParser:
     ln = sub.add_parser(
         "lint",
         help="run the repro.analysis static-contract checkers "
-             "(RPR1xx–RPR6xx) over the package source")
+             "(RPR1xx–RPR7xx, incl. project-level call-graph rules) "
+             "over the package source")
     ln.add_argument("paths", nargs="*",
                     help="files or directories to analyze (default: the "
                          "installed repro package)")
@@ -744,8 +755,18 @@ def build_parser() -> argparse.ArgumentParser:
     ln.add_argument("--select", default=None,
                     help="comma-separated code list or prefixes "
                          "(e.g. RPR5 or RPR501,RPR201)")
-    ln.add_argument("--format", choices=("text", "json"), default="text",
-                    help="report format (default text)")
+    ln.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text",
+                    help="report format (default text; sarif emits a "
+                         "SARIF 2.1.0 log for code-scanning upload)")
+    ln.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for per-module analysis "
+                         "(output is byte-identical to serial)")
+    ln.add_argument("--no-cache", action="store_true",
+                    help="bypass the incremental analysis cache")
+    ln.add_argument("--cache-dir", default=".repro-analysis-cache",
+                    help="incremental cache directory (default "
+                         ".repro-analysis-cache)")
     ln.set_defaults(fn=_cmd_lint)
 
     pp = sub.add_parser("partition")

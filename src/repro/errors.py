@@ -147,7 +147,7 @@ class ServiceError(ReproError):
     callers can discriminate failure modes without string matching.
     """
 
-    def __init__(self, message: str, *, code: str = "service"):
+    def __init__(self, message: str, *, code: str = "service") -> None:
         super().__init__(message)
         self.code = code
 
@@ -161,6 +161,6 @@ class RepartitionInfeasibleError(PartitioningError):
     carries the relaxation that was attempted so drivers can decide.
     """
 
-    def __init__(self, message: str, *, gamma_tried: float | None = None):
+    def __init__(self, message: str, *, gamma_tried: float | None = None) -> None:
         super().__init__(message)
         self.gamma_tried = gamma_tried

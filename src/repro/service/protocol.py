@@ -43,8 +43,10 @@ import io
 import json
 import struct
 import zipfile
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import (
     AnalysisError,
@@ -62,6 +64,10 @@ from repro.errors import (
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
+
+if TYPE_CHECKING:
+    import asyncio
+    import socket
 
 __all__ = [
     "ERROR_CODES",
@@ -121,14 +127,14 @@ class FrameError(ServiceError):
     mid-frame garbage leaves no way to resynchronise — and is closed
     after the error response."""
 
-    def __init__(self, message: str):
+    def __init__(self, message: str) -> None:
         super().__init__(message, code="protocol")
 
 
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-def encode_frame(payload: dict) -> bytes:
+def encode_frame(payload: dict[str, Any]) -> bytes:
     """Serialize one envelope to its on-wire bytes (length + JSON)."""
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
@@ -138,7 +144,7 @@ def encode_frame(payload: dict) -> bytes:
     return _HEADER.pack(len(body)) + body
 
 
-def decode_frame(data: bytes) -> dict:
+def decode_frame(data: bytes) -> dict[str, Any]:
     """Parse one complete on-wire frame back to its envelope dict."""
     if len(data) < _HEADER.size:
         raise FrameError(f"truncated frame header ({len(data)} bytes)")
@@ -153,7 +159,7 @@ def decode_frame(data: bytes) -> dict:
     return _parse_body(body)
 
 
-def _parse_body(body: bytes) -> dict:
+def _parse_body(body: bytes) -> dict[str, Any]:
     try:
         obj = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, ValueError) as exc:
@@ -165,7 +171,9 @@ def _parse_body(body: bytes) -> dict:
     return obj
 
 
-async def read_frame_async(reader, *, max_bytes: int = MAX_FRAME_BYTES):
+async def read_frame_async(
+    reader: "asyncio.StreamReader", *, max_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
     """Read one frame from an :class:`asyncio.StreamReader`.
 
     Returns the envelope dict, or ``None`` on clean EOF (connection
@@ -194,7 +202,9 @@ async def read_frame_async(reader, *, max_bytes: int = MAX_FRAME_BYTES):
     return _parse_body(body)
 
 
-def read_frame_sock(sock, *, max_bytes: int = MAX_FRAME_BYTES):
+def read_frame_sock(
+    sock: "socket.socket", *, max_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
     """Blocking-socket twin of :func:`read_frame_async` (client side)."""
     header = _recv_exactly(sock, _HEADER.size, eof_ok=True)
     if header is None:
@@ -203,16 +213,19 @@ def read_frame_sock(sock, *, max_bytes: int = MAX_FRAME_BYTES):
     if length > max_bytes:
         raise FrameError(f"frame length {length} exceeds the {max_bytes}-byte cap")
     body = _recv_exactly(sock, length, eof_ok=False)
+    assert body is not None  # eof_ok=False never yields None
     return _parse_body(body)
 
 
-def write_frame_sock(sock, payload: dict) -> None:
+def write_frame_sock(sock: "socket.socket", payload: dict[str, Any]) -> None:
     """Send one envelope over a blocking socket."""
     sock.sendall(encode_frame(payload))
 
 
-def _recv_exactly(sock, n: int, *, eof_ok: bool):
-    chunks = []
+def _recv_exactly(
+    sock: "socket.socket", n: int, *, eof_ok: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
     got = 0
     while got < n:
         chunk = sock.recv(n - got)
@@ -228,9 +241,15 @@ def _recv_exactly(sock, n: int, *, eof_ok: bool):
 # ----------------------------------------------------------------------
 # Envelopes
 # ----------------------------------------------------------------------
-def request(op: str, *, id: int, session: str | None = None, args: dict | None = None) -> dict:
+def request(
+    op: str,
+    *,
+    id: int,
+    session: str | None = None,
+    args: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """Build a request envelope."""
-    env = {"v": PROTOCOL_VERSION, "id": id, "op": op}
+    env: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": id, "op": op}
     if session is not None:
         env["session"] = session
     if args:
@@ -238,12 +257,12 @@ def request(op: str, *, id: int, session: str | None = None, args: dict | None =
     return env
 
 
-def ok_response(id, result: dict) -> dict:
+def ok_response(id: Any, result: dict[str, Any]) -> dict[str, Any]:
     """Build a success response envelope."""
     return {"v": PROTOCOL_VERSION, "id": id, "ok": True, "result": result}
 
 
-def error_response(id, code: str, message: str) -> dict:
+def error_response(id: Any, code: str, message: str) -> dict[str, Any]:
     """Build a failure response envelope with a typed error code."""
     return {
         "v": PROTOCOL_VERSION,
@@ -253,7 +272,7 @@ def error_response(id, code: str, message: str) -> dict:
     }
 
 
-def parse_request(env: dict) -> tuple[str, str | None, dict]:
+def parse_request(env: dict[str, Any]) -> tuple[str, str | None, dict[str, Any]]:
     """Validate a request envelope; returns ``(op, session, args)``.
 
     Raises :class:`ServiceError` with code ``"version"`` for foreign
@@ -281,7 +300,7 @@ def parse_request(env: dict) -> tuple[str, str | None, dict]:
     return op, session, args
 
 
-def check_response(env: dict):
+def check_response(env: dict[str, Any]) -> dict[str, Any]:
     """Client-side response validation: returns the ``result`` dict of a
     success envelope, raises :class:`ServiceError` (with the server's
     typed code) for failure envelopes and malformed responses."""
@@ -310,7 +329,7 @@ def check_response(env: dict):
 #: :class:`ReproError` defined in :mod:`repro.errors` must map to a code
 #: more specific than the ``"repro"`` fallback, so no typed library
 #: failure ever degrades to a generic wire error.
-ERROR_CODES: tuple[tuple[type, str], ...] = (
+ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (FrameError, "protocol"),
     (ServiceError, "service"),  # .code attribute consulted first
     (RepartitionInfeasibleError, "infeasible"),
@@ -340,14 +359,14 @@ def error_code(exc: BaseException) -> str:
 # ----------------------------------------------------------------------
 # Numpy payloads
 # ----------------------------------------------------------------------
-def arrays_to_wire(arrays: dict[str, np.ndarray]) -> str:
+def arrays_to_wire(arrays: dict[str, NDArray[Any]]) -> str:
     """Encode ``{name: array}`` as base64 npz text for a JSON field."""
     buf = io.BytesIO()
     np.savez(buf, **arrays)
     return base64.b64encode(buf.getvalue()).decode("ascii")
 
 
-def arrays_from_wire(text: str) -> dict[str, np.ndarray]:
+def arrays_from_wire(text: str) -> dict[str, NDArray[Any]]:
     """Decode an :func:`arrays_to_wire` payload back to arrays."""
     try:
         raw = base64.b64decode(text.encode("ascii"), validate=True)
@@ -364,7 +383,7 @@ def delta_to_wire(delta: GraphDelta) -> str:
     return arrays_to_wire(delta.to_arrays())
 
 
-def delta_from_wire(text) -> GraphDelta:
+def delta_from_wire(text: object) -> GraphDelta:
     """Decode a :func:`delta_to_wire` payload (re-validated)."""
     if not isinstance(text, str):
         raise ServiceError(
@@ -382,7 +401,7 @@ def graph_to_wire(graph: CSRGraph) -> str:
     return arrays_to_wire(graph.to_arrays())
 
 
-def graph_from_wire(text) -> CSRGraph:
+def graph_from_wire(text: object) -> CSRGraph:
     """Decode a :func:`graph_to_wire` payload (structurally validated)."""
     if not isinstance(text, str):
         raise ServiceError(

@@ -38,8 +38,10 @@ from __future__ import annotations
 import json
 import logging
 import os
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
+from typing import IO, Any
 
 from repro.errors import ServiceError
 from repro.graph.incremental import GraphDelta
@@ -79,10 +81,16 @@ class WriteAheadLog:
         measuring pure compute); production keeps the default.
     """
 
-    def __init__(self, path, *, start_seq: int = 0, fsync: bool = True):
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        start_seq: int = 0,
+        fsync: bool = True,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
-        self._fh = None
+        self._fh: IO[bytes] | None = None
         _, last = self._scan_seqs()
         self._last_seq = max(int(start_seq), last)
 
@@ -128,14 +136,14 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def append(self, kind: str, deltas=()) -> int:
+    def append(self, kind: str, deltas: Iterable[GraphDelta] = ()) -> int:
         """Append one record and make it durable; returns its sequence
         number.  ``deltas`` is the composed micro-batch for ``push``
         records (ignored otherwise)."""
         if kind not in _KINDS:
             raise ServiceError(f"unknown WAL record kind {kind!r}", code="wal")
         self._last_seq += 1
-        record = {"seq": self._last_seq, "kind": kind}
+        record: dict[str, Any] = {"seq": self._last_seq, "kind": kind}
         if kind == "push":
             record["deltas"] = [delta_to_wire(d) for d in deltas]
         line = json.dumps(record, separators=(",", ":")) + "\n"
@@ -248,5 +256,5 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

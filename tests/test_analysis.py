@@ -519,6 +519,15 @@ class TestSelfCheck:
             "broad-except",
             "deprecation",
         }
+        from repro.analysis import all_project_checkers
+
+        project_names = {c.name for c in all_project_checkers()}
+        assert project_names == {
+            "transitive-blocking",
+            "lock-order",
+            "error-flow",
+            "determinism-taint",
+        }
 
     def test_package_is_clean_under_own_analyzer(self):
         report = analyze_paths([default_package_root()])

@@ -1,0 +1,915 @@
+"""Tests for the project-level (interprocedural) analysis tier.
+
+Covers the :class:`~repro.analysis.project.ProjectGraph` call-graph
+model, the four RPR7xx dataflow rules (each with positive fixtures
+reproducing the violation class — including a seeded lock inversion and
+a two-hop async-blocking chain — and negative fixtures for the
+compliant spelling), the content-hash incremental cache, ``--jobs``
+parallel analysis byte-identity, SARIF output, and runner edge cases
+(syntax errors, empty files, non-UTF8 source, missing paths).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    all_project_checkers,
+    analyze_paths,
+    analyze_project_sources,
+    rule_index,
+)
+from repro.analysis.cache import registry_fingerprint
+from repro.analysis.project import (
+    build_project_graph,
+    module_name_for,
+    summarize_module,
+)
+from repro.cli import main
+
+
+def codes_of(findings):
+    return [f.code for f in findings]
+
+
+def graph_of(sources):
+    summaries = [
+        summarize_module(relpath, ast.parse(src))
+        for relpath, src in sources.items()
+    ]
+    return build_project_graph(summaries)
+
+
+# ----------------------------------------------------------------------
+# ProjectGraph — summaries and call resolution
+# ----------------------------------------------------------------------
+class TestProjectGraph:
+    def test_module_names(self):
+        assert module_name_for("repro/service/manager.py") == "repro.service.manager"
+        assert module_name_for("repro/graph/__init__.py") == "repro.graph"
+        assert module_name_for("tests/test_x.py") == "tests.test_x"
+
+    def test_imported_symbol_resolves(self):
+        g = graph_of(
+            {
+                "repro/a.py": "from repro.b import helper\ndef f():\n    helper()\n",
+                "repro/b.py": "def helper():\n    pass\n",
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.b.helper"
+
+    def test_module_attr_call_resolves(self):
+        g = graph_of(
+            {
+                "repro/a.py": "from repro import b\ndef f():\n    b.helper()\n",
+                "repro/b.py": "def helper():\n    pass\n",
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.b.helper"
+
+    def test_function_level_import_resolves(self):
+        g = graph_of(
+            {
+                "repro/a.py": (
+                    "def f():\n"
+                    "    from repro.b import helper\n"
+                    "    helper()\n"
+                ),
+                "repro/b.py": "def helper():\n    pass\n",
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.b.helper"
+
+    def test_self_method_resolves_through_base_class(self):
+        g = graph_of(
+            {
+                "repro/a.py": (
+                    "from repro.b import Base\n"
+                    "class Child(Base):\n"
+                    "    def f(self):\n"
+                    "        self.helper()\n"
+                ),
+                "repro/b.py": (
+                    "class Base:\n"
+                    "    def helper(self):\n"
+                    "        pass\n"
+                ),
+            }
+        )
+        fn = g.functions["repro.a.Child.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.b.Base.helper"
+
+    def test_nested_def_resolves_and_is_marked_nested(self):
+        g = graph_of(
+            {
+                "repro/a.py": (
+                    "def outer():\n"
+                    "    def inner():\n"
+                    "        pass\n"
+                    "    inner()\n"
+                ),
+            }
+        )
+        fn = g.functions["repro.a.outer"]
+        target = g.resolve_call(fn, fn.calls[0])
+        assert target == "repro.a.outer.<locals>.inner"
+        assert g.functions[target].is_nested
+
+    def test_constructor_resolves_to_init(self):
+        g = graph_of(
+            {
+                "repro/a.py": (
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    "        pass\n"
+                    "def f():\n"
+                    "    C()\n"
+                ),
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.a.C.__init__"
+
+    def test_package_reexport_followed(self):
+        g = graph_of(
+            {
+                "repro/pkg/__init__.py": "from repro.pkg.impl import helper\n",
+                "repro/pkg/impl.py": "def helper():\n    pass\n",
+                "repro/a.py": (
+                    "from repro.pkg import helper\ndef f():\n    helper()\n"
+                ),
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        assert g.resolve_call(fn, fn.calls[0]) == "repro.pkg.impl.helper"
+
+    def test_unknown_receiver_is_loose_not_resolved(self):
+        g = graph_of(
+            {
+                "repro/a.py": "def f(obj):\n    obj.append(1)\n",
+                "repro/b.py": (
+                    "class Log:\n"
+                    "    def append(self, rec):\n"
+                    "        pass\n"
+                ),
+            }
+        )
+        fn = g.functions["repro.a.f"]
+        site = fn.calls[0]
+        assert g.resolve_call(fn, site) is None
+        assert g.loose_targets(site) == ("repro.b.Log.append",)
+
+    def test_class_ancestors_cross_module(self):
+        g = graph_of(
+            {
+                "repro/errors.py": (
+                    "class ReproError(Exception):\n    pass\n"
+                    "class ServiceError(ReproError):\n    pass\n"
+                ),
+                "repro/proto.py": (
+                    "from repro.errors import ServiceError\n"
+                    "class FrameError(ServiceError):\n    pass\n"
+                ),
+            }
+        )
+        assert "repro.errors.ReproError" in g.class_ancestors(
+            "repro.proto.FrameError"
+        )
+
+    def test_summary_roundtrips_through_dict(self):
+        src = (
+            "import os\n"
+            "class M:\n"
+            "    def f(self):\n"
+            "        with self._lock:\n"
+            "            self.g()\n"
+            "    def g(self):\n"
+            "        os.fsync(1)\n"
+        )
+        summary = summarize_module("repro/m.py", ast.parse(src))
+        clone = type(summary).from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert clone.to_dict() == summary.to_dict()
+        fn = clone.functions["M.f"]
+        assert fn.calls_under_locks[0][0] == ("M._lock",)
+
+
+# ----------------------------------------------------------------------
+# RPR701 — transitive async blocking
+# ----------------------------------------------------------------------
+class TestTransitiveBlocking:
+    def test_two_hop_chain_flagged_with_chain_in_message(self):
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "from repro.helpers import persist\n"
+                    "async def handler():\n"
+                    "    persist()\n"
+                ),
+                "repro/helpers.py": (
+                    "import os\n"
+                    "def persist():\n"
+                    "    flush_disk()\n"
+                    "def flush_disk():\n"
+                    "    os.fsync(3)\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert codes_of(findings) == ["RPR701"]
+        f = findings[0]
+        assert f.path == "repro/srv.py" and f.line == 3
+        assert "helpers.persist -> helpers.flush_disk" in f.message
+        assert "os.fsync" in f.message
+
+    def test_method_chain_flagged(self):
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "class S:\n"
+                    "    async def push(self):\n"
+                    "        self._write()\n"
+                    "    def _write(self):\n"
+                    "        self._sock.sendall(b'x')\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert codes_of(findings) == ["RPR701"]
+
+    def test_nested_def_is_executor_boundary(self):
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "import os\n"
+                    "class S:\n"
+                    "    async def push(self, loop, pool):\n"
+                    "        def blocking():\n"
+                    "            os.fsync(3)\n"
+                    "        await loop.run_in_executor(pool, blocking)\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert findings == []
+
+    def test_async_callee_is_its_own_root_not_a_chain(self):
+        # handler -> other_async is not traversed; other_async has no
+        # blocking of its own, so nothing fires.
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "async def handler():\n"
+                    "    await other()\n"
+                    "async def other():\n"
+                    "    return 1\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert findings == []
+
+    def test_direct_blocking_is_rpr401_territory(self):
+        sources = {
+            "repro/srv.py": (
+                "import os\n"
+                "async def handler():\n"
+                "    os.fsync(3)\n"
+            ),
+        }
+        assert analyze_project_sources(sources, select="RPR701") == []
+        assert codes_of(analyze_project_sources(sources, select="RPR401")) == [
+            "RPR401"
+        ]
+
+    def test_loose_name_match_does_not_make_a_chain(self):
+        # queue.append on an unknown receiver must not link to
+        # Wal.append (which fsyncs).
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "async def push(queue):\n"
+                    "    queue.append(1)\n"
+                ),
+                "repro/wal.py": (
+                    "import os\n"
+                    "class Wal:\n"
+                    "    def append(self, rec):\n"
+                    "        os.fsync(3)\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert findings == []
+
+    def test_inline_suppression_honored(self):
+        findings = analyze_project_sources(
+            {
+                "repro/srv.py": (
+                    "from repro.helpers import persist\n"
+                    "async def handler():\n"
+                    "    persist()  # repro: ignore[RPR701] - startup only\n"
+                ),
+                "repro/helpers.py": (
+                    "import os\ndef persist():\n    os.fsync(3)\n"
+                ),
+            },
+            select="RPR701",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR702 — lock-order cycles
+# ----------------------------------------------------------------------
+_INVERSION = {
+    "repro/mgr.py": (
+        "import threading\n"
+        "class Manager:\n"
+        "    def evict(self):\n"
+        "        with self._lock:\n"
+        "            with self.ms.lock:\n"
+        "                pass\n"
+        "    def flush(self):\n"
+        "        with self.ms.lock:\n"
+        "            self._count()\n"
+        "    def _count(self):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+    ),
+}
+
+
+class TestLockOrder:
+    def test_seeded_interprocedural_inversion_flagged(self):
+        findings = analyze_project_sources(dict(_INVERSION), select="RPR702")
+        assert codes_of(findings) == ["RPR702"]
+        msg = findings[0].message
+        assert "Manager._lock" in msg and "ms.lock" in msg
+        assert "via mgr.Manager._count" in msg
+
+    def test_consistent_global_order_is_clean(self):
+        findings = analyze_project_sources(
+            {
+                "repro/mgr.py": (
+                    "class Manager:\n"
+                    "    def evict(self):\n"
+                    "        with self._lock:\n"
+                    "            with self.ms.lock:\n"
+                    "                pass\n"
+                    "    def flush(self):\n"
+                    "        with self._lock:\n"
+                    "            self._count()\n"
+                    "    def _count(self):\n"
+                    "        with self.ms.lock:\n"
+                    "            pass\n"
+                ),
+            },
+            select="RPR702",
+        )
+        assert findings == []
+
+    def test_reentrant_same_lock_is_not_a_cycle(self):
+        findings = analyze_project_sources(
+            {
+                "repro/mgr.py": (
+                    "class Manager:\n"
+                    "    def f(self):\n"
+                    "        with self._lock:\n"
+                    "            self.g()\n"
+                    "    def g(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                ),
+            },
+            select="RPR702",
+        )
+        assert findings == []
+
+    def test_acquire_call_is_sticky(self):
+        findings = analyze_project_sources(
+            {
+                "repro/mgr.py": (
+                    "class Manager:\n"
+                    "    def a(self):\n"
+                    "        self.ms.lock.acquire(blocking=False)\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                    "    def b(self):\n"
+                    "        with self._lock:\n"
+                    "            with self.ms.lock:\n"
+                    "                pass\n"
+                ),
+            },
+            select="RPR702",
+        )
+        assert codes_of(findings) == ["RPR702"]
+
+    def test_suppression_at_witness_line(self):
+        sources = {
+            "repro/mgr.py": (
+                "class Manager:\n"
+                "    def a(self):\n"
+                "        with self._lock:\n"
+                "            # repro: ignore[RPR702] - startup is single-threaded\n"
+                "            with self.ms.lock:\n"
+                "                pass\n"
+                "    def b(self):\n"
+                "        with self.ms.lock:\n"
+                "            with self._lock:\n"
+                "                pass\n"
+            ),
+        }
+        findings = analyze_project_sources(sources, select="RPR702")
+        # The finding anchors at the first witness acquisition (line 5,
+        # suppressed by the comment immediately above it).
+        assert findings == []
+
+    def test_real_manager_shape_is_clean(self):
+        # The shipped SessionManager ordering: every edge points
+        # ms.lock -> manager _lock; no inversion.
+        findings = analyze_project_sources(
+            {
+                "repro/service/manager.py": (
+                    "class SessionManager:\n"
+                    "    def _locked_session(self, name):\n"
+                    "        ms = self._slot(name)\n"
+                    "        ms.lock.acquire()\n"
+                    "        self._materialize_locked(ms)\n"
+                    "    def _materialize_locked(self, ms):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                    "    def _slot(self, name):\n"
+                    "        with self._lock:\n"
+                    "            return name\n"
+                ),
+            },
+            select="RPR702",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR703 — exception-flow totality
+# ----------------------------------------------------------------------
+def _proto_fixture(manager_src: str) -> dict[str, str]:
+    return {
+        "repro/errors.py": (
+            "class ReproError(Exception):\n    pass\n"
+            "class GraphError(ReproError):\n    pass\n"
+            "class SnapshotError(ReproError):\n    pass\n"
+            "class WireError(ReproError):\n    pass\n"
+        ),
+        "repro/service/protocol.py": (
+            "from repro.errors import GraphError, SnapshotError, ReproError\n"
+            "OPS = ('push', 'save')\n"
+            "ERROR_CODES = (\n"
+            "    (GraphError, 'graph'),\n"
+            "    (SnapshotError, 'snapshot'),\n"
+            "    (ReproError, 'repro'),\n"
+            ")\n"
+        ),
+        "repro/service/manager.py": manager_src,
+    }
+
+
+class TestErrorFlow:
+    def test_unmapped_family_flagged_on_handler(self):
+        findings = analyze_project_sources(
+            _proto_fixture(
+                "from repro.errors import GraphError, SnapshotError, WireError\n"
+                "class Manager:\n"
+                "    def push(self, x):\n"
+                "        raise WireError('w')\n"
+                "    def save(self):\n"
+                "        raise GraphError('g') if True else SnapshotError('s')\n"
+                "        raise SnapshotError('s')\n"
+            ),
+            select="RPR703",
+        )
+        flagged = [f for f in findings if "WireError" in f.message]
+        assert len(flagged) == 1
+        assert flagged[0].path == "repro/service/manager.py"
+        assert "catch-all" in flagged[0].message
+
+    def test_dead_entry_flagged_at_its_line(self):
+        findings = analyze_project_sources(
+            _proto_fixture(
+                "from repro.errors import GraphError\n"
+                "class Manager:\n"
+                "    def push(self, x):\n"
+                "        raise GraphError('g')\n"
+                "    def save(self):\n"
+                "        return 1\n"
+            ),
+            select="RPR703",
+        )
+        assert codes_of(findings) == ["RPR703"]
+        f = findings[0]
+        assert f.path == "repro/service/protocol.py"
+        assert "'snapshot'" in f.message and f.line == 5
+
+    def test_total_and_live_map_is_clean(self):
+        findings = analyze_project_sources(
+            _proto_fixture(
+                "from repro.errors import GraphError, SnapshotError\n"
+                "class Manager:\n"
+                "    def push(self, x):\n"
+                "        raise GraphError('g')\n"
+                "    def save(self):\n"
+                "        raise SnapshotError('s')\n"
+            ),
+            select="RPR703",
+        )
+        assert findings == []
+
+    def test_subclass_of_mapped_family_is_covered(self):
+        sources = _proto_fixture(
+            "from repro.errors import SnapshotError\n"
+            "from repro.gerrs import EdgeMissing\n"
+            "class Manager:\n"
+            "    def push(self, x):\n"
+            "        raise EdgeMissing('e')\n"
+            "    def save(self):\n"
+            "        raise SnapshotError('s')\n"
+        )
+        sources["repro/gerrs.py"] = (
+            "from repro.errors import GraphError\n"
+            "class EdgeMissing(GraphError):\n    pass\n"
+        )
+        assert analyze_project_sources(sources, select="RPR703") == []
+
+    def test_raise_reached_through_helper_module(self):
+        # Reachability crosses modules via loose attr edges too.
+        sources = _proto_fixture(
+            "class Manager:\n"
+            "    def push(self, x):\n"
+            "        self.engine.apply(x)\n"
+            "    def save(self):\n"
+            "        self.engine.persist()\n"
+        )
+        sources["repro/engine.py"] = (
+            "from repro.errors import GraphError, SnapshotError\n"
+            "class Engine:\n"
+            "    def apply(self, x):\n"
+            "        raise GraphError('g')\n"
+            "    def persist(self):\n"
+            "        raise SnapshotError('s')\n"
+        )
+        assert analyze_project_sources(sources, select="RPR703") == []
+
+    def test_catch_all_raise_is_not_flagged(self):
+        findings = analyze_project_sources(
+            _proto_fixture(
+                "from repro.errors import GraphError, SnapshotError, ReproError\n"
+                "class Manager:\n"
+                "    def push(self, x):\n"
+                "        raise ReproError('r')\n"
+                "    def save(self):\n"
+                "        raise GraphError('g')\n"
+                "        raise SnapshotError('s')\n"
+            ),
+            select="RPR703",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPR704 — determinism taint
+# ----------------------------------------------------------------------
+class TestDeterminismTaint:
+    def test_cross_module_taint_flagged_at_call_site(self):
+        findings = analyze_project_sources(
+            {
+                "repro/core.py": (
+                    "from repro.util import stamp\n"
+                    "def label_step():\n"
+                    "    return stamp()\n"
+                ),
+                "repro/util.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+            },
+            select="RPR704",
+        )
+        assert codes_of(findings) == ["RPR704"]
+        f = findings[0]
+        assert f.path == "repro/core.py" and f.line == 3
+        assert "core.label_step -> util.stamp" in f.message
+        assert "time.time" in f.message
+
+    def test_two_hop_taint_flagged_once_per_function(self):
+        findings = analyze_project_sources(
+            {
+                "repro/a.py": (
+                    "from repro.b import mid\n"
+                    "def top():\n"
+                    "    return mid()\n"
+                ),
+                "repro/b.py": (
+                    "import time\n"
+                    "def mid():\n"
+                    "    return leaf()\n"
+                    "def leaf():\n"
+                    "    return time.time()\n"
+                ),
+            },
+            select="RPR704",
+        )
+        assert codes_of(findings) == ["RPR704", "RPR704"]
+        assert {f.path for f in findings} == {"repro/a.py", "repro/b.py"}
+
+    def test_direct_source_is_rpr101_not_rpr704(self):
+        sources = {
+            "repro/core.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+        }
+        assert analyze_project_sources(sources, select="RPR704") == []
+        assert codes_of(analyze_project_sources(sources, select="RPR101")) == [
+            "RPR101"
+        ]
+
+    def test_rng_module_is_a_barrier(self):
+        # Calling the sanctioned construction site must stay clean.
+        findings = analyze_project_sources(
+            {
+                "repro/rng.py": (
+                    "import numpy as np\n"
+                    "def make_rng(seed):\n"
+                    "    return np.random.default_rng(seed)\n"
+                ),
+                "repro/core.py": (
+                    "from repro.rng import make_rng\n"
+                    "def partition(seed):\n"
+                    "    return make_rng(seed)\n"
+                ),
+            },
+            select="RPR704",
+        )
+        assert findings == []
+
+    def test_bench_harness_callers_are_exempt(self):
+        findings = analyze_project_sources(
+            {
+                "repro/bench/timing.py": (
+                    "import time\n"
+                    "def now():\n"
+                    "    return time.time()\n"
+                ),
+                "repro/bench/run.py": (
+                    "from repro.bench.timing import now\n"
+                    "def record():\n"
+                    "    return now()\n"
+                ),
+            },
+            select="RPR704",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Incremental cache
+# ----------------------------------------------------------------------
+def _write_pkg(root):
+    pkg = root / "pkg"
+    pkg.mkdir()
+    (pkg / "a.py").write_text(
+        "import time\ndef f():\n    return time.time()\n", encoding="utf-8"
+    )
+    (pkg / "b.py").write_text("def g():\n    return 1\n", encoding="utf-8")
+    (pkg / "c.py").write_text("def h():\n    return 2\n", encoding="utf-8")
+    return pkg
+
+
+class TestIncrementalCache:
+    def test_cold_then_warm_hits_everything(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cold = AnalysisCache(cache_dir)
+        r1 = analyze_paths([pkg], cache=cold)
+        assert (cold.hits, cold.misses) == (0, 3)
+        warm = AnalysisCache(cache_dir)
+        r2 = analyze_paths([pkg], cache=warm)
+        assert (warm.hits, warm.misses) == (3, 0)
+        assert r1.to_text() == r2.to_text()
+
+    def test_edit_invalidates_only_the_changed_module(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([pkg], cache=AnalysisCache(cache_dir))
+        (pkg / "b.py").write_text(
+            "def g():\n    return 42\n", encoding="utf-8"
+        )
+        warm = AnalysisCache(cache_dir)
+        analyze_paths([pkg], cache=warm)
+        assert (warm.hits, warm.misses) == (2, 1)
+
+    def test_cached_findings_match_fresh(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([pkg], cache=AnalysisCache(cache_dir))
+        cached = analyze_paths([pkg], cache=AnalysisCache(cache_dir))
+        fresh = analyze_paths([pkg])
+        assert cached.to_json() == fresh.to_json()
+        assert "RPR101" in codes_of(cached.findings)
+
+    def test_corrupt_cache_file_starts_cold(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache_dir.mkdir()
+        (cache_dir / "modules.json").write_text("{not json", encoding="utf-8")
+        cache = AnalysisCache(cache_dir)
+        analyze_paths([pkg], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_foreign_fingerprint_invalidates(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        analyze_paths([pkg], cache=AnalysisCache(cache_dir))
+        path = cache_dir / "modules.json"
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["fingerprint"] == registry_fingerprint()
+        data["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(data), encoding="utf-8")
+        cache = AnalysisCache(cache_dir)
+        analyze_paths([pkg], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 3)
+
+    def test_custom_checker_lists_bypass_the_cache(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        cache = AnalysisCache(cache_dir)
+        analyze_paths([pkg], checkers=[], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert not (cache_dir / "modules.json").exists()
+
+    def test_cli_no_cache_bypasses(self, tmp_path, capsys):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        rc = main(
+            [
+                "lint",
+                str(pkg),
+                "--no-cache",
+                "--cache-dir",
+                str(cache_dir),
+                "--select",
+                "RPR5",
+            ]
+        )
+        assert rc == 0
+        assert not cache_dir.exists()
+
+    def test_cli_warm_cache_round_trip(self, tmp_path, capsys):
+        pkg = _write_pkg(tmp_path)
+        cache_dir = tmp_path / "cache"
+        args = ["lint", str(pkg), "--cache-dir", str(cache_dir)]
+        rc1 = main(args)
+        out1 = capsys.readouterr().out
+        rc2 = main(args)
+        out2 = capsys.readouterr().out
+        assert (rc1, rc2) == (1, 1)  # the RPR101 fixture finding
+        assert out1 == out2
+        assert (cache_dir / "modules.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Parallel analysis
+# ----------------------------------------------------------------------
+class TestParallelJobs:
+    def test_jobs_output_is_byte_identical_to_serial(self, tmp_path):
+        pkg = _write_pkg(tmp_path)
+        serial = analyze_paths([pkg])
+        parallel = analyze_paths([pkg], jobs=2)
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_text() == parallel.to_text()
+
+    def test_cli_jobs_matches_serial(self, tmp_path, capsys):
+        pkg = _write_pkg(tmp_path)
+        main(["lint", str(pkg), "--no-cache"])
+        serial_out = capsys.readouterr().out
+        main(["lint", str(pkg), "--no-cache", "--jobs", "2"])
+        jobs_out = capsys.readouterr().out
+        assert serial_out == jobs_out
+
+    def test_syntax_error_propagates_from_workers(self, tmp_path, capsys):
+        pkg = _write_pkg(tmp_path)
+        (pkg / "bad.py").write_text("def broken(:\n", encoding="utf-8")
+        rc = main(["lint", str(pkg), "--no-cache", "--jobs", "2"])
+        assert rc == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Runner edge cases
+# ----------------------------------------------------------------------
+class TestRunnerEdgeCases:
+    def test_syntax_error_exits_2_with_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        rc = main(["lint", str(bad), "--no-cache"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "cannot parse" in err and len(err.strip().splitlines()) == 1
+
+    def test_empty_file_is_clean(self, tmp_path, capsys):
+        empty = tmp_path / "empty.py"
+        empty.write_text("", encoding="utf-8")
+        rc = main(["lint", str(empty), "--no-cache"])
+        assert rc == 0
+        assert "0 finding(s) in 1 file(s)" in capsys.readouterr().out
+
+    def test_non_utf8_source_exits_2(self, tmp_path, capsys):
+        binary = tmp_path / "latin.py"
+        binary.write_bytes(b"# caf\xe9\nx = 1\n")
+        rc = main(["lint", str(binary), "--no-cache"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "not valid UTF-8" in err and len(err.strip().splitlines()) == 1
+
+    def test_nonexistent_path_exits_2(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope"), "--no-cache"])
+        assert rc == 2
+        assert "not a python file or directory" in capsys.readouterr().err
+
+    def test_nonexistent_py_file_exits_2(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope.py"), "--no-cache"])
+        assert rc == 2
+        assert "not a python file or directory" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+class TestSarif:
+    def test_sarif_log_shape_and_locations(self, tmp_path, capsys):
+        pkg = _write_pkg(tmp_path)
+        rc = main(["lint", str(pkg), "--no-cache", "--format", "sarif"])
+        assert rc == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert "sarif-2.1.0" in log["$schema"]
+        run = log["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"RPR101", "RPR701", "RPR702", "RPR703", "RPR704"} <= rule_ids
+        results = run["results"]
+        assert results, "expected the RPR101 fixture finding"
+        loc = results[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "pkg/a.py"
+        assert loc["region"]["startLine"] == 3
+        assert results[0]["ruleId"] == "RPR101"
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f():\n    return 1\n", encoding="utf-8")
+        rc = main(["lint", str(clean), "--no-cache", "--format", "sarif"])
+        assert rc == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# Registry / self-checks for the project tier
+# ----------------------------------------------------------------------
+class TestProjectRegistry:
+    def test_project_registry_is_complete(self):
+        names = {c.name for c in all_project_checkers()}
+        assert names == {
+            "transitive-blocking",
+            "lock-order",
+            "error-flow",
+            "determinism-taint",
+        }
+
+    def test_rule_index_spans_both_tiers(self):
+        index = rule_index()
+        assert index["RPR101"][0] == "determinism"
+        assert index["RPR701"][0] == "transitive-blocking"
+        assert index["RPR702"][0] == "lock-order"
+        assert index["RPR703"][0] == "error-flow"
+        assert index["RPR704"][0] == "determinism-taint"
+
+    def test_duplicate_code_registration_rejected(self):
+        from repro.analysis import ProjectChecker, register_project_checker
+        from repro.errors import AnalysisError
+
+        class Clashing(ProjectChecker):
+            name = "clashing"
+            codes = {"RPR101": "already owned by determinism"}
+
+        all_project_checkers()  # ensure the built-in registry is loaded
+        with pytest.raises(AnalysisError):
+            register_project_checker(Clashing())
