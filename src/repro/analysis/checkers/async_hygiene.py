@@ -15,6 +15,17 @@ socket ``recv`` / ``sendall`` / ``accept``, and the session-engine
 entry points (``.push_batch`` / ``.repartition`` / ``.solve`` /
 ``.solve_with_stats``).  Route them through
 ``loop.run_in_executor(...)`` instead.
+
+The gateway's REST handlers added a second blocking surface with names
+too generic to flag globally (``open``, ``close``, ``stats``, ...):
+the SessionManager / gateway-backend op methods.  Those are flagged
+*receiver-scoped* — only when called on a ``manager`` / ``mgr`` /
+``backend`` receiver (:data:`BLOCKING_BACKEND_METHODS` on
+:data:`BLOCKING_RECEIVERS`), so ``self.backend.call(...)`` inside an
+``async def`` handler body is a finding while passing the bound method
+to an executor is not.  The HTTP parse/write helpers
+(``repro/gateway/http.py``) stay exempt by construction: they only
+touch asyncio streams.
 """
 
 from __future__ import annotations
@@ -71,6 +82,50 @@ BLOCKING_METHODS = frozenset(
 #: Bare-name calls that block.
 BLOCKING_NAMES = frozenset({"open"})
 
+#: Methods that block only on a *session-host receiver* — the
+#: SessionManager op surface and the gateway backend call surface.
+#: These names (``open``, ``close``, ``stats``...) are far too generic
+#: to flag on any receiver; scoping by the receiver's terminal name
+#: keeps the rule precise while covering the gateway's handler surface,
+#: where ``self.backend.call(...)`` written straight into an ``async
+#: def`` would serialize every HTTP request behind one LP solve.
+BLOCKING_BACKEND_METHODS = frozenset(
+    {
+        "call",
+        "create",
+        "open",
+        "push",
+        "flush",
+        "quality",
+        "query",
+        "save",
+        "close",
+        "close_session",
+        "close_all",
+        "checkpoint_dirty",
+        "stats",
+        "list_sessions",
+    }
+)
+
+#: Receiver spellings the backend-method rule applies to: the terminal
+#: name of the receiver chain (``mgr``, ``self.manager``,
+#: ``self.backend`` ...).
+BLOCKING_RECEIVERS = frozenset({"manager", "mgr", "backend"})
+
+
+def backend_blocking_label(func: ast.expr) -> str | None:
+    """``.attr`` when ``func`` is a session-host op call on a backend
+    receiver (see :data:`BLOCKING_BACKEND_METHODS`), else ``None``."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr not in BLOCKING_BACKEND_METHODS:
+        return None
+    receiver = dotted_name(func.value) or ""
+    if receiver.rpartition(".")[2] in BLOCKING_RECEIVERS:
+        return f".{func.attr}"
+    return None
+
 
 class _AsyncBodyVisitor(ast.NodeVisitor):
     def __init__(self, checker: Checker, ctx: ModuleContext) -> None:
@@ -112,6 +167,8 @@ class _AsyncBodyVisitor(ast.NodeVisitor):
                 and node.func.attr in BLOCKING_METHODS
             ):
                 blocked = f".{node.func.attr}"
+            else:
+                blocked = backend_blocking_label(node.func)
             if blocked is not None:
                 self.findings.append(
                     self.ctx.finding(

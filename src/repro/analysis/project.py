@@ -34,6 +34,7 @@ from repro.analysis.checkers.async_hygiene import (
     BLOCKING_DOTTED,
     BLOCKING_METHODS,
     BLOCKING_NAMES,
+    backend_blocking_label,
 )
 from repro.analysis.checkers.determinism import NONDETERMINISTIC_CALLS
 
@@ -295,7 +296,7 @@ def _blocking_label(raw: str, attr: str, func: ast.expr) -> str | None:
         return func.id
     if isinstance(func, ast.Attribute) and attr in BLOCKING_METHODS:
         return f".{attr}"
-    return None
+    return backend_blocking_label(func)
 
 
 def _canonical_lock_key(dotted: str, cls_name: str | None) -> str:

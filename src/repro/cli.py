@@ -25,11 +25,17 @@ Subcommands:
   carried warm bases).
 * ``repro-igp session resume SNAP`` — reload a snapshot, replay the rest
   of its recorded stream, repartition, and report.
-* ``repro-igp serve --root DIR [--port P] [--resident N]`` — run the
-  partition service: many named sessions over TCP, WAL durability,
-  LRU eviction, background checkpoints.
-* ``repro-igp client [--port P] create|feed|flush|repartition|quality|
-  query|save|close|stats|shutdown ...`` — drive a running service.
+* ``repro-igp serve --root DIR [--port P | --uds PATH] [--resident N]``
+  — run the partition service: many named sessions over TCP or a Unix
+  socket, WAL durability, LRU eviction, background checkpoints.
+* ``repro-igp gateway (--root DIR | --proxy-port P) [--port P | --uds
+  PATH] [--token NAME=SECRET] [--rate R]`` — run the HTTP/REST gateway:
+  every service op as a REST route with bearer auth, per-token rate
+  limiting and a Prometheus ``GET /metrics`` exposition; in-process
+  sessions (``--root``) or fronting a running TCP service (``--proxy-*``).
+* ``repro-igp client [--port P | --uds PATH] [--http [--token T]]
+  create|feed|flush|repartition|quality|query|save|close|stats|shutdown
+  ...`` — drive a running service (wire protocol) or gateway (--http).
 * ``repro-igp lint [PATHS...] [--baseline F] [--format text|json]`` —
   run the repro.analysis checker suite (determinism, error taxonomy,
   lock discipline, async hygiene, broad-except, deprecation) over the
@@ -292,13 +298,16 @@ def _cmd_serve(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         fsync=not args.no_fsync,
     )
-    server = PartitionServer(manager, host=args.host, port=args.port)
+    server = PartitionServer(
+        manager, host=args.host, port=args.port, uds=args.uds
+    )
 
     def banner(srv):
         # Printed only after bind, so --port 0 reports the real port.
+        endpoint = srv.uds if srv.uds is not None else f"{srv.host}:{srv.port}"
         print(
             f"serving partition sessions from {args.root} on "
-            f"{srv.host}:{srv.port} (resident budget: "
+            f"{endpoint} (resident budget: "
             f"{args.resident if args.resident is not None else 'unbounded'}, "
             f"checkpoint every "
             f"{args.checkpoint_interval if args.checkpoint_interval is not None else '—'}s); "
@@ -311,10 +320,76 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_gateway(args) -> int:
+    from repro.gateway import LocalBackend, PartitionGateway, RemoteBackend
+
+    proxy = args.proxy_uds is not None or args.proxy_port is not None
+    if proxy and args.root:
+        raise SystemExit(
+            "--root (in-process sessions) and --proxy-port/--proxy-uds "
+            "(front an existing TCP service) are mutually exclusive"
+        )
+    if proxy:
+        backend = RemoteBackend(
+            args.proxy_host,
+            args.proxy_port if args.proxy_port is not None else 7421,
+            uds=args.proxy_uds,
+        )
+    else:
+        if not args.root:
+            raise SystemExit(
+                "pass --root DIR to host sessions in-process, or "
+                "--proxy-port/--proxy-uds to front a running service"
+            )
+        from repro.service.manager import SessionManager
+
+        backend = LocalBackend(
+            SessionManager(
+                args.root,
+                max_resident=args.resident,
+                checkpoint_interval=args.checkpoint_interval,
+                fsync=not args.no_fsync,
+            )
+        )
+    gateway = PartitionGateway(
+        backend,
+        host=args.host,
+        port=args.port,
+        uds=args.uds,
+        tokens=PartitionGateway.parse_tokens(args.token),
+        rate=args.rate,
+        burst=args.burst,
+    )
+
+    def banner(gw):
+        endpoint = (
+            gw.uds if gw.uds is not None else f"http://{gw.host}:{gw.port}"
+        )
+        auth = "open (no tokens)" if gw.auth.open_mode else "bearer tokens"
+        print(
+            f"partition gateway on {endpoint} ({backend.describe()}, "
+            f"auth: {auth}); metrics at GET /metrics; stop with "
+            f"SIGTERM/Ctrl-C or POST /shutdown",
+            flush=True,
+        )
+
+    gateway.run(on_ready=banner)
+    print("partition gateway stopped; sessions checkpointed")
+    return 0
+
+
 def _client(args):
+    if args.http:
+        from repro.gateway import GatewayClient
+
+        port = args.port if args.port is not None else 8421
+        return GatewayClient(
+            args.host, port, uds=args.uds, token=args.token
+        )
     from repro.service.client import ServiceClient
 
-    return ServiceClient(args.host, args.port)
+    port = args.port if args.port is not None else 7421
+    return ServiceClient(args.host, port, uds=args.uds)
 
 
 def _client_policy(args):
@@ -342,6 +417,8 @@ def _cmd_client_create(args) -> int:
             seed=args.seed,
             policy=_client_policy(args),
             config={"lp_backend": args.lp_backend},
+            shards=args.shards or None,
+            max_resident=args.resident,
         )
     print(
         f"created session {args.name!r}: |V|={info['num_vertices']} "
@@ -683,7 +760,50 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--no-fsync", action="store_true",
                     help="skip per-operation WAL fsync (faster, but an OS "
                          "crash may lose acknowledged operations)")
+    sv.add_argument("--uds", default=None,
+                    help="serve on a Unix domain socket at this path "
+                         "instead of TCP")
     sv.set_defaults(fn=_cmd_serve)
+
+    gw = sub.add_parser(
+        "gateway",
+        help="run the HTTP/REST gateway: every service op as a REST "
+             "route with bearer auth, rate limiting and a Prometheus "
+             "/metrics exposition")
+    gw.add_argument("--root", default=None,
+                    help="host sessions in-process from this directory "
+                         "(the single-process production shape)")
+    gw.add_argument("--host", default="127.0.0.1")
+    gw.add_argument("--port", type=int, default=8421,
+                    help="HTTP port (0 = pick a free one; default 8421)")
+    gw.add_argument("--uds", default=None,
+                    help="serve HTTP on a Unix domain socket at this path "
+                         "instead of TCP (curl --unix-socket)")
+    gw.add_argument("--token", action="append", default=None,
+                    metavar="NAME=SECRET",
+                    help="accept this bearer token (repeatable); no tokens "
+                         "means open dev mode")
+    gw.add_argument("--rate", type=float, default=None,
+                    help="per-principal rate limit in requests/second "
+                         "(default: unlimited)")
+    gw.add_argument("--burst", type=int, default=20,
+                    help="rate-limit burst capacity (default 20)")
+    gw.add_argument("--proxy-host", default="127.0.0.1",
+                    help="with --proxy-port/--proxy-uds: the TCP service "
+                         "to front")
+    gw.add_argument("--proxy-port", type=int, default=None,
+                    help="proxy ops to the TCP service on this port "
+                         "instead of hosting sessions in-process")
+    gw.add_argument("--proxy-uds", default=None,
+                    help="proxy ops to the service on this Unix socket")
+    gw.add_argument("--resident", type=int, default=None,
+                    help="(with --root) LRU budget: max sessions resident")
+    gw.add_argument("--checkpoint-interval", type=float, default=30.0,
+                    help="(with --root) seconds between background "
+                         "checkpoints of dirty sessions")
+    gw.add_argument("--no-fsync", action="store_true",
+                    help="(with --root) skip per-operation WAL fsync")
+    gw.set_defaults(fn=_cmd_gateway)
 
     cl = sub.add_parser(
         "client",
@@ -691,7 +811,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(create/feed/flush/repartition/quality/query/save/close/"
              "stats/shutdown)")
     cl.add_argument("--host", default="127.0.0.1")
-    cl.add_argument("--port", type=int, default=7421)
+    cl.add_argument("--port", type=int, default=None,
+                    help="service port (default 7421, or 8421 with --http)")
+    cl.add_argument("--uds", default=None,
+                    help="connect over a Unix domain socket at this path")
+    cl.add_argument("--http", action="store_true",
+                    help="talk to an HTTP gateway instead of the TCP wire "
+                         "protocol")
+    cl.add_argument("--token", default=None,
+                    help="bearer token for --http (secret or NAME=SECRET)")
     clsub = cl.add_subparsers(dest="client_command", required=True)
 
     cc = clsub.add_parser("create", parents=[source_common, flush_common],
@@ -701,6 +829,12 @@ def build_parser() -> argparse.ArgumentParser:
     cc.add_argument("--scale", type=float, default=1.0)
     cc.add_argument("-p", "--partitions", type=int, default=8)
     cc.add_argument("--lp-backend", default="revised", dest="lp_backend")
+    cc.add_argument("--shards", type=int, default=0,
+                    help="create the session sharded server-side (v2 "
+                         "directory snapshots; 0 = monolithic)")
+    cc.add_argument("--resident", type=int, default=None,
+                    help="(with --shards) server-side LRU budget: max "
+                         "shard blocks paged in per session")
     cc.set_defaults(fn=_cmd_client_create)
 
     cf = clsub.add_parser("feed",

@@ -262,6 +262,16 @@ class StreamingPartitioner:
         #: revisions other than these are deleted at each flush, so a
         #: long-running session holds at most two revisions per shard.
         self.pinned_revs: np.ndarray | None = None
+        #: Lifetime instrumentation (deltas folded, batches flushed by
+        #: trigger, §2.3 chunked fallbacks) — the raw feed for the
+        #: service/gateway metrics surface and for adaptive-policy work.
+        #: Monotonic for this engine instance; restored sessions start
+        #: fresh (history totals remain the durable record).
+        self.counters: dict[str, int] = {
+            "folds": 0,
+            "flushes": 0,
+            "fallback_flushes": 0,
+        }
 
     # ------------------------------------------------------------------
     # Pending-state inspection
@@ -374,6 +384,7 @@ class StreamingPartitioner:
                 accumulate_weights=self.accumulate_weights,
             )
         self._composer.fold(delta)
+        self.counters["folds"] += 1
 
     def maybe_flush(self) -> RepartitionResult | None:
         """Flush now if the :class:`FlushPolicy` fires against the pending
@@ -527,6 +538,9 @@ class StreamingPartitioner:
         self.part = result.part
         self.num_batches += 1
         self._total_wall_s += wall
+        self.counters["flushes"] += 1
+        if fallback:
+            self.counters["fallback_flushes"] += 1
         self.history.append(
             BatchRecord(
                 num_deltas=num_deltas,

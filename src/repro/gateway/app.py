@@ -1,0 +1,502 @@
+"""The partition gateway: asyncio HTTP/1.1 REST front end + metrics.
+
+:class:`PartitionGateway` serves the full service op surface over REST
+(see the route table in :meth:`PartitionGateway._build_router`), either
+off an in-process :class:`~repro.gateway.backend.LocalBackend` or
+proxying a TCP/UDS partition service through a
+:class:`~repro.gateway.backend.RemoteBackend`.  Request flow::
+
+    read_request -> auth (bearer + rate limit) -> route -> validate
+        -> backend call in the thread pool -> JSON response
+
+Every failure becomes the canonical error body
+(``{"ok": false, "error": {"code", "message"}}``) with the HTTP status
+:data:`repro.gateway.schemas.HTTP_STATUS` assigns the wire code — the
+REST API and the wire protocol share one error taxonomy.
+
+Pushes ride the same :class:`~repro.service.batching.PushBatcher` as
+the TCP server: concurrent ``POST .../deltas`` requests for one session
+compose into one micro-batch (one WAL fsync, one policy check, at most
+one LP solve).
+
+Metrics: a :class:`~repro.gateway.metrics.MetricsRegistry` serves
+``GET /metrics`` in Prometheus text format — gateway request counters
+and per-op latency histograms observed around every request, manager-op
+latency histograms fed by :attr:`SessionManager.on_op` (local mode),
+and a scrape-time collector mirroring the live ``stats`` counters (WAL
+records/fsyncs, LP pivots, evictions, checkpoints, sessions resident,
+shard block loads).
+
+Graceful shutdown: on SIGTERM/SIGINT (or ``POST /shutdown``) the
+gateway stops accepting, drains in-flight push queues, checkpoints
+every dirty session (local mode — the remote service owns its own
+state), then exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import logging
+import os
+import time
+from functools import partial
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro.errors import ServiceError
+from repro.gateway import http as ghttp
+from repro.gateway import schemas
+from repro.gateway.auth import AuthError, Authenticator, parse_token_spec
+from repro.gateway.backend import LocalBackend, RemoteBackend
+from repro.gateway.metrics import MetricsRegistry
+from repro.gateway.routes import Router, RoutingError
+from repro.service import protocol
+from repro.service.batching import PushBatcher
+
+__all__ = ["PartitionGateway"]
+
+logger = logging.getLogger(__name__)
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: A handler returns (status, json-serializable dict) or
+#: (status, raw bytes, content type).
+_Handler = Callable[..., Awaitable[tuple]]
+
+
+class PartitionGateway:
+    """HTTP/REST + metrics front half of the partition service.
+
+    Parameters
+    ----------
+    backend:
+        a :class:`LocalBackend` (in-process ``SessionManager``) or
+        :class:`RemoteBackend` (proxy to a TCP/UDS service).
+    host / port:
+        HTTP bind address; ``port=0`` picks a free port (resolved on
+        :meth:`start`).
+    uds:
+        serve HTTP over a Unix domain socket at this path instead of
+        TCP (curl: ``--unix-socket``).
+    tokens:
+        ``(principal, secret)`` bearer tokens; empty means open dev
+        mode (see :mod:`repro.gateway.auth`).
+    rate / burst:
+        per-principal token-bucket rate limit (``rate=None`` disables).
+    max_workers:
+        thread-pool size for blocking backend calls.
+    allow_shutdown:
+        whether ``POST /shutdown`` is honoured.
+    registry:
+        share a :class:`MetricsRegistry` (tests); default builds one.
+    """
+
+    def __init__(
+        self,
+        backend: LocalBackend | RemoteBackend,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        uds: str | None = None,
+        tokens: list[tuple[str, str]] | None = None,
+        rate: float | None = None,
+        burst: int = 20,
+        max_workers: int | None = None,
+        allow_shutdown: bool = True,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.backend = backend
+        self.host = host
+        self.port = port
+        self.uds = uds
+        self.allow_shutdown = allow_shutdown
+        self.auth = Authenticator(tokens or (), rate=rate, burst=burst)
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-gateway-op"
+        )
+        self._batcher = PushBatcher(self._pool, backend.push_batch)
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._init_metrics()
+        self.router = self._build_router()
+
+    # ------------------------------------------------------------------
+    # Metrics wiring
+    # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_gateway_requests_total",
+            "HTTP requests handled, by routed op and response status",
+        )
+        self._m_latency = reg.histogram(
+            "repro_gateway_request_seconds",
+            "End-to-end HTTP request latency by routed op",
+        )
+        self._m_op_latency = reg.histogram(
+            "repro_service_op_seconds",
+            "SessionManager operation latency by op (in-process backend)",
+        )
+        self._m_counters = reg.counter(
+            "repro_service_events_total",
+            "SessionManager lifetime counters mirrored at scrape time "
+            "(pushes, flushes, checkpoints, WAL records/fsyncs/replays, "
+            "LP pivots, evictions, ...)",
+        )
+        self._m_resident = reg.gauge(
+            "repro_service_sessions_resident",
+            "Sessions currently holding live in-memory state",
+        )
+        self._m_known = reg.gauge(
+            "repro_service_sessions_known",
+            "Named sessions known on disk or in memory",
+        )
+        self._m_block_loads = reg.counter(
+            "repro_service_shard_block_loads_total",
+            "Shard block cache misses per sharded session",
+        )
+        reg.register_collector(self._collect_backend_stats)
+        manager = getattr(self.backend, "manager", None)
+        if manager is not None:
+            manager.on_op = lambda op, seconds: self._m_op_latency.observe(
+                seconds, {"op": op}
+            )
+
+    def _collect_backend_stats(self) -> None:
+        """Scrape-time mirror of the live ``stats`` surface.  Runs in
+        the thread pool (the ``/metrics`` handler renders off-loop), so
+        the blocking backend call is fine here."""
+        try:
+            stats = self.backend.call("stats")
+        except ServiceError as exc:
+            # A proxy whose service is briefly unreachable still serves
+            # its own gateway-side series.
+            logger.warning("stats collection for /metrics failed: %s", exc)
+            return
+        for name, value in (stats.get("counters") or {}).items():
+            self._m_counters.set_total(float(value), {"event": name})
+        self._m_resident.set(float(stats.get("resident") or 0))
+        sessions = stats.get("sessions") or {}
+        self._m_known.set(float(len(sessions)))
+        for name, entry in sessions.items():
+            loads = entry.get("block_loads")
+            if loads is not None:
+                self._m_block_loads.set_total(
+                    float(loads), {"session": name}
+                )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _build_router(self) -> Router:
+        r = Router()
+        r.add("GET", "/healthz", self._h_healthz, op="healthz")
+        r.add("GET", "/metrics", self._h_metrics, op="metrics")
+        r.add("GET", "/sessions", self._h_list, op="list")
+        r.add("POST", "/sessions", self._h_create, op="create")
+        r.add("GET", "/sessions/{name}", self._h_query, op="query")
+        r.add("DELETE", "/sessions/{name}", self._h_close, op="close")
+        r.add("POST", "/sessions/{name}/deltas", self._h_push, op="push")
+        r.add("POST", "/sessions/{name}/flush", self._h_flush, op="flush")
+        r.add(
+            "POST",
+            "/sessions/{name}/repartition",
+            self._h_repartition,
+            op="repartition",
+        )
+        r.add("POST", "/sessions/{name}/open", self._h_open, op="open")
+        r.add("POST", "/sessions/{name}/save", self._h_save, op="save")
+        r.add("POST", "/sessions/{name}/close", self._h_close, op="close")
+        r.add("GET", "/sessions/{name}/quality", self._h_quality, op="quality")
+        r.add("GET", "/sessions/{name}/labels", self._h_labels, op="query")
+        r.add("GET", "/sessions/{name}/stats", self._h_session_stats, op="query")
+        r.add("GET", "/stats", self._h_stats, op="stats")
+        r.add("POST", "/shutdown", self._h_shutdown, op="shutdown")
+        return r
+
+    def _blocking(self, fn, *args, **kwargs):
+        loop = asyncio.get_running_loop()
+        return loop.run_in_executor(self._pool, partial(fn, *args, **kwargs))
+
+    # -- handlers -------------------------------------------------------
+    async def _h_healthz(self, request, params) -> tuple:
+        return 200, {"ok": True, "protocol": protocol.PROTOCOL_VERSION}
+
+    async def _h_metrics(self, request, params) -> tuple:
+        # Rendering runs the collectors, which call the (blocking)
+        # stats surface — keep the whole scrape off the event loop.
+        text = await self._blocking(self.registry.render)
+        return 200, text.encode("utf-8"), _PROM
+
+    async def _h_list(self, request, params) -> tuple:
+        return 200, await self._blocking(self.backend.call, "list")
+
+    async def _h_create(self, request, params) -> tuple:
+        body = schemas.parse_json_body(request.body, empty_ok=False)
+        schemas.check_fields(
+            body, schemas.SESSION_FIELDS, required=("name", "partitions")
+        )
+        name = body.pop("name")
+        result = await self._blocking(self.backend.call, "create", name, **body)
+        return 201, result
+
+    async def _h_open(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "open", params["name"]
+        )
+
+    async def _h_push(self, request, params) -> tuple:
+        body = schemas.parse_json_body(request.body, empty_ok=False)
+        schemas.check_fields(
+            body, {"delta": (str,), "deltas": (list,)}, where="push body"
+        )
+        if ("delta" in body) == ("deltas" in body):
+            raise ServiceError(
+                "push body requires exactly one of 'delta' (one base64 npz "
+                "payload) or 'deltas' (a list of them)",
+                code="bad-request",
+            )
+        if "delta" in body:
+            # Single delta: ride the cross-request micro-batcher.
+            return 200, await self._batcher.push(params["name"], body["delta"])
+        deltas = body["deltas"]
+        if not deltas or not all(isinstance(d, str) for d in deltas):
+            raise ServiceError(
+                "'deltas' must be a non-empty list of base64 npz strings",
+                code="bad-request",
+            )
+        # A client-side batch is already composed: apply it as one
+        # micro-batch directly (one WAL record).
+        return 200, await self._blocking(
+            self.backend.push_batch, params["name"], deltas
+        )
+
+    async def _h_flush(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "flush", params["name"]
+        )
+
+    async def _h_repartition(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "repartition", params["name"]
+        )
+
+    async def _h_quality(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "quality", params["name"]
+        )
+
+    async def _h_query(self, request, params) -> tuple:
+        labels = request.query.get("labels", "") in ("1", "true", "yes")
+        return 200, await self._blocking(
+            self.backend.call, "query", params["name"], labels=labels
+        )
+
+    async def _h_labels(self, request, params) -> tuple:
+        result = await self._blocking(
+            self.backend.call, "query", params["name"], labels=True
+        )
+        return 200, {"name": params["name"], "labels": result.get("labels")}
+
+    async def _h_session_stats(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "query", params["name"]
+        )
+
+    async def _h_stats(self, request, params) -> tuple:
+        return 200, await self._blocking(self.backend.call, "stats")
+
+    async def _h_save(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "save", params["name"]
+        )
+
+    async def _h_close(self, request, params) -> tuple:
+        return 200, await self._blocking(
+            self.backend.call, "close", params["name"]
+        )
+
+    async def _h_shutdown(self, request, params) -> tuple:
+        if not self.allow_shutdown:
+            raise ServiceError(
+                "this gateway does not accept remote shutdown", code="forbidden"
+            )
+        self._stop.set()
+        return 200, {"stopping": True}
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    request = await ghttp.read_request(reader, writer)
+                except ghttp.HTTPError as exc:
+                    # Framing-level failure: answer once, then hang up
+                    # (the byte stream cannot be resynchronized).
+                    body = schemas.error_body(exc.code, str(exc))
+                    writer.write(
+                        ghttp.response_bytes(
+                            exc.status, body, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # clean EOF between requests
+                raw = await self._respond(request)
+                writer.write(raw)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away / gateway stopping
+        # repro: ignore[RPR501] - one bad connection must not kill the gateway
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("gateway connection handler for %s crashed", peer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, request: ghttp.HTTPRequest) -> bytes:
+        """Run one request through auth → route → handler and serialize
+        the response (success or canonical error body)."""
+        op = "unrouted"
+        status = 500
+        headers: dict[str, str] = {}
+        t0 = time.perf_counter()
+        try:
+            self.auth.check(request)
+            match = self.router.resolve(request.method, request.path)
+            op = match.route.op
+            result = await match.route.handler(request, match.params)
+            if len(result) == 3:
+                status, payload, content_type = result
+            else:
+                (status, obj), content_type = result, _JSON
+                payload = json.dumps(
+                    {"ok": True, "result": obj}, separators=(",", ":")
+                ).encode("utf-8")
+            return ghttp.response_bytes(
+                status,
+                payload,
+                content_type=content_type,
+                keep_alive=request.keep_alive,
+            )
+        # repro: ignore[RPR501] - boundary: every failure becomes an error body
+        except Exception as exc:
+            code = protocol.error_code(exc)
+            status = schemas.status_for(code)
+            if isinstance(exc, AuthError):
+                if code == "unauthorized":
+                    headers["WWW-Authenticate"] = "Bearer"
+                if exc.retry_after is not None:
+                    headers["Retry-After"] = str(
+                        max(1, int(exc.retry_after + 0.999))
+                    )
+            if isinstance(exc, RoutingError) and exc.allow:
+                headers["Allow"] = ", ".join(exc.allow)
+            if status >= 500 and code in ("internal",):
+                logger.exception(
+                    "internal error handling %s %s", request.method, request.path
+                )
+            return ghttp.response_bytes(
+                status,
+                schemas.error_body(code, str(exc)),
+                headers=headers,
+                keep_alive=request.keep_alive,
+            )
+        finally:
+            elapsed = time.perf_counter() - t0
+            self._m_requests.inc({"op": op, "status": str(status)})
+            self._m_latency.observe(elapsed, {"op": op})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` (TCP) or
+        creates the socket file (UDS)."""
+        if self.uds is not None:
+            path = Path(self.uds)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path)
+            )
+            logger.info("partition gateway listening on uds %s", path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            logger.info(
+                "partition gateway listening on http://%s:%d", self.host, self.port
+            )
+        manager = getattr(self.backend, "manager", None)
+        if manager is not None:
+            manager.start_worker()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until ``POST /shutdown``, SIGTERM/SIGINT (via
+        :meth:`run`) or cancellation, then shut down gracefully: stop
+        accepting, drain in-flight push queues, checkpoint dirty
+        sessions (in-process backend), release the pool."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            await self._batcher.drain()
+            # Local mode checkpoints every dirty session here; the
+            # remote proxy only closes its client sockets — either way
+            # it is IO, so it runs off-loop.
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, self.backend.close
+            )
+            self._pool.shutdown(wait=True)
+            if self.uds is not None:
+                Path(self.uds).unlink(missing_ok=True)
+
+    def run(self, *, on_ready=None) -> None:
+        """Blocking runner: start, serve, exit 0 on graceful shutdown.
+
+        ``on_ready(gateway)`` fires once the socket is bound — by then
+        :attr:`port` holds the actual port.
+        """
+
+        async def main():
+            import signal
+
+            await self.start()
+            if on_ready is not None:
+                on_ready(self)
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self._stop.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-unix platforms fall back to KeyboardInterrupt
+            await self.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+
+    @staticmethod
+    def parse_tokens(specs: list[str] | None) -> list[tuple[str, str]]:
+        """Parse CLI ``--token`` specs (``name=secret`` or ``secret``)."""
+        return [parse_token_spec(spec) for spec in specs or []]

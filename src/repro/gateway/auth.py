@@ -1,0 +1,159 @@
+"""Bearer-token authentication and per-token rate limiting.
+
+Tokens are static shared secrets configured at gateway start
+(``repro-igp gateway --token ops=s3cret``); each maps to a *principal*
+name used in metrics labels and rate-limit buckets, so one noisy client
+shows up by name and throttles alone.  Comparison is constant-time
+(:func:`hmac.compare_digest`).  With **no** tokens configured the
+gateway runs open (dev mode) and every request acts as the
+``"anonymous"`` principal.
+
+Rate limiting is a classic token bucket per principal: ``burst``
+capacity, refilled at ``rate`` requests/second, clocked by
+``time.monotonic`` (deterministic-checker-safe; never wall time).  A
+drained bucket answers 429 with a ``Retry-After`` hint.
+
+``GET /metrics`` and ``GET /healthz`` are exempt from both — scrapers
+and liveness probes must keep working when credentials rotate or a
+dashboard reload bursts past the limit.
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from typing import Iterable
+
+from repro.errors import ServiceError
+from repro.gateway.http import HTTPRequest
+
+__all__ = [
+    "EXEMPT_PATHS",
+    "AuthError",
+    "Authenticator",
+    "RateLimiter",
+    "parse_token_spec",
+]
+
+#: Paths served without auth or throttling.
+EXEMPT_PATHS = frozenset({"/metrics", "/healthz"})
+
+
+class AuthError(ServiceError):
+    """Authentication / throttling failure.  ``retry_after`` is set for
+    rate-limit rejections so the response can carry ``Retry-After``."""
+
+    def __init__(self, message: str, *, code: str, retry_after: float | None = None):
+        super().__init__(message, code=code)
+        self.retry_after = retry_after
+
+
+def parse_token_spec(spec: str) -> tuple[str, str]:
+    """Parse one ``--token`` argument: ``name=secret`` or bare
+    ``secret`` (principal defaults to a prefix-derived name)."""
+    name, sep, secret = spec.partition("=")
+    if not sep:
+        secret, name = spec, f"token-{spec[:4]}" if len(spec) >= 4 else "token"
+    if not secret:
+        raise ServiceError(
+            f"empty secret in token spec {spec!r}", code="bad-request"
+        )
+    return name, secret
+
+
+class RateLimiter:
+    """Token bucket per principal.
+
+    ``rate`` requests/second sustained, ``burst`` instantaneous.  A
+    ``rate`` of ``None`` disables throttling entirely.
+    """
+
+    def __init__(self, rate: float | None, burst: int = 20) -> None:
+        if rate is not None and rate <= 0:
+            raise ServiceError(
+                f"rate limit must be positive, got {rate}", code="bad-request"
+            )
+        if burst < 1:
+            raise ServiceError(
+                f"burst must be >= 1, got {burst}", code="bad-request"
+            )
+        self.rate = rate
+        self.burst = burst
+        #: principal -> (tokens, last refill timestamp)
+        self._buckets: dict[str, tuple[float, float]] = {}
+
+    def check(self, principal: str, now: float | None = None) -> None:
+        """Spend one token for ``principal`` or raise the 429.
+
+        ``now`` is injectable for tests; production uses
+        ``time.monotonic``.
+        """
+        if self.rate is None:
+            return
+        if now is None:
+            now = time.monotonic()
+        tokens, last = self._buckets.get(principal, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - last) * self.rate)
+        if tokens < 1.0:
+            retry_after = (1.0 - tokens) / self.rate
+            self._buckets[principal] = (tokens, now)
+            raise AuthError(
+                f"rate limit exceeded for {principal!r} "
+                f"({self.rate:g} req/s, burst {self.burst})",
+                code="rate-limited",
+                retry_after=retry_after,
+            )
+        self._buckets[principal] = (tokens - 1.0, now)
+
+
+class Authenticator:
+    """Resolves a request to a principal, enforcing bearer auth and the
+    per-principal rate limit.  One instance per gateway; it is only ever
+    called from the event loop, so the bucket dict needs no lock."""
+
+    def __init__(
+        self,
+        tokens: Iterable[tuple[str, str]] = (),
+        *,
+        rate: float | None = None,
+        burst: int = 20,
+    ) -> None:
+        self._tokens: dict[str, str] = {}
+        for name, secret in tokens:
+            if secret in self._tokens:
+                raise ServiceError(
+                    f"duplicate token secret for principal {name!r}",
+                    code="bad-request",
+                )
+            self._tokens[secret] = name
+        self.limiter = RateLimiter(rate, burst)
+
+    @property
+    def open_mode(self) -> bool:
+        return not self._tokens
+
+    def principal_for(self, request: HTTPRequest) -> str:
+        """The authenticated principal, or raise the 401."""
+        if self.open_mode:
+            return "anonymous"
+        header = request.header("authorization")
+        scheme, _, presented = header.partition(" ")
+        if scheme.lower() != "bearer" or not presented.strip():
+            raise AuthError(
+                "missing or malformed Authorization: Bearer header",
+                code="unauthorized",
+            )
+        presented = presented.strip()
+        for secret, name in self._tokens.items():
+            if hmac.compare_digest(presented, secret):
+                return name
+        raise AuthError("unrecognized bearer token", code="unauthorized")
+
+    def check(self, request: HTTPRequest) -> str:
+        """Full edge check: exemptions, then auth, then throttle.
+        Returns the principal for metrics labelling."""
+        if request.path in EXEMPT_PATHS:
+            return "exempt"
+        principal = self.principal_for(request)
+        self.limiter.check(principal)
+        return principal

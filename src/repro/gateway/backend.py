@@ -1,0 +1,182 @@
+"""Session backends for the gateway: in-process or proxied over the v1
+wire protocol.
+
+The gateway's REST handlers speak to a *backend* with one blocking call
+surface (these run in the gateway's thread pool, never on the event
+loop):
+
+* :class:`LocalBackend` — the gateway owns a
+  :class:`~repro.service.manager.SessionManager` directly: one process
+  serves HTTP straight off the session host.  This is the
+  single-process production shape and what ``repro-igp gateway``
+  runs by default.
+* :class:`RemoteBackend` — the gateway proxies every op to an existing
+  TCP/UDS partition service via
+  :class:`~repro.service.client.ServiceClient`, one connection per pool
+  thread (the client is not thread-safe).  This splits the HTTP edge
+  from the session host — the first step of the ROADMAP's multi-host
+  story.
+
+Push payloads stay *wire-encoded* (base64 npz strings) through the
+backend boundary: the local backend decodes them in the pool thread
+right before :meth:`SessionManager.push`, while the remote backend
+forwards them verbatim — no decode/re-encode round trip through the
+proxy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.manager import SessionManager
+from repro.service.protocol import delta_from_wire
+
+__all__ = ["LocalBackend", "RemoteBackend"]
+
+
+class LocalBackend:
+    """Dispatch straight into an owned :class:`SessionManager`."""
+
+    #: Local mode owns the manager: the gateway must checkpoint it on
+    #: graceful shutdown.
+    owns_sessions = True
+
+    def __init__(self, manager: SessionManager) -> None:
+        self.manager = manager
+
+    def call(self, op: str, session: str | None = None, **args: Any) -> dict:
+        """One blocking backend op (push goes through :meth:`push_batch`
+        via the gateway's batcher instead)."""
+        mgr = self.manager
+        if op == "create":
+            return mgr.create(self._need(op, session), args)
+        if op == "open":
+            return mgr.open(self._need(op, session))
+        if op == "flush":
+            return mgr.flush(self._need(op, session))
+        if op == "repartition":
+            return mgr.repartition(self._need(op, session))
+        if op == "quality":
+            return mgr.quality(self._need(op, session))
+        if op == "query":
+            return mgr.query(
+                self._need(op, session), labels=bool(args.get("labels", False))
+            )
+        if op == "save":
+            return mgr.save(self._need(op, session))
+        if op == "close":
+            return mgr.close(self._need(op, session))
+        if op == "stats":
+            return mgr.stats()
+        if op == "list":
+            return {"sessions": mgr.list_sessions()}
+        raise ServiceError(f"unhandled backend op {op!r}", code="bad-request")
+
+    @staticmethod
+    def _need(op: str, session: str | None) -> str:
+        if session is None:
+            raise ServiceError(
+                f"op {op!r} requires a session name", code="bad-request"
+            )
+        return session
+
+    def push_batch(self, name: str, deltas_wire: list) -> dict:
+        """Decode one micro-batch of wire deltas and apply it as a
+        single :meth:`SessionManager.push` (one WAL record)."""
+        deltas = [delta_from_wire(text) for text in deltas_wire]
+        return self.manager.push(name, deltas)
+
+    def close(self) -> None:
+        """Checkpoint every session and release WAL handles."""
+        self.manager.close_all()
+
+    def describe(self) -> str:
+        return f"local:{self.manager.root}"
+
+
+class RemoteBackend:
+    """Proxy every op to a running partition service over TCP or UDS.
+
+    Each pool thread lazily opens (and keeps) its own
+    :class:`ServiceClient`; a connection-level failure drops that
+    thread's client so the next call reconnects.
+    """
+
+    #: The TCP service owns session state and its own shutdown
+    #: checkpointing; the gateway must NOT close sessions it proxies to.
+    owns_sessions = False
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        *,
+        uds: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.uds = uds
+        self.timeout = timeout
+        self._local = threading.local()
+        self._clients: list[ServiceClient] = []
+        self._clients_lock = threading.Lock()
+
+    def _client(self) -> ServiceClient:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServiceClient(
+                self.host, self.port, uds=self.uds, timeout=self.timeout
+            )
+            self._local.client = client
+            with self._clients_lock:
+                self._clients.append(client)
+        return client
+
+    def _request(self, op: str, session: str | None, **args: Any) -> dict:
+        try:
+            return self._client().request(op, session, **args)
+        except ServiceError as exc:
+            if exc.code == "connection":
+                # Poisoned connection: forget it so this thread
+                # reconnects on its next call.
+                client = getattr(self._local, "client", None)
+                if client is not None:
+                    client.close()
+                    self._local.client = None
+            raise
+
+    def call(self, op: str, session: str | None = None, **args: Any) -> dict:
+        if op == "list":
+            # The v1 wire protocol has no 'list' op; the stats surface
+            # already enumerates every session known on disk.
+            stats = self._request("stats", None)
+            return {"sessions": sorted(stats.get("sessions", {}))}
+        return self._request(op, session, **args)
+
+    def push_batch(self, name: str, deltas_wire: list) -> dict:
+        """Forward a micro-batch delta-by-delta (the wire protocol takes
+        one delta per push; the TCP server re-batches concurrent
+        clients at the session lock).  Returns the last ack."""
+        result: dict = {}
+        for text in deltas_wire:
+            result = self._request("push", name, delta=text)
+        return result
+
+    def stop_service(self) -> dict:
+        """Forward a shutdown to the backing service."""
+        return self._request("shutdown", None)
+
+    def close(self) -> None:
+        with self._clients_lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+    def describe(self) -> str:
+        if self.uds is not None:
+            return f"proxy:{self.uds}"
+        return f"proxy:{self.host}:{self.port}"

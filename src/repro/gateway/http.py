@@ -1,0 +1,214 @@
+"""Minimal asyncio HTTP/1.1 parse/write layer for the partition gateway.
+
+Just enough of RFC 9112 to serve a JSON REST API to curl, Prometheus,
+and ``http.client``: request-line + headers parsing with size limits,
+``Content-Length`` bodies (chunked uploads are refused with 411/501),
+``Expect: 100-continue``, and keep-alive.  TLS, trailers, pipelining
+beyond naive sequential reuse, and HTTP/2 are all out of scope — the
+gateway is the *front half* of a co-located service, not an internet
+edge.
+
+These helpers are pure protocol mechanics and are exempt (by
+construction — they never touch the session backend) from the
+backend-op async-hygiene rules that RPR401/RPR701 enforce on the
+gateway's *handler* bodies; everything here awaits asyncio streams and
+never calls a blocking primitive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import unquote, urlsplit
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "STATUS_REASONS",
+    "read_request",
+    "response_bytes",
+]
+
+#: Request line + headers must fit in this many bytes.
+MAX_HEADER_BYTES = 64 * 1024
+#: Same ceiling as a wire frame (protocol.MAX_FRAME_BYTES).
+MAX_BODY_BYTES = 64 << 20
+
+STATUS_REASONS: dict[int, str] = {
+    100: "Continue",
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Content Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Content",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(ServiceError):
+    """A request that cannot be mapped to a handler at all (malformed
+    framing, oversized, unsupported transfer coding).  Carries the HTTP
+    status to answer with before hanging up or continuing."""
+
+    def __init__(self, status: int, message: str, *, code: str = "bad-request"):
+        super().__init__(message, code=code)
+        self.status = status
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request.  ``path`` is percent-decoded and
+    query-stripped; ``headers`` keys are lower-cased."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+def _parse_query(raw: str) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for piece in raw.split("&"):
+        if not piece:
+            continue
+        key, _, value = piece.partition("=")
+        out[unquote(key)] = unquote(value)
+    return out
+
+
+def _parse_head(head: bytes) -> HTTPRequest:
+    try:
+        text = head.decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise HTTPError(400, "non-ASCII bytes in request head") from exc
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HTTPError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HTTPError(400, f"unsupported HTTP version {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip():
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.lower()] = value.strip()
+    split = urlsplit(target)
+    request = HTTPRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path) or "/",
+        query=_parse_query(split.query),
+        headers=headers,
+    )
+    if version == "HTTP/1.0" and headers.get("connection", "").lower() != "keep-alive":
+        request.headers["connection"] = "close"
+    return request
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter | None = None,
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> HTTPRequest | None:
+    """Read one request off the stream.
+
+    Returns ``None`` on clean EOF before any bytes (client closed a
+    keep-alive connection).  Raises :class:`HTTPError` for anything the
+    caller should answer with a 4xx/5xx and close.  When ``writer`` is
+    given, honours ``Expect: 100-continue`` before reading the body.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(413, "request head exceeds buffer limit") from exc
+    if len(head) > max_header_bytes:
+        raise HTTPError(413, f"request head exceeds {max_header_bytes} bytes")
+    request = _parse_head(head[:-4])
+
+    if "transfer-encoding" in request.headers:
+        raise HTTPError(501, "chunked transfer encoding is not supported")
+    raw_length = request.headers.get("content-length", "")
+    if not raw_length:
+        if request.method in ("POST", "PUT", "PATCH"):
+            raise HTTPError(411, "Content-Length required")
+        return request
+    try:
+        length = int(raw_length)
+    except ValueError as exc:
+        raise HTTPError(400, f"bad Content-Length {raw_length!r}") from exc
+    if length < 0:
+        raise HTTPError(400, f"bad Content-Length {raw_length!r}")
+    if length > max_body_bytes:
+        raise HTTPError(413, f"body of {length} bytes exceeds {max_body_bytes}")
+    if length:
+        if (
+            writer is not None
+            and request.headers.get("expect", "").lower() == "100-continue"
+        ):
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        try:
+            request.body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "connection closed mid-body") from exc
+    return request
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one response.  The caller writes + drains the result;
+    keeping serialisation synchronous keeps this helper trivially
+    event-loop safe."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    if body or status not in (204, 304):
+        lines.append(f"Content-Length: {len(body)}")
+        if body:
+            lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body

@@ -1,0 +1,378 @@
+"""Prometheus-style metrics registry for the partition gateway.
+
+A deliberately small, stdlib-only subset of the Prometheus client model:
+:class:`Counter` (monotonic), :class:`Gauge` (set/put), and
+:class:`Histogram` (cumulative fixed buckets with ``_sum``/``_count``),
+all label-aware and all owned by one :class:`MetricsRegistry` whose
+:meth:`~MetricsRegistry.render` emits the text exposition format
+(version 0.0.4) that any Prometheus-compatible scraper ingests::
+
+    # HELP gateway_requests_total HTTP requests handled
+    # TYPE gateway_requests_total counter
+    gateway_requests_total{op="push",status="200"} 41
+
+Latency quantiles come out of histogram buckets on the scraper side
+(``histogram_quantile`` over ``_bucket`` series); :meth:`Histogram
+.quantile` computes the same bucket-interpolated estimate in-process so
+benchmarks and the ``/metrics`` smoke tests can assert p50/p99 without a
+Prometheus server.
+
+The registry also accepts *collector callbacks*
+(:meth:`MetricsRegistry.register_collector`) which run at scrape time —
+the gateway uses one to copy the live
+:class:`~repro.service.manager.SessionManager` counters (WAL records,
+fsyncs, LP pivots, evictions, shard block loads ...) into gauges and
+counters so ``GET /metrics`` always reports the session host's current
+truth rather than a stale snapshot.
+
+Thread-safety: mutating methods take the registry lock; instruments are
+routinely bumped from executor threads while the scrape renders on the
+event loop.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable
+
+from repro.errors import ServiceError, ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (seconds): sub-millisecond socket turnarounds
+#: through multi-second LP solves.
+LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without trailing .0, +Inf per spec)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_key(labels: dict[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(
+    key: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()
+) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared bookkeeping: name/help/type validation and label storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, registry: "MetricsRegistry"):
+        if not _NAME_OK.match(name):
+            raise ValidationError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help_text = help_text
+        self._registry = registry
+        self._lock = registry._lock
+
+    def _check_labels(self, labels: dict[str, str] | None) -> None:
+        for key in labels or ():
+            if not _LABEL_OK.match(str(key)):
+                raise ValidationError(
+                    f"invalid label name {key!r} on metric {self.name}"
+                )
+
+    def render(self) -> Iterable[str]:  # pragma: no cover - interface
+        raise ServiceError(
+            f"metric base class cannot render {self.name!r}; "
+            f"use Counter/Gauge/Histogram",
+            code="internal",
+        )
+
+    def _header(self) -> list[str]:
+        help_text = self.help_text.replace("\\", "\\\\").replace("\n", "\\n")
+        return [
+            f"# HELP {self.name} {help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """Monotonically increasing sample per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, registry):
+        super().__init__(name, help_text, registry)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, labels: dict[str, str] | None = None, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled sample."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self._check_labels(labels)
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def set_total(self, value: float, labels: dict[str, str] | None = None) -> None:
+        """Overwrite the labelled total — for collector callbacks mirroring
+        an external monotonic counter (e.g. ``SessionManager.counters``).
+        Refuses to move backwards so the series stays a valid counter."""
+        self._check_labels(labels)
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = max(float(value), self._values.get(key, 0.0))
+
+    def value(self, labels: dict[str, str] | None = None) -> float:
+        """Current total for the labelled sample (0 when never touched)."""
+        with self._lock:
+            return self._values.get(_labels_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(self._values.items())
+        lines = self._header()
+        for key, value in samples:
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A sample that can go up and down (residency, backlog, inflight)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, registry):
+        super().__init__(name, help_text, registry)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, labels: dict[str, str] | None = None) -> None:
+        """Set the labelled sample."""
+        self._check_labels(labels)
+        with self._lock:
+            self._values[_labels_key(labels)] = float(value)
+
+    def inc(self, labels: dict[str, str] | None = None, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the labelled sample."""
+        self._check_labels(labels)
+        key = _labels_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def dec(self, labels: dict[str, str] | None = None, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the labelled sample."""
+        self.inc(labels, -amount)
+
+    def value(self, labels: dict[str, str] | None = None) -> float:
+        """Current labelled sample (0 when never set)."""
+        with self._lock:
+            return self._values.get(_labels_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            samples = sorted(self._values.items())
+        lines = self._header()
+        for key, value in samples:
+            lines.append(
+                f"{self.name}{_render_labels(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative fixed-bucket histogram with ``_sum`` and ``_count``.
+
+    Exposes the three series the exposition format specifies:
+    ``name_bucket{le="..."}`` (cumulative, ending in ``le="+Inf"``),
+    ``name_sum`` and ``name_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, registry, *, buckets=LATENCY_BUCKETS_S):
+        super().__init__(name, help_text, registry)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ) or any(not math.isfinite(b) for b in bounds):
+            raise ValidationError(
+                f"histogram {name} buckets must be a finite increasing "
+                f"sequence, got {buckets!r}"
+            )
+        self.bounds = bounds
+        #: per label set: [bucket counts..., +Inf count], sum
+        self._counts: dict[tuple, list[int]] = {}
+        self._sums: dict[tuple, float] = {}
+
+    def observe(self, value: float, labels: dict[str, str] | None = None) -> None:
+        """Record one observation."""
+        self._check_labels(labels)
+        key = _labels_key(labels)
+        value = float(value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.bounds) + 1)
+                self._sums[key] = 0.0
+            counts[bisect_left(self.bounds, value) if value > self.bounds[-1]
+                   else next(i for i, b in enumerate(self.bounds) if value <= b)] += 1
+            self._sums[key] += value
+
+    def count(self, labels: dict[str, str] | None = None) -> int:
+        """Total observations for the labelled series."""
+        with self._lock:
+            return sum(self._counts.get(_labels_key(labels), ()))
+
+    def quantile(self, q: float, labels: dict[str, str] | None = None) -> float:
+        """Bucket-interpolated quantile estimate (what
+        ``histogram_quantile`` would compute scraper-side).  Returns NaN
+        with no observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            counts = list(self._counts.get(_labels_key(labels), ()))
+        total = sum(counts)
+        if total == 0:
+            return math.nan
+        rank = q * total
+        seen = 0.0
+        for i, n in enumerate(counts):
+            seen += n
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self.bounds[i]
+                inside = rank - (seen - n)
+                return lo + (hi - lo) * (inside / n if n else 0.0)
+        return self.bounds[-1]  # pragma: no cover - rank <= total always hits
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(counts), self._sums[key])
+                for key, counts in self._counts.items()
+            )
+        lines = self._header()
+        for key, counts, total_sum in items:
+            cumulative = 0
+            for bound, n in zip(self.bounds, counts):
+                cumulative += n
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(key, (('le', _format_value(bound)),))} "
+                    f"{cumulative}"
+                )
+            cumulative += counts[-1]
+            lines.append(
+                f"{self.name}_bucket{_render_labels(key, (('le', '+Inf'),))} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} "
+                f"{_format_value(total_sum)}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns every instrument the gateway exports at ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Instrument constructors (idempotent by name)
+    # ------------------------------------------------------------------
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValidationError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind}, not {metric.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        """Get-or-create a :class:`Counter`."""
+        return self._register(Counter(name, help_text, self))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        """Get-or-create a :class:`Gauge`."""
+        return self._register(Gauge(name, help_text, self))  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help_text: str, *, buckets=LATENCY_BUCKETS_S
+    ) -> Histogram:
+        """Get-or-create a :class:`Histogram`."""
+        return self._register(
+            Histogram(name, help_text, self, buckets=buckets)
+        )  # type: ignore[return-value]
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Add a scrape-time callback that refreshes instruments from a
+        live source (the gateway registers the ``SessionManager`` stats
+        mirror here)."""
+        with self._lock:
+            self._collectors.append(fn)
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full ``/metrics`` payload (text exposition format)."""
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn()
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,113 @@
+"""URL routing for the gateway: method + ``{param}`` path patterns.
+
+A tiny router in the FastAPI idiom without the framework: patterns like
+``/sessions/{name}/deltas`` compile to anchored regexes whose named
+groups become handler parameters.  Resolution failures are *typed* —
+unknown path → ``not-found`` (404), known path but wrong verb →
+``method-not-allowed`` (405 with the ``Allow`` header populated) — so
+the error mapping stays uniform with the rest of the wire taxonomy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+
+__all__ = ["Route", "RouteMatch", "Router", "RoutingError"]
+
+_PARAM = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+#: What a ``{param}`` segment may match — one path segment, non-empty.
+_SEGMENT = r"[^/]+"
+
+
+class RoutingError(ServiceError):
+    """No handler for this request.  ``allow`` lists permitted methods
+    when the path exists under other verbs (405)."""
+
+    def __init__(self, message: str, *, code: str, allow: tuple[str, ...] = ()):
+        super().__init__(message, code=code)
+        self.allow = allow
+
+
+def _compile(pattern: str) -> re.Pattern[str]:
+    if not pattern.startswith("/"):
+        raise ServiceError(
+            f"route pattern must start with '/', got {pattern!r}",
+            code="bad-request",
+        )
+    regex = _PARAM.sub(lambda m: f"(?P<{m.group(1)}>{_SEGMENT})", re.escape(pattern)
+                       .replace(r"\{", "{").replace(r"\}", "}"))
+    return re.compile(f"^{regex}$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: str
+    regex: re.Pattern[str]
+    handler: Callable[..., Any]
+    op: str
+
+
+@dataclass(frozen=True)
+class RouteMatch:
+    route: Route
+    params: dict[str, str]
+
+
+class Router:
+    """Ordered route table.  Registration order is match order, though
+    patterns are designed non-overlapping per method."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(
+        self,
+        method: str,
+        pattern: str,
+        handler: Callable[..., Any],
+        *,
+        op: str,
+    ) -> None:
+        """Register ``handler`` for ``method pattern``; ``op`` is the
+        label used in per-op metrics (usually the wire op name)."""
+        method = method.upper()
+        for existing in self._routes:
+            if existing.method == method and existing.pattern == pattern:
+                raise ServiceError(
+                    f"duplicate route {method} {pattern}", code="bad-request"
+                )
+        self._routes.append(
+            Route(method, pattern, _compile(pattern), handler, op)
+        )
+
+    def resolve(self, method: str, path: str) -> RouteMatch:
+        """Find the handler for ``method path`` or raise the typed 404/405."""
+        method = method.upper()
+        allowed: list[str] = []
+        for route in self._routes:
+            found = route.regex.match(path)
+            if found is None:
+                continue
+            if route.method == method:
+                return RouteMatch(route, dict(found.groupdict()))
+            if route.method not in allowed:
+                allowed.append(route.method)
+        if allowed:
+            # HEAD falls back to GET semantics at the app layer, so do
+            # not advertise it; just report what is registered.
+            raise RoutingError(
+                f"method {method} not allowed for {path}; "
+                f"allowed: {', '.join(sorted(allowed))}",
+                code="method-not-allowed",
+                allow=tuple(sorted(allowed)),
+            )
+        raise RoutingError(f"no route for {path}", code="not-found")
+
+    def patterns(self) -> list[tuple[str, str, str]]:
+        """(method, pattern, op) rows — for docs and tests."""
+        return [(r.method, r.pattern, r.op) for r in self._routes]

@@ -1,0 +1,174 @@
+"""Request/response schemas for the gateway: JSON validation at the
+edge, and the total mapping from wire error codes to HTTP statuses.
+
+The TCP service already validates everything that matters for
+correctness (``manager._normalize_spec``, the wire codecs); the gateway
+re-checks *shape* at the edge so a malformed request is answered with a
+specific 400 before it costs a thread-pool hop, and so the REST API has
+documented field types independent of the backend's internals.
+
+The :data:`HTTP_STATUS` table is the REST face of the wire taxonomy:
+every code in :data:`repro.service.protocol.WIRE_CODES` appears here
+with a deliberate status (tests assert totality), so a typed service
+failure never degrades to a generic 500 unless it genuinely is one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import ServiceError
+from repro.service.protocol import WIRE_CODES
+
+__all__ = [
+    "HTTP_STATUS",
+    "SESSION_FIELDS",
+    "check_fields",
+    "error_body",
+    "parse_json_body",
+    "status_for",
+]
+
+#: wire error code -> HTTP status.  Grouped by REST semantics:
+#: caller-shape problems are 400s, auth is 401/403, addressing is
+#: 404/409, throttling 429, *domain* failures (the request was
+#: well-formed but the mathematics or the graph refused) are 422s,
+#: host-side durability/internal failures are 5xx.
+HTTP_STATUS: dict[str, int] = {
+    # the request itself is malformed
+    "bad-request": 400,
+    "validation": 400,
+    "usage": 400,
+    "protocol": 400,
+    "version": 400,
+    # authentication / authorization
+    "unauthorized": 401,
+    "forbidden": 403,
+    # addressing
+    "not-found": 404,
+    "unknown-session": 404,
+    "method-not-allowed": 405,
+    "session-exists": 409,
+    # throttling
+    "rate-limited": 429,
+    # well-formed but the domain refused
+    "graph": 422,
+    "mesh": 422,
+    "lp": 422,
+    "infeasible": 422,
+    "partitioning": 422,
+    "parallel": 422,
+    "analysis": 422,
+    "repro": 422,
+    # host-side failures
+    "snapshot": 500,
+    "wal": 500,
+    "service": 500,
+    "internal": 500,
+    "connection": 502,
+}
+
+# Fail at import time, not at request time, if the taxonomy drifts.
+_missing = WIRE_CODES - HTTP_STATUS.keys()
+if _missing:  # pragma: no cover - import-time contract
+    raise ServiceError(
+        f"HTTP_STATUS is not total over WIRE_CODES; missing {sorted(_missing)}",
+        code="internal",
+    )
+
+
+def status_for(code: str) -> int:
+    """HTTP status for a wire error code (unknown codes are 500s)."""
+    return HTTP_STATUS.get(code, 500)
+
+
+def error_body(code: str, message: str) -> bytes:
+    """The canonical JSON error body — same shape as the wire envelope's
+    ``error`` object so clients share one decoder."""
+    return json.dumps(
+        {"ok": False, "error": {"code": code, "message": message}},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def parse_json_body(body: bytes, *, empty_ok: bool = True) -> dict[str, Any]:
+    """Decode a request body as a JSON object.
+
+    Empty bodies read as ``{}`` when ``empty_ok`` (action endpoints like
+    ``/flush`` take no arguments).  Anything undecodable or non-object
+    is a typed ``bad-request``.
+    """
+    if not body:
+        if empty_ok:
+            return {}
+        raise ServiceError("request body required", code="bad-request")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServiceError(
+            f"request body is not valid JSON: {exc}", code="bad-request"
+        ) from None
+    if not isinstance(obj, dict):
+        raise ServiceError(
+            f"request body must be a JSON object, got {type(obj).__name__}",
+            code="bad-request",
+        )
+    return obj
+
+
+#: Field schema for ``POST /sessions`` — name -> allowed JSON types.
+#: ``graph``/``source`` mutual exclusion and value semantics stay the
+#: backend's job; the edge checks shape only.
+SESSION_FIELDS: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "partitions": (int,),
+    "graph": (str,),
+    "source": (dict,),
+    "initial": (str,),
+    "seed": (int,),
+    "policy": (dict,),
+    "config": (dict,),
+    "strict": (bool,),
+    "accumulate_weights": (bool,),
+    "shards": (int,),
+    "max_resident": (int,),
+}
+
+
+def check_fields(
+    obj: Mapping[str, Any],
+    fields: Mapping[str, tuple[type, ...]],
+    *,
+    required: tuple[str, ...] = (),
+    where: str = "request body",
+) -> None:
+    """Shape-check a JSON object against a field schema.
+
+    Rejects unknown fields, missing required fields, and type
+    mismatches — each with a message naming the offending field.  Note
+    ``bool`` is an ``int`` subclass in Python; a field typed ``int``
+    does not accept booleans.
+    """
+    for name in required:
+        if name not in obj:
+            raise ServiceError(
+                f"missing required field {name!r} in {where}", code="bad-request"
+            )
+    for name, value in obj.items():
+        allowed = fields.get(name)
+        if allowed is None:
+            raise ServiceError(
+                f"unknown field {name!r} in {where}; valid fields: "
+                f"{', '.join(sorted(fields))}",
+                code="bad-request",
+            )
+        if not isinstance(value, allowed) or (
+            isinstance(value, bool) and bool not in allowed
+        ):
+            kinds = " or ".join(t.__name__ for t in allowed)
+            raise ServiceError(
+                f"field {name!r} in {where} must be {kinds}, "
+                f"got {type(value).__name__}",
+                code="bad-request",
+            )

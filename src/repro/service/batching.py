@@ -1,0 +1,120 @@
+"""Micro-batching of concurrent pushes — shared by the TCP server and
+the HTTP gateway.
+
+The manager's per-session lock serializes work on one session, so N
+clients pushing concurrently would normally pay N policy checks (and,
+under a per-delta flush policy, N LP solves).  A :class:`PushBatcher`
+funnels every push for a session through a per-session queue: while one
+micro-batch is being applied in the thread pool, newly arriving pushes
+pile up; when the drainer comes around it drains the *whole* queue into
+a single ``push_fn(name, deltas)`` call — one WAL record, one policy
+check, at most one LP solve — and each caller still gets its own
+acknowledgement (the same ack dict, since the batch is one durable
+record).
+
+Both front ends (the wire-protocol server and the REST gateway) own one
+batcher over the same :meth:`SessionManager.push`, so a mixed TCP+HTTP
+deployment still batches within each transport; cross-transport
+composition happens naturally at the session lock.
+
+Graceful shutdown support: :meth:`drain` awaits every in-flight drainer
+task, so a stopping server can guarantee all acknowledged pushes are
+applied (and therefore WAL-logged) before it checkpoints and exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Any, Callable
+
+__all__ = ["PushBatcher"]
+
+
+class _PushQueue:
+    """Pending pushes for one session: ``(delta, future)`` pairs plus a
+    flag marking whether a drainer task is active."""
+
+    __slots__ = ("items", "draining")
+
+    def __init__(self) -> None:
+        self.items: list[tuple[Any, asyncio.Future]] = []
+        self.draining = False
+
+
+class PushBatcher:
+    """Per-session micro-batching of pushes (see module docs).
+
+    Parameters
+    ----------
+    pool:
+        the executor blocking pushes run in.
+    push_fn:
+        blocking ``(name, deltas) -> ack dict`` — normally the bound
+        :meth:`SessionManager.push`.
+    """
+
+    def __init__(
+        self,
+        pool: concurrent.futures.Executor,
+        push_fn: Callable[[str, list], dict],
+    ) -> None:
+        self._pool = pool
+        self._push_fn = push_fn
+        self._queues: dict[str, _PushQueue] = {}
+        self._drainers: set[asyncio.Task] = set()
+
+    async def push(self, name: str, delta: Any) -> dict:
+        """Enqueue one push; concurrent pushes to the same session drain
+        as a single composed micro-batch.  Resolves to the batch ack (or
+        raises the batch failure)."""
+        loop = asyncio.get_running_loop()
+        queue = self._queues.get(name)
+        if queue is None:
+            queue = self._queues[name] = _PushQueue()
+        future = loop.create_future()
+        queue.items.append((delta, future))
+        if not queue.draining:
+            queue.draining = True
+            task = asyncio.ensure_future(self._drain_queue(name, queue))
+            self._drainers.add(task)
+            task.add_done_callback(self._drainers.discard)
+        return await future
+
+    async def _drain_queue(self, name: str, queue: _PushQueue) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while queue.items:
+                items, queue.items = queue.items, []
+                deltas = [d for d, _ in items]
+                try:
+                    result = await loop.run_in_executor(
+                        self._pool, self._push_fn, name, deltas
+                    )
+                # repro: ignore[RPR501] - failure is routed to the waiting futures
+                except Exception as exc:
+                    for _, fut in items:
+                        if not fut.done():
+                            fut.set_exception(exc)
+                    # A failed batch fails those clients only; drain on.
+                    continue
+                for _, fut in items:
+                    if not fut.done():
+                        fut.set_result(dict(result))
+        finally:
+            queue.draining = False
+            # Single-threaded loop, no awaits since the emptiness check:
+            # safe to drop the entry, and necessary — sessions come and
+            # go (and hostile names never existed), so queues must not
+            # accumulate for the life of the server.
+            if not queue.items and self._queues.get(name) is queue:
+                del self._queues[name]
+
+    async def drain(self) -> None:
+        """Await every in-flight drainer (graceful-shutdown barrier).
+
+        New pushes arriving while draining extend the wait — callers are
+        expected to have stopped accepting work first.
+        """
+        while self._drainers:
+            await asyncio.gather(*list(self._drainers), return_exceptions=True)

@@ -52,25 +52,37 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7421,
         *,
+        uds: str | None = None,
         timeout: float = 60.0,
     ):
         self.host = host
         self.port = port
+        self.uds = uds
         self._ids = itertools.count(1)
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            if uds is not None:
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(uds)
+            else:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
         except OSError as exc:
             raise ServiceError(
-                f"cannot connect to partition service at {host}:{port}: {exc}",
+                f"cannot connect to partition service at "
+                f"{uds if uds is not None else f'{host}:{port}'}: {exc}",
                 code="connection",
             ) from None
         self._sock.settimeout(timeout)
         # Request frames are small; Nagle would sit on them waiting for
         # an ACK and serialize the whole RPC at ~per-packet latency.
-        try:
-            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:  # pragma: no cover - non-TCP transports
-            pass
+        # (UDS has no Nagle; the setsockopt is skipped there.)
+        if uds is None:
+            try:
+                self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - non-TCP transports
+                pass
 
     @classmethod
     def connect(
@@ -78,6 +90,7 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7421,
         *,
+        uds: str | None = None,
         retries: int = 0,
         delay: float = 0.1,
         timeout: float = 60.0,
@@ -87,7 +100,7 @@ class ServiceClient:
         last: ServiceError | None = None
         for attempt in range(retries + 1):
             try:
-                return cls(host, port, timeout=timeout)
+                return cls(host, port, uds=uds, timeout=timeout)
             except ServiceError as exc:
                 last = exc
                 if attempt < retries:
@@ -110,7 +123,7 @@ class ServiceClient:
             raise
         except OSError as exc:
             raise ServiceError(
-                f"connection to {self.host}:{self.port} failed: {exc}",
+                f"connection to {self._endpoint()} failed: {exc}",
                 code="connection",
             ) from None
         if response is None:
@@ -119,6 +132,9 @@ class ServiceClient:
                 code="connection",
             )
         return protocol.check_response(response)
+
+    def _endpoint(self) -> str:
+        return self.uds if self.uds is not None else f"{self.host}:{self.port}"
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
@@ -153,9 +169,15 @@ class ServiceClient:
         config: dict | None = None,
         strict: bool = True,
         accumulate_weights: bool = False,
+        shards: int | None = None,
+        max_resident: int | None = None,
     ) -> dict:
         """Create a named session from an inline graph or a workload
-        ``source`` spec (exactly one of the two)."""
+        ``source`` spec (exactly one of the two).
+
+        ``shards`` makes the session sharded server-side (v2 directory
+        snapshots, shard-local delta routing); ``max_resident`` caps how
+        many shard blocks the server keeps paged in per session."""
         args: dict = {
             "partitions": partitions,
             "initial": initial,
@@ -171,6 +193,10 @@ class ServiceClient:
             args["policy"] = policy
         if config is not None:
             args["config"] = config
+        if shards is not None:
+            args["shards"] = shards
+        if max_resident is not None:
+            args["max_resident"] = max_resident
         return self.request("create", name, **args)
 
     def open(self, name: str) -> dict:

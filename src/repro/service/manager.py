@@ -42,20 +42,25 @@ bound replay time.
 
 from __future__ import annotations
 
+import functools
 import itertools
 import json
 import logging
 import os
 import re
+import shutil
 import threading
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.core.streaming import FlushPolicy
 from repro.errors import ServiceError, SnapshotError
 from repro.graph.incremental import GraphDelta
+from repro.graph.sharded import ShardedCSRGraph
 from repro.service.protocol import arrays_to_wire, graph_from_wire
 from repro.service.wal import WriteAheadLog
 from repro.session import PartitionSession, open_session, _atomic_write_text
@@ -132,6 +137,23 @@ def _normalize_spec(args: dict) -> dict:
     config = args.get("config")
     if config is not None and not isinstance(config, dict):
         raise ServiceError("args.config must be an object", code="bad-request")
+    shards = args.get("shards")
+    if shards is not None and (not isinstance(shards, int) or shards < 1):
+        raise ServiceError(
+            "args.shards must be an integer >= 1", code="bad-request"
+        )
+    session_resident = args.get("max_resident")
+    if session_resident is not None:
+        if shards is None:
+            raise ServiceError(
+                "args.max_resident requires args.shards (it caps resident "
+                "shard blocks of a sharded session)",
+                code="bad-request",
+            )
+        if not isinstance(session_resident, int) or session_resident < 1:
+            raise ServiceError(
+                "args.max_resident must be an integer >= 1", code="bad-request"
+            )
     return {
         "partitions": int(args["partitions"]),
         "initial": str(args.get("initial", "rsb")),
@@ -142,6 +164,10 @@ def _normalize_spec(args: dict) -> dict:
         "accumulate_weights": bool(args.get("accumulate_weights", False)),
         "graph": graph,
         "source": source,
+        "shards": None if shards is None else int(shards),
+        "max_resident": (
+            None if session_resident is None else int(session_resident)
+        ),
     }
 
 
@@ -160,6 +186,11 @@ def _build_session(spec: dict) -> PartitionSession:
             )
         except ValueError as exc:
             raise ServiceError(str(exc), code="bad-request") from None
+    if spec.get("shards"):
+        # Sharded sessions snapshot as v2 directories and route deltas
+        # shard-locally; the blocks start in memory and land on disk at
+        # the first checkpoint (create() checkpoints immediately).
+        graph = ShardedCSRGraph.from_csr(graph, int(spec["shards"]))
     policy = None
     if spec.get("policy") is not None:
         try:
@@ -183,6 +214,29 @@ def _build_session(spec: dict) -> PartitionSession:
         raise ServiceError(
             f"invalid session config: {exc}", code="bad-request"
         ) from None
+
+
+def _timed_op(fn):
+    """Report the wall time of a public manager op through ``on_op``
+    (when subscribed) whether it succeeds or raises."""
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        if self.on_op is None:
+            return fn(self, *args, **kwargs)
+        t0 = time.perf_counter()
+        try:
+            return fn(self, *args, **kwargs)
+        finally:
+            cb = self.on_op
+            if cb is not None:
+                try:
+                    cb(fn.__name__, time.perf_counter() - t0)
+                # repro: ignore[RPR501] - a broken metrics sink must not fail the op it observed
+                except Exception:  # pragma: no cover - defensive
+                    logger.exception("on_op observer failed")
+
+    return wrapper
 
 
 class SessionManager:
@@ -239,7 +293,15 @@ class SessionManager:
             "checkpoints": 0,
             "wal_records": 0,
             "wal_replayed": 0,
+            "wal_fsyncs": 0,
+            "lp_pivots": 0,
+            "lp_batches": 0,
         }
+        #: Optional observer ``(op_name, seconds)`` called after every
+        #: public operation — the HTTP gateway feeds its per-op latency
+        #: histograms from this hook.  Exceptions still propagate to the
+        #: caller; the elapsed time is reported either way.
+        self.on_op: Callable[[str, float], None] | None = None
 
     # ------------------------------------------------------------------
     # Registry / residency plumbing
@@ -247,6 +309,15 @@ class SessionManager:
     def _count(self, key: str, n: int = 1) -> None:
         with self._lock:
             self.counters[key] += n
+
+    def _new_wal(self, ms: ManagedSession, *, start_seq: int = 0) -> WriteAheadLog:
+        """Open a session's WAL with the fsync counter wired into the
+        manager-wide ``wal_fsyncs`` counter."""
+        wal = WriteAheadLog(
+            ms.directory / _WAL_NAME, start_seq=start_seq, fsync=self.fsync
+        )
+        wal.on_fsync = lambda: self._count("wal_fsyncs")
+        return wal
 
     def _slot(self, name: str) -> ManagedSession:
         """The registry entry for ``name``, registering an on-disk
@@ -291,7 +362,12 @@ class SessionManager:
         snap = ms.directory / _SNAPSHOT_NAME
         if snap.exists():
             try:
-                session = PartitionSession.load(snap)
+                # v2 directory snapshots (sharded sessions) re-attach
+                # the snapshot dir as the live shard store; the spec's
+                # max_resident caps how many blocks stay paged in.
+                session = PartitionSession.load(
+                    snap, max_resident=ms.spec.get("max_resident")
+                )
                 covered = int(
                     (session.user_meta.get("service") or {}).get("wal_seq", 0)
                 )
@@ -304,9 +380,7 @@ class SessionManager:
                 # would silently drop acknowledged operations, so
                 # refuse instead.
                 if ms.wal is None:
-                    ms.wal = WriteAheadLog(
-                        ms.directory / _WAL_NAME, fsync=self.fsync
-                    )
+                    ms.wal = self._new_wal(ms)
                 if ms.wal.first_seq() == 1:
                     logger.warning(
                         "session %s: snapshot unreadable (%s); WAL covers "
@@ -328,9 +402,7 @@ class SessionManager:
             # WAL whose first surviving record has seq > 1 proves a
             # checkpoint truncated history we no longer have.
             if ms.wal is None:
-                ms.wal = WriteAheadLog(
-                    ms.directory / _WAL_NAME, fsync=self.fsync
-                )
+                ms.wal = self._new_wal(ms)
             first = ms.wal.first_seq()
             if first is not None and first > 1:
                 raise SnapshotError(
@@ -340,9 +412,7 @@ class SessionManager:
                 )
             session = _build_session(ms.spec)
         if ms.wal is None:
-            ms.wal = WriteAheadLog(
-                ms.directory / _WAL_NAME, start_seq=covered, fsync=self.fsync
-            )
+            ms.wal = self._new_wal(ms, start_seq=covered)
         replayed = 0
         for rec in ms.wal.replay(after=covered):
             # Mirror the live path exactly: the server logs before it
@@ -372,8 +442,13 @@ class SessionManager:
             self._count("wal_replayed", replayed)
             ms.dirty = True
 
-        def _mark_dirty_locked(_summary):
+        def _mark_dirty_locked(summary):
             ms.dirty = True
+            # Also the LP-cost meter: every flushed batch reports its
+            # simplex pivot total here, whether the flush was policy-
+            # triggered inside a push or explicit.
+            self._count("lp_pivots", int(summary.lp_pivots))
+            self._count("lp_batches")
 
         session.on_batch = _mark_dirty_locked
         ms.session = session
@@ -536,6 +611,7 @@ class SessionManager:
     # ------------------------------------------------------------------
     # Operation surface (what the server dispatches to)
     # ------------------------------------------------------------------
+    @_timed_op
     def create(self, name: str, args: dict) -> dict:
         """Create a brand-new named session from a creation spec and
         checkpoint it immediately (so recovery never has to redo the
@@ -579,7 +655,13 @@ class SessionManager:
             if ms.wal is not None:
                 ms.wal.close()
             for leftover in (_META_NAME, _SNAPSHOT_NAME, _WAL_NAME):
-                (directory / leftover).unlink(missing_ok=True)
+                path = directory / leftover
+                if path.is_dir():
+                    # Sharded sessions snapshot as v2 *directories*;
+                    # unlink() would raise and leak the half-made name.
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    path.unlink(missing_ok=True)
             try:
                 directory.rmdir()  # only if nothing else lives there
             except OSError:
@@ -589,6 +671,7 @@ class SessionManager:
         self._enforce_budget(keep=name)
         return info
 
+    @_timed_op
     def open(self, name: str) -> dict:
         """Materialize an existing session (possibly recovering snapshot
         + WAL after a crash) and return its info."""
@@ -596,6 +679,7 @@ class SessionManager:
             self._count("opened")
             return self._info(ms, session)
 
+    @_timed_op
     def push(self, name: str, deltas: list[GraphDelta]) -> dict:
         """Apply one micro-batch of deltas: fold them all, consult the
         flush policy once, log the batch to the WAL, acknowledge.
@@ -628,6 +712,7 @@ class SessionManager:
                 out["batch"] = asdict(session.history()[-1])
             return out
 
+    @_timed_op
     def flush(self, name: str) -> dict:
         """Explicit flush of the pending composed delta (WAL-logged)."""
         with self._locked_session(name) as (ms, session):
@@ -641,6 +726,7 @@ class SessionManager:
                 out["batch"] = asdict(session.history()[-1])
             return out
 
+    @_timed_op
     def repartition(self, name: str) -> dict:
         """Repartition now — flush pending, or re-run the LP pipeline on
         the current graph (WAL-logged)."""
@@ -652,6 +738,7 @@ class SessionManager:
             session.repartition()
             return {"seq": seq, "batch": asdict(session.history()[-1])}
 
+    @_timed_op
     def quality(self, name: str) -> dict:
         """Cut/balance metrics of the current partition (memoized
         session-side between mutations)."""
@@ -666,6 +753,7 @@ class SessionManager:
                 "imbalance": float(q.imbalance),
             }
 
+    @_timed_op
     def query(self, name: str, *, labels: bool = False) -> dict:
         """Session state: info, history, source spec; ``labels=True``
         additionally returns the partition vector as a wire payload."""
@@ -680,12 +768,14 @@ class SessionManager:
                 )
             return out
 
+    @_timed_op
     def save(self, name: str) -> dict:
         """Explicit checkpoint: snapshot now, truncate the WAL."""
         with self._locked_session(name) as (ms, session):
             path = self._checkpoint_locked(ms)
             return {"snapshot": str(path), "wal_seq": ms.wal.last_seq}
 
+    @_timed_op
     def close(self, name: str) -> dict:
         """Checkpoint and release the session's residency (it stays on
         disk; ``open`` brings it back)."""
@@ -707,6 +797,7 @@ class SessionManager:
             names.update(self._registry)
         return sorted(names)
 
+    @_timed_op
     def stats(self) -> dict:
         """Global counters plus per-session residency/backlog info."""
         sessions = {}
@@ -723,6 +814,8 @@ class SessionManager:
                 "resident": s is not None,
                 "dirty": ms.dirty,
                 "wal_seq": ms.wal.last_seq if ms.wal is not None else None,
+                "wal_fsyncs": ms.wal.fsync_count if ms.wal is not None else 0,
+                "shards": ms.spec.get("shards"),
             }
             if s is not None:
                 entry.update(
@@ -731,6 +824,12 @@ class SessionManager:
                     num_batches=s.num_batches,
                     num_pushed=s.num_pushed,
                 )
+                # Sharded sessions with a directory store report shard
+                # block cache misses (paging cost of max_resident).
+                store = getattr(s.graph, "store", None)
+                loads = getattr(store, "load_count", None)
+                if loads is not None:
+                    entry["block_loads"] = int(loads)
             sessions[name] = entry
         with self._lock:
             counters = dict(self.counters)

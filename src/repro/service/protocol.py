@@ -75,6 +75,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
+    "WIRE_CODES",
     "arrays_from_wire",
     "arrays_to_wire",
     "check_response",
@@ -343,6 +344,33 @@ ERROR_CODES: tuple[tuple[type[BaseException], str], ...] = (
     (APIUsageError, "usage"),
     (AnalysisError, "analysis"),
     (ReproError, "repro"),
+)
+
+
+#: Every code that can appear in a wire error envelope: the
+#: :data:`ERROR_CODES` taxonomy, the ``"internal"`` fallback, and the
+#: ad-hoc :class:`ServiceError` codes raised throughout
+#: ``repro.service`` and ``repro.gateway``.  The HTTP gateway maps each
+#: of these to a deliberate status (``repro.gateway.schemas.HTTP_STATUS``)
+#: and ``tests/test_gateway.py`` asserts that mapping is total over this
+#: set — add new codes here or the gateway will serve them as 500s.
+WIRE_CODES: frozenset[str] = frozenset(
+    {code for _, code in ERROR_CODES}
+    | {
+        "internal",
+        "bad-request",
+        "version",
+        "connection",
+        "unknown-session",
+        "session-exists",
+        "wal",
+        "forbidden",
+        # gateway-originated codes
+        "unauthorized",
+        "rate-limited",
+        "not-found",
+        "method-not-allowed",
+    }
 )
 
 

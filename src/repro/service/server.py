@@ -39,9 +39,11 @@ import concurrent.futures
 import logging
 import os
 from functools import partial
+from pathlib import Path
 
 from repro.errors import ServiceError
 from repro.service import protocol
+from repro.service.batching import PushBatcher
 from repro.service.manager import SessionManager
 
 __all__ = ["PartitionServer"]
@@ -49,19 +51,9 @@ __all__ = ["PartitionServer"]
 logger = logging.getLogger(__name__)
 
 
-class _PushQueue:
-    """Pending pushes for one session: ``(delta, future)`` pairs plus a
-    flag marking whether a drainer task is active."""
-
-    __slots__ = ("items", "draining")
-
-    def __init__(self):
-        self.items = []
-        self.draining = False
-
-
 class PartitionServer:
-    """One TCP endpoint serving many concurrent partition sessions.
+    """One TCP (or Unix-domain-socket) endpoint serving many concurrent
+    partition sessions.
 
     Parameters
     ----------
@@ -70,6 +62,12 @@ class PartitionServer:
     host / port:
         bind address; ``port=0`` picks a free port (see :attr:`port`
         after :meth:`start`).
+    uds:
+        filesystem path for a Unix-domain-socket endpoint instead of
+        TCP — co-located clients skip the loopback stack and get
+        filesystem-permission access control.  Mutually exclusive with a
+        TCP bind; the stale socket file is removed on startup and on
+        clean shutdown.
     max_workers:
         thread-pool size for blocking session operations (default:
         ``min(8, cpu_count)``).
@@ -85,19 +83,21 @@ class PartitionServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        uds: str | None = None,
         max_workers: int | None = None,
         allow_shutdown: bool = True,
     ):
         self.manager = manager
         self.host = host
         self.port = port
+        self.uds = uds
         self.allow_shutdown = allow_shutdown
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 1)
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service-op"
         )
-        self._queues: dict[str, _PushQueue] = {}
+        self._batcher = PushBatcher(self._pool, self.manager.push)
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
 
@@ -105,27 +105,53 @@ class PartitionServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind and start accepting connections; resolves :attr:`port`."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        """Bind and start accepting connections; resolves :attr:`port`
+        (TCP) or creates the socket file (UDS)."""
+        if self.uds is not None:
+            path = Path(self.uds)
+            if path.exists():
+                # A previous unclean exit leaves the socket file behind;
+                # binding would fail even though nobody is listening.
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(path)
+            )
+            logger.info("partition service listening on uds %s", path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            logger.info(
+                "partition service listening on %s:%d", self.host, self.port
+            )
         self.manager.start_worker()
-        logger.info("partition service listening on %s:%d", self.host, self.port)
 
     async def serve_until_shutdown(self) -> None:
-        """Serve until a ``shutdown`` request (or task cancellation),
-        then checkpoint every session and close."""
+        """Serve until a ``shutdown`` request, SIGTERM/SIGINT (via
+        :meth:`run`) or task cancellation — then shut down *gracefully*:
+        stop accepting, drain the in-flight push queues so every
+        acknowledged operation is applied, checkpoint all dirty
+        sessions, and release the pool."""
         assert self._server is not None, "call start() first"
         try:
             await self._stop.wait()
         finally:
             self._server.close()
             await self._server.wait_closed()
+            # Drain before checkpointing: pushes already queued (and
+            # about to be acknowledged) must reach the manager first, or
+            # close_all would checkpoint a state the acks run ahead of.
+            await self._batcher.drain()
             await asyncio.get_running_loop().run_in_executor(
                 self._pool, self.manager.close_all
             )
-            self._pool.shutdown(wait=False)
+            # wait=True: the checkpoint sweep above must finish before
+            # the process exits — a half-written sweep was exactly the
+            # bug (only kill-9 recovery saved it).
+            self._pool.shutdown(wait=True)
+            if self.uds is not None:
+                Path(self.uds).unlink(missing_ok=True)
 
     def run(self, *, on_ready=None) -> None:
         """Blocking convenience runner: start, serve, shut down cleanly
@@ -274,43 +300,6 @@ class PartitionServer:
     # ------------------------------------------------------------------
     async def _push(self, name: str, delta) -> dict:
         """Enqueue one push; concurrent pushes to the same session drain
-        as a single composed micro-batch."""
-        loop = asyncio.get_running_loop()
-        queue = self._queues.get(name)
-        if queue is None:
-            queue = self._queues[name] = _PushQueue()
-        future = loop.create_future()
-        queue.items.append((delta, future))
-        if not queue.draining:
-            queue.draining = True
-            asyncio.ensure_future(self._drain_pushes(name, queue))
-        return await future
-
-    async def _drain_pushes(self, name: str, queue: _PushQueue) -> None:
-        loop = asyncio.get_running_loop()
-        try:
-            while queue.items:
-                items, queue.items = queue.items, []
-                deltas = [d for d, _ in items]
-                try:
-                    result = await loop.run_in_executor(
-                        self._pool, self.manager.push, name, deltas
-                    )
-                # repro: ignore[RPR501] - failure is routed to the waiting futures
-                except Exception as exc:
-                    for _, fut in items:
-                        if not fut.done():
-                            fut.set_exception(exc)
-                    # A failed batch fails those clients only; drain on.
-                    continue
-                for _, fut in items:
-                    if not fut.done():
-                        fut.set_result(dict(result))
-        finally:
-            queue.draining = False
-            # Single-threaded loop, no awaits since the emptiness check:
-            # safe to drop the entry, and necessary — sessions come and
-            # go (and hostile names never existed), so queues must not
-            # accumulate for the life of the server.
-            if not queue.items and self._queues.get(name) is queue:
-                del self._queues[name]
+        as a single composed micro-batch (see
+        :class:`~repro.service.batching.PushBatcher`)."""
+        return await self._batcher.push(name, delta)

@@ -41,7 +41,7 @@ import os
 from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Any
+from typing import IO, Any, Callable
 
 from repro.errors import ServiceError
 from repro.graph.incremental import GraphDelta
@@ -91,8 +91,21 @@ class WriteAheadLog:
         self.path = Path(path)
         self.fsync = fsync
         self._fh: IO[bytes] | None = None
+        #: ``os.fsync`` calls this log has issued (appends, directory
+        #: entries, truncations) — the per-session durability cost the
+        #: gateway's ``/metrics`` surface reports.
+        self.fsync_count = 0
+        #: Optional observer called once per :attr:`fsync_count`
+        #: increment; the :class:`~repro.service.manager.SessionManager`
+        #: aggregates these into its global counters.
+        self.on_fsync: Callable[[], None] | None = None
         _, last = self._scan_seqs()
         self._last_seq = max(int(start_seq), last)
+
+    def _note_fsync(self) -> None:
+        self.fsync_count += 1
+        if self.on_fsync is not None:
+            self.on_fsync()
 
     @property
     def last_seq(self) -> int:
@@ -160,10 +173,12 @@ class WriteAheadLog:
                     os.fsync(fd)
                 finally:
                     os.close(fd)
+                self._note_fsync()
         self._fh.write(line.encode("utf-8"))
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())
+            self._note_fsync()
         return self._last_seq
 
     # ------------------------------------------------------------------
@@ -246,6 +261,7 @@ class WriteAheadLog:
                 fh.flush()
                 if self.fsync:
                     os.fsync(fh.fileno())
+                    self._note_fsync()
 
     def close(self) -> None:
         """Release the append handle (the log stays on disk)."""

@@ -450,6 +450,90 @@ class TestKillNineRecovery:
         ]
 
 
+class TestShardedOverWire:
+    def test_sharded_session_served_and_evicted_transparently(self, tmp_path):
+        """Satellite: v2 directory-snapshot (sharded) sessions go through
+        the same wire surface, and shard residency limits are invisible
+        to clients."""
+        from repro.graph.sharded import ShardedCSRGraph
+
+        base, deltas = make_stream(**CHURN)
+        manager = SessionManager(tmp_path / "root", fsync=False)
+        srv = PartitionServer(manager, port=0)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(srv.start(), loop).result(30)
+        serve = asyncio.run_coroutine_threadsafe(srv.serve_until_shutdown(), loop)
+        try:
+            with client_for(srv) as svc:
+                info = svc.create(
+                    "sh", partitions=4, source=dict(CHURN), seed=0,
+                    shards=3, policy=dict(PER_DELTA),
+                    config={"lp_backend": "revised"},
+                )
+                assert info["num_vertices"] == base.num_vertices
+                for d in deltas[:3]:
+                    svc.push("sh", d)
+                out = svc.query("sh", labels=True)
+                stats = svc.stats()
+                assert stats["sessions"]["sh"]["shards"] == 3
+                # survives a close/open cycle (snapshot is the v2
+                # directory layout)
+                svc.close_session("sh")
+                assert svc.open("sh")["num_pushed"] == 3
+                assert np.array_equal(svc.query("sh", labels=True)["labels"],
+                                      out["labels"])
+        finally:
+            loop.call_soon_threadsafe(srv._stop.set)
+            serve.result(30)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+
+        # same stream over the same sharded build, in process
+        ref = repro.open_session(
+            ShardedCSRGraph.from_csr(base, 3), 4,
+            policy=FlushPolicy(**PER_DELTA), seed=0, lp_backend="revised",
+        )
+        for d in deltas[:3]:
+            ref.push(d)
+        assert np.array_equal(out["labels"], ref.part)
+
+
+class TestGracefulShutdown:
+    def test_sigterm_checkpoints_and_exits_zero(self, tmp_path):
+        """Satellite: SIGTERM is graceful — the server drains, dirty
+        sessions checkpoint, the process exits 0, and the restart has
+        nothing to replay (contrast SIGKILL above, which replays)."""
+        source = {"source": "churn", "scale": 0.15, "steps": 4, "seed": 3}
+        _, deltas = make_stream(**source)
+        root = tmp_path / "root"
+        port = _free_port()
+        srv = _spawn_server(root, port)
+        try:
+            with ServiceClient.connect(port=port, retries=300, delay=0.1) as svc:
+                svc.create(
+                    "s", partitions=4, source=source, seed=0,
+                    policy=dict(PER_DELTA), config={"lp_backend": "revised"},
+                )
+                for d in deltas[:2]:
+                    svc.push("s", d)
+        finally:
+            srv.send_signal(signal.SIGTERM)
+        assert srv.wait(timeout=60) == 0
+
+        port = _free_port()
+        srv = _spawn_server(root, port)
+        try:
+            with ServiceClient.connect(port=port, retries=300, delay=0.1) as svc:
+                info = svc.open("s")
+                assert info["num_pushed"] == 2
+                assert svc.stats()["counters"]["wal_replayed"] == 0
+                svc.shutdown()
+        finally:
+            assert srv.wait(timeout=60) == 0
+
+
 class TestRecoveryRefusesSilentLoss:
     """An unreadable/missing snapshot is only survivable when the WAL
     still covers the whole history; anything else must refuse loudly
