@@ -1,0 +1,89 @@
+"""RPR8xx — library code never assembles a monolith on a hot path.
+
+The shard-native LP pipeline exists so that flushing a sharded graph
+touches only boundary rows and churned shards; one stray
+``something.to_csr()`` on a library path silently reintroduces the
+O(|V| + |E|) assembly the :class:`~repro.graph.frame.BoundaryFrame`
+work removed, and no test notices until the graph is big.  ``RPR801``
+bans ``to_csr()`` calls anywhere under ``src/repro/`` except:
+
+* an explicit allow-list of snapshot/debug/bootstrap call sites, named
+  ``<relpath>::<function qualname>`` (module-level calls use the
+  qualname ``<module>``);
+* inline waivers — ``# repro: ignore[RPR801] - reason`` — for sites
+  where the monolith is the honest cost (e.g. the §2.3 chunked
+  fallback, which re-inserts the whole graph anyway).
+
+Tests and benchmarks are exempt (``applies_to``): asserting parity
+against a monolithic assembly is exactly what they are for.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import Checker, ModuleContext, register_checker
+from repro.analysis.findings import Finding
+
+#: Call sites allowed to assemble a monolith, as ``relpath::qualname``.
+#: Keep this list short and cold-path-only; hot paths take the frame.
+_ALLOWED_SITES = frozenset(
+    {
+        # The one-shot initial solve: registry partitioners (RSB et al.)
+        # are monolithic by design, and open_session runs them exactly
+        # once, before any streaming begins.
+        "repro/session.py::open_session",
+    }
+)
+
+
+class MonolithAssemblyChecker(Checker):
+    """Flag ``to_csr()`` calls in library code (see module docstring)."""
+
+    name = "monolith-assembly"
+    codes = {
+        "RPR801": "to_csr() monolithic assembly on a library code path"
+    }
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # Library sources only: tests/benchmarks legitimately assemble
+        # monoliths to assert parity against the shard-native path.
+        return ctx.relpath.startswith("repro/")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._visit(ctx, ctx.tree, "<module>")
+
+    def _visit(
+        self, ctx: ModuleContext, node: ast.AST, qualname: str
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                inner = (
+                    child.name
+                    if qualname == "<module>"
+                    else f"{qualname}.{child.name}"
+                )
+                yield from self._visit(ctx, child, inner)
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "to_csr"
+                and f"{ctx.relpath}::{qualname}" not in _ALLOWED_SITES
+            ):
+                yield ctx.finding(
+                    child,
+                    "RPR801",
+                    "to_csr() assembles the whole graph; route sharded "
+                    "graphs through BoundaryFrame (graph.boundary_frame()) "
+                    "or allow-list this site if it is genuinely "
+                    "snapshot/debug-only",
+                    checker=self.name,
+                )
+            yield from self._visit(ctx, child, qualname)
+
+
+register_checker(MonolithAssemblyChecker())

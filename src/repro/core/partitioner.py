@@ -275,6 +275,142 @@ class IncrementalGraphPartitioner:
         return result
 
     # ------------------------------------------------------------------
+    def repartition_frame(self, frame, part: np.ndarray) -> RepartitionResult:
+        """:meth:`repartition` through a :class:`~repro.graph.frame
+        .BoundaryFrame` — the shard-native path.
+
+        Mirrors :meth:`repartition` phase for phase using the frame-native
+        twins in :mod:`repro.core.shardlp` and the frame metrics in
+        :mod:`repro.core.quality`; shares this instance's warm-start
+        carriers and :meth:`_solve_stage`, so labels, pivots, stage
+        records and quality bundles are bit-identical to running the
+        monolithic pipeline on ``frame.graph.to_csr()`` — without ever
+        assembling it.  λ comes from :attr:`~repro.graph.frame
+        .BoundaryFrame.total_vertex_weight` (monolithic summation order,
+        not the sharded handle's per-shard partial sums).
+        """
+        from repro.core.shardlp import (
+            assign_new_vertices_frame,
+            layer_partitions_frame,
+            refine_partition_frame,
+        )
+        from repro.core.quality import (
+            evaluate_partition_frame,
+            validate_partition_vector,
+        )
+
+        cfg = self.config
+        p = cfg.num_partitions
+        timings = {"assign": 0.0, "layering": 0.0, "lp": 0.0, "move": 0.0, "refine": 0.0}
+
+        t0 = time.perf_counter()
+        part = assign_new_vertices_frame(frame, part, p)
+        timings["assign"] = time.perf_counter() - t0
+
+        result = RepartitionResult(part=part, timings=timings)
+        result.quality_initial = evaluate_partition_frame(frame, part, p)
+
+        vweights = frame.vweights
+        integral = bool(np.allclose(vweights, np.round(vweights)))
+        lam = frame.total_vertex_weight / p
+        w_max = float(vweights.max()) if frame.num_vertices else 1.0
+        if integral:
+            balanced_max = float(np.ceil(lam - 1e-9)) + max(w_max - 1.0, 0.0)
+        else:
+            balanced_max = lam * (1 + 1e-9) + w_max
+
+        exact_target = float(np.ceil(lam - 1e-9)) if integral else lam
+
+        def excess_of(loads_vec: np.ndarray) -> float:
+            return float(np.maximum(loads_vec - exact_target, 0.0).sum())
+
+        def loads_of(vec: np.ndarray) -> np.ndarray:
+            vec = validate_partition_vector(frame, vec, p)
+            return np.bincount(vec, weights=vweights, minlength=p)
+
+        for _ in range(cfg.max_stages):
+            loads = loads_of(part)
+            max_load = float(loads.max())
+            if max_load <= balanced_max + 1e-9:
+                break  # already balanced
+
+            t0 = time.perf_counter()
+            layering = layer_partitions_frame(frame, part, p, loads=loads)
+            timings["layering"] += time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            stage = self._solve_stage(layering.delta, loads)
+            timings["lp"] += time.perf_counter() - t0
+            if stage is None:
+                raise RepartitionInfeasibleError(
+                    "balance LP infeasible and the relaxation cannot move "
+                    "anything; repartition from scratch or insert vertices "
+                    "in chunks (paper §2.3)",
+                    gamma_tried=cfg.gamma_cap,
+                )
+            solution, gamma = stage
+
+            t0 = time.perf_counter()
+            movers = select_movers(frame, part, layering, solution.moves)
+            part = apply_moves(part, movers)
+            if movers:
+                frame.note_moves(np.concatenate(list(movers.values())))
+            timings["move"] += time.perf_counter() - t0
+
+            new_loads = loads_of(part)
+            if not np.isfinite(gamma):
+                gamma = float(new_loads.max()) / lam  # relaxed stage
+                if gamma > cfg.gamma_cap + 1e-9:
+                    raise RepartitionInfeasibleError(
+                        f"imbalance after relaxed stage ({gamma:.2f}) "
+                        f"exceeds the cap C={cfg.gamma_cap} (paper §2.3)",
+                        gamma_tried=gamma,
+                    )
+            if excess_of(new_loads) >= excess_of(loads) - 1e-9:
+                raise RepartitionInfeasibleError(
+                    "balance stage made no progress (movers could not "
+                    "realise the LP flow — indivisible vertex weights?)",
+                    gamma_tried=gamma,
+                )
+            result.stages.append(
+                StageRecord(
+                    gamma=gamma,
+                    total_moved=solution.total_movement,
+                    lp_variables=solution.balance_lp.num_variables,
+                    lp_constraints=solution.balance_lp.num_constraints,
+                    lp_iterations=solution.result.iterations,
+                    max_load_before=max_load,
+                    max_load_after=float(new_loads.max()),
+                )
+            )
+        else:
+            loads = loads_of(part)
+            if float(loads.max()) > balanced_max + 1e-9:
+                raise RepartitionInfeasibleError(
+                    f"balance not reached within {cfg.max_stages} stages",
+                    gamma_tried=cfg.gamma_cap,
+                )
+
+        if cfg.refine:
+            t0 = time.perf_counter()
+            part, refine_stats = refine_partition_frame(
+                frame,
+                part,
+                p,
+                max_rounds=cfg.refine_max_rounds,
+                strict_after=cfg.refine_strict_after,
+                min_gain=cfg.refine_min_gain,
+                lp_backend=cfg.lp_backend,
+                carrier=self._refine_carrier,
+            )
+            timings["refine"] = time.perf_counter() - t0
+            result.refine_stats = refine_stats
+
+        result.part = part
+        result.quality_final = evaluate_partition_frame(frame, part, p)
+        return result
+
+    # ------------------------------------------------------------------
     def _solve_stage(self, delta, loads):
         """One balance stage: exact LP, then max-progress relaxation.
 

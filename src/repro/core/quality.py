@@ -34,8 +34,11 @@ __all__ = [
     "partition_weights",
     "partition_sizes",
     "edge_cut",
+    "edge_cut_frame",
     "cut_metrics",
+    "cut_metrics_frame",
     "evaluate_partition",
+    "evaluate_partition_frame",
     "validate_partition_vector",
 ]
 
@@ -111,6 +114,66 @@ def cut_metrics(
         part[src[cross]], weights=graph.eweights[cross], minlength=num_partitions
     )
     return float(per_part.sum() / 2.0), per_part
+
+
+def _frame_cross_arcs(frame, part: np.ndarray):
+    """Cross arcs of ``part`` read through a boundary frame.
+
+    Every cross arc's source is a boundary vertex, and the frame's
+    boundary set is a superset of the boundary — so filtering the
+    boundary rows to cross arcs yields exactly the monolith's cross-arc
+    subsequence, in global CSR order.  Sums and bincounts over these
+    arrays are therefore bit-identical to the monolithic expressions.
+    """
+    src, dst, ew = frame.rows(frame.ensure_boundary(part))
+    cross = part[src] != part[dst]
+    return src[cross], ew[cross]
+
+
+def edge_cut_frame(frame, part: np.ndarray) -> float:
+    """:func:`edge_cut` read through a
+    :class:`~repro.graph.frame.BoundaryFrame` — no interior shard is
+    paged; bit-identical to the monolithic result."""
+    part = np.asarray(part, dtype=np.int64)
+    _, cross_ew = _frame_cross_arcs(frame, part)
+    return float(cross_ew.sum() / 2.0)
+
+
+def cut_metrics_frame(
+    frame, part: np.ndarray, num_partitions: int
+) -> tuple[float, np.ndarray]:
+    """:func:`cut_metrics` through a boundary frame (monolith-exact)."""
+    part = validate_partition_vector(frame, part, num_partitions)
+    cross_src, cross_ew = _frame_cross_arcs(frame, part)
+    per_part = np.bincount(
+        part[cross_src], weights=cross_ew, minlength=num_partitions
+    )
+    return float(per_part.sum() / 2.0), per_part
+
+
+def evaluate_partition_frame(
+    frame, part: np.ndarray, num_partitions: int
+) -> "PartitionQuality":
+    """:func:`evaluate_partition` through a boundary frame.
+
+    The weight vector comes from the frame's incrementally-maintained
+    ``vweights`` (current-id order — the same array ``to_csr()`` would
+    assemble), so the whole bundle matches the monolithic evaluation
+    bit for bit while paging only boundary-owning shards.
+    """
+    total, per_part = cut_metrics_frame(frame, part, num_partitions)
+    part = np.asarray(part, dtype=np.int64)
+    w = np.bincount(part, weights=frame.vweights, minlength=num_partitions)
+    mean = w.sum() / num_partitions if num_partitions else 0.0
+    return PartitionQuality(
+        num_partitions=num_partitions,
+        cut_total=total,
+        cut_max=float(per_part.max()) if num_partitions else 0.0,
+        cut_min=float(per_part.min()) if num_partitions else 0.0,
+        cut_per_partition=per_part,
+        weights=w,
+        imbalance=float(w.max() / mean) if mean > 0 else np.inf,
+    )
 
 
 @dataclass(frozen=True)

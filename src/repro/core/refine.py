@@ -39,7 +39,13 @@ from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult
 from repro.lp.revised import BasisCarrier
 
-__all__ = ["RefinementPass", "RefineStats", "refine_partition", "refinement_pools"]
+__all__ = [
+    "RefinementPass",
+    "RefineStats",
+    "refine_partition",
+    "refinement_pools",
+    "refinement_pools_from_arcs",
+]
 
 
 @dataclass
@@ -79,14 +85,40 @@ def refinement_pools(
     vertex joins the pool of its best foreign partition when
     ``out − in ≥ 0`` (or ``> 0`` in strict mode).
     """
+    return refinement_pools_from_arcs(
+        graph.arc_sources(),
+        graph.adj,
+        graph.eweights,
+        graph.num_vertices,
+        part,
+        num_partitions,
+        strict,
+    )
+
+
+def refinement_pools_from_arcs(
+    src: np.ndarray,
+    dst: np.ndarray,
+    ew: np.ndarray,
+    num_vertices: int,
+    part: np.ndarray,
+    num_partitions: int,
+    strict: bool,
+) -> RefinementPass:
+    """:func:`refinement_pools` over explicit arc arrays.
+
+    The shard-native path (:func:`repro.core.shardlp
+    .refine_partition_frame`) calls this with the *boundary rows* of a
+    :class:`~repro.graph.frame.BoundaryFrame` — a global-CSR-order
+    subsequence that contains every cross arc, so ``in_w`` is complete
+    for every vertex that can appear in a pool and all sums accumulate
+    in the monolithic order.
+    """
     p = num_partitions
     part = np.asarray(part, dtype=np.int64)
-    src = graph.arc_sources()
-    dst = graph.adj
-    ew = graph.eweights
     same = part[src] == part[dst]
 
-    n = graph.num_vertices
+    n = num_vertices
     in_w = np.bincount(src[same], weights=ew[same], minlength=n)
 
     cross_src = src[~same]

@@ -188,8 +188,9 @@ class StreamingPartitioner:
         :class:`~repro.graph.sharded.ShardedCSRGraph`; with a sharded
         graph each flush routes the composed delta through
         :meth:`~repro.graph.sharded.ShardedCSRGraph.apply_delta` (only
-        touched shards are rewritten) and the LP pipeline runs on a
-        transient monolithic assembly.  Superseded shard revisions are
+        touched shards are rewritten) and the LP pipeline reads the graph
+        through a persistent :class:`~repro.graph.frame.BoundaryFrame`
+        (see ``shard_native``).  Superseded shard revisions are
         garbage-collected at each flush, except revisions pinned via
         :attr:`pinned_revs` because an on-disk snapshot manifest still
         references them (``PartitionSession`` pins on save/load), so an
@@ -208,6 +209,15 @@ class StreamingPartitioner:
     chunk_fraction:
         chunk size for the §2.3 fallback (see
         :func:`chunked_insertion_repartition`).
+    shard_native:
+        sharded graphs only (ignored for monolithic ones).  ``True`` (the
+        default) runs each flush's LP pipeline through
+        :meth:`IncrementalGraphPartitioner.repartition_frame` on a
+        persistent :class:`~repro.graph.frame.BoundaryFrame`: untouched
+        shards are never paged from the store, and labels/pivots are
+        bit-identical to the monolithic path.  ``False`` restores the
+        old debug behaviour of assembling a transient monolith with
+        ``to_csr()`` every flush.
     max_history:
         keep at most this many :class:`BatchRecord` entries (oldest dropped
         first); ``None`` (default) keeps everything.  Long-lived sessions
@@ -228,6 +238,7 @@ class StreamingPartitioner:
         accumulate_weights: bool = False,
         chunk_fraction: float = 0.5,
         max_history: int | None = None,
+        shard_native: bool = True,
         **kwargs,
     ):
         if max_history is not None and max_history < 1:
@@ -247,11 +258,24 @@ class StreamingPartitioner:
         self.accumulate_weights = accumulate_weights
         self.chunk_fraction = chunk_fraction
         self.max_history = max_history
+        self.shard_native = shard_native
+        #: Sharded graphs only: the persistent BoundaryFrame carried
+        #: across flushes — its block cache keeps untouched shards
+        #: resident and its boundary superset makes each flush's LP
+        #: assembly O(|boundary| + |churn|).  Attached eagerly so every
+        #: block read from the very first compose/flush goes through its
+        #: warm cache (not the store's tiny LRU); reset to ``None``
+        #: whenever the frame's incremental state can no longer be
+        #: trusted (chunked fallback, rolled-back flush).
+        self._frame = None
+        if shard_native and hasattr(graph, "boundary_frame"):
+            self._frame = graph.boundary_frame()
         self.graph = graph
         self.part = part
         self.history: list[BatchRecord] = []
         self.num_batches = 0
         self._total_wall_s = 0.0
+        self._repartition_wall_s = 0.0
         self._igp = IncrementalGraphPartitioner(config)
         self._composer: DeltaComposer | None = None
         self._epoch_loads: np.ndarray | None = None
@@ -445,29 +469,58 @@ class StreamingPartitioner:
                 accumulate_weights=self.accumulate_weights,
             )
         fallback = False
-        # Everything after apply_delta — including the transient dense
-        # assembly — sits inside the rollback scope: a failure anywhere
+        # Everything after apply_delta — frame advancement, LP pipeline,
+        # fallback — sits inside the rollback scope: a failure anywhere
         # must not leak the block revisions the delta just wrote.
         try:
-            dense = inc.graph.to_csr() if sharded else inc.graph
             carried = carry_partition(self.part, inc)
-            try:
-                result = self._igp.repartition(dense, carried)
-            except RepartitionInfeasibleError:
-                fallback = True
-                result = chunked_insertion_repartition(
-                    dense,
-                    carried,
-                    self.config,
-                    chunk_fraction=self.chunk_fraction,
-                )
-                # The chunked driver ran its own partitioner; carried bases
-                # describe a trajectory that no longer exists.
-                self._igp.reset_warm_start()
+            t_lp = time.perf_counter()
+            if sharded and self.shard_native:
+                frame = self._advance_frame(inc, composed)
+                try:
+                    result = self._igp.repartition_frame(frame, carried)
+                except RepartitionInfeasibleError:
+                    fallback = True
+                    # The §2.3 chunked driver re-inserts vertices from
+                    # scratch — a whole-graph solve, so the one-shot
+                    # monolithic assembly is the honest cost here, and
+                    # the frame's incremental state dies with the failed
+                    # trajectory.
+                    self._drop_frame()
+                    dense = inc.graph.to_csr()  # repro: ignore[RPR801] - chunked fallback is a from-scratch whole-graph solve
+                    result = chunked_insertion_repartition(
+                        dense,
+                        carried,
+                        self.config,
+                        chunk_fraction=self.chunk_fraction,
+                    )
+                    # The chunked driver ran its own partitioner; carried
+                    # bases describe a trajectory that no longer exists.
+                    self._igp.reset_warm_start()
+            else:
+                # Monolithic graph, or the shard_native=False escape
+                # hatch (debug-only transient assembly).
+                dense = inc.graph.to_csr() if sharded else inc.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
+                try:
+                    result = self._igp.repartition(dense, carried)
+                except RepartitionInfeasibleError:
+                    fallback = True
+                    result = chunked_insertion_repartition(
+                        dense,
+                        carried,
+                        self.config,
+                        chunk_fraction=self.chunk_fraction,
+                    )
+                    # The chunked driver ran its own partitioner; carried
+                    # bases describe a trajectory that no longer exists.
+                    self._igp.reset_warm_start()
+            self._repartition_wall_s += time.perf_counter() - t_lp
         except BaseException:
             if sharded:
                 # Roll back the shard revisions the failed batch wrote;
                 # self.graph (the pre-delta handle) stays authoritative.
+                # The frame may already have advanced onto them — drop it.
+                self._drop_frame()
                 inc.graph.drop_blocks_not_in(self.graph)
             raise
         wall = time.perf_counter() - t0
@@ -486,6 +539,49 @@ class StreamingPartitioner:
         )
         return result
 
+    def _advance_frame(self, inc, composed: GraphDelta):
+        """Carry the persistent boundary frame across a flush's delta.
+
+        Steady state is :meth:`~repro.graph.frame.BoundaryFrame.advance`
+        — O(churn) remaps, touched blocks dropped from the cache, the
+        boundary superset extended by the churn sites.  A cold start (or
+        a frame invalidated by a fallback/rollback) attaches fresh to the
+        post-delta graph; its first boundary query is one full sweep.
+        """
+        if self._frame is None or self._frame.graph is not self.graph:
+            self._drop_frame()
+            self._frame = inc.graph.boundary_frame()
+        else:
+            self._frame.advance(inc, composed)
+        return self._frame
+
+    def _current_frame(self):
+        """The frame for the *current* graph, creating one if needed
+        (sharded shard-native engines only — callers check)."""
+        if self._frame is None or self._frame.graph is not self.graph:
+            self._drop_frame()
+            self._frame = self.graph.boundary_frame()
+        return self._frame
+
+    def _drop_frame(self) -> None:
+        """Discard the boundary frame (if any), returning its handle to
+        direct store loads by uninstalling the frame's block hook."""
+        if self._frame is not None:
+            self._frame.detach()
+            self._frame = None
+
+    @property
+    def quality_frame(self):
+        """The live :class:`~repro.graph.frame.BoundaryFrame` for the
+        current graph/partition epoch, or ``None`` when there isn't one
+        (monolithic graph, ``shard_native=False``, cold/invalidated
+        frame).  Sessions use it to evaluate quality boundary-only
+        instead of assembling a monolith."""
+        frame = self._frame
+        if frame is not None and frame.graph is self.graph:
+            return frame
+        return None
+
     def repartition(self, trigger: str = "repartition") -> RepartitionResult:
         """Repartition *now*: flush the pending batch, or — when nothing
         is pending — run the LP pipeline on the current graph as-is.
@@ -498,12 +594,13 @@ class StreamingPartitioner:
         if result is not None:
             return result
         t0 = time.perf_counter()
-        dense = (
-            self.graph.to_csr()
-            if hasattr(self.graph, "iter_shards")
-            else self.graph
-        )
-        result = self._igp.repartition(dense, self.part)
+        sharded = hasattr(self.graph, "iter_shards")
+        if sharded and self.shard_native:
+            result = self._igp.repartition_frame(self._current_frame(), self.part)
+        else:
+            dense = self.graph.to_csr() if sharded else self.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
+            result = self._igp.repartition(dense, self.part)
+        self._repartition_wall_s += time.perf_counter() - t0
         self._record_batch(
             num_deltas=0,
             composed=GraphDelta(),
@@ -600,6 +697,15 @@ class StreamingPartitioner:
         """Wall-clock spent repartitioning across all flushed batches
         (a running total; unaffected by ``max_history`` trimming)."""
         return self._total_wall_s
+
+    def repartition_wall_s(self) -> float:
+        """Wall-clock spent in LP *assembly + solve* across all batches:
+        the frame advance (or ``to_csr()`` on the debug opt-out path)
+        plus the repartition pipeline, excluding delta composition and
+        shard-store writes.  This is the window the shard-native bench
+        gate compares against the monolithic run — a monolithic assembly
+        sneaking back onto the flush path shows up here first."""
+        return self._repartition_wall_s
 
     def describe(self) -> str:
         """Multi-line session log (one line per flushed batch)."""

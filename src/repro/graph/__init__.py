@@ -28,6 +28,7 @@ from repro.graph.sharded import (
     ShardedCSRGraph,
     ShardedIncrementalResult,
 )
+from repro.graph.frame import BoundaryFrame
 from repro.graph.operations import (
     bfs_distances,
     bfs_tree,
@@ -50,6 +51,7 @@ from repro.graph.generators import (
 )
 
 __all__ = [
+    "BoundaryFrame",
     "CSRGraph",
     "DeltaComposer",
     "DirectoryShardStore",

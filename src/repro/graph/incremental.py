@@ -600,10 +600,15 @@ class DeltaComposer:
         comp_ew = np.array([w for _, w in edge_items], dtype=np.float64)
 
         comp_coords = None
-        if self.graph.coords is not None and any(
+        # Only the *dimension* is needed here; sharded graphs answer it
+        # O(1) via coords_dim, whereas their coords property would page
+        # every shard block just to be discarded.
+        dim = getattr(self.graph, "coords_dim", None)
+        if dim is None and self.graph.coords is not None:
+            dim = self.graph.coords.shape[1]
+        if dim is not None and any(
             self._add_coords[j] is not None for j in alive_idx
         ):
-            dim = self.graph.coords.shape[1]
             comp_coords = np.full((len(alive_idx), dim), np.nan)
             for r, j in enumerate(alive_idx):
                 if self._add_coords[j] is not None:

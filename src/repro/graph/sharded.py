@@ -118,18 +118,41 @@ class DirectoryShardStore:
     (``None`` = unbounded), so a graph can be far larger than RAM as long
     as individual shards fit.  :attr:`load_count` counts cache misses
     (actual file loads) — benchmarks use it to prove the LRU works.
+
+    With ``defer_writes=True`` the store runs write-behind: :meth:`put`
+    parks the arrays in a pending set instead of serialising an ``.npz``
+    immediately, and :meth:`sync` flushes whatever is still pending.
+    Streaming engines delete superseded block revisions at every flush,
+    so intermediate revisions that die before the next :meth:`sync` are
+    never serialised at all — the dominant I/O cost of a rapid flush
+    cadence.  The trade-off is durability (pending blocks live only in
+    memory until :meth:`sync`) and memory (pending blocks stay decoded),
+    which is why it is opt-in; session snapshots call :meth:`sync`
+    before committing a manifest, keeping saved snapshots complete.
     """
 
     persistent = True
 
-    def __init__(self, directory, *, max_resident: int | None = None):
+    def __init__(
+        self,
+        directory,
+        *,
+        max_resident: int | None = None,
+        defer_writes: bool = False,
+    ):
         if max_resident is not None and max_resident < 1:
             raise ValidationError("max_resident must be >= 1 (or None)")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_resident = max_resident
+        self.defer_writes = defer_writes
         self.load_count = 0
+        #: Per-key cache-miss loads (``load_count`` split by block key).
+        #: The shard-native property tests assert a flush touching k of
+        #: N shards records zero loads for the other N−k block keys.
+        self.load_counts: dict[str, int] = {}
         self._cache: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._pending: dict[str, dict[str, np.ndarray]] = {}
 
     @property
     def resident_count(self) -> int:
@@ -146,8 +169,7 @@ class DirectoryShardStore:
             while len(self._cache) > self.max_resident:
                 self._cache.popitem(last=False)
 
-    def put(self, key: str, arrays: dict[str, np.ndarray]) -> None:
-        """Write ``arrays`` to ``key``'s file atomically and admit to LRU."""
+    def _write(self, key: str, arrays: dict[str, np.ndarray]) -> None:
         path = self._path(key)
         tmp = path.with_name(path.name + ".tmp")
         try:
@@ -157,33 +179,68 @@ class DirectoryShardStore:
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
-        self._admit(key, dict(arrays))
+
+    def put(self, key: str, arrays: dict[str, np.ndarray]) -> None:
+        """Write ``arrays`` to ``key``'s file atomically and admit to LRU
+        (write-behind when ``defer_writes``: parked until :meth:`sync`)."""
+        arrays = dict(arrays)
+        if self.defer_writes:
+            self._pending[key] = arrays
+        else:
+            self._write(key, arrays)
+        self._admit(key, arrays)
+
+    def sync(self) -> int:
+        """Flush pending write-behind blocks to disk; returns how many
+        files were written.  A no-op unless ``defer_writes`` is set."""
+        written = 0
+        for key, arrays in self._pending.items():
+            self._write(key, arrays)
+            written += 1
+        self._pending.clear()
+        return written
 
     def get(self, key: str) -> dict[str, np.ndarray]:
         """Fetch ``key``'s arrays, loading from disk on an LRU miss."""
         if key in self._cache:
             self._cache.move_to_end(key)
             return self._cache[key]
+        pending = self._pending.get(key)
+        if pending is not None:
+            # Evicted from the LRU before ever reaching disk: re-admit
+            # from the pending set (not a load — no file was read).
+            self._admit(key, pending)
+            return pending
         path = self._path(key)
         if not path.exists():
             raise GraphError(f"shard store has no block {key!r} ({path})")
         with np.load(path) as npz:
             arrays = {name: npz[name] for name in npz.files}
         self.load_count += 1
+        self.load_counts[key] = self.load_counts.get(key, 0) + 1
         self._admit(key, arrays)
         return arrays
 
     def delete(self, key: str) -> None:
-        """Remove ``key``'s file and cache entry (missing keys ignored)."""
+        """Remove ``key``'s file, cache and pending entries (missing
+        keys ignored).  Deleting a block that never left the pending set
+        is pure bookkeeping — the write-behind win for short-lived
+        revisions."""
         self._cache.pop(key, None)
+        self._pending.pop(key, None)
         self._path(key).unlink(missing_ok=True)
 
     def keys(self) -> list[str]:
-        """All stored keys (from the directory listing), sorted."""
-        return sorted(p.stem for p in self.directory.glob("*.npz"))
+        """All stored keys (directory listing plus pending), sorted."""
+        on_disk = {p.stem for p in self.directory.glob("*.npz")}
+        return sorted(on_disk | set(self._pending))
 
     def __contains__(self, key: str) -> bool:
-        return key in self._cache or self._path(key).exists()
+        return (
+            key in self._cache
+            or key in self._pending
+            or self._path(key).exists()
+        )
 
 
 # ----------------------------------------------------------------------
@@ -399,6 +456,17 @@ class ShardedCSRGraph:
         self._vweights: np.ndarray | None = None
         self._coords: np.ndarray | None = None
         self._degrees: np.ndarray | None = None
+        # Optional block source installed by an attached BoundaryFrame:
+        # a callable sid -> ShardBlock backed by the frame's warm cache,
+        # so composer/delta reads share blocks the frame already paged
+        # instead of thrashing the store's (typically tiny) LRU.
+        self._block_hook = None
+        # Blocks apply_delta just wrote for this handle, kept decoded so
+        # an advancing BoundaryFrame can ingest them without a store
+        # round-trip (write-then-reload).  Consumed (set to None) by
+        # BoundaryFrame.advance; peak memory matches apply_delta's own
+        # pending-puts list, so this adds lifetime, not footprint.
+        self._fresh_blocks: dict[int, ShardBlock] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -541,9 +609,12 @@ class ShardedCSRGraph:
     # Block access
     # ------------------------------------------------------------------
     def shard_block(self, sid: int) -> ShardBlock:
-        """Load shard ``sid``'s current block (through the store's LRU)."""
+        """Load shard ``sid``'s current block (through the store's LRU,
+        or through an attached frame's warm cache — see ``_block_hook``)."""
         if not (0 <= sid < self.num_shards):
             raise GraphError(f"shard id {sid} out of range")
+        if self._block_hook is not None:
+            return self._block_hook(sid)
         return ShardBlock.from_arrays(
             self.store.get(shard_key(sid, int(self.revs[sid])))
         )
@@ -680,6 +751,19 @@ class ShardedCSRGraph:
         return self._coords
 
     # ------------------------------------------------------------------
+    # Shard-native LP assembly
+    # ------------------------------------------------------------------
+    def boundary_frame(self, *, max_cached_blocks: int | None = None):
+        """A fresh :class:`~repro.graph.frame.BoundaryFrame` on this
+        handle — the shard-native assembly state the LP pipeline
+        consumes instead of :meth:`to_csr` (see
+        :meth:`~repro.core.partitioner.IncrementalGraphPartitioner
+        .repartition_frame`)."""
+        from repro.graph.frame import BoundaryFrame
+
+        return BoundaryFrame(self, max_cached_blocks=max_cached_blocks)
+
+    # ------------------------------------------------------------------
     # Monolith assembly
     # ------------------------------------------------------------------
     def to_csr(self, *, validate: bool = False) -> CSRGraph:
@@ -687,8 +771,10 @@ class ShardedCSRGraph:
 
         Shards stream through the store's LRU one at a time, so the peak
         *store* residency honours ``max_resident`` — but the assembled
-        result is of course the full graph.  This is the bridge the LP
-        pipeline uses; keep it off hot paths for truly huge graphs.
+        result is of course the full graph.  Snapshot/debug bridge only:
+        the LP pipeline routes sharded graphs through
+        :meth:`boundary_frame` (RPR801 bans new ``to_csr()`` hot-path
+        callers in library code).
         """
         n = self.num_vertices
         cur = self._cur_of_birth()
@@ -1144,6 +1230,8 @@ class ShardedCSRGraph:
             shard_narcs=shard_narcs,
             shard_vw=shard_vw,
         )
+        if pending_puts:
+            new_graph._fresh_blocks = dict(pending_puts)
         return ShardedIncrementalResult(
             graph=new_graph,
             old_to_new=old_to_new,

@@ -59,7 +59,11 @@ import numpy as np
 
 from repro._version import __version__
 from repro.core.partitioner import IGPConfig, RepartitionResult
-from repro.core.quality import PartitionQuality, evaluate_partition
+from repro.core.quality import (
+    PartitionQuality,
+    evaluate_partition,
+    evaluate_partition_frame,
+)
 from repro.core.streaming import BatchRecord, FlushPolicy, StreamingPartitioner
 from repro.errors import (
     APIUsageError,
@@ -356,12 +360,23 @@ class PartitionSession:
         """Cut/balance metrics of the current partition.
 
         Memoized between mutations (any :meth:`push` / :meth:`flush` /
-        :meth:`repartition` invalidates the cache), so service layers
-        answering repeated ``quality`` queries don't re-stream every
-        shard of a large graph per call.
+        :meth:`repartition` invalidates the cache).  When the engine is
+        carrying a live :class:`~repro.graph.frame.BoundaryFrame` for
+        the current epoch (shard-native sessions after their first
+        flush), the metrics are computed through it — boundary rows
+        only, no shard paging, bit-identical values; otherwise the
+        metrics stream the graph directly.
         """
         if self._quality_cache is None:
-            self._quality_cache = evaluate_partition(self.graph, self.part, self.k)
+            frame = self._sp.quality_frame
+            if frame is not None:
+                self._quality_cache = evaluate_partition_frame(
+                    frame, self.part, self.k
+                )
+            else:
+                self._quality_cache = evaluate_partition(
+                    self.graph, self.part, self.k
+                )
         return self._quality_cache
 
     def history(self) -> list[BatchSummary]:
@@ -523,6 +538,10 @@ class PartitionSession:
             isinstance(store, DirectoryShardStore)
             and Path(store.directory).resolve() == shards_dir.resolve()
         )
+        if in_place:
+            # Write-behind stores may still hold referenced revisions in
+            # memory; they must be on disk before the manifest commits.
+            store.sync()
         referenced = set()
         for sid in range(graph.num_shards):
             key = shard_key(sid, int(graph.revs[sid]))

@@ -518,6 +518,7 @@ class TestSelfCheck:
             "async-hygiene",
             "broad-except",
             "deprecation",
+            "monolith-assembly",
         }
         from repro.analysis import all_project_checkers
 

@@ -188,17 +188,21 @@ class TestSnapshotV2:
         )
         keys_before = set(sharded.store.keys())
 
-        def boom(self, **kwargs):
-            raise RuntimeError("simulated OOM during dense assembly")
+        def boom(self, *args, **kwargs):
+            raise RuntimeError("simulated OOM during boundary-frame advance")
 
-        monkeypatch.setattr(ShardedCSRGraph, "to_csr", boom)
+        from repro.graph.frame import BoundaryFrame
+
+        monkeypatch.setattr(BoundaryFrame, "advance", boom)
         n = sp.graph.num_vertices
         with pytest.raises(RuntimeError, match="simulated"):
             sp.push(GraphDelta(num_added_vertices=1, added_edges=[(0, n)]))
         # the failed batch's new revisions were rolled back, the
-        # pre-delta graph is still the engine's graph
+        # pre-delta graph is still the engine's graph, and the frame
+        # (which may have advanced onto the dead revisions) was dropped
         assert set(sharded.store.keys()) == keys_before
         assert sp.graph is sharded
+        assert sp.quality_frame is None
 
     def test_persistent_store_revisions_stay_bounded(self, churn, tmp_path):
         base, deltas = churn
