@@ -106,6 +106,37 @@ def compare(name, base, deltas, p, lp_backend, tolerate_infeasible=False):
     return per, bat
 
 
+def measure_trace_overhead(base, part, deltas, p, lp_backend, repeats=3):
+    """Min-of-N wall-clock of the batched dataset-A run, tracing
+    enabled vs disabled.
+
+    Returns ``(enabled_s, disabled_s)``.  Min-of-N because the claim
+    under test is the tracer's *intrinsic* cost — spans are two clock
+    reads when disabled, two reads plus a ring append when enabled —
+    and the minimum is the estimator least polluted by scheduler noise.
+    The tracer ring still holds the final enabled run's spans on
+    return, so the caller can export them.
+    """
+    from repro.obs import clock, configure, get_tracer
+
+    def best_of(enabled: bool) -> float:
+        configure(enabled=enabled)
+        best = float("inf")
+        for _ in range(repeats):
+            get_tracer().clear()
+            t0 = clock.perf_counter()
+            run_session(base, part, deltas, p, BATCH_ALL, lp_backend)
+            best = min(best, clock.perf_counter() - t0)
+        return best
+
+    try:
+        disabled_s = best_of(False)
+        enabled_s = best_of(True)
+    finally:
+        configure(enabled=False)
+    return enabled_s, disabled_s
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -118,6 +149,15 @@ def main(argv=None) -> int:
                          "this factor in total simplex pivots on the "
                          "dataset-A chain (the CI regression gate; pivots "
                          "are deterministic, unlike CI wall-clock)")
+    ap.add_argument("--max-trace-overhead", type=float, default=None,
+                    metavar="FACTOR",
+                    help="measure the repro.obs tracer's cost on the "
+                         "batched dataset-A run (min-of-3, enabled vs "
+                         "disabled) and fail if enabled/disabled exceeds "
+                         "this factor (the CI gate uses 1.10)")
+    ap.add_argument("--trace-chrome", default=None, metavar="PATH",
+                    help="with --max-trace-overhead: write the final "
+                         "traced run as Chrome trace-event JSON here")
     args = ap.parse_args(argv)
 
     if args.smoke:
@@ -151,6 +191,27 @@ def main(argv=None) -> int:
 
     pivot_speedup = per_a["lp_iters"] / max(bat_a["lp_iters"], 1)
 
+    trace_overhead = None
+    if args.max_trace_overhead is not None or args.trace_chrome:
+        part0 = rsb_partition(seq.graphs[0], p, seed=0)
+        enabled_s, disabled_s = measure_trace_overhead(
+            seq.graphs[0], part0, list(seq.deltas), p, args.lp_backend
+        )
+        trace_overhead = enabled_s / max(disabled_s, 1e-12)
+        print(
+            f"\ntracer overhead (batched dataset-A, min-of-3): "
+            f"disabled {disabled_s:.4f}s, enabled {enabled_s:.4f}s "
+            f"-> {trace_overhead:.3f}x"
+        )
+        if args.trace_chrome:
+            from repro.obs import export as obs_export
+            from repro.obs import get_tracer
+
+            rows = obs_export.span_rows(get_tracer().finished())
+            with open(args.trace_chrome, "w", encoding="utf-8") as fh:
+                fh.write(obs_export.chrome_json(rows))
+            print(f"chrome trace ({len(rows)} spans) -> {args.trace_chrome}")
+
     # Gate on the deterministic work counters (batches and simplex
     # pivots) so a preempted CI runner cannot flip the verdict; the
     # wall-clock comparison is enforced only at full scale, where the
@@ -167,6 +228,15 @@ def main(argv=None) -> int:
             f"batched-vs-per-delta pivot speedup regressed to "
             f"{pivot_speedup:.2f}x (< {args.min_pivot_speedup:.2f}x gate)"
         )
+    if (
+        args.max_trace_overhead is not None
+        and trace_overhead is not None
+        and trace_overhead > args.max_trace_overhead
+    ):
+        failures.append(
+            f"tracer overhead {trace_overhead:.3f}x exceeds the "
+            f"{args.max_trace_overhead:.2f}x gate"
+        )
 
     if args.json:
         write_bench_json(
@@ -182,6 +252,7 @@ def main(argv=None) -> int:
                 "adversarial_imbalance": {"per_delta": per_v, "batched": bat_v},
                 "pivot_speedup": pivot_speedup,
                 "wall_speedup": per_a["wall_s"] / max(bat_a["wall_s"], 1e-12),
+                "trace_overhead": trace_overhead,
                 "failures": failures,
             },
         )

@@ -4,7 +4,8 @@ Registration order below fixes report ordering; new checkers ship one
 module per invariant and one ``RPRx0x`` code block per domain (1xx
 determinism, 2xx error taxonomy, 3xx lock discipline, 4xx async
 hygiene, 5xx broad excepts, 6xx deprecation, 7xx interprocedural
-dataflow over the project call graph, 8xx monolithic-assembly bans).
+dataflow over the project call graph, 8xx monolithic-assembly bans,
+9xx timing discipline).
 """
 
 from repro.analysis.checkers import (  # noqa: F401
@@ -19,4 +20,5 @@ from repro.analysis.checkers import (  # noqa: F401
     error_flow,
     determinism_taint,
     monolith_assembly,
+    timing,
 )

@@ -1,0 +1,88 @@
+"""RPR9xx — timing discipline: profiling goes through :mod:`repro.obs`.
+
+PR 10 gave the library one observability surface: spans record
+durations into the tracer ring (exportable, attributable, histogrammed
+at ``/metrics``), and :mod:`repro.obs.clock` holds the sanctioned
+monotonic-clock aliases for the rare spot that needs a raw reading
+(rate limiting, injectable test clocks).
+
+``RPR901`` flags ad-hoc monotonic-clock reads — ``time.perf_counter``
+/ ``time.monotonic`` (and their ``_ns`` twins), whether called via the
+``time`` module or imported by name — anywhere in library code except:
+
+* ``repro/obs/`` — the tracer/clock implementation itself (wall-clock
+  sources stay banned there by ``RPR101`` like everywhere else);
+* ``repro/bench/`` — benchmark harnesses time things by design.
+
+The fix is either a span (``with get_tracer().span("op") as sp`` then
+``sp.duration_s`` — free when tracing is disabled, a trace row when
+enabled) or, for code that genuinely needs a clock *value*,
+``repro.obs.clock.monotonic()``.  A deliberate exception suppresses
+inline: ``# repro: ignore[RPR901] - why``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.base import Checker, ModuleContext, dotted_name, register_checker
+from repro.analysis.findings import Finding
+
+#: Monotonic-clock reads that bypass the tracer.  Wall-clock sources
+#: (``time.time``, ``datetime.now``) are RPR101's problem — they break
+#: determinism, not just profiling discipline.
+AD_HOC_TIMERS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+    }
+)
+
+#: Names whose ``from time import ...`` is flagged (same set, bare).
+_TIMER_NAMES = frozenset(chain.rsplit(".", 1)[1] for chain in AD_HOC_TIMERS)
+
+#: Paths allowed to read the clocks directly.
+_EXEMPT_PREFIXES = ("repro/obs/", "repro/bench/")
+
+
+class TimingChecker(Checker):
+    name = "timing"
+    codes = {
+        "RPR901": "ad-hoc monotonic-clock timing outside repro.obs",
+    }
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not ctx.relpath.startswith("repro/"):
+            return False
+        return not ctx.relpath.startswith(_EXEMPT_PREFIXES)
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                chain = dotted_name(node.func)
+                if chain in AD_HOC_TIMERS:
+                    yield ctx.finding(
+                        node,
+                        "RPR901",
+                        f"ad-hoc call to {chain}(); time it with a "
+                        f"repro.obs span (sp.duration_s) or read "
+                        f"repro.obs.clock.{chain.split('.', 1)[1]}()",
+                        checker=self.name,
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIMER_NAMES:
+                        yield ctx.finding(
+                            node,
+                            "RPR901",
+                            f"'from time import {alias.name}' bypasses the "
+                            f"repro.obs timing surface; use a span or "
+                            f"repro.obs.clock.{alias.name}",
+                            checker=self.name,
+                        )
+
+
+register_checker(TimingChecker())

@@ -38,8 +38,18 @@ Subcommands:
   ...`` — drive a running service (wire protocol) or gateway (--http).
 * ``repro-igp lint [PATHS...] [--baseline F] [--format text|json]`` —
   run the repro.analysis checker suite (determinism, error taxonomy,
-  lock discipline, async hygiene, broad-except, deprecation) over the
-  package.  Exit 0 clean, 1 findings, 2 usage/internal error.
+  lock discipline, async hygiene, broad-except, deprecation, timing
+  discipline) over the package.  Exit 0 clean, 1 findings, 2
+  usage/internal error.
+* ``repro-igp trace tail|summarize|export TRACE.jsonl`` — read a span
+  trace recorded with ``--trace-file`` (tail the last spans, aggregate
+  per span name, or ``export --chrome`` to Chrome trace-event JSON
+  for Perfetto / ``chrome://tracing``).
+
+``stream``, ``serve`` and ``gateway`` all accept ``--trace`` (record
+spans in-process), ``--trace-file PATH`` (mirror finished spans to a
+JSONL sink; implies ``--trace``) and ``--trace-slow-ms MS`` (log any
+span at or over the threshold).
 """
 
 from __future__ import annotations
@@ -165,9 +175,27 @@ def _session_graph(base, args):
     return ShardedCSRGraph.from_csr(base, args.shards, store=store)
 
 
+def _apply_trace_flags(args) -> None:
+    """Configure the process tracer from ``--trace*`` flags (no-op when
+    none are passed, leaving ``REPRO_TRACE*`` env config in charge)."""
+    trace = getattr(args, "trace", False)
+    trace_file = getattr(args, "trace_file", None)
+    slow_ms = getattr(args, "trace_slow_ms", None)
+    if not (trace or trace_file or slow_ms):
+        return
+    from repro.obs import configure
+
+    configure(
+        enabled=True,
+        sink=trace_file,
+        slow_s=(slow_ms / 1000.0) if slow_ms else None,
+    )
+
+
 def _cmd_stream(args) -> int:
     from repro.session import open_session
 
+    _apply_trace_flags(args)
     base, deltas = _make_stream(args.source, args.scale, args.steps, args.seed)
     session = open_session(
         _session_graph(base, args),
@@ -292,6 +320,7 @@ def _cmd_serve(args) -> int:
     from repro.service.manager import SessionManager
     from repro.service.server import PartitionServer
 
+    _apply_trace_flags(args)
     manager = SessionManager(
         args.root,
         max_resident=args.resident,
@@ -323,6 +352,7 @@ def _cmd_serve(args) -> int:
 def _cmd_gateway(args) -> int:
     from repro.gateway import LocalBackend, PartitionGateway, RemoteBackend
 
+    _apply_trace_flags(args)
     proxy = args.proxy_uds is not None or args.proxy_port is not None
     if proxy and args.root:
         raise SystemExit(
@@ -564,6 +594,68 @@ def _cmd_shard_inspect(args) -> int:
     return 0
 
 
+def _cmd_trace_tail(args) -> int:
+    from repro.obs import export as obs_export
+
+    rows = obs_export.read_jsonl(args.file)
+    for row in rows[-args.n:]:
+        dur_ms = float(row.get("dur_us", 0)) / 1000.0
+        line = (
+            f"{row.get('trace_id') or '-':<24} "
+            f"{row.get('name', '?'):<20} {dur_ms:>10.3f}ms"
+        )
+        if row.get("status", "ok") != "ok":
+            line += f"  [{row['status']}: {row.get('error', '')}]"
+        attrs = row.get("attrs") or {}
+        if attrs:
+            line += "  " + " ".join(f"{k}={v}" for k, v in attrs.items())
+        print(line)
+    print(f"({min(args.n, len(rows))} of {len(rows)} spans from {args.file})")
+    return 0
+
+
+def _cmd_trace_summarize(args) -> int:
+    from repro.obs import export as obs_export
+
+    rows = obs_export.read_jsonl(args.file)
+    summary = obs_export.summarize(rows)
+    if not summary:
+        print(f"no spans in {args.file}")
+        return 0
+    width = max(len(r["name"]) for r in summary)
+    print(
+        f"{'span':<{width}}  {'count':>6}  {'errors':>6}  "
+        f"{'total_s':>9}  {'max_s':>9}  {'p50_s':>9}"
+    )
+    for r in summary:
+        print(
+            f"{r['name']:<{width}}  {r['count']:>6}  {r['errors']:>6}  "
+            f"{r['total_s']:>9.4f}  {r['max_s']:>9.4f}  {r['p50_s']:>9.4f}"
+        )
+    n_traces = len(obs_export.trace_groups(rows))
+    print(f"\n{len(rows)} spans across {n_traces} trace(s)")
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    from repro.obs import export as obs_export
+
+    rows = obs_export.read_jsonl(args.file)
+    if args.chrome:
+        text = obs_export.chrome_json(rows)
+    else:
+        text = obs_export.to_jsonl(rows)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text, encoding="utf-8")
+        fmt = "chrome trace-event JSON" if args.chrome else "JSONL"
+        print(f"{len(rows)} spans -> {args.output} ({fmt})")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis import AnalysisCache, Baseline, analyze_paths
     from repro.errors import AnalysisError
@@ -662,8 +754,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="repartition after every delta (paper regime; disables the "
              "batching policy)")
 
+    trace_common = argparse.ArgumentParser(add_help=False)
+    trace_common.add_argument(
+        "--trace", action="store_true",
+        help="record repro.obs spans in-process (flush phases, WAL "
+             "fsyncs, request handling)")
+    trace_common.add_argument(
+        "--trace-file", default=None, metavar="PATH",
+        help="mirror finished spans to this JSONL file (implies "
+             "--trace); read back with `repro-igp trace ...`")
+    trace_common.add_argument(
+        "--trace-slow-ms", type=float, default=None, metavar="MS",
+        help="log a warning for any span at or over this duration "
+             "(implies --trace)")
+
     stream_common = argparse.ArgumentParser(
-        add_help=False, parents=[source_common, flush_common])
+        add_help=False, parents=[source_common, flush_common, trace_common])
     stream_common.add_argument(
         "--shards", type=int, default=0,
         help="run over a sharded graph with this many shards (0 = "
@@ -742,7 +848,7 @@ def build_parser() -> argparse.ArgumentParser:
     sr.set_defaults(fn=_cmd_session_resume)
 
     sv = sub.add_parser(
-        "serve",
+        "serve", parents=[trace_common],
         help="run the partition service: host many named sessions over "
              "TCP with WAL durability and LRU eviction")
     sv.add_argument("--root", required=True,
@@ -766,7 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
     sv.set_defaults(fn=_cmd_serve)
 
     gw = sub.add_parser(
-        "gateway",
+        "gateway", parents=[trace_common],
         help="run the HTTP/REST gateway: every service op as a REST "
              "route with bearer auth, rate limiting and a Prometheus "
              "/metrics exposition")
@@ -902,6 +1008,32 @@ def build_parser() -> argparse.ArgumentParser:
                     help="incremental cache directory (default "
                          ".repro-analysis-cache)")
     ln.set_defaults(fn=_cmd_lint)
+
+    tr = sub.add_parser(
+        "trace",
+        help="read back a span trace recorded with --trace-file "
+             "(tail / summarize / export --chrome)")
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    tt = trsub.add_parser("tail", help="print the last N spans")
+    tt.add_argument("file", help="JSONL trace file (--trace-file output)")
+    tt.add_argument("-n", type=int, default=20,
+                    help="how many spans to show (default 20)")
+    tt.set_defaults(fn=_cmd_trace_tail)
+    ts = trsub.add_parser(
+        "summarize",
+        help="per-span-name aggregates (count, errors, total/max/p50)")
+    ts.add_argument("file", help="JSONL trace file (--trace-file output)")
+    ts.set_defaults(fn=_cmd_trace_summarize)
+    te = trsub.add_parser(
+        "export",
+        help="re-serialize a trace (JSONL, or --chrome for the Chrome "
+             "trace-event format Perfetto loads)")
+    te.add_argument("file", help="JSONL trace file (--trace-file output)")
+    te.add_argument("--chrome", action="store_true",
+                    help="emit Chrome trace-event JSON instead of JSONL")
+    te.add_argument("-o", "--output", default=None,
+                    help="write here instead of stdout")
+    te.set_defaults(fn=_cmd_trace_export)
 
     pp = sub.add_parser("partition")
     pp.add_argument("graph", help="METIS-format graph file")

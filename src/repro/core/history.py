@@ -10,7 +10,6 @@ recording per-step results — the raw material for the Figure 11/14 tables.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -24,6 +23,7 @@ from repro.core.partitioner import (
 from repro.core.quality import PartitionQuality, evaluate_partition
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import apply_delta, carry_partition
+from repro.obs import get_tracer
 
 __all__ = ["SequenceStep", "SequenceRunner"]
 
@@ -85,9 +85,11 @@ class SequenceRunner:
             # matches the version graph's vertex numbering.
             inc = apply_delta(parent_graph, delta)
             carried = carry_partition(parts[parent], inc)
-            t0 = time.perf_counter()
-            result = igp.repartition(inc.graph, carried)
-            wall = time.perf_counter() - t0
+            with get_tracer().span(
+                "sequence.step", {"version": version}
+            ) as sp:
+                result = igp.repartition(inc.graph, carried)
+            wall = sp.duration_s
             parts[version] = result.part
             self.steps.append(
                 SequenceStep(

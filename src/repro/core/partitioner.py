@@ -23,7 +23,6 @@ vertices in chunks (:mod:`repro.core.multistage`).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +40,7 @@ from repro.errors import (
 )
 from repro.graph.csr import CSRGraph
 from repro.lp.revised import BasisCarrier
+from repro.obs import get_tracer
 
 __all__ = ["IGPConfig", "StageRecord", "RepartitionResult", "IncrementalGraphPartitioner"]
 
@@ -168,11 +168,12 @@ class IncrementalGraphPartitioner:
         """Run the pipeline; ``part`` may contain ``-1`` for new vertices."""
         cfg = self.config
         p = cfg.num_partitions
+        tracer = get_tracer()
         timings = {"assign": 0.0, "layering": 0.0, "lp": 0.0, "move": 0.0, "refine": 0.0}
 
-        t0 = time.perf_counter()
-        part = assign_new_vertices(graph, part, p)
-        timings["assign"] = time.perf_counter() - t0
+        with tracer.span("lp.assign") as sp:
+            part = assign_new_vertices(graph, part, p)
+        timings["assign"] = sp.duration_s
 
         result = RepartitionResult(part=part, timings=timings)
         result.quality_initial = evaluate_partition(graph, part, p)
@@ -200,13 +201,15 @@ class IncrementalGraphPartitioner:
             if max_load <= balanced_max + 1e-9:
                 break  # already balanced
 
-            t0 = time.perf_counter()
-            layering = layer_partitions(graph, part, p, loads=loads)
-            timings["layering"] += time.perf_counter() - t0
+            with tracer.span("lp.layer") as sp:
+                layering = layer_partitions(graph, part, p, loads=loads)
+            timings["layering"] += sp.duration_s
 
-            t0 = time.perf_counter()
-            stage = self._solve_stage(layering.delta, loads)
-            timings["lp"] += time.perf_counter() - t0
+            with tracer.span("lp.balance") as sp:
+                stage = self._solve_stage(layering.delta, loads)
+                if stage is not None:
+                    sp.set("pivots", int(stage[0].result.iterations))
+            timings["lp"] += sp.duration_s
             if stage is None:
                 raise RepartitionInfeasibleError(
                     "balance LP infeasible and the relaxation cannot move "
@@ -216,10 +219,10 @@ class IncrementalGraphPartitioner:
                 )
             solution, gamma = stage
 
-            t0 = time.perf_counter()
-            movers = select_movers(graph, part, layering, solution.moves)
-            part = apply_moves(part, movers)
-            timings["move"] += time.perf_counter() - t0
+            with tracer.span("lp.move") as sp:
+                movers = select_movers(graph, part, layering, solution.moves)
+                part = apply_moves(part, movers)
+            timings["move"] += sp.duration_s
 
             new_loads = partition_weights(graph, part, p)
             if not np.isfinite(gamma):
@@ -256,18 +259,20 @@ class IncrementalGraphPartitioner:
                 )
 
         if cfg.refine:
-            t0 = time.perf_counter()
-            part, refine_stats = refine_partition(
-                graph,
-                part,
-                p,
-                max_rounds=cfg.refine_max_rounds,
-                strict_after=cfg.refine_strict_after,
-                min_gain=cfg.refine_min_gain,
-                lp_backend=cfg.lp_backend,
-                carrier=self._refine_carrier,
-            )
-            timings["refine"] = time.perf_counter() - t0
+            with tracer.span("lp.refine") as sp:
+                part, refine_stats = refine_partition(
+                    graph,
+                    part,
+                    p,
+                    max_rounds=cfg.refine_max_rounds,
+                    strict_after=cfg.refine_strict_after,
+                    min_gain=cfg.refine_min_gain,
+                    lp_backend=cfg.lp_backend,
+                    carrier=self._refine_carrier,
+                )
+                sp.set("pivots", int(refine_stats.lp_iterations))
+                sp.set("rounds", int(refine_stats.rounds))
+            timings["refine"] = sp.duration_s
             result.refine_stats = refine_stats
 
         result.part = part
@@ -301,11 +306,12 @@ class IncrementalGraphPartitioner:
 
         cfg = self.config
         p = cfg.num_partitions
+        tracer = get_tracer()
         timings = {"assign": 0.0, "layering": 0.0, "lp": 0.0, "move": 0.0, "refine": 0.0}
 
-        t0 = time.perf_counter()
-        part = assign_new_vertices_frame(frame, part, p)
-        timings["assign"] = time.perf_counter() - t0
+        with tracer.span("lp.assign") as sp:
+            part = assign_new_vertices_frame(frame, part, p)
+        timings["assign"] = sp.duration_s
 
         result = RepartitionResult(part=part, timings=timings)
         result.quality_initial = evaluate_partition_frame(frame, part, p)
@@ -334,13 +340,15 @@ class IncrementalGraphPartitioner:
             if max_load <= balanced_max + 1e-9:
                 break  # already balanced
 
-            t0 = time.perf_counter()
-            layering = layer_partitions_frame(frame, part, p, loads=loads)
-            timings["layering"] += time.perf_counter() - t0
+            with tracer.span("lp.layer") as sp:
+                layering = layer_partitions_frame(frame, part, p, loads=loads)
+            timings["layering"] += sp.duration_s
 
-            t0 = time.perf_counter()
-            stage = self._solve_stage(layering.delta, loads)
-            timings["lp"] += time.perf_counter() - t0
+            with tracer.span("lp.balance") as sp:
+                stage = self._solve_stage(layering.delta, loads)
+                if stage is not None:
+                    sp.set("pivots", int(stage[0].result.iterations))
+            timings["lp"] += sp.duration_s
             if stage is None:
                 raise RepartitionInfeasibleError(
                     "balance LP infeasible and the relaxation cannot move "
@@ -350,12 +358,12 @@ class IncrementalGraphPartitioner:
                 )
             solution, gamma = stage
 
-            t0 = time.perf_counter()
-            movers = select_movers(frame, part, layering, solution.moves)
-            part = apply_moves(part, movers)
-            if movers:
-                frame.note_moves(np.concatenate(list(movers.values())))
-            timings["move"] += time.perf_counter() - t0
+            with tracer.span("lp.move") as sp:
+                movers = select_movers(frame, part, layering, solution.moves)
+                part = apply_moves(part, movers)
+                if movers:
+                    frame.note_moves(np.concatenate(list(movers.values())))
+            timings["move"] += sp.duration_s
 
             new_loads = loads_of(part)
             if not np.isfinite(gamma):
@@ -392,18 +400,20 @@ class IncrementalGraphPartitioner:
                 )
 
         if cfg.refine:
-            t0 = time.perf_counter()
-            part, refine_stats = refine_partition_frame(
-                frame,
-                part,
-                p,
-                max_rounds=cfg.refine_max_rounds,
-                strict_after=cfg.refine_strict_after,
-                min_gain=cfg.refine_min_gain,
-                lp_backend=cfg.lp_backend,
-                carrier=self._refine_carrier,
-            )
-            timings["refine"] = time.perf_counter() - t0
+            with tracer.span("lp.refine") as sp:
+                part, refine_stats = refine_partition_frame(
+                    frame,
+                    part,
+                    p,
+                    max_rounds=cfg.refine_max_rounds,
+                    strict_after=cfg.refine_strict_after,
+                    min_gain=cfg.refine_min_gain,
+                    lp_backend=cfg.lp_backend,
+                    carrier=self._refine_carrier,
+                )
+                sp.set("pivots", int(refine_stats.lp_iterations))
+                sp.set("rounds", int(refine_stats.rounds))
+            timings["refine"] = sp.duration_s
             result.refine_stats = refine_stats
 
         result.part = part

@@ -31,8 +31,7 @@ giving up.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -56,6 +55,7 @@ from repro.graph.incremental import (
     apply_delta,
     carry_partition,
 )
+from repro.obs import get_tracer
 
 __all__ = ["FlushPolicy", "BatchRecord", "StreamingPartitioner"]
 
@@ -149,6 +149,13 @@ class BatchRecord:
     result: RepartitionResult
     fallback: bool
     wall_s: float
+    #: Per-phase wall-clock profile of the batch in seconds — the LP
+    #: pipeline phases from :attr:`RepartitionResult.timings` (assign /
+    #: layering / lp / move / refine) plus ``apply`` (delta application
+    #: to the graph/shard store).  The cost-attribution substrate for
+    #: adaptive flush policies; also surfaced on the session's durable
+    #: :class:`~repro.session.BatchSummary` rows.
+    phases: dict[str, float] = field(default_factory=dict)
 
     def summary(self) -> str:
         """Human-readable one-liner for logs and tables."""
@@ -453,90 +460,110 @@ class StreamingPartitioner:
             return None
         composed = self._composer.to_delta()
         num_deltas = self._composer.num_folded
-        t0 = time.perf_counter()
+        tracer = get_tracer()
         sharded = hasattr(self.graph, "iter_shards")
-        if sharded:
-            inc = self.graph.apply_delta(
-                composed,
-                strict=self.strict,
-                accumulate_weights=self.accumulate_weights,
-            )
-        else:
-            inc = apply_delta(
-                self.graph,
-                composed,
-                strict=self.strict,
-                accumulate_weights=self.accumulate_weights,
-            )
-        fallback = False
-        # Everything after apply_delta — frame advancement, LP pipeline,
-        # fallback — sits inside the rollback scope: a failure anywhere
-        # must not leak the block revisions the delta just wrote.
-        try:
-            carried = carry_partition(self.part, inc)
-            t_lp = time.perf_counter()
-            if sharded and self.shard_native:
-                frame = self._advance_frame(inc, composed)
-                try:
-                    result = self._igp.repartition_frame(frame, carried)
-                except RepartitionInfeasibleError:
-                    fallback = True
-                    # The §2.3 chunked driver re-inserts vertices from
-                    # scratch — a whole-graph solve, so the one-shot
-                    # monolithic assembly is the honest cost here, and
-                    # the frame's incremental state dies with the failed
-                    # trajectory.
+        with tracer.span(
+            "flush", {"num_deltas": num_deltas, "trigger": trigger}
+        ) as fsp:
+            with tracer.span("flush.apply") as asp:
+                if sharded:
+                    inc = self.graph.apply_delta(
+                        composed,
+                        strict=self.strict,
+                        accumulate_weights=self.accumulate_weights,
+                    )
+                else:
+                    inc = apply_delta(
+                        self.graph,
+                        composed,
+                        strict=self.strict,
+                        accumulate_weights=self.accumulate_weights,
+                    )
+            fallback = False
+            # Everything after apply_delta — frame advancement, LP
+            # pipeline, fallback — sits inside the rollback scope: a
+            # failure anywhere must not leak the block revisions the
+            # delta just wrote.
+            try:
+                carried = carry_partition(self.part, inc)
+                with tracer.span("flush.repartition") as rsp:
+                    if sharded and self.shard_native:
+                        frame = self._advance_frame(inc, composed)
+                        hits0 = frame.block_hits
+                        fetches0 = frame.block_fetches
+                        try:
+                            result = self._igp.repartition_frame(frame, carried)
+                        except RepartitionInfeasibleError:
+                            fallback = True
+                            # The §2.3 chunked driver re-inserts vertices
+                            # from scratch — a whole-graph solve, so the
+                            # one-shot monolithic assembly is the honest
+                            # cost here, and the frame's incremental
+                            # state dies with the failed trajectory.
+                            self._drop_frame()
+                            dense = inc.graph.to_csr()  # repro: ignore[RPR801] - chunked fallback is a from-scratch whole-graph solve
+                            result = chunked_insertion_repartition(
+                                dense,
+                                carried,
+                                self.config,
+                                chunk_fraction=self.chunk_fraction,
+                            )
+                            # The chunked driver ran its own partitioner;
+                            # carried bases describe a trajectory that no
+                            # longer exists.
+                            self._igp.reset_warm_start()
+                        else:
+                            fsp.set("frame_hits", frame.block_hits - hits0)
+                            fsp.set(
+                                "frame_fetches",
+                                frame.block_fetches - fetches0,
+                            )
+                    else:
+                        # Monolithic graph, or the shard_native=False escape
+                        # hatch (debug-only transient assembly).
+                        dense = inc.graph.to_csr() if sharded else inc.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
+                        try:
+                            result = self._igp.repartition(dense, carried)
+                        except RepartitionInfeasibleError:
+                            fallback = True
+                            result = chunked_insertion_repartition(
+                                dense,
+                                carried,
+                                self.config,
+                                chunk_fraction=self.chunk_fraction,
+                            )
+                            # The chunked driver ran its own partitioner;
+                            # carried bases describe a trajectory that no
+                            # longer exists.
+                            self._igp.reset_warm_start()
+                self._repartition_wall_s += rsp.duration_s
+            except BaseException:
+                if sharded:
+                    # Roll back the shard revisions the failed batch wrote;
+                    # self.graph (the pre-delta handle) stays authoritative.
+                    # The frame may already have advanced onto them — drop it.
                     self._drop_frame()
-                    dense = inc.graph.to_csr()  # repro: ignore[RPR801] - chunked fallback is a from-scratch whole-graph solve
-                    result = chunked_insertion_repartition(
-                        dense,
-                        carried,
-                        self.config,
-                        chunk_fraction=self.chunk_fraction,
-                    )
-                    # The chunked driver ran its own partitioner; carried
-                    # bases describe a trajectory that no longer exists.
-                    self._igp.reset_warm_start()
-            else:
-                # Monolithic graph, or the shard_native=False escape
-                # hatch (debug-only transient assembly).
-                dense = inc.graph.to_csr() if sharded else inc.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
-                try:
-                    result = self._igp.repartition(dense, carried)
-                except RepartitionInfeasibleError:
-                    fallback = True
-                    result = chunked_insertion_repartition(
-                        dense,
-                        carried,
-                        self.config,
-                        chunk_fraction=self.chunk_fraction,
-                    )
-                    # The chunked driver ran its own partitioner; carried
-                    # bases describe a trajectory that no longer exists.
-                    self._igp.reset_warm_start()
-            self._repartition_wall_s += time.perf_counter() - t_lp
-        except BaseException:
+                    inc.graph.drop_blocks_not_in(self.graph)
+                raise
+            wall = asp.duration_s + rsp.duration_s
+            fsp.set("pivots", int(sum(s.lp_iterations for s in result.stages)))
+            fsp.set("stages", result.num_stages)
+            if fallback:
+                fsp.set("fallback", True)
+            old_graph = self.graph
+            self.graph = inc.graph
             if sharded:
-                # Roll back the shard revisions the failed batch wrote;
-                # self.graph (the pre-delta handle) stays authoritative.
-                # The frame may already have advanced onto them — drop it.
-                self._drop_frame()
-                inc.graph.drop_blocks_not_in(self.graph)
-            raise
-        wall = time.perf_counter() - t0
-        old_graph = self.graph
-        self.graph = inc.graph
-        if sharded:
-            self._gc_superseded(old_graph)
-        self._composer = None
-        self._record_batch(
-            num_deltas=num_deltas,
-            composed=composed,
-            trigger=trigger,
-            result=result,
-            fallback=fallback,
-            wall=wall,
-        )
+                self._gc_superseded(old_graph)
+            self._composer = None
+            self._record_batch(
+                num_deltas=num_deltas,
+                composed=composed,
+                trigger=trigger,
+                result=result,
+                fallback=fallback,
+                wall=wall,
+                apply_s=asp.duration_s,
+            )
         return result
 
     def _advance_frame(self, inc, composed: GraphDelta):
@@ -593,22 +620,28 @@ class StreamingPartitioner:
         result = self.flush(trigger=trigger)
         if result is not None:
             return result
-        t0 = time.perf_counter()
+        tracer = get_tracer()
         sharded = hasattr(self.graph, "iter_shards")
-        if sharded and self.shard_native:
-            result = self._igp.repartition_frame(self._current_frame(), self.part)
-        else:
-            dense = self.graph.to_csr() if sharded else self.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
-            result = self._igp.repartition(dense, self.part)
-        self._repartition_wall_s += time.perf_counter() - t0
-        self._record_batch(
-            num_deltas=0,
-            composed=GraphDelta(),
-            trigger=trigger,
-            result=result,
-            fallback=False,
-            wall=time.perf_counter() - t0,
-        )
+        with tracer.span("flush", {"num_deltas": 0, "trigger": trigger}) as fsp:
+            with tracer.span("flush.repartition") as rsp:
+                if sharded and self.shard_native:
+                    result = self._igp.repartition_frame(
+                        self._current_frame(), self.part
+                    )
+                else:
+                    dense = self.graph.to_csr() if sharded else self.graph  # repro: ignore[RPR801] - shard_native=False debug opt-out
+                    result = self._igp.repartition(dense, self.part)
+            self._repartition_wall_s += rsp.duration_s
+            fsp.set("pivots", int(sum(s.lp_iterations for s in result.stages)))
+            fsp.set("stages", result.num_stages)
+            self._record_batch(
+                num_deltas=0,
+                composed=GraphDelta(),
+                trigger=trigger,
+                result=result,
+                fallback=False,
+                wall=rsp.duration_s,
+            )
         return result
 
     def _gc_superseded(self, old_graph) -> None:
@@ -628,7 +661,8 @@ class StreamingPartitioner:
             old_graph.store.delete(shard_key(sid, old_rev))
 
     def _record_batch(
-        self, *, num_deltas, composed, trigger, result, fallback, wall
+        self, *, num_deltas, composed, trigger, result, fallback, wall,
+        apply_s=0.0,
     ) -> None:
         """Batch bookkeeping shared by :meth:`flush` and :meth:`repartition`:
         adopt the new partition, account the batch, trim history."""
@@ -638,6 +672,8 @@ class StreamingPartitioner:
         self.counters["flushes"] += 1
         if fallback:
             self.counters["fallback_flushes"] += 1
+        phases = {k: float(v) for k, v in result.timings.items()}
+        phases["apply"] = float(apply_s)
         self.history.append(
             BatchRecord(
                 num_deltas=num_deltas,
@@ -646,6 +682,7 @@ class StreamingPartitioner:
                 result=result,
                 fallback=fallback,
                 wall_s=wall,
+                phases=phases,
             )
         )
         if self.max_history is not None and len(self.history) > self.max_history:

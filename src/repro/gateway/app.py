@@ -40,7 +40,6 @@ import concurrent.futures
 import json
 import logging
 import os
-import time
 from functools import partial
 from pathlib import Path
 from typing import Any, Awaitable, Callable
@@ -52,6 +51,8 @@ from repro.gateway.auth import AuthError, Authenticator, parse_token_spec
 from repro.gateway.backend import LocalBackend, RemoteBackend
 from repro.gateway.metrics import MetricsRegistry
 from repro.gateway.routes import Router, RoutingError
+from repro.obs import export as obs_export
+from repro.obs import get_tracer, wrap_context
 from repro.service import protocol
 from repro.service.batching import PushBatcher
 
@@ -161,7 +162,14 @@ class PartitionGateway:
             "repro_service_shard_block_loads_total",
             "Shard block cache misses per sharded session",
         )
+        self._m_phase = reg.histogram(
+            "repro_flush_phase_seconds",
+            "Flush LP-phase latency drained from finished tracer spans "
+            "(populated only while tracing is enabled)",
+        )
+        self._trace_seq = 0
         reg.register_collector(self._collect_backend_stats)
+        reg.register_collector(self._collect_phase_latency)
         manager = getattr(self.backend, "manager", None)
         if manager is not None:
             manager.on_op = lambda op, seconds: self._m_op_latency.observe(
@@ -191,6 +199,29 @@ class PartitionGateway:
                     float(loads), {"session": name}
                 )
 
+    #: span name -> ``phase`` label for the flush-phase histogram.
+    _PHASE_SPANS = {
+        "flush": "flush",
+        "flush.apply": "apply",
+        "lp.assign": "assign",
+        "lp.layer": "layering",
+        "lp.balance": "lp",
+        "lp.move": "move",
+        "lp.refine": "refine",
+        "wal.fsync": "wal_fsync",
+    }
+
+    def _collect_phase_latency(self) -> None:
+        """Scrape-time drain of freshly finished tracer spans into the
+        per-phase latency histogram (only spans recorded locally —
+        remote-proxy deployments profile in the service process)."""
+        tracer = get_tracer()
+        self._trace_seq, fresh = tracer.spans_since(self._trace_seq)
+        for sp in fresh:
+            phase = self._PHASE_SPANS.get(sp.name)
+            if phase is not None and sp.duration_s is not None:
+                self._m_phase.observe(sp.duration_s, {"phase": phase})
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
@@ -217,12 +248,19 @@ class PartitionGateway:
         r.add("GET", "/sessions/{name}/labels", self._h_labels, op="query")
         r.add("GET", "/sessions/{name}/stats", self._h_session_stats, op="query")
         r.add("GET", "/stats", self._h_stats, op="stats")
+        # NOT in auth.EXEMPT_PATHS: trace summaries can leak workload
+        # shape, so they sit behind the same bearer auth as /stats.
+        r.add("GET", "/traces", self._h_traces, op="traces")
         r.add("POST", "/shutdown", self._h_shutdown, op="shutdown")
         return r
 
     def _blocking(self, fn, *args, **kwargs):
         loop = asyncio.get_running_loop()
-        return loop.run_in_executor(self._pool, partial(fn, *args, **kwargs))
+        # wrap_context: run_in_executor drops contextvars, which would
+        # orphan the request span's children in the worker thread.
+        return loop.run_in_executor(
+            self._pool, wrap_context(partial(fn, *args, **kwargs))
+        )
 
     # -- handlers -------------------------------------------------------
     async def _h_healthz(self, request, params) -> tuple:
@@ -322,6 +360,40 @@ class PartitionGateway:
             self.backend.call, "close", params["name"]
         )
 
+    async def _h_traces(self, request, params) -> tuple:
+        """Last-N trace summaries off the in-process tracer ring."""
+        raw_n = request.query.get("n", "20")
+        try:
+            n = int(raw_n)
+        except ValueError:
+            raise ServiceError(
+                f"query parameter 'n' must be an integer, got {raw_n!r}",
+                code="bad-request",
+            ) from None
+        if n < 1:
+            raise ServiceError(
+                "query parameter 'n' must be >= 1", code="bad-request"
+            )
+        tracer = get_tracer()
+        rows = obs_export.span_rows(tracer.finished())
+        groups = obs_export.trace_groups(rows)
+        traces = []
+        for trace_id, spans in list(groups.items())[-n:]:
+            traces.append(
+                {
+                    "trace_id": trace_id,
+                    "spans": len(spans),
+                    "total_s": sum(s.get("dur_us", 0) for s in spans) / 1e6,
+                    "names": sorted({str(s.get("name", "?")) for s in spans}),
+                }
+            )
+        return 200, {
+            "enabled": tracer.enabled,
+            "spans": len(rows),
+            "traces": traces,
+            "summary": obs_export.summarize(rows),
+        }
+
     async def _h_shutdown(self, request, params) -> tuple:
         if not self.allow_shutdown:
             raise ServiceError(
@@ -341,11 +413,18 @@ class PartitionGateway:
                     request = await ghttp.read_request(reader, writer)
                 except ghttp.HTTPError as exc:
                     # Framing-level failure: answer once, then hang up
-                    # (the byte stream cannot be resynchronized).
-                    body = schemas.error_body(exc.code, str(exc))
+                    # (the byte stream cannot be resynchronized).  No
+                    # request was parsed, so the id is freshly minted.
+                    rid = get_tracer().mint_trace_id()
+                    body = schemas.error_body(
+                        exc.code, str(exc), request_id=rid
+                    )
                     writer.write(
                         ghttp.response_bytes(
-                            exc.status, body, keep_alive=False
+                            exc.status,
+                            body,
+                            headers={"X-Request-Id": rid},
+                            keep_alive=False,
                         )
                     )
                     await writer.drain()
@@ -371,56 +450,84 @@ class PartitionGateway:
 
     async def _respond(self, request: ghttp.HTTPRequest) -> bytes:
         """Run one request through auth → route → handler and serialize
-        the response (success or canonical error body)."""
+        the response (success or canonical error body).
+
+        The whole request runs under an ``http.request`` span — the root
+        of the distributed trace that propagates through the thread pool
+        (``wrap_context``), the push batcher and, in remote mode, the
+        wire envelope's ``trace`` field.  Every response carries
+        ``X-Request-Id`` (echoing the client's header when present,
+        else the trace id), and every error body repeats it as
+        ``request_id`` so a failing request is greppable end to end.
+        """
+        tracer = get_tracer()
+        rid = request.header("x-request-id").strip()
         op = "unrouted"
         status = 500
         headers: dict[str, str] = {}
-        t0 = time.perf_counter()
+        sp = None
         try:
-            self.auth.check(request)
-            match = self.router.resolve(request.method, request.path)
-            op = match.route.op
-            result = await match.route.handler(request, match.params)
-            if len(result) == 3:
-                status, payload, content_type = result
-            else:
-                (status, obj), content_type = result, _JSON
-                payload = json.dumps(
-                    {"ok": True, "result": obj}, separators=(",", ":")
-                ).encode("utf-8")
-            return ghttp.response_bytes(
-                status,
-                payload,
-                content_type=content_type,
-                keep_alive=request.keep_alive,
-            )
-        # repro: ignore[RPR501] - boundary: every failure becomes an error body
-        except Exception as exc:
-            code = protocol.error_code(exc)
-            status = schemas.status_for(code)
-            if isinstance(exc, AuthError):
-                if code == "unauthorized":
-                    headers["WWW-Authenticate"] = "Bearer"
-                if exc.retry_after is not None:
-                    headers["Retry-After"] = str(
-                        max(1, int(exc.retry_after + 0.999))
+            with tracer.span(
+                "http.request",
+                {"method": request.method, "path": request.path},
+            ) as sp:
+                if not rid:
+                    rid = sp.trace_id or tracer.mint_trace_id()
+                sp.set("request_id", rid)
+                headers["X-Request-Id"] = rid
+                try:
+                    self.auth.check(request)
+                    match = self.router.resolve(request.method, request.path)
+                    op = match.route.op
+                    sp.set("op", op)
+                    result = await match.route.handler(request, match.params)
+                    if len(result) == 3:
+                        status, payload, content_type = result
+                    else:
+                        (status, obj), content_type = result, _JSON
+                        payload = json.dumps(
+                            {"ok": True, "result": obj}, separators=(",", ":")
+                        ).encode("utf-8")
+                    sp.set("status", status)
+                    return ghttp.response_bytes(
+                        status,
+                        payload,
+                        content_type=content_type,
+                        headers=headers,
+                        keep_alive=request.keep_alive,
                     )
-            if isinstance(exc, RoutingError) and exc.allow:
-                headers["Allow"] = ", ".join(exc.allow)
-            if status >= 500 and code in ("internal",):
-                logger.exception(
-                    "internal error handling %s %s", request.method, request.path
-                )
-            return ghttp.response_bytes(
-                status,
-                schemas.error_body(code, str(exc)),
-                headers=headers,
-                keep_alive=request.keep_alive,
-            )
+                # repro: ignore[RPR501] - boundary: every failure becomes an error body
+                except Exception as exc:
+                    code = protocol.error_code(exc)
+                    status = schemas.status_for(code)
+                    sp.set("status", status)
+                    sp.set("error_code", code)
+                    if isinstance(exc, AuthError):
+                        if code == "unauthorized":
+                            headers["WWW-Authenticate"] = "Bearer"
+                        if exc.retry_after is not None:
+                            headers["Retry-After"] = str(
+                                max(1, int(exc.retry_after + 0.999))
+                            )
+                    if isinstance(exc, RoutingError) and exc.allow:
+                        headers["Allow"] = ", ".join(exc.allow)
+                    if status >= 500 and code in ("internal",):
+                        logger.exception(
+                            "internal error handling %s %s",
+                            request.method,
+                            request.path,
+                        )
+                    return ghttp.response_bytes(
+                        status,
+                        schemas.error_body(code, str(exc), request_id=rid),
+                        headers=headers,
+                        keep_alive=request.keep_alive,
+                    )
         finally:
-            elapsed = time.perf_counter() - t0
+            # Outside the ``with`` so the span's duration is final.
             self._m_requests.inc({"op": op, "status": str(status)})
-            self._m_latency.observe(elapsed, {"op": op})
+            if sp is not None and sp.duration_s is not None:
+                self._m_latency.observe(sp.duration_s, {"op": op})
 
     # ------------------------------------------------------------------
     # Lifecycle

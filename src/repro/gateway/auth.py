@@ -9,9 +9,10 @@ gateway runs open (dev mode) and every request acts as the
 ``"anonymous"`` principal.
 
 Rate limiting is a classic token bucket per principal: ``burst``
-capacity, refilled at ``rate`` requests/second, clocked by
-``time.monotonic`` (deterministic-checker-safe; never wall time).  A
-drained bucket answers 429 with a ``Retry-After`` hint.
+capacity, refilled at ``rate`` requests/second, clocked by the
+monotonic clock (via :mod:`repro.obs.clock`, the sanctioned aliases —
+deterministic-checker-safe; never wall time).  A drained bucket
+answers 429 with a ``Retry-After`` hint.
 
 ``GET /metrics`` and ``GET /healthz`` are exempt from both — scrapers
 and liveness probes must keep working when credentials rotate or a
@@ -21,11 +22,11 @@ dashboard reload bursts past the limit.
 from __future__ import annotations
 
 import hmac
-import time
 from typing import Iterable
 
 from repro.errors import ServiceError
 from repro.gateway.http import HTTPRequest
+from repro.obs import clock
 
 __all__ = [
     "EXEMPT_PATHS",
@@ -85,13 +86,13 @@ class RateLimiter:
     def check(self, principal: str, now: float | None = None) -> None:
         """Spend one token for ``principal`` or raise the 429.
 
-        ``now`` is injectable for tests; production uses
-        ``time.monotonic``.
+        ``now`` is injectable for tests; production uses the monotonic
+        clock.
         """
         if self.rate is None:
             return
         if now is None:
-            now = time.monotonic()
+            now = clock.monotonic()
         tokens, last = self._buckets.get(principal, (float(self.burst), now))
         tokens = min(float(self.burst), tokens + (now - last) * self.rate)
         if tokens < 1.0:

@@ -83,13 +83,21 @@ def status_for(code: str) -> int:
     return HTTP_STATUS.get(code, 500)
 
 
-def error_body(code: str, message: str) -> bytes:
+def error_body(
+    code: str, message: str, *, request_id: str | None = None
+) -> bytes:
     """The canonical JSON error body — same shape as the wire envelope's
-    ``error`` object so clients share one decoder."""
-    return json.dumps(
-        {"ok": False, "error": {"code": code, "message": message}},
-        separators=(",", ":"),
-    ).encode("utf-8")
+    ``error`` object so clients share one decoder.  ``request_id``
+    repeats the response's ``X-Request-Id`` header inside the body, so
+    a failure pasted into a bug report stays correlatable with gateway
+    logs and traces even when the headers were dropped."""
+    body: dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if request_id:
+        body["request_id"] = request_id
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
 
 
 def parse_json_body(body: bytes, *, empty_ok: bool = True) -> dict[str, Any]:

@@ -70,6 +70,10 @@ class BoundaryFrame:
         self._blocks: OrderedDict[int, ShardBlock] = OrderedDict()
         #: Store round-trips made through this frame (instrumentation).
         self.block_fetches = 0
+        #: Cache hits served without touching the store — together with
+        #: :attr:`block_fetches` this is the hit/miss pair flush spans
+        #: report (``frame_hits`` / ``frame_fetches`` attributes).
+        self.block_hits = 0
         # Serve the handle's own block reads (composer folds, delta
         # rewrites, full-sweep scans) from this frame's cache too, so
         # they stop thrashing the store's typically tiny LRU.  A bound
@@ -134,6 +138,7 @@ class BoundaryFrame:
     def _block(self, sid: int) -> ShardBlock:
         blk = self._blocks.get(sid)
         if blk is not None:
+            self.block_hits += 1
             self._blocks.move_to_end(sid)
             return blk
         g = self._graph

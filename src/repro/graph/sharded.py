@@ -57,6 +57,7 @@ from repro.errors import (
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
+from repro.obs import get_tracer
 
 __all__ = [
     "DirectoryShardStore",
@@ -165,9 +166,13 @@ class DirectoryShardStore:
     def _admit(self, key: str, arrays: dict[str, np.ndarray]) -> None:
         self._cache[key] = arrays
         self._cache.move_to_end(key)
-        if self.max_resident is not None:
-            while len(self._cache) > self.max_resident:
-                self._cache.popitem(last=False)
+        if self.max_resident is not None and len(self._cache) > self.max_resident:
+            with get_tracer().span("shard.evict") as sp:
+                evicted = 0
+                while len(self._cache) > self.max_resident:
+                    self._cache.popitem(last=False)
+                    evicted += 1
+                sp.set("evicted", evicted)
 
     def _write(self, key: str, arrays: dict[str, np.ndarray]) -> None:
         path = self._path(key)
@@ -214,8 +219,9 @@ class DirectoryShardStore:
         path = self._path(key)
         if not path.exists():
             raise GraphError(f"shard store has no block {key!r} ({path})")
-        with np.load(path) as npz:
-            arrays = {name: npz[name] for name in npz.files}
+        with get_tracer().span("shard.load", {"key": key}):
+            with np.load(path) as npz:
+                arrays = {name: npz[name] for name in npz.files}
         self.load_count += 1
         self.load_counts[key] = self.load_counts.get(key, 0) + 1
         self._admit(key, arrays)

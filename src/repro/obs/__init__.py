@@ -1,0 +1,47 @@
+"""Observability: a stdlib-only span tracer for the whole stack.
+
+``repro.obs`` is the sanctioned home for *timing* in library code:
+
+* :mod:`repro.obs.clock` re-exports the monotonic clocks
+  (``perf_counter``/``monotonic``) — library modules import these
+  instead of reaching for :mod:`time` directly (lint rule ``RPR901``
+  bans ad-hoc ``time.perf_counter``/``time.monotonic`` calls outside
+  this package and the benchmark harnesses).  Wall-clock time stays
+  banned everywhere (``RPR101``), including here.
+* :mod:`repro.obs.tracer` is the span tracer: ``tracer.span("flush",
+  attrs=...)`` contextmanagers record monotonic start/duration plus
+  typed attributes into a bounded in-memory ring, with a
+  ``contextvars``-based current-span so nested spans form a tree, a
+  trace id that crosses threads (:func:`wrap_context`), asyncio tasks,
+  and the wire (the optional ``trace`` envelope field of the v1
+  protocol), and span *links* tying micro-batched work back to the
+  requests that enqueued it.
+* :mod:`repro.obs.export` renders finished spans as JSONL or Chrome
+  trace-event JSON (loadable in Perfetto / ``chrome://tracing``).
+
+Tracing is **off by default** and costs two clock reads per span when
+disabled — spans always measure their duration (callers rely on
+``span.duration_s`` for per-phase profiles) but only *record* into the
+ring when enabled.  Enable per process via :func:`configure` or the
+``REPRO_TRACE`` / ``REPRO_TRACE_FILE`` / ``REPRO_TRACE_SLOW_MS``
+environment variables (the latter two add a JSONL sink and a slow-op
+log threshold).
+"""
+
+from repro.obs.tracer import (
+    Span,
+    SpanContext,
+    Tracer,
+    configure,
+    get_tracer,
+    wrap_context,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure",
+    "get_tracer",
+    "wrap_context",
+]

@@ -1,0 +1,29 @@
+"""Sanctioned monotonic clocks for library timing.
+
+Library code measures elapsed time through these aliases instead of
+calling :mod:`time` directly — the ``RPR901`` lint rule bans ad-hoc
+``time.perf_counter`` / ``time.monotonic`` calls outside ``repro/obs/``
+and the benchmark harnesses, so every duration in the system flows
+through one module that the tracer (and tests) can reason about.
+
+Only *monotonic* clocks live here.  Wall-clock time (``time.time``,
+``datetime.now``) stays banned everywhere, including in this package:
+``RPR101`` applies to ``repro/obs/`` exactly as it does to the rest of
+the library — the carve-out ``repro/obs/`` shares with ``repro/bench/``
+covers monotonic timing only.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"]
+
+#: Monotonic clock in seconds — interval arithmetic, rate limiting.
+monotonic = time.monotonic
+#: Monotonic clock in integer nanoseconds — span timestamps.
+monotonic_ns = time.monotonic_ns
+#: Highest-resolution interval clock — span / phase durations.
+perf_counter = time.perf_counter
+#: Integer-nanosecond variant of :data:`perf_counter`.
+perf_counter_ns = time.perf_counter_ns

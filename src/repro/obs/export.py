@@ -1,0 +1,150 @@
+"""Render finished spans: JSONL rows, Chrome trace events, summaries.
+
+Two serializations share :meth:`~repro.obs.tracer.Span.to_dict` rows:
+
+* **JSONL** — one JSON object per line, the tracer's sink format and
+  what ``repro-igp trace tail|summarize|export`` reads back;
+* **Chrome trace-event JSON** — a list of phase-``"X"`` (complete)
+  events with ``ts``/``dur`` in microseconds and ``pid``/``tid``
+  lanes, loadable in Perfetto / ``chrome://tracing``; span attributes
+  and trace/span/parent ids ride in ``args``.
+
+:func:`summarize` aggregates rows per span name (count, total, max,
+p50) — the shape the CLI table and the gateway ``GET /traces`` route
+both use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ValidationError
+from repro.obs.tracer import Span
+
+__all__ = [
+    "chrome_json",
+    "read_jsonl",
+    "span_rows",
+    "summarize",
+    "to_chrome",
+    "to_jsonl",
+    "trace_groups",
+]
+
+
+def span_rows(spans: Iterable[Span | Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Normalize live :class:`Span` objects and already-serialized JSONL
+    rows to plain dicts."""
+    rows: list[dict[str, Any]] = []
+    for sp in spans:
+        rows.append(sp.to_dict() if isinstance(sp, Span) else dict(sp))
+    return rows
+
+
+def to_jsonl(spans: Iterable[Span | Mapping[str, Any]]) -> str:
+    """One JSON object per line (trailing newline included)."""
+    rows = span_rows(spans)
+    if not rows:
+        return ""
+    return "\n".join(json.dumps(row) for row in rows) + "\n"
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace file (the tracer sink format) back to rows."""
+    rows: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            raise ValidationError(
+                f"{path}:{lineno}: not a JSONL trace line: {exc}"
+            ) from exc
+        if not isinstance(row, dict) or "name" not in row:
+            raise ValidationError(
+                f"{path}:{lineno}: not a span row (missing 'name')"
+            )
+        rows.append(row)
+    return rows
+
+
+def to_chrome(spans: Iterable[Span | Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Chrome trace-event list: one complete (``"ph": "X"``) event per
+    span.  Nesting falls out of the timestamps — Chrome stacks events
+    whose ``[ts, ts+dur]`` ranges nest within a ``pid``/``tid`` lane."""
+    events: list[dict[str, Any]] = []
+    for row in span_rows(spans):
+        args: dict[str, Any] = dict(row.get("attrs") or {})
+        args["trace_id"] = row.get("trace_id", "")
+        args["span_id"] = row.get("span_id", "")
+        if row.get("parent_id"):
+            args["parent_id"] = row["parent_id"]
+        if row.get("links"):
+            args["links"] = row["links"]
+        if row.get("status", "ok") != "ok":
+            args["status"] = row["status"]
+            if row.get("error"):
+                args["error"] = row["error"]
+        events.append(
+            {
+                "name": row.get("name", "?"),
+                "cat": "repro",
+                "ph": "X",
+                "ts": int(row.get("start_us", 0)),
+                "dur": int(row.get("dur_us", 0)),
+                "pid": int(row.get("pid", 0)),
+                "tid": int(row.get("tid", 0)),
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_json(spans: Iterable[Span | Mapping[str, Any]]) -> str:
+    """The Chrome trace-event list as a JSON array string."""
+    return json.dumps(to_chrome(spans), indent=None, separators=(",", ":"))
+
+
+def summarize(spans: Iterable[Span | Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Per-name aggregate rows sorted by total time, descending:
+    ``{"name", "count", "errors", "total_s", "max_s", "p50_s"}``."""
+    buckets: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for row in span_rows(spans):
+        name = str(row.get("name", "?"))
+        buckets.setdefault(name, []).append(
+            float(row.get("dur_us", 0)) / 1e6
+        )
+        if row.get("status", "ok") != "ok":
+            errors[name] = errors.get(name, 0) + 1
+    out: list[dict[str, Any]] = []
+    for name, durs in buckets.items():
+        durs.sort()
+        out.append(
+            {
+                "name": name,
+                "count": len(durs),
+                "errors": errors.get(name, 0),
+                "total_s": sum(durs),
+                "max_s": durs[-1],
+                "p50_s": durs[len(durs) // 2],
+            }
+        )
+    out.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return out
+
+
+def trace_groups(
+    spans: Iterable[Span | Mapping[str, Any]]
+) -> dict[str, list[dict[str, Any]]]:
+    """Rows grouped by trace id (rows without one group under ``""``),
+    each group ordered as recorded."""
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for row in span_rows(spans):
+        groups.setdefault(str(row.get("trace_id", "")), []).append(row)
+    return groups

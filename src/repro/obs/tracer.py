@@ -1,0 +1,401 @@
+"""The span tracer: bounded ring, contextvars tree, wire propagation.
+
+One process-wide :class:`Tracer` (via :func:`get_tracer`) records
+:class:`Span` rows — name, trace/span/parent ids, monotonic start,
+duration, typed attributes, links — into a bounded ``deque`` ring.
+``tracer.span("flush")`` is a contextmanager; nesting spans nests the
+tree through a ``contextvars.ContextVar``, so the same code produces
+correct parentage on threads (wrap the hop with :func:`wrap_context`)
+and asyncio tasks (contextvars propagate natively).
+
+Cross-process propagation uses :class:`SpanContext`: serialize with
+:meth:`SpanContext.to_wire`, rebuild with :meth:`SpanContext.from_wire`,
+and pass it as ``span(..., parent=ctx)`` on the far side — the v1 wire
+protocol carries it in the optional ``trace`` envelope field.
+
+Spans always measure ``duration_s`` (two monotonic clock reads) even
+when tracing is disabled, so per-phase profiles stay populated at zero
+ring cost; ids, the ring append, the JSONL sink and the slow-op log
+only engage when :attr:`Tracer.enabled` is set.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import io
+import itertools
+import json
+import logging
+import os
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.obs import clock
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "configure",
+    "get_tracer",
+    "wrap_context",
+]
+
+#: Slow-op log lines go here; attach a handler or let logging's
+#: last-resort stderr handler print them (they are WARNINGs).
+_LOG = logging.getLogger("repro.obs")
+
+_DEFAULT_RING = 4096
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> dict[str, str]:
+        """The v1 envelope ``trace`` field value."""
+        return {"id": self.trace_id, "span": self.span_id}
+
+    @classmethod
+    def from_wire(cls, obj: Any) -> "SpanContext | None":
+        """Rebuild from a wire ``trace`` field; ``None`` when absent or
+        not a well-formed ``{"id": str, "span": str}`` mapping."""
+        if not isinstance(obj, Mapping):
+            return None
+        trace_id, span_id = obj.get("id"), obj.get("span")
+        if isinstance(trace_id, str) and trace_id and isinstance(span_id, str):
+            return cls(trace_id=trace_id, span_id=span_id)
+        return None
+
+
+@dataclass
+class Span:
+    """One timed operation.  Mutable while open (``sp.set(...)`` adds
+    attributes mid-flight); finished spans are not mutated again."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    #: Microseconds since the tracer's (per-process, monotonic) epoch.
+    start_us: int = 0
+    duration_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    links: tuple[SpanContext, ...] = ()
+    status: str = "ok"
+    error: str | None = None
+    pid: int = 0
+    tid: int = 0
+    #: Monotonic finish index assigned by the tracer (1-based); lets
+    #: scrapers drain "spans since seq N" without re-reading the ring.
+    seq: int = 0
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def duration_us(self) -> int:
+        return int(round((self.duration_s or 0.0) * 1e6))
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one typed attribute (pivot counts, cache hits, ...)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe row — the JSONL export/sink format."""
+        row: dict[str, Any] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_us": self.start_us,
+            "dur_us": self.duration_us,
+            "status": self.status,
+            "pid": self.pid,
+            "tid": self.tid,
+            "seq": self.seq,
+        }
+        if self.attrs:
+            row["attrs"] = dict(self.attrs)
+        if self.links:
+            row["links"] = [link.to_wire() for link in self.links]
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+class Tracer:
+    """Process-wide span recorder.  Thread-safe; one instance per
+    process (use :func:`get_tracer`), though tests may construct their
+    own isolated instances freely."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = False,
+        ring: int = _DEFAULT_RING,
+        slow_s: float | None = None,
+        sink: str | os.PathLike[str] | None = None,
+    ) -> None:
+        self.enabled = bool(enabled)
+        self.slow_s = slow_s
+        self._ring: deque[Span] = deque(maxlen=int(ring))
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        # Per-process epochs.  ``_epoch_ns`` stamps trace ids (startup
+        # identity); ``_epoch`` anchors span timestamps — start and
+        # duration both derive from the SAME ``perf_counter`` read, so
+        # a child's ``[start, start+dur]`` interval provably nests
+        # inside its parent's and Chrome's flame stacking never shears.
+        self._epoch_ns = clock.monotonic_ns()
+        self._epoch = clock.perf_counter()
+        self._sink_path = os.fspath(sink) if sink is not None else None
+        self._sink_file: io.TextIOWrapper | None = None
+        self._current: contextvars.ContextVar[SpanContext | None] = (
+            contextvars.ContextVar("repro_obs_current", default=None)
+        )
+
+    # -- configuration --------------------------------------------------
+    def configure(
+        self,
+        *,
+        enabled: bool | None = None,
+        ring: int | None = None,
+        slow_s: float | None = None,
+        sink: str | os.PathLike[str] | None = None,
+    ) -> None:
+        """Reconfigure in place.  ``ring`` resizes (keeping the newest
+        spans); ``sink`` points the JSONL mirror at a new path (pass
+        ``""`` to turn the sink off); ``slow_s`` is the slow-op log
+        threshold in seconds (``None`` leaves it unchanged)."""
+        if enabled is not None:
+            self.enabled = bool(enabled)
+        if slow_s is not None:
+            self.slow_s = slow_s if slow_s > 0 else None
+        if ring is not None and ring != self._ring.maxlen:
+            with self._lock:
+                self._ring = deque(self._ring, maxlen=int(ring))
+        if sink is not None:
+            with self._lock:
+                self._close_sink_locked()
+                self._sink_path = os.fspath(sink) or None
+
+    # -- span lifecycle -------------------------------------------------
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        attrs: Mapping[str, Any] | None = None,
+        *,
+        parent: SpanContext | None = None,
+        links: Iterable[SpanContext] = (),
+    ) -> Iterator[Span]:
+        """Open a span.  ``parent`` overrides the ambient current span
+        (wire-propagated contexts); ``links`` tie this span to other
+        traces (micro-batches).  The yielded :class:`Span` always has
+        ``duration_s`` set once the block exits, enabled or not."""
+        if not self.enabled:
+            sp = Span(name=name, trace_id="", span_id="")
+            if attrs:
+                sp.attrs.update(attrs)
+            t0 = clock.perf_counter()
+            try:
+                yield sp
+            finally:
+                sp.duration_s = clock.perf_counter() - t0
+            return
+        ctx = parent if parent is not None else self._current.get()
+        if ctx is None:
+            trace_id = self.mint_trace_id()
+            parent_id = None
+        else:
+            trace_id = ctx.trace_id
+            parent_id = ctx.span_id
+        sp = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=f"{next(self._span_ids):x}",
+            parent_id=parent_id,
+            links=tuple(links),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+        if attrs:
+            sp.attrs.update(attrs)
+        token = self._current.set(sp.context)
+        t0 = clock.perf_counter()
+        sp.start_us = int((t0 - self._epoch) * 1e6)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.status = "error"
+            sp.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            sp.duration_s = clock.perf_counter() - t0
+            self._current.reset(token)
+            self._finish(sp)
+
+    def mint_trace_id(self) -> str:
+        """A fresh trace id: pid + per-process monotonic epoch + counter
+        (collision-safe across processes without drawing entropy —
+        ``uuid4`` stays banned by ``RPR101``)."""
+        return f"{os.getpid():x}-{self._epoch_ns:x}-{next(self._trace_ids):x}"
+
+    def current_context(self) -> SpanContext | None:
+        """The ambient span context (for wire injection / links)."""
+        if not self.enabled:
+            return None
+        return self._current.get()
+
+    def _finish(self, sp: Span) -> None:
+        with self._lock:
+            self._seq += 1
+            sp.seq = self._seq
+            self._ring.append(sp)
+            sink = self._open_sink_locked()
+            if sink is not None:
+                try:
+                    sink.write(json.dumps(sp.to_dict()) + "\n")
+                    sink.flush()
+                except OSError:
+                    # A full/revoked sink must never take down the
+                    # traced operation; drop the sink and keep going.
+                    self._close_sink_locked()
+        if (
+            self.slow_s is not None
+            and sp.duration_s is not None
+            and sp.duration_s >= self.slow_s
+        ):
+            _LOG.warning(
+                "slow op: %s took %.3fs (>= %.3fs) trace=%s attrs=%s",
+                sp.name,
+                sp.duration_s,
+                self.slow_s,
+                sp.trace_id,
+                sp.attrs,
+            )
+
+    def _open_sink_locked(self) -> io.TextIOWrapper | None:
+        if self._sink_file is None and self._sink_path is not None:
+            try:
+                self._sink_file = open(
+                    self._sink_path, "a", encoding="utf-8"
+                )
+            except OSError:
+                # An unwritable sink must never take down the traced
+                # operation; disable it and keep the ring.
+                self._sink_path = None
+        return self._sink_file
+
+    def _close_sink_locked(self) -> None:
+        if self._sink_file is not None:
+            try:
+                self._sink_file.close()
+            except OSError:
+                # Best-effort close; the handle is dropped either way.
+                pass
+            self._sink_file = None
+
+    # -- reading back ---------------------------------------------------
+    def finished(self) -> list[Span]:
+        """Snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def spans_since(self, seq: int) -> tuple[int, list[Span]]:
+        """Spans finished after ``seq`` still in the ring, plus the new
+        high-water mark — the scrape-time drain for metrics collectors:
+        ``seq, fresh = tracer.spans_since(seq)``."""
+        with self._lock:
+            fresh = [sp for sp in self._ring if sp.seq > seq]
+            return (fresh[-1].seq if fresh else seq), fresh
+
+    def clear(self) -> None:
+        """Drop every recorded span (tests)."""
+        with self._lock:
+            self._ring.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide singleton
+# ----------------------------------------------------------------------
+_TRACER: Tracer | None = None
+_TRACER_LOCK = threading.Lock()
+
+
+def _env_config() -> dict[str, Any]:
+    """Initial tracer config from the environment — how subprocesses
+    (``repro-igp serve`` under test, CI smoke runs) switch tracing on
+    without a code path to the singleton."""
+    env = os.environ
+    cfg: dict[str, Any] = {
+        "enabled": env.get("REPRO_TRACE", "").lower() in ("1", "true", "yes", "on")
+    }
+    sink = env.get("REPRO_TRACE_FILE")
+    if sink:
+        cfg["sink"] = sink
+        cfg["enabled"] = True
+    slow_ms = env.get("REPRO_TRACE_SLOW_MS")
+    if slow_ms:
+        try:
+            cfg["slow_s"] = float(slow_ms) / 1000.0
+        except ValueError:
+            # A malformed env knob degrades to "no slow-op log",
+            # never an import-time crash.
+            pass
+    ring = env.get("REPRO_TRACE_RING")
+    if ring and ring.isdigit() and int(ring) > 0:
+        cfg["ring"] = int(ring)
+    return cfg
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (created from ``REPRO_TRACE*`` env on
+    first use)."""
+    global _TRACER
+    if _TRACER is None:
+        with _TRACER_LOCK:
+            if _TRACER is None:
+                _TRACER = Tracer(**_env_config())
+    return _TRACER
+
+
+def configure(
+    *,
+    enabled: bool | None = None,
+    ring: int | None = None,
+    slow_s: float | None = None,
+    sink: str | os.PathLike[str] | None = None,
+) -> Tracer:
+    """Configure the process-wide tracer and return it."""
+    tracer = get_tracer()
+    tracer.configure(enabled=enabled, ring=ring, slow_s=slow_s, sink=sink)
+    return tracer
+
+
+def wrap_context(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Bind ``fn`` to a copy of the *current* contextvars context.
+
+    ``loop.run_in_executor`` does **not** propagate contextvars, so a
+    span opened on the event loop would lose its children in the pool
+    thread; wrapping the callable at submission time carries the
+    current-span (and every other contextvar) across the hop::
+
+        await loop.run_in_executor(None, wrap_context(fn))
+    """
+    ctx = contextvars.copy_context()
+
+    def _run(*args: Any, **kwargs: Any) -> Any:
+        return ctx.run(fn, *args, **kwargs)
+
+    return _run

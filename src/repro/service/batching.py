@@ -28,17 +28,19 @@ import asyncio
 import concurrent.futures
 from typing import Any, Callable
 
+from repro.obs import get_tracer
+
 __all__ = ["PushBatcher"]
 
 
 class _PushQueue:
-    """Pending pushes for one session: ``(delta, future)`` pairs plus a
-    flag marking whether a drainer task is active."""
+    """Pending pushes for one session: ``(delta, future, trace ctx)``
+    triples plus a flag marking whether a drainer task is active."""
 
     __slots__ = ("items", "draining")
 
     def __init__(self) -> None:
-        self.items: list[tuple[Any, asyncio.Future]] = []
+        self.items: list[tuple[Any, asyncio.Future, Any]] = []
         self.draining = False
 
 
@@ -73,7 +75,12 @@ class PushBatcher:
         if queue is None:
             queue = self._queues[name] = _PushQueue()
         future = loop.create_future()
-        queue.items.append((delta, future))
+        # Capture the caller's trace context at enqueue time: the drain
+        # happens on a different task (and thread), where the ambient
+        # contextvar would be gone.  The batch span adopts the first
+        # item's context as parent and links the rest, so a micro-batch
+        # composed from many clients stays reachable from every trace.
+        queue.items.append((delta, future, get_tracer().current_context()))
         if not queue.draining:
             queue.draining = True
             task = asyncio.ensure_future(self._drain_queue(name, queue))
@@ -81,24 +88,41 @@ class PushBatcher:
             task.add_done_callback(self._drainers.discard)
         return await future
 
+    def _traced_batch(self, name: str, deltas: list, ctxs: list):
+        """A pool-thread thunk running ``push_fn`` under a
+        ``push.batch`` span: parented to the first enqueued item's trace
+        context, with every contributing context attached as a link."""
+
+        def run():
+            tracer = get_tracer()
+            with tracer.span(
+                "push.batch",
+                {"session": name, "batched": len(deltas)},
+                parent=ctxs[0] if ctxs else None,
+                links=ctxs,
+            ):
+                return self._push_fn(name, deltas)
+
+        return run
+
     async def _drain_queue(self, name: str, queue: _PushQueue) -> None:
         loop = asyncio.get_running_loop()
         try:
             while queue.items:
                 items, queue.items = queue.items, []
-                deltas = [d for d, _ in items]
+                deltas = [d for d, _, _ in items]
+                ctxs = [c for _, _, c in items if c is not None]
+                run = self._traced_batch(name, deltas, ctxs)
                 try:
-                    result = await loop.run_in_executor(
-                        self._pool, self._push_fn, name, deltas
-                    )
+                    result = await loop.run_in_executor(self._pool, run)
                 # repro: ignore[RPR501] - failure is routed to the waiting futures
                 except Exception as exc:
-                    for _, fut in items:
+                    for _, fut, _ in items:
                         if not fut.done():
                             fut.set_exception(exc)
                     # A failed batch fails those clients only; drain on.
                     continue
-                for _, fut in items:
+                for _, fut, _ in items:
                     if not fut.done():
                         fut.set_result(dict(result))
         finally:

@@ -38,6 +38,7 @@ import numpy as np
 from repro.errors import ServiceError
 from repro.graph.csr import CSRGraph
 from repro.graph.incremental import GraphDelta
+from repro.obs import get_tracer
 from repro.service import protocol
 
 __all__ = ["ServiceClient"]
@@ -112,9 +113,19 @@ class ServiceClient:
     # ------------------------------------------------------------------
     def request(self, op: str, session: str | None = None, **args):
         """Send one request and block for its response; returns the
-        ``result`` dict or raises :class:`ServiceError`."""
+        ``result`` dict or raises :class:`ServiceError`.
+
+        When a trace span is active in the calling context (tracing
+        enabled), its context rides along in the envelope's optional
+        ``trace`` field, so the server joins the caller's trace.
+        """
+        ctx = get_tracer().current_context()
         envelope = protocol.request(
-            op, id=next(self._ids), session=session, args=args or None
+            op,
+            id=next(self._ids),
+            session=session,
+            args=args or None,
+            trace=ctx.to_wire() if ctx is not None else None,
         )
         try:
             protocol.write_frame_sock(self._sock, envelope)

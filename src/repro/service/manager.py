@@ -50,7 +50,6 @@ import os
 import re
 import shutil
 import threading
-import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -61,6 +60,7 @@ from repro.core.streaming import FlushPolicy
 from repro.errors import ServiceError, SnapshotError
 from repro.graph.incremental import GraphDelta
 from repro.graph.sharded import ShardedCSRGraph
+from repro.obs import get_tracer
 from repro.service.protocol import arrays_to_wire, graph_from_wire
 from repro.service.wal import WriteAheadLog
 from repro.session import PartitionSession, open_session, _atomic_write_text
@@ -217,21 +217,27 @@ def _build_session(spec: dict) -> PartitionSession:
 
 
 def _timed_op(fn):
-    """Report the wall time of a public manager op through ``on_op``
-    (when subscribed) whether it succeeds or raises."""
+    """Run a public manager op under a ``service.<op>`` span and report
+    its wall time through ``on_op`` (when subscribed) whether it
+    succeeds or raises.
+
+    The span measures duration even when tracing is disabled (two
+    monotonic clock reads), so the gateway's per-op latency histograms
+    keep working with the tracer off.
+    """
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
-        if self.on_op is None:
-            return fn(self, *args, **kwargs)
-        t0 = time.perf_counter()
+        sp = None
         try:
-            return fn(self, *args, **kwargs)
+            with get_tracer().span(f"service.{fn.__name__}") as sp:
+                return fn(self, *args, **kwargs)
         finally:
+            # Outside the ``with`` so the span's duration is final.
             cb = self.on_op
-            if cb is not None:
+            if cb is not None and sp is not None:
                 try:
-                    cb(fn.__name__, time.perf_counter() - t0)
+                    cb(fn.__name__, sp.duration_s)
                 # repro: ignore[RPR501] - a broken metrics sink must not fail the op it observed
                 except Exception:  # pragma: no cover - defensive
                     logger.exception("on_op observer failed")

@@ -15,6 +15,12 @@ Response (success / failure)::
     {"v": 1, "id": 7, "ok": false, "error": {"code": "graph",
                                              "message": "..."}}
 
+Requests may additionally carry an optional ``"trace"`` field —
+``{"id": "<trace id>", "span": "<parent span id>"}`` — propagating the
+distributed-trace context minted at the HTTP gateway down to the
+service (see :mod:`repro.obs`).  Absent ⇒ the operation starts a root
+trace, so pre-trace clients interoperate unchanged.
+
 ``id`` is a caller-chosen correlation token echoed back verbatim; ``op``
 is one of :data:`OPS` (``create`` / ``open`` / ``push`` / ``flush`` /
 ``repartition`` / ``query`` / ``quality`` / ``save`` / ``close`` /
@@ -92,6 +98,7 @@ __all__ = [
     "read_frame_async",
     "read_frame_sock",
     "request",
+    "trace_context",
     "write_frame_sock",
 ]
 
@@ -248,13 +255,25 @@ def request(
     id: int,
     session: str | None = None,
     args: dict[str, Any] | None = None,
+    trace: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
-    """Build a request envelope."""
+    """Build a request envelope.
+
+    ``trace`` is the optional distributed-trace context
+    (``{"id": <trace id>, "span": <parent span id>}``, the shape
+    :meth:`repro.obs.tracer.SpanContext.to_wire` produces).  It is an
+    *optional* envelope field: v1 servers that predate it ignore unknown
+    envelope keys, and its absence means the operation starts a root
+    trace — so old clients and new servers (and vice versa) interoperate
+    unchanged.
+    """
     env: dict[str, Any] = {"v": PROTOCOL_VERSION, "id": id, "op": op}
     if session is not None:
         env["session"] = session
     if args:
         env["args"] = args
+    if trace:
+        env["trace"] = dict(trace)
     return env
 
 
@@ -299,6 +318,24 @@ def parse_request(env: dict[str, Any]) -> tuple[str, str | None, dict[str, Any]]
     if not isinstance(args, dict):
         raise ServiceError("'args' must be a JSON object", code="bad-request")
     return op, session, args
+
+
+def trace_context(env: dict[str, Any]) -> dict[str, str] | None:
+    """The optional ``trace`` field of a request envelope, or ``None``.
+
+    Lenient by design: a missing, malformed, or partially-populated
+    field degrades to ``None`` (the server then starts a root trace)
+    rather than rejecting the request — trace propagation must never be
+    able to fail an otherwise valid operation.
+    """
+    trace = env.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    tid = trace.get("id")
+    span = trace.get("span")
+    if not isinstance(tid, str) or not tid or not isinstance(span, str):
+        return None
+    return {"id": tid, "span": span}
 
 
 def check_response(env: dict[str, Any]) -> dict[str, Any]:

@@ -42,6 +42,7 @@ from functools import partial
 from pathlib import Path
 
 from repro.errors import ServiceError
+from repro.obs import SpanContext, get_tracer, wrap_context
 from repro.service import protocol
 from repro.service.batching import PushBatcher
 from repro.service.manager import SessionManager
@@ -234,7 +235,15 @@ class PartitionServer:
         req_id = envelope.get("id") if isinstance(envelope, dict) else None
         try:
             op, session, args = protocol.parse_request(envelope)
-            result = await self._execute(op, session, args)
+            # Adopt the caller's trace context (optional envelope field,
+            # minted at the gateway) so the service-side span tree joins
+            # the same distributed trace.  Each connection is its own
+            # asyncio task, so the contextvar set inside the span stays
+            # task-local across the await.
+            remote = SpanContext.from_wire(protocol.trace_context(envelope))
+            attrs = {"session": session} if session is not None else None
+            with get_tracer().span(f"rpc.{op}", attrs, parent=remote):
+                result = await self._execute(op, session, args)
             return protocol.ok_response(req_id, result)
         # repro: ignore[RPR501] - boundary: every failure becomes a wire error
         except Exception as exc:
@@ -255,7 +264,12 @@ class PartitionServer:
         mgr = self.manager
 
         def blocking(fn, *a, **kw):
-            return loop.run_in_executor(self._pool, partial(fn, *a, **kw))
+            # wrap_context: run_in_executor does not propagate
+            # contextvars, so without it the worker thread would lose
+            # the current span and start orphan trace roots.
+            return loop.run_in_executor(
+                self._pool, wrap_context(partial(fn, *a, **kw))
+            )
 
         if op == "ping":
             return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}

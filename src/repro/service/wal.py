@@ -45,6 +45,7 @@ from typing import IO, Any, Callable
 
 from repro.errors import ServiceError
 from repro.graph.incremental import GraphDelta
+from repro.obs import get_tracer
 from repro.service.protocol import delta_from_wire, delta_to_wire
 
 __all__ = ["WalRecord", "WriteAheadLog"]
@@ -155,30 +156,35 @@ class WriteAheadLog:
         records (ignored otherwise)."""
         if kind not in _KINDS:
             raise ServiceError(f"unknown WAL record kind {kind!r}", code="wal")
-        self._last_seq += 1
-        record: dict[str, Any] = {"seq": self._last_seq, "kind": kind}
-        if kind == "push":
-            record["deltas"] = [delta_to_wire(d) for d in deltas]
-        line = json.dumps(record, separators=(",", ":")) + "\n"
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            created = not self.path.exists()
-            self._fh = open(self.path, "ab")
-            if created and self.fsync:
-                # Make the new file's directory entry durable too —
-                # fsyncing only the file leaves the name itself at the
-                # mercy of the directory's writeback.
-                fd = os.open(self.path.parent, os.O_RDONLY)
-                try:
-                    os.fsync(fd)
-                finally:
-                    os.close(fd)
+        tracer = get_tracer()
+        with tracer.span("wal.append", {"kind": kind}) as asp:
+            self._last_seq += 1
+            asp.set("seq", self._last_seq)
+            record: dict[str, Any] = {"seq": self._last_seq, "kind": kind}
+            if kind == "push":
+                record["deltas"] = [delta_to_wire(d) for d in deltas]
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                created = not self.path.exists()
+                self._fh = open(self.path, "ab")
+                if created and self.fsync:
+                    # Make the new file's directory entry durable too —
+                    # fsyncing only the file leaves the name itself at the
+                    # mercy of the directory's writeback.
+                    fd = os.open(self.path.parent, os.O_RDONLY)
+                    try:
+                        with tracer.span("wal.fsync", {"target": "dir"}):
+                            os.fsync(fd)
+                    finally:
+                        os.close(fd)
+                    self._note_fsync()
+            self._fh.write(line.encode("utf-8"))
+            self._fh.flush()
+            if self.fsync:
+                with tracer.span("wal.fsync", {"target": "log"}):
+                    os.fsync(self._fh.fileno())
                 self._note_fsync()
-        self._fh.write(line.encode("utf-8"))
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
-            self._note_fsync()
         return self._last_seq
 
     # ------------------------------------------------------------------

@@ -51,7 +51,7 @@ import io
 import json
 import os
 import zipfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -169,6 +169,10 @@ class BatchSummary:
     imbalance: float
     num_stages: int
     lp_pivots: int
+    #: Per-phase wall seconds of the flush (``assign`` / ``layering`` /
+    #: ``lp`` / ``move`` / ``refine`` plus ``apply``).  Defaulted so
+    #: manifests written before the profile existed still load.
+    phases: dict = field(default_factory=dict)
 
     @classmethod
     def from_record(cls, rec: BatchRecord) -> "BatchSummary":
@@ -183,6 +187,7 @@ class BatchSummary:
             imbalance=float(q.imbalance),
             num_stages=rec.result.num_stages,
             lp_pivots=int(sum(s.lp_iterations for s in rec.result.stages)),
+            phases=dict(rec.phases),
         )
 
     def summary(self) -> str:

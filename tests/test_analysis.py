@@ -347,6 +347,70 @@ class TestDeprecation:
 
 
 # ----------------------------------------------------------------------
+# RPR9xx — timing discipline
+# ----------------------------------------------------------------------
+class TestTiming:
+    def test_perf_counter_call_flagged(self):
+        src = "import time\n\ndef f():\n    return time.perf_counter()\n"
+        assert "RPR901" in codes_of(analyze_source(src, "repro/core/x.py"))
+
+    def test_monotonic_ns_call_flagged(self):
+        src = "import time\n\nt0 = time.monotonic_ns()\n"
+        assert "RPR901" in codes_of(analyze_source(src, "repro/service/x.py"))
+
+    def test_from_import_flagged(self):
+        src = "from time import perf_counter\n"
+        assert "RPR901" in codes_of(analyze_source(src, "repro/core/x.py"))
+
+    def test_obs_clock_alias_clean(self):
+        src = (
+            "from repro.obs import clock\n\n"
+            "def f():\n    return clock.monotonic()\n"
+        )
+        assert codes_of(analyze_source(src, "repro/gateway/x.py")) == []
+
+    def test_span_timing_clean(self):
+        src = (
+            "from repro.obs import get_tracer\n\n"
+            "def f():\n"
+            "    with get_tracer().span('op') as sp:\n"
+            "        pass\n"
+            "    return sp.duration_s\n"
+        )
+        assert codes_of(analyze_source(src, "repro/core/x.py")) == []
+
+    def test_obs_package_exempt(self):
+        src = "import time\n\nt0 = time.perf_counter()\n"
+        assert codes_of(analyze_source(src, "repro/obs/tracer.py")) == []
+
+    def test_wall_clock_stays_banned_in_obs(self):
+        # the carve-out is for *monotonic* clocks only: RPR101 still
+        # owns wall-clock determinism, including inside repro/obs/
+        src = "import time\n\nt = time.time()\n"
+        assert "RPR101" in codes_of(
+            analyze_source(src, "repro/obs/tracer.py")
+        )
+
+    def test_bench_exempt(self):
+        src = "from time import perf_counter\n"
+        assert codes_of(analyze_source(src, "repro/bench/harness.py")) == []
+
+    def test_time_sleep_not_flagged(self):
+        # RPR901 bans ad-hoc *measurement*, not the time module wholesale
+        src = "import time\n\ndef f():\n    time.sleep(0.1)\n"
+        assert "RPR901" not in codes_of(
+            analyze_source(src, "repro/service/x.py")
+        )
+
+    def test_inline_suppression(self):
+        src = (
+            "import time\n\n"
+            "t0 = time.monotonic()  # repro: ignore[RPR901] - injectable test clock\n"
+        )
+        assert codes_of(analyze_source(src, "repro/core/x.py")) == []
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, baseline, report, CLI
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -519,6 +583,7 @@ class TestSelfCheck:
             "broad-except",
             "deprecation",
             "monolith-assembly",
+            "timing",
         }
         from repro.analysis import all_project_checkers
 

@@ -479,6 +479,100 @@ class TestGatewayRoutes:
 
 
 # ----------------------------------------------------------------------
+# Request ids and the /traces route
+# ----------------------------------------------------------------------
+class TestRequestIds:
+    def test_every_response_carries_x_request_id(self, gateway):
+        status, _, headers = http_get(gateway, "/healthz", token=None)
+        assert status == 200 and headers["X-Request-Id"]
+
+    def test_error_bodies_repeat_the_request_id(self, gateway):
+        status, body, headers = http_get(
+            gateway, "/sessions/ghost/flush", method="POST", body={}
+        )
+        assert status == 404
+        assert body["error"]["code"] == "unknown-session"
+        assert body["request_id"] == headers["X-Request-Id"]
+
+    def test_client_supplied_id_is_echoed_even_on_errors(self, gateway):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{gateway.port}/stats",
+            headers={"X-Request-Id": "bug-report-42"},  # no auth: 401
+        )
+        with pytest.raises(urllib.error.HTTPError) as ei:
+            urllib.request.urlopen(req)
+        assert ei.value.code == 401
+        assert ei.value.headers["X-Request-Id"] == "bug-report-42"
+        assert json.loads(ei.value.read())["request_id"] == "bug-report-42"
+
+    def test_framing_errors_get_an_id_too(self, gateway):
+        with socket.create_connection(("127.0.0.1", gateway.port)) as raw:
+            raw.sendall(b"NOT A REQUEST LINE\r\n\r\n")
+            data = raw.recv(4096)
+        assert data.startswith(b"HTTP/1.1 400")
+        assert b"X-Request-Id:" in data
+        assert b'"request_id"' in data
+
+    def test_distinct_requests_get_distinct_ids(self, gateway):
+        ids = {
+            http_get(gateway, "/healthz", token=None)[2]["X-Request-Id"]
+            for _ in range(3)
+        }
+        assert len(ids) == 3
+
+
+class TestTracesRoute:
+    def test_traces_is_auth_gated(self, gateway):
+        status, body, _ = http_get(gateway, "/traces", token=None)
+        assert status == 401 and body["error"]["code"] == "unauthorized"
+
+    def test_traces_reports_ring_summaries(self, gateway):
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        tracer.configure(enabled=True)
+        try:
+            _, deltas = make_stream(**CHURN)
+            with client_for(gateway) as gw:
+                gw.create(
+                    "t", partitions=4, source=dict(CHURN), seed=0,
+                    policy=dict(PER_DELTA), config={"lp_backend": "revised"},
+                )
+                gw.push("t", deltas[0])
+            status, body, _ = http_get(gateway, "/traces?n=5")
+        finally:
+            tracer.configure(enabled=False)
+            tracer.clear()
+        assert status == 200
+        result = body["result"]
+        assert result["enabled"] is True
+        assert result["spans"] > 0
+        names = {row["name"] for row in result["summary"]}
+        assert "flush" in names and "http.request" in names
+        assert len(result["traces"]) <= 5
+        for entry in result["traces"]:
+            assert entry["trace_id"]
+            assert entry["spans"] >= 1
+            assert entry["total_s"] >= 0.0
+            assert entry["names"]
+
+    def test_traces_rejects_bad_n(self, gateway):
+        status, body, _ = http_get(gateway, "/traces?n=zero")
+        assert status == 400 and body["error"]["code"] == "bad-request"
+        status, body, _ = http_get(gateway, "/traces?n=0")
+        assert status == 400
+
+    def test_traces_empty_when_disabled(self, gateway):
+        from repro.obs import get_tracer
+
+        get_tracer().clear()
+        status, body, _ = http_get(gateway, "/traces")
+        assert status == 200
+        assert body["result"]["enabled"] is False
+        assert body["result"]["traces"] == []
+
+
+# ----------------------------------------------------------------------
 # Auth and rate limiting over real sockets
 # ----------------------------------------------------------------------
 class TestAuthOverHTTP:

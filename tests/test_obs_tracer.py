@@ -1,0 +1,296 @@
+"""Unit tests for the repro.obs span tracer.
+
+The contracts under test:
+
+* spans ALWAYS measure ``duration_s`` (two clock reads), enabled or
+  not — ``SessionManager.on_op`` latency hooks and the streaming
+  layer's wall-clock accounting must keep working with tracing off;
+* enabled spans form a tree: contextvars carry the current span, so a
+  nested ``span()`` parents under the enclosing one, across threads
+  only via :func:`wrap_context`;
+* the ring is bounded (old spans fall off, ``seq`` keeps counting);
+* the JSONL sink mirrors every finished span and survives the path
+  going bad (drop the sink, keep the op);
+* ``REPRO_TRACE*`` environment variables configure the process-wide
+  tracer at first touch (tested on isolated instances here, end to end
+  in test_obs_propagation.py).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import Span, SpanContext, Tracer
+from repro.obs.tracer import _env_config
+
+
+def make_tracer(**kw):
+    kw.setdefault("enabled", True)
+    return Tracer(**kw)
+
+
+class TestSpanBasics:
+    def test_duration_measured_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("op") as sp:
+            pass
+        assert sp.duration_s is not None
+        assert sp.duration_s >= 0.0
+        # ...but nothing was recorded and no ids were minted
+        assert tracer.finished() == []
+        assert sp.trace_id == ""
+        assert tracer.current_context() is None
+
+    def test_enabled_span_is_recorded_with_ids(self):
+        tracer = make_tracer()
+        with tracer.span("op", {"k": 1}) as sp:
+            sp.set("pivots", 7)
+        rows = tracer.finished()
+        assert len(rows) == 1
+        rec = rows[0]
+        assert rec.name == "op"
+        assert rec.trace_id and rec.span_id
+        assert rec.parent_id is None
+        assert rec.attrs == {"k": 1, "pivots": 7}
+        assert rec.status == "ok"
+        assert rec.seq == 1
+
+    def test_nested_spans_share_trace_and_parent(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_context() == inner.context
+            assert tracer.current_context() == outer.context
+        assert tracer.current_context() is None
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        # children finish first: ring order is finish order
+        assert [s.name for s in tracer.finished()] == ["inner", "outer"]
+
+    def test_sibling_roots_get_distinct_trace_ids(self):
+        tracer = make_tracer()
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = make_tracer()
+        remote = SpanContext(trace_id="t-remote", span_id="s-remote")
+        with tracer.span("ambient"):
+            with tracer.span("rpc", parent=remote) as sp:
+                pass
+        assert sp.trace_id == "t-remote"
+        assert sp.parent_id == "s-remote"
+
+    def test_links_survive_to_row(self):
+        tracer = make_tracer()
+        ctxs = [SpanContext("t1", "s1"), SpanContext("t2", "s2")]
+        with tracer.span("batch", links=ctxs) as sp:
+            pass
+        assert sp.links == tuple(ctxs)
+        row = sp.to_dict()
+        assert row["links"] == [{"id": "t1", "span": "s1"},
+                                {"id": "t2", "span": "s2"}]
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = make_tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("op"):
+                raise ValueError("boom")  # repro: ignore[RPR201] - fixture exercises error-span recording
+        (sp,) = tracer.finished()
+        assert sp.status == "error"
+        assert "boom" in sp.error
+        assert sp.duration_s is not None
+
+    def test_start_us_is_monotonic_within_a_process(self):
+        tracer = make_tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        first, second = tracer.finished()
+        assert second.start_us >= first.start_us
+
+
+class TestRingAndDrain:
+    def test_ring_is_bounded_but_seq_keeps_counting(self):
+        tracer = make_tracer(ring=4)
+        for i in range(10):
+            with tracer.span(f"op{i}"):
+                pass
+        rows = tracer.finished()
+        assert [s.name for s in rows] == ["op6", "op7", "op8", "op9"]
+        assert rows[-1].seq == 10
+
+    def test_spans_since_drains_incrementally(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        seq, fresh = tracer.spans_since(0)
+        assert [s.name for s in fresh] == ["a"]
+        with tracer.span("b"):
+            pass
+        with tracer.span("c"):
+            pass
+        seq, fresh = tracer.spans_since(seq)
+        assert [s.name for s in fresh] == ["b", "c"]
+        seq2, fresh = tracer.spans_since(seq)
+        assert fresh == [] and seq2 == seq
+
+    def test_clear_empties_ring(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+    def test_configure_ring_resize_keeps_newest(self):
+        tracer = make_tracer()
+        for i in range(6):
+            with tracer.span(f"op{i}"):
+                pass
+        tracer.configure(ring=2)
+        assert [s.name for s in tracer.finished()] == ["op4", "op5"]
+
+
+class TestThreadsAndContext:
+    def test_plain_thread_does_not_inherit_current_span(self):
+        tracer = make_tracer()
+        seen = []
+        with tracer.span("outer"):
+            ctx = contextvars.copy_context()
+
+            def probe():
+                seen.append(tracer.current_context())
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            # wrap_context-style: running under a copied context DOES see it
+            assert ctx.run(tracer.current_context) is not None
+        assert seen == [None]
+
+    def test_wrap_context_propagates_across_executor_hop(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.obs import wrap_context
+
+        tracer = make_tracer()
+        with ThreadPoolExecutor(1) as pool:
+            with tracer.span("outer") as outer:
+                def child_op():
+                    with tracer.span("child") as sp:
+                        return sp
+
+                # wrap_context must be applied while "outer" is current.
+                child = pool.submit(wrap_context(child_op)).result()
+        assert child.trace_id == outer.trace_id
+        assert child.parent_id == outer.span_id
+
+    def test_concurrent_spans_record_without_loss(self):
+        tracer = make_tracer(ring=10_000)
+
+        def worker(i):
+            for j in range(50):
+                with tracer.span(f"w{i}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rows = tracer.finished()
+        assert len(rows) == 200
+        assert sorted(s.seq for s in rows) == list(range(1, 201))
+
+
+class TestSinkAndSlowLog:
+    def test_sink_mirrors_rows_as_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = make_tracer(sink=path)
+        with tracer.span("op", {"k": "v"}):
+            pass
+        tracer.configure(sink="")  # close + detach
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        row = json.loads(lines[0])
+        assert row["name"] == "op"
+        assert row["attrs"] == {"k": "v"}
+        assert row["dur_us"] >= 0
+
+    def test_broken_sink_drops_sink_not_span(self, tmp_path):
+        tracer = make_tracer(sink=tmp_path / "nope" / "trace.jsonl")
+        with tracer.span("op"):
+            pass  # must not raise
+        assert [s.name for s in tracer.finished()] == ["op"]
+
+    def test_slow_op_logged_fast_op_not(self, caplog):
+        tracer = make_tracer(slow_s=0.0)  # 0 -> disabled threshold
+        tracer.slow_s = 1e-9  # everything is slow
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            with tracer.span("crawl"):
+                pass
+        assert any("crawl" in r.message for r in caplog.records)
+        caplog.clear()
+        tracer.slow_s = 3600.0
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            with tracer.span("sprint"):
+                pass
+        assert caplog.records == []
+
+
+class TestIdsAndEnv:
+    def test_mint_trace_id_unique_and_works_disabled(self):
+        tracer = Tracer(enabled=False)
+        ids = {tracer.mint_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_env_config_parsing(self, monkeypatch):
+        for var in ("REPRO_TRACE", "REPRO_TRACE_FILE",
+                    "REPRO_TRACE_SLOW_MS", "REPRO_TRACE_RING"):
+            monkeypatch.delenv(var, raising=False)
+        assert _env_config()["enabled"] is False
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_SLOW_MS", "250")
+        monkeypatch.setenv("REPRO_TRACE_RING", "128")
+        cfg = _env_config()
+        assert cfg["enabled"] is True
+        assert cfg["slow_s"] == pytest.approx(0.25)
+        assert cfg["ring"] == 128
+
+        # a sink path implies enabled even without REPRO_TRACE
+        monkeypatch.delenv("REPRO_TRACE")
+        monkeypatch.setenv("REPRO_TRACE_FILE", "/tmp/x.jsonl")
+        cfg = _env_config()
+        assert cfg["enabled"] is True
+        assert cfg["sink"] == "/tmp/x.jsonl"
+
+        # malformed numerics must not wedge startup
+        monkeypatch.setenv("REPRO_TRACE_SLOW_MS", "soon")
+        monkeypatch.setenv("REPRO_TRACE_RING", "big")
+        cfg = _env_config()
+        assert "slow_s" not in cfg or cfg.get("slow_s") is None
+        assert "ring" not in cfg or cfg.get("ring") is None
+
+    def test_span_context_from_wire_lenient(self):
+        good = {"id": "t", "span": "s"}
+        assert SpanContext.from_wire(good) == SpanContext("t", "s")
+        for bad in (None, "t", 7, [], {"id": "t"}, {"span": "s"},
+                    {"id": "", "span": "s"}, {"id": 3, "span": "s"}):
+            assert SpanContext.from_wire(bad) is None
+
+    def test_span_to_dict_shape(self):
+        sp = Span(name="n", trace_id="t", span_id="s", duration_s=0.001)
+        row = sp.to_dict()
+        assert row["name"] == "n"
+        assert row["dur_us"] == 1000
+        assert "attrs" not in row and "links" not in row and "error" not in row

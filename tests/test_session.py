@@ -178,6 +178,40 @@ class TestSessionFacade:
         s = open_session(seq_a.graphs[0], 4, seed=0)
         assert s.flush() is None and s.num_batches == 0
 
+    def test_history_carries_per_phase_profile(self, seq_a):
+        s = open_session(seq_a.graphs[0], 4, seed=0, policy=PER_DELTA)
+        s.push(seq_a.deltas[0])
+        phases = s.history()[0].phases
+        # the pipeline phase timings plus the delta-apply cost
+        assert "apply" in phases
+        assert {"assign", "layering"} <= phases.keys()
+        assert all(v >= 0.0 for v in phases.values())
+        # the phase profile is part of the wall-clock story, not extra
+        assert sum(phases.values()) <= s.history()[0].wall_s * 1.5 + 1e-6
+
+    def test_phases_survive_snapshot_round_trip(self, seq_a, tmp_path):
+        s = open_session(seq_a.graphs[0], 4, seed=0, policy=PER_DELTA)
+        s.extend(seq_a.deltas[:2])
+        path = tmp_path / "s.zip"
+        s.save(path)
+        restored = PartitionSession.load(path)
+        assert [h.phases for h in restored.history()] == [
+            h.phases for h in s.history()
+        ]
+        assert restored.history()[0].phases  # non-empty, not a default
+
+    def test_old_manifest_without_phases_still_loads(self, seq_a, tmp_path):
+        # Simulate a pre-phases manifest row: BatchSummary(**row) must
+        # default the field rather than reject the snapshot.
+        from dataclasses import asdict
+
+        s = open_session(seq_a.graphs[0], 4, seed=0, policy=PER_DELTA)
+        s.push(seq_a.deltas[0])
+        row = asdict(s.history()[0])
+        row.pop("phases")
+        legacy = BatchSummary(**row)
+        assert legacy.phases == {}
+
 
 # ----------------------------------------------------------------------
 # Serialization primitives
